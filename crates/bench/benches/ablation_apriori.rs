@@ -1,0 +1,39 @@
+//! `abl-apriori`: Apriori-pruned vs exhaustive in-database shape discovery
+//! (§5.4) on a high-arity iBench-like relation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soct_gen::{ibench_like, IBenchVariant};
+use soct_storage::{find_shapes_apriori, find_shapes_exhaustive, TupleSource};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let s = ibench_like(IBenchVariant::Stb128, 0.002, 17);
+    // Pick the populated relation with the highest arity ≤ 8 (Bell(8) =
+    // 4140 exhaustive queries — measurable without being absurd).
+    let pred = s
+        .engine
+        .non_empty_predicates()
+        .into_iter()
+        .filter(|&p| s.engine.arity_of(p) <= 8)
+        .max_by_key(|&p| s.engine.arity_of(p))
+        .expect("populated relation exists");
+    let arity = s.engine.arity_of(pred);
+    let mut group = c.benchmark_group("ablation_apriori");
+    group.bench_with_input(BenchmarkId::new("apriori", arity), &pred, |b, &p| {
+        b.iter(|| find_shapes_apriori(&s.engine, p).0.len())
+    });
+    group.bench_with_input(BenchmarkId::new("exhaustive", arity), &pred, |b, &p| {
+        b.iter(|| find_shapes_exhaustive(&s.engine, p).0.len())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

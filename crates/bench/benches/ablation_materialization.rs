@@ -1,0 +1,60 @@
+//! `abl-mat`: the materialization-based checker (§1.4) vs the
+//! acyclicity-based checker on the same input — the gap that motivated the
+//! paper's focus on acyclicity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soct_core::{check_termination, materialization_check, FindShapesMode};
+use soct_gen::{DataGenConfig, TgdGenConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // A terminating input (so both sides finish): moderate database, a few
+    // linear rules.
+    let mut schema = soct_model::Schema::new();
+    let (preds, db) = soct_gen::generate_instance(
+        &DataGenConfig {
+            preds: 5,
+            min_arity: 1,
+            max_arity: 3,
+            dsize: 12,
+            rsize: 30,
+            seed: 2,
+        },
+        &mut schema,
+    );
+    let tgds = soct_gen::generate_tgds(
+        &TgdGenConfig {
+            ssize: 4,
+            min_arity: 1,
+            max_arity: 3,
+            tsize: 6,
+            tclass: soct_model::TgdClass::Linear,
+            existential_prob: 0.2,
+            seed: 5,
+        },
+        &schema,
+        &preds,
+    );
+    // Only bench a decisive, finite instance.
+    let fast = check_termination(&schema, &tgds, &db, FindShapesMode::InMemory);
+    assert_eq!(fast.verdict, soct_core::Verdict::Finite, "pick another seed");
+
+    let mut group = c.benchmark_group("ablation_materialization");
+    group.bench_function("acyclicity_based", |b| {
+        b.iter(|| check_termination(&schema, &tgds, &db, FindShapesMode::InMemory).verdict)
+    });
+    group.bench_function("materialization_based", |b| {
+        b.iter(|| materialization_check(&schema, &tgds, &db, Some(500_000)).verdict)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! `abl-scc`: Tarjan vs Kosaraju vs per-special-edge reachability for
+//! special-SCC detection (§5.2: "we build on Tarjan's algorithm as it is
+//! more efficient in practice").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soct_gen::profiles::Scale;
+use soct_graph::{
+    find_special_sccs, find_special_sccs_kosaraju, has_special_cycle_per_edge, DependencyGraph,
+};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let (_schema, sets) = soct_bench::sl_family(&scale, 31);
+    // The largest set of the [400,600] profile gives the biggest graph.
+    let set = sets
+        .iter()
+        .filter(|s| s.profile.pred_profile == 2)
+        .max_by_key(|s| s.n_rules)
+        .unwrap();
+    let mut schema = soct_model::Schema::new();
+    let mut consts = soct_model::Interner::new();
+    let tgds = soct_parser::parse_tgds(&set.text, &mut schema, &mut consts).unwrap();
+    let graph = DependencyGraph::build(&schema, &tgds);
+    let mut group = c.benchmark_group("ablation_scc");
+    let edges = graph.num_edges();
+    group.bench_with_input(BenchmarkId::new("tarjan", edges), &graph, |b, g| {
+        b.iter(|| find_special_sccs(g).has_special_scc())
+    });
+    group.bench_with_input(BenchmarkId::new("kosaraju", edges), &graph, |b, g| {
+        b.iter(|| find_special_sccs_kosaraju(g).has_special_scc())
+    });
+    if graph.num_special_edges() * graph.num_edges() < 20_000_000 {
+        group.bench_with_input(BenchmarkId::new("per_edge", edges), &graph, |b, g| {
+            b.iter(|| has_special_cycle_per_edge(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! `abl-simpl`: dynamic vs static simplification (§4.2's 5×/1000× size
+//! claim and the scalability argument for Algorithm 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soct_core::{dyn_simplification, find_shapes, FindShapesMode};
+use soct_gen::deep_like;
+use soct_model::simplify::static_simplification;
+use soct_model::ShapeInterner;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let s = deep_like(100, 1);
+    let shapes = find_shapes(&s.engine, FindShapesMode::InMemory).shapes;
+    let mut group = c.benchmark_group("ablation_simplification");
+    group.bench_function("dynamic_deep100", |b| {
+        b.iter(|| dyn_simplification(&s.schema, &s.tgds, std::hint::black_box(&shapes)).tgds.len())
+    });
+    group.bench_function("static_deep100", |b| {
+        b.iter(|| {
+            let mut interner = ShapeInterner::new();
+            static_simplification(&mut interner, &s.schema, std::hint::black_box(&s.tgds))
+                .unwrap()
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 1: `IsChaseFinite[SL]` end-to-end runtime and its breakdown as a
+//! function of `n-rules` (criterion edition; the `experiments` binary
+//! produces the full scatter series).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soct_gen::profiles::Scale;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let (_schema, sets) = soct_bench::sl_family(&scale, 7);
+    let mut group = c.benchmark_group("fig1_sl_runtime");
+    // One set per TGD profile within the [200,400] predicate profile.
+    for set in sets.iter().filter(|s| s.profile.pred_profile == 1) {
+        group.throughput(criterion::Throughput::Elements(set.n_rules as u64));
+        group.bench_with_input(
+            BenchmarkId::new("t-total", set.n_rules),
+            &set.text,
+            |b, text| {
+                b.iter(|| {
+                    let (rep, _, _) =
+                        soct_core::is_chase_finite_sl_text(std::hint::black_box(text)).unwrap();
+                    rep.finite
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 4: in-database `FindShapes` (Apriori-pruned EXISTS queries)
+//! runtime vs database size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soct_core::{find_shapes, FindShapesMode};
+use soct_gen::profiles::Scale;
+use soct_storage::LimitView;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let d = soct_bench::build_dstar(&scale, 1);
+    let mut group = c.benchmark_group("fig4_findshapes_db");
+    for &view_size in &d.view_sizes {
+        let view = LimitView::new(&d.engine, view_size);
+        group.bench_with_input(
+            BenchmarkId::new("in_database", view_size),
+            &view,
+            |b, view| b.iter(|| find_shapes(view, FindShapesMode::InDatabase).shapes.len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

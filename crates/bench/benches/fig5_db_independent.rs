@@ -1,0 +1,41 @@
+//! Figures 5–7: the db-independent component of `IsChaseFinite[L]`
+//! (dynamic simplification + dependency graph + special SCCs) as a
+//! function of `n-rules`, per predicate profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soct_core::{check_l_with_shapes, find_shapes, FindShapesMode};
+use soct_gen::profiles::Scale;
+use soct_storage::LimitView;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let d = soct_bench::build_dstar(&scale, 1);
+    let sets = soct_bench::l_family(&scale, &d.schema, &d.pool, 2);
+    let view = LimitView::new(&d.engine, *d.view_sizes.last().unwrap());
+    let mut group = c.benchmark_group("fig5_db_independent");
+    // Per predicate profile (fig6 = [5,200], fig7 = [200,400],
+    // fig5 = [400,600]), one point per TGD profile.
+    for set in &sets {
+        let label = ["fig6_p5_200", "fig7_p200_400", "fig5_p400_600"][set.profile.pred_profile];
+        let shapes = find_shapes(&view, FindShapesMode::InMemory).shapes;
+        group.bench_with_input(
+            BenchmarkId::new(label, set.n_rules),
+            &shapes,
+            |b, shapes| {
+                b.iter(|| check_l_with_shapes(&d.schema, &set.tgds, std::hint::black_box(shapes)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

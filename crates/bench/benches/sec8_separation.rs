@@ -1,0 +1,41 @@
+//! §8 inline figure: the db-independent component of `IsChaseFinite[L]`
+//! must be flat across database (view) sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soct_core::{check_l_with_shapes, find_shapes, FindShapesMode};
+use soct_gen::profiles::Scale;
+use soct_storage::LimitView;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let d = soct_bench::build_dstar(&scale, 1);
+    let sets = soct_bench::l_family(&scale, &d.schema, &d.pool, 2);
+    let set = sets
+        .iter()
+        .find(|s| s.profile.pred_profile == 1)
+        .expect("family covers all profiles");
+    let mut group = c.benchmark_group("sec8_separation");
+    for &view_size in &d.view_sizes {
+        let view = LimitView::new(&d.engine, view_size);
+        let shapes = find_shapes(&view, FindShapesMode::InMemory).shapes;
+        group.bench_with_input(
+            BenchmarkId::new("db_independent", view_size),
+            &shapes,
+            |b, shapes| {
+                b.iter(|| check_l_with_shapes(&d.schema, &set.tgds, std::hint::black_box(shapes)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

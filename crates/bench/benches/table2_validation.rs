@@ -1,0 +1,46 @@
+//! Table 2: end-to-end `IsChaseFinite[L]` on the §9 scenario families, with
+//! both FindShapes implementations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soct_core::{is_chase_finite_l, FindShapesMode};
+use soct_gen::{deep_like, ibench_like, lubm_like, IBenchVariant};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scenarios = vec![
+        deep_like(100, 1),
+        lubm_like(1, 0.005, 1),
+        ibench_like(IBenchVariant::Stb128, 0.002, 1),
+    ];
+    let mut group = c.benchmark_group("table2_validation");
+    group.sample_size(10);
+    for s in &scenarios {
+        for (mode, label) in [
+            (FindShapesMode::InDatabase, "in_db"),
+            (FindShapesMode::InMemory, "in_mem"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, &s.name),
+                &mode,
+                |b, &mode| {
+                    b.iter(|| {
+                        let rep = is_chase_finite_l(&s.schema, &s.tgds, &s.engine, mode);
+                        assert!(rep.finite);
+                        rep.n_db_shapes
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! # soct-bench
+//!
+//! Shared harness for the criterion benchmarks and the `experiments`
+//! binary: workload builders mirroring §7.1/§8.1, timing helpers, and
+//! table/CSV reporting. Every table and figure of the paper maps to one
+//! experiment id here (see DESIGN.md §5 for the index).
+
+pub mod report;
+pub mod workloads;
+
+pub use report::{write_csv, Table};
+pub use workloads::{build_dstar, l_family, sl_family, Dstar, LSet, SlSet};

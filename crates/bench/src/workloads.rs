@@ -1,0 +1,188 @@
+//! Workload builders shared by the criterion benches and the experiments
+//! binary, mirroring the paper's experimental design:
+//!
+//! - §7.1: the shared 1000-predicate schema, nine combined profiles, and
+//!   per-profile families of simple-linear TGD sets (rendered to rule text,
+//!   since `t-parse` is part of the measurement);
+//! - §8.1: the big shape-rich database `D★`, its first-k-rows views, and
+//!   per-profile families of linear TGD sets.
+
+use soct_gen::profiles::{combined_profiles, sample_profile_set, shared_schema, CombinedProfile, Scale};
+use soct_model::{Interner, PredId, Schema, Tgd, TgdClass};
+use soct_storage::StorageEngine;
+
+/// One generated simple-linear rule set, kept both parsed and rendered.
+pub struct SlSet {
+    pub profile: CombinedProfile,
+    pub n_rules: usize,
+    /// Rendered rule text (input to `is_chase_finite_sl_text`).
+    pub text: String,
+}
+
+/// One generated linear rule set (kept parsed; its text is rendered on
+/// demand for the `t-parse` component).
+pub struct LSet {
+    pub profile: CombinedProfile,
+    pub n_rules: usize,
+    pub tgds: Vec<Tgd>,
+    pub text: String,
+}
+
+/// The §7.1 family: `sets_per_profile` simple-linear sets for each of the
+/// nine combined profiles, over the shared schema.
+///
+/// Generation (not measurement) is embarrassingly parallel — at paper scale
+/// this renders 900 rule sets of up to a million rules each, so the work is
+/// fanned out over `crossbeam` scoped threads.
+pub fn sl_family(scale: &Scale, seed: u64) -> (Schema, Vec<SlSet>) {
+    let (schema, pool) = shared_schema(seed);
+    let jobs: Vec<(usize, CombinedProfile, u64)> = combined_profiles(scale)
+        .into_iter()
+        .enumerate()
+        .flat_map(|(pi, profile)| {
+            (0..scale.sl_sets_per_profile)
+                .map(move |s| (pi, profile, seed ^ ((pi as u64) << 32) ^ (s as u64 + 1)))
+        })
+        .collect();
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+    let chunk_len = jobs.len().div_ceil(workers).max(1);
+    let out: Vec<SlSet> = crossbeam::thread::scope(|scope| {
+        let schema = &schema;
+        let pool = &pool;
+        let handles: Vec<_> = jobs
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    let consts = Interner::new();
+                    chunk
+                        .iter()
+                        .map(|&(_, profile, job_seed)| {
+                            let tgds = sample_profile_set(
+                                &profile,
+                                schema,
+                                pool,
+                                TgdClass::SimpleLinear,
+                                job_seed,
+                            );
+                            let text = soct_parser::write_tgds(&tgds, schema, &consts);
+                            SlSet {
+                                profile,
+                                n_rules: tgds.len(),
+                                text,
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("generator threads do not panic"))
+            .collect()
+    })
+    .expect("scope completes");
+    (schema, out)
+}
+
+/// The §8.1 family: `l_sets_per_profile` linear sets per combined profile,
+/// over the same predicate pool as `D★`.
+pub fn l_family(scale: &Scale, schema: &Schema, pool: &[PredId], seed: u64) -> Vec<LSet> {
+    let consts = Interner::new();
+    let mut out = Vec::new();
+    for (pi, profile) in combined_profiles(scale).into_iter().enumerate() {
+        for s in 0..scale.l_sets_per_profile {
+            let tgds = sample_profile_set(
+                &profile,
+                schema,
+                pool,
+                TgdClass::Linear,
+                seed ^ 0xf00d ^ ((pi as u64) << 32) ^ (s as u64 + 1),
+            );
+            let text = soct_parser::write_tgds(&tgds, schema, &consts);
+            out.push(LSet {
+                profile,
+                n_rules: tgds.len(),
+                tgds,
+                text,
+            });
+        }
+    }
+    out
+}
+
+/// `D★` plus its schema and predicate pool.
+pub struct Dstar {
+    pub schema: Schema,
+    pub pool: Vec<PredId>,
+    pub engine: StorageEngine,
+    /// Per-predicate view sizes under the scale (§8.1's 1K…500K).
+    pub view_sizes: [u64; 5],
+}
+
+/// Builds `D★` at the given scale: 1000 predicates of arity 1..5 with
+/// `rsize` shape-random tuples each (paper: 500K tuples each ⇒ 500M total).
+pub fn build_dstar(scale: &Scale, seed: u64) -> Dstar {
+    let mut cfg = soct_gen::DataGenConfig::dstar(scale.data_scale);
+    cfg.seed = seed ^ 0xd5a2;
+    let mut schema = Schema::new();
+    let data = soct_gen::generate_database(&cfg, &mut schema);
+    Dstar {
+        schema,
+        pool: data.preds,
+        engine: data.engine,
+        view_sizes: scale.view_sizes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soct_storage::TupleSource;
+
+    #[test]
+    fn sl_family_covers_all_profiles() {
+        let scale = Scale {
+            sl_sets_per_profile: 1,
+            l_sets_per_profile: 1,
+            tgd_scale: 0.0005,
+            data_scale: 0.0005,
+        };
+        let (_schema, sets) = sl_family(&scale, 3);
+        assert_eq!(sets.len(), 9);
+        for s in &sets {
+            assert!(s.n_rules >= 1);
+            assert!(!s.text.is_empty());
+        }
+    }
+
+    #[test]
+    fn dstar_views_shrink() {
+        let scale = Scale {
+            sl_sets_per_profile: 1,
+            l_sets_per_profile: 1,
+            tgd_scale: 0.001,
+            data_scale: 0.0002,
+        };
+        let d = build_dstar(&scale, 5);
+        assert_eq!(d.pool.len(), 1000);
+        assert!(d.engine.total_rows() > 0);
+        assert!(d.view_sizes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn l_family_parses_back() {
+        let scale = Scale {
+            sl_sets_per_profile: 1,
+            l_sets_per_profile: 1,
+            tgd_scale: 0.0005,
+            data_scale: 0.0005,
+        };
+        let d = build_dstar(&scale, 5);
+        let sets = l_family(&scale, &d.schema, &d.pool, 7);
+        assert_eq!(sets.len(), 9);
+        let mut schema2 = Schema::new();
+        let mut consts2 = Interner::new();
+        let parsed = soct_parser::parse_tgds(&sets[0].text, &mut schema2, &mut consts2).unwrap();
+        assert_eq!(parsed.len(), sets[0].tgds.len());
+    }
+}

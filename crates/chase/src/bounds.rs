@@ -1,0 +1,319 @@
+//! Worst-case bounds on the size of a *finite* semi-oblivious chase
+//! (§1.4's materialization-based algorithm needs an integer `k_{D,Σ}` such
+//! that the chase terminates iff it never exceeds `k_{D,Σ}` atoms).
+//!
+//! # The bound
+//!
+//! We use the classic rank-stratification argument behind weak acyclicity
+//! (Fagin et al., *Data exchange: semantics and query answering*, TCS 2005;
+//! sharpened for linear TGDs in [9] = Calautti–Gottlob–Pieris, PODS 2022):
+//!
+//! - The *rank* of a position π is the supremum of the number of special
+//!   edges over paths of `dg(Σ)` ending in π, **restricted to the
+//!   database-supported part of the graph**. If the chase of D with Σ is
+//!   finite there is no D-supported special cycle, so every supported
+//!   position has finite rank `r ≤ s` (s = number of special edges).
+//! - Every null in the chase is created by some `(σ, x, frontier-witness)`
+//!   and first lands at positions of rank ≥ 1; a value occurring at a
+//!   position of rank i was built from values of rank < i. Writing `E` for
+//!   the number of `(σ, existential variable)` pairs and `a` for the maximum
+//!   frontier size, the number of distinct values of rank ≤ i obeys
+//!   `T₀ = |dom(D)|`, `T_{i+1} = T_i + E · T_iᵃ`.
+//! - Hence, when the chase is finite, it holds that
+//!   `|chase(D,Σ)| ≤ |D| + Σ_R T_rᵃʳ⁽ᴿ⁾ ≤ |D| + |sch| · T_r^{max-arity}`.
+//!
+//! If the supported subgraph *does* contain a special cycle the chase is
+//! infinite and any bound works; we return `u128::MAX` (saturated), which is
+//! also what the astronomically-large honest bounds quickly saturate to —
+//! precisely the phenomenon that makes the materialization-based algorithm
+//! impractical (§1.4).
+//!
+//! For non-simple linear TGDs this bound must be computed on the
+//! *simplified* system (Theorem 3.6): `chase(D,Σ)` and
+//! `chase(simple(D), simple(Σ))` are finite together, and simplification
+//! maps chase atoms 1:1, so a bound for the simplified system bounds the
+//! original. `soct-core` wires that up; this module is agnostic about where
+//! its `(schema, tgds, db)` triple came from.
+
+use soct_graph::{find_special_sccs, DependencyGraph};
+use soct_model::{Instance, PredId, Schema, Tgd};
+
+/// Per-position ranks. `None` = unbounded (the position lies on or behind a
+/// supported special cycle).
+pub fn position_ranks(
+    g: &DependencyGraph,
+    schema: &Schema,
+    is_db_pred: impl Fn(PredId) -> bool,
+) -> Vec<Option<u32>> {
+    let n = g.num_nodes();
+    // Supported nodes: forward-reachable from a position of a database
+    // predicate (including those positions themselves).
+    let mut supported = vec![false; n];
+    let mut queue: Vec<u32> = Vec::new();
+    for v in 0..n as u32 {
+        if is_db_pred(schema.position_at(v as usize).pred) {
+            supported[v as usize] = true;
+            queue.push(v);
+        }
+    }
+    let mut qi = 0;
+    while qi < queue.len() {
+        let v = queue[qi];
+        qi += 1;
+        for (w, _) in g.successors(v) {
+            if !supported[w as usize] {
+                supported[w as usize] = true;
+                queue.push(w);
+            }
+        }
+    }
+
+    // SCCs restricted to the supported subgraph: a supported special SCC
+    // makes every node it reaches unbounded.
+    let scc = find_special_sccs(g);
+    let mut unbounded = vec![false; n];
+    for e in g.edges() {
+        if e.special
+            && supported[e.from as usize]
+            && supported[e.to as usize]
+            && scc.scc_of[e.from as usize] == scc.scc_of[e.to as usize]
+        {
+            unbounded[e.from as usize] = true;
+        }
+    }
+    // Propagate unboundedness forward.
+    let mut queue: Vec<u32> = (0..n as u32).filter(|&v| unbounded[v as usize]).collect();
+    let mut qi = 0;
+    while qi < queue.len() {
+        let v = queue[qi];
+        qi += 1;
+        for (w, _) in g.successors(v) {
+            if !unbounded[w as usize] {
+                unbounded[w as usize] = true;
+                queue.push(w);
+            }
+        }
+    }
+
+    // Ranks on the remaining DAG-of-SCCs, processed in topological order
+    // (Tarjan numbers components in reverse topological order, so descending
+    // component id = sources first).
+    let mut comp_rank = vec![0u32; scc.num_sccs];
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by(|&a, &b| scc.scc_of[b].cmp(&scc.scc_of[a]));
+    // Process edges source-component-first: iterate components descending.
+    let mut nodes_by_comp: Vec<Vec<u32>> = vec![Vec::new(); scc.num_sccs];
+    for v in 0..n {
+        nodes_by_comp[scc.scc_of[v] as usize].push(v as u32);
+    }
+    for c in (0..scc.num_sccs).rev() {
+        let rank_c = comp_rank[c];
+        for &v in &nodes_by_comp[c] {
+            if !supported[v as usize] || unbounded[v as usize] {
+                continue;
+            }
+            for (w, special) in g.successors(v) {
+                let cw = scc.scc_of[w as usize] as usize;
+                if cw == c {
+                    continue; // intra-component edges are normal here
+                }
+                let candidate = rank_c.saturating_add(special as u32);
+                if candidate > comp_rank[cw] {
+                    comp_rank[cw] = candidate;
+                }
+            }
+        }
+    }
+
+    (0..n)
+        .map(|v| {
+            if unbounded[v] {
+                None
+            } else if supported[v] {
+                Some(comp_rank[scc.scc_of[v] as usize])
+            } else {
+                Some(0) // unsupported positions never hold derived values
+            }
+        })
+        .collect()
+}
+
+/// The worst-case bound `k_{D,Σ}`: an upper bound on `|chase(D,Σ)|`
+/// whenever the semi-oblivious chase is finite. Saturates at `u128::MAX`
+/// (which is returned directly when a supported special cycle already
+/// proves divergence).
+pub fn chase_size_bound(schema: &Schema, tgds: &[Tgd], db: &Instance) -> u128 {
+    let g = DependencyGraph::build(schema, tgds);
+    let db_preds = db.non_empty_predicates();
+    let is_db = |p: PredId| db_preds.binary_search(&p).is_ok();
+    let ranks = position_ranks(&g, schema, is_db);
+    if ranks.iter().any(|r| r.is_none()) {
+        return u128::MAX;
+    }
+    let max_rank = ranks.iter().map(|r| r.unwrap()).max().unwrap_or(0);
+
+    // E = number of (σ, existential variable) pairs; a = max frontier size
+    // (≥ 1 to keep the recurrence monotone).
+    let e: u128 = tgds.iter().map(|t| t.existential().len() as u128).sum();
+    let a = tgds
+        .iter()
+        .map(|t| t.frontier().len())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+
+    let n0 = db.active_domain().len().max(1) as u128;
+    let mut t = n0;
+    for _ in 0..max_rank {
+        let powed = sat_pow(t, a as u32);
+        t = t.saturating_add(e.saturating_mul(powed));
+        if t == u128::MAX {
+            return u128::MAX;
+        }
+    }
+
+    // Atoms: |D| + Σ_R T^ar(R).
+    let mut total = db.len() as u128;
+    for p in schema.predicates() {
+        total = total.saturating_add(sat_pow(t, schema.arity(p) as u32));
+        if total == u128::MAX {
+            return u128::MAX;
+        }
+    }
+    total
+}
+
+/// Saturating integer power.
+fn sat_pow(base: u128, exp: u32) -> u128 {
+    let mut acc: u128 = 1;
+    for _ in 0..exp {
+        acc = acc.saturating_mul(base);
+        if acc == u128::MAX {
+            return u128::MAX;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soct_model::{Atom, ConstId, Term, VarId};
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    #[test]
+    fn acyclic_chain_gets_finite_bound() {
+        // r(x,y) → ∃z p(x,z): one special stratum.
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 2).unwrap();
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(0), v(2)]).unwrap()],
+        )
+        .unwrap();
+        let mut db = Instance::new();
+        db.insert(Atom::new(&s, r, vec![c(0), c(1)]).unwrap());
+        let bound = chase_size_bound(&s, &[tgd.clone()], &db);
+        assert!(bound < u128::MAX);
+        // The bound must dominate the actual chase size.
+        let res = crate::engine::run_chase(
+            &db,
+            &[tgd],
+            &crate::engine::ChaseConfig::unbounded(crate::engine::ChaseVariant::SemiOblivious),
+        );
+        assert!(res.instance.len() as u128 <= bound);
+    }
+
+    #[test]
+    fn supported_special_cycle_saturates() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("R", 2).unwrap();
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, r, vec![v(1), v(2)]).unwrap()],
+        )
+        .unwrap();
+        let mut db = Instance::new();
+        db.insert(Atom::new(&s, r, vec![c(0), c(1)]).unwrap());
+        assert_eq!(chase_size_bound(&s, &[tgd], &db), u128::MAX);
+    }
+
+    #[test]
+    fn unsupported_special_cycle_keeps_finite_bound() {
+        // The cycle lives in predicate q, but D only mentions r which does
+        // not feed q: ranks stay finite on the supported part.
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 2).unwrap();
+        let q = s.add_predicate("q", 2).unwrap();
+        let safe = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(0), v(2)]).unwrap()],
+        )
+        .unwrap();
+        let cyc = Tgd::new(
+            vec![Atom::new(&s, q, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, q, vec![v(1), v(2)]).unwrap()],
+        )
+        .unwrap();
+        let mut db = Instance::new();
+        db.insert(Atom::new(&s, r, vec![c(0), c(1)]).unwrap());
+        let bound = chase_size_bound(&s, &[safe, cyc], &db);
+        assert!(bound < u128::MAX);
+    }
+
+    #[test]
+    fn ranks_grow_along_special_chains() {
+        // r(x) → ∃z p(x,z); p(x,y) → ∃z q(y,z): rank((q,2)) = 2.
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 1).unwrap();
+        let p = s.add_predicate("p", 2).unwrap();
+        let q = s.add_predicate("q", 2).unwrap();
+        let t1 = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(0), v(1)]).unwrap()],
+        )
+        .unwrap();
+        let t2 = Tgd::new(
+            vec![Atom::new(&s, p, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, q, vec![v(1), v(2)]).unwrap()],
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&s, &[t1, t2]);
+        let ranks = position_ranks(&g, &s, |pr| pr == r);
+        let pos =
+            |pred: PredId, i: usize| s.position_index(soct_model::Position::new(pred, i));
+        assert_eq!(ranks[pos(r, 0)], Some(0));
+        assert_eq!(ranks[pos(p, 1)], Some(1));
+        assert_eq!(ranks[pos(q, 1)], Some(2));
+    }
+
+    #[test]
+    fn bound_is_monotone_in_database_size() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 2).unwrap();
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(0), v(2)]).unwrap()],
+        )
+        .unwrap();
+        let mut small = Instance::new();
+        small.insert(Atom::new(&s, r, vec![c(0), c(1)]).unwrap());
+        let mut big = Instance::new();
+        for i in 0..10 {
+            big.insert(Atom::new(&s, r, vec![c(i), c(i + 1)]).unwrap());
+        }
+        let bs = chase_size_bound(&s, std::slice::from_ref(&tgd), &small);
+        let bb = chase_size_bound(&s, std::slice::from_ref(&tgd), &big);
+        assert!(bs <= bb);
+    }
+}

@@ -1,0 +1,502 @@
+//! The chase engines: oblivious, semi-oblivious, and restricted (§1.1, §3).
+//!
+//! All three run round-based, mirroring the `chase_i` fixpoint of §3:
+//! round i enumerates the triggers on `chase_{i-1}` and applies the new
+//! ones. Trigger enumeration is *semi-naive*: a homomorphism is considered
+//! in the first round where it can use an atom produced in the previous
+//! round, so every trigger is enumerated exactly once over the whole run.
+//!
+//! Variant differences (Definition 3.1 and §1.1):
+//! - **Oblivious**: apply once per `(σ, h)` (full body witness); nulls named
+//!   by the full witness.
+//! - **Semi-oblivious**: apply once per `(σ, h|fr(σ))`; nulls named by the
+//!   frontier witness (`⊥^x_{σ, h|fr(σ)}`), which makes results
+//!   set-deterministic.
+//! - **Restricted**: apply only if the head is not already satisfiable via
+//!   an extension of `h|fr(σ)`; fresh nulls. Triggers are applied in a
+//!   deterministic order within a round (the classic sequential policy);
+//!   satisfaction is monotone, so each trigger needs checking only once.
+
+use crate::null_gen::NullFactory;
+use crate::trigger::{result_atoms, witness, NullPolicy};
+use soct_model::fxhash::FxHashSet;
+use soct_model::homomorphism::{exists_homomorphism, match_atom};
+use soct_model::{Atom, Instance, Substitution, Term, Tgd};
+
+/// Which chase to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaseVariant {
+    Oblivious,
+    SemiOblivious,
+    Restricted,
+}
+
+impl ChaseVariant {
+    fn null_policy(self) -> NullPolicy {
+        match self {
+            ChaseVariant::Oblivious => NullPolicy::ByFullBody,
+            ChaseVariant::SemiOblivious => NullPolicy::ByFrontier,
+            ChaseVariant::Restricted => NullPolicy::Fresh,
+        }
+    }
+}
+
+/// Budgets for a chase run. The chase may be infinite; budgets make every
+/// run terminate with an honest outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaseConfig {
+    pub variant: ChaseVariant,
+    /// Stop once the instance holds this many atoms.
+    pub max_atoms: usize,
+    /// Stop after this many rounds (`chase_i` levels).
+    pub max_rounds: usize,
+}
+
+impl ChaseConfig {
+    /// A configuration with effectively unlimited budgets — use only when
+    /// termination is already known.
+    pub fn unbounded(variant: ChaseVariant) -> Self {
+        ChaseConfig {
+            variant,
+            max_atoms: usize::MAX,
+            max_rounds: usize::MAX,
+        }
+    }
+
+    /// A configuration with an atom budget.
+    pub fn with_max_atoms(variant: ChaseVariant, max_atoms: usize) -> Self {
+        ChaseConfig {
+            variant,
+            max_atoms,
+            max_rounds: usize::MAX,
+        }
+    }
+}
+
+/// How a chase run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaseOutcome {
+    /// Fixpoint reached: the returned instance is `chase(D, Σ)`.
+    Terminated,
+    /// The atom budget was hit; the instance is a prefix of the chase.
+    AtomBudgetExceeded,
+    /// The round budget was hit.
+    RoundBudgetExceeded,
+}
+
+/// The output of a chase run.
+#[derive(Debug)]
+pub struct ChaseResult {
+    pub instance: Instance,
+    pub outcome: ChaseOutcome,
+    /// Number of completed rounds (`i` such that the result is `chase_i`).
+    pub rounds: usize,
+    /// Triggers applied (atoms may be fewer: set semantics).
+    pub triggers_applied: usize,
+    /// Nulls minted.
+    pub nulls_created: usize,
+}
+
+impl ChaseResult {
+    /// Atoms beyond the input database.
+    pub fn derived_atoms(&self, db_len: usize) -> usize {
+        self.instance.len().saturating_sub(db_len)
+    }
+}
+
+/// Runs the chase of `db` with `tgds` under `config`.
+pub fn run_chase(db: &Instance, tgds: &[Tgd], config: &ChaseConfig) -> ChaseResult {
+    let mut inst = Instance::with_index();
+    for a in db.atoms() {
+        inst.insert(a.clone());
+    }
+    let policy = config.variant.null_policy();
+    let mut nulls = NullFactory::new();
+    // Dedup key: (TGD index, witness tuple). For the restricted chase the
+    // key is the full body witness: each homomorphism is *checked* once
+    // (satisfaction is monotone, so a skipped trigger stays inapplicable).
+    let mut applied: FxHashSet<(u32, Box<[Term]>)> = FxHashSet::default();
+    let mut triggers_applied = 0usize;
+    let mut rounds = 0usize;
+    let mut delta_start = 0u32;
+    let mut outcome = ChaseOutcome::Terminated;
+
+    'rounds: loop {
+        let delta_end = inst.len() as u32;
+        if delta_start == delta_end {
+            break; // fixpoint
+        }
+        if rounds >= config.max_rounds {
+            outcome = ChaseOutcome::RoundBudgetExceeded;
+            break;
+        }
+        rounds += 1;
+        // Phase 1: enumerate the round's new triggers. The matcher borrows
+        // the instance immutably, so application is deferred to phase 2.
+        let mut new_triggers: Vec<(u32, Substitution, Vec<Term>)> = Vec::new();
+        for (ti, tgd) in tgds.iter().enumerate() {
+            let body_len = tgd.body().len();
+            for j in 0..body_len {
+                // Semi-naive ranges: body[j] in the delta, body[<j] strictly
+                // older, body[>j] anywhere up to delta_end.
+                let mut lo = vec![0u32; body_len];
+                let mut hi = vec![delta_end; body_len];
+                lo[j] = delta_start;
+                for h in hi.iter_mut().take(j) {
+                    *h = delta_start;
+                }
+                for_each_match_ranged(
+                    tgd.body(),
+                    &inst,
+                    &lo,
+                    &hi,
+                    &Substitution::new(),
+                    &mut |sub| {
+                        let wit = witness(tgd, sub, policy);
+                        if applied.insert((ti as u32, wit.clone().into_boxed_slice())) {
+                            new_triggers.push((ti as u32, sub.clone(), wit));
+                        }
+                        true
+                    },
+                );
+            }
+        }
+        // Phase 2: apply. The (semi-)oblivious variants realise the
+        // parallel `chase_i` semantics (results are key-determined, so
+        // application order is irrelevant); the restricted variant applies
+        // sequentially, re-checking head satisfaction against the live
+        // instance. Atoms inserted here sit beyond `delta_end` and feed the
+        // next round's delta.
+        for (ti, sub, wit) in new_triggers {
+            let tgd = &tgds[ti as usize];
+            if config.variant == ChaseVariant::Restricted {
+                // Applicable iff no extension of h|fr maps the head into
+                // the current instance.
+                let mut fr_sub = Substitution::new();
+                for &v in tgd.frontier() {
+                    fr_sub.bind(v, sub.get(v).expect("frontier is bound"));
+                }
+                if exists_homomorphism(tgd.head(), &inst, &fr_sub) {
+                    continue;
+                }
+            }
+            triggers_applied += 1;
+            for a in result_atoms(tgd, ti, &sub, &wit, &mut nulls, policy) {
+                inst.insert(a);
+            }
+            if inst.len() > config.max_atoms {
+                outcome = ChaseOutcome::AtomBudgetExceeded;
+                break 'rounds;
+            }
+        }
+        delta_start = delta_end;
+    }
+
+    ChaseResult {
+        instance: inst,
+        outcome,
+        rounds,
+        triggers_applied,
+        nulls_created: nulls.count(),
+    }
+}
+
+/// Backtracking matcher over atom-index ranges: body atom `i` may only match
+/// instance atoms with index in `[lo[i], hi[i])`. The ranges implement the
+/// semi-naive split; candidate lists come from the instance's position index
+/// whenever some argument is already ground.
+fn for_each_match_ranged<F>(
+    body: &[Atom],
+    inst: &Instance,
+    lo: &[u32],
+    hi: &[u32],
+    sub: &Substitution,
+    visit: &mut F,
+) -> bool
+where
+    F: FnMut(&Substitution) -> bool,
+{
+    fn recurse<F>(
+        body: &[Atom],
+        depth: usize,
+        inst: &Instance,
+        lo: &[u32],
+        hi: &[u32],
+        sub: &Substitution,
+        visit: &mut F,
+    ) -> bool
+    where
+        F: FnMut(&Substitution) -> bool,
+    {
+        if depth == body.len() {
+            return visit(sub);
+        }
+        if lo[depth] >= hi[depth] {
+            return true; // empty range: no matches at this decomposition
+        }
+        let pattern = &body[depth];
+        let mut bound_pos: Option<(usize, Term)> = None;
+        for (i, t) in pattern.terms.iter().enumerate() {
+            let img = sub.apply_term(*t);
+            if img.is_ground() {
+                bound_pos = Some((i, img));
+                break;
+            }
+        }
+        let candidates: Vec<u32> = match bound_pos {
+            Some((i, t)) => inst.atoms_with(pattern.pred, i, t),
+            None => inst.atoms_of(pattern.pred).to_vec(),
+        };
+        for idx in candidates {
+            if idx < lo[depth] || idx >= hi[depth] {
+                continue;
+            }
+            if let Some(ext) = match_atom(pattern, inst.atom(idx), sub) {
+                if !recurse(body, depth + 1, inst, lo, hi, &ext, visit) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+    recurse(body, 0, inst, lo, hi, sub, visit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soct_model::{satisfies_all, Atom, ConstId, Schema, VarId};
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    /// Example 1.1: D = {R(a,a)}, σ: R(x,y) → ∃z R(z,x).
+    fn example_1_1() -> (Schema, Instance, Vec<Tgd>) {
+        let mut s = Schema::new();
+        let r = s.add_predicate("R", 2).unwrap();
+        let mut db = Instance::new();
+        db.insert(Atom::new(&s, r, vec![c(0), c(0)]).unwrap());
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, r, vec![v(2), v(0)]).unwrap()],
+        )
+        .unwrap();
+        (s, db, vec![tgd])
+    }
+
+    #[test]
+    fn example_1_1_restricted_terminates_immediately() {
+        let (_s, db, tgds) = example_1_1();
+        let res = run_chase(
+            &db,
+            &tgds,
+            &ChaseConfig::unbounded(ChaseVariant::Restricted),
+        );
+        assert_eq!(res.outcome, ChaseOutcome::Terminated);
+        assert_eq!(res.instance.len(), 1, "D already satisfies σ");
+        assert_eq!(res.triggers_applied, 0);
+    }
+
+    #[test]
+    fn example_1_1_semi_oblivious_diverges() {
+        let (_s, db, tgds) = example_1_1();
+        let res = run_chase(
+            &db,
+            &tgds,
+            &ChaseConfig::with_max_atoms(ChaseVariant::SemiOblivious, 50),
+        );
+        assert_eq!(res.outcome, ChaseOutcome::AtomBudgetExceeded);
+        assert!(res.instance.len() >= 50);
+    }
+
+    #[test]
+    fn running_example_of_section_3_diverges() {
+        // D = {R(a,b)}, σ: R(x,y) → ∃z R(y,z): infinite for every variant
+        // except restricted... in fact restricted also diverges here.
+        let mut s = Schema::new();
+        let r = s.add_predicate("R", 2).unwrap();
+        let mut db = Instance::new();
+        db.insert(Atom::new(&s, r, vec![c(0), c(1)]).unwrap());
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, r, vec![v(1), v(2)]).unwrap()],
+        )
+        .unwrap();
+        for variant in [
+            ChaseVariant::Oblivious,
+            ChaseVariant::SemiOblivious,
+            ChaseVariant::Restricted,
+        ] {
+            let res = run_chase(&db, &[tgd.clone()], &ChaseConfig::with_max_atoms(variant, 40));
+            assert_eq!(res.outcome, ChaseOutcome::AtomBudgetExceeded, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn terminating_chase_satisfies_the_tgds() {
+        // r(x,y) → ∃z p(x,z); p(x,y) → q(y).
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 2).unwrap();
+        let q = s.add_predicate("q", 1).unwrap();
+        let tgds = vec![
+            Tgd::new(
+                vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+                vec![Atom::new(&s, p, vec![v(0), v(2)]).unwrap()],
+            )
+            .unwrap(),
+            Tgd::new(
+                vec![Atom::new(&s, p, vec![v(0), v(1)]).unwrap()],
+                vec![Atom::new(&s, q, vec![v(1)]).unwrap()],
+            )
+            .unwrap(),
+        ];
+        let mut db = Instance::new();
+        db.insert(Atom::new(&s, r, vec![c(0), c(1)]).unwrap());
+        db.insert(Atom::new(&s, r, vec![c(1), c(1)]).unwrap());
+        for variant in [
+            ChaseVariant::Oblivious,
+            ChaseVariant::SemiOblivious,
+            ChaseVariant::Restricted,
+        ] {
+            let res = run_chase(&db, &tgds, &ChaseConfig::unbounded(variant));
+            assert_eq!(res.outcome, ChaseOutcome::Terminated, "{variant:?}");
+            assert!(satisfies_all(&res.instance, &tgds), "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn semi_oblivious_merges_triggers_with_equal_frontier() {
+        // r(x,y) → ∃z p(x,z) on D = {r(a,b), r(a,c)}:
+        // oblivious fires twice (two homomorphisms), semi-oblivious once
+        // (same frontier witness x=a).
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 2).unwrap();
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(0), v(2)]).unwrap()],
+        )
+        .unwrap();
+        let mut db = Instance::new();
+        db.insert(Atom::new(&s, r, vec![c(0), c(1)]).unwrap());
+        db.insert(Atom::new(&s, r, vec![c(0), c(2)]).unwrap());
+        let so = run_chase(
+            &db,
+            std::slice::from_ref(&tgd),
+            &ChaseConfig::unbounded(ChaseVariant::SemiOblivious),
+        );
+        let ob = run_chase(
+            &db,
+            std::slice::from_ref(&tgd),
+            &ChaseConfig::unbounded(ChaseVariant::Oblivious),
+        );
+        assert_eq!(so.instance.len(), 3); // one p-atom
+        assert_eq!(ob.instance.len(), 4); // two p-atoms
+        assert!(so.instance.len() <= ob.instance.len());
+    }
+
+    #[test]
+    fn restricted_is_never_larger_than_semi_oblivious() {
+        let (_s, db, tgds) = example_1_1();
+        let restricted = run_chase(
+            &db,
+            &tgds,
+            &ChaseConfig::unbounded(ChaseVariant::Restricted),
+        );
+        let so = run_chase(
+            &db,
+            &tgds,
+            &ChaseConfig::with_max_atoms(ChaseVariant::SemiOblivious, 30),
+        );
+        assert!(restricted.instance.len() <= so.instance.len());
+    }
+
+    #[test]
+    fn multi_atom_bodies_join_correctly() {
+        // e(x,y), e(y,z) → e(x,z): transitive closure (no existentials).
+        let mut s = Schema::new();
+        let e = s.add_predicate("e", 2).unwrap();
+        let tgd = Tgd::new(
+            vec![
+                Atom::new(&s, e, vec![v(0), v(1)]).unwrap(),
+                Atom::new(&s, e, vec![v(1), v(2)]).unwrap(),
+            ],
+            vec![Atom::new(&s, e, vec![v(0), v(2)]).unwrap()],
+        )
+        .unwrap();
+        let mut db = Instance::new();
+        for i in 0..4 {
+            db.insert(Atom::new(&s, e, vec![c(i), c(i + 1)]).unwrap());
+        }
+        let res = run_chase(
+            &db,
+            &[tgd],
+            &ChaseConfig::unbounded(ChaseVariant::SemiOblivious),
+        );
+        assert_eq!(res.outcome, ChaseOutcome::Terminated);
+        // Closure of the path 0→1→2→3→4: 4+3+2+1 = 10 edges.
+        assert_eq!(res.instance.len(), 10);
+    }
+
+    #[test]
+    fn empty_frontier_tgd_fires_exactly_once_semi_obliviously() {
+        // r(x) → ∃z p(z): fr = ∅, so one application total.
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 1).unwrap();
+        let p = s.add_predicate("p", 1).unwrap();
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(1)]).unwrap()],
+        )
+        .unwrap();
+        let mut db = Instance::new();
+        db.insert(Atom::new(&s, r, vec![c(0)]).unwrap());
+        db.insert(Atom::new(&s, r, vec![c(1)]).unwrap());
+        db.insert(Atom::new(&s, r, vec![c(2)]).unwrap());
+        let so = run_chase(
+            &db,
+            std::slice::from_ref(&tgd),
+            &ChaseConfig::unbounded(ChaseVariant::SemiOblivious),
+        );
+        assert_eq!(so.outcome, ChaseOutcome::Terminated);
+        assert_eq!(so.instance.len(), 4, "single p-atom despite 3 triggers");
+        assert_eq!(so.triggers_applied, 1);
+        // The oblivious chase fires once per r-atom.
+        let ob = run_chase(
+            &db,
+            std::slice::from_ref(&tgd),
+            &ChaseConfig::unbounded(ChaseVariant::Oblivious),
+        );
+        assert_eq!(ob.instance.len(), 6);
+    }
+
+    #[test]
+    fn round_budget_is_respected() {
+        let (_s, db, _) = example_1_1();
+        let mut s = Schema::new();
+        let r = s.add_predicate("R", 2).unwrap();
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, r, vec![v(1), v(2)]).unwrap()],
+        )
+        .unwrap();
+        let res = run_chase(
+            &db,
+            &[tgd],
+            &ChaseConfig {
+                variant: ChaseVariant::SemiOblivious,
+                max_atoms: usize::MAX,
+                max_rounds: 3,
+            },
+        );
+        assert_eq!(res.outcome, ChaseOutcome::RoundBudgetExceeded);
+        assert_eq!(res.rounds, 3);
+        assert_eq!(res.instance.len(), 4, "one new atom per round");
+    }
+}

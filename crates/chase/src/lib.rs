@@ -1,0 +1,23 @@
+//! # soct-chase
+//!
+//! The chase procedures of §1.1/§3 — oblivious, semi-oblivious, and
+//! restricted — with canonical null naming (Definition 3.1), semi-naive
+//! trigger enumeration, atom/round budgets, worst-case chase-size bounds,
+//! and the materialization-based termination checker the paper's
+//! exploratory analysis dismissed as impractical (§1.4). General (multi-atom
+//! body/head) TGDs are supported throughout; the linear classes are simply
+//! the fast path.
+
+pub mod bounds;
+pub mod engine;
+pub mod materialization;
+pub mod null_gen;
+pub mod trigger;
+
+pub use bounds::{chase_size_bound, position_ranks};
+pub use engine::{run_chase, ChaseConfig, ChaseOutcome, ChaseResult, ChaseVariant};
+pub use materialization::{
+    is_chase_finite_materialization, MaterializationReport, MaterializationVerdict,
+};
+pub use null_gen::NullFactory;
+pub use trigger::{result_atoms, witness, NullPolicy};

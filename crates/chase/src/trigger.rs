@@ -1,0 +1,157 @@
+//! Triggers and trigger application (Definition 3.1).
+//!
+//! A trigger for Σ on I is a pair `(σ, h)` with `h : body(σ) → I` a
+//! homomorphism. Its result `result(σ, h)` instantiates `head(σ)` by `h` on
+//! the frontier and by canonical nulls on the existential variables.
+
+use crate::null_gen::NullFactory;
+use soct_model::{Atom, Substitution, Term, Tgd};
+
+/// How trigger application names its nulls — the knob that separates the
+/// three chase variants (§1.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NullPolicy {
+    /// `⊥^x_{σ, h|fr(σ)}`: semi-oblivious naming (Definition 3.1).
+    ByFrontier,
+    /// `⊥^x_{σ, h}`: oblivious naming (one null set per full body match).
+    ByFullBody,
+    /// Fresh nulls per application: restricted chase.
+    Fresh,
+}
+
+/// The witness tuple a trigger is deduplicated (and its nulls named) by:
+/// frontier projection for the semi-oblivious chase, full body-variable
+/// projection for the oblivious chase.
+pub fn witness(tgd: &Tgd, sub: &Substitution, policy: NullPolicy) -> Vec<Term> {
+    match policy {
+        NullPolicy::ByFrontier => sub.project(tgd.frontier()),
+        NullPolicy::ByFullBody | NullPolicy::Fresh => {
+            let mut vars = tgd.body_variables();
+            vars.sort_unstable();
+            sub.project(&vars)
+        }
+    }
+}
+
+/// `result(σ, h)`: the head atoms produced by a trigger, with nulls named
+/// according to `policy`. `tgd_idx` identifies σ within its set (part of the
+/// null name).
+pub fn result_atoms(
+    tgd: &Tgd,
+    tgd_idx: u32,
+    sub: &Substitution,
+    wit: &[Term],
+    nulls: &mut NullFactory,
+    policy: NullPolicy,
+) -> Vec<Atom> {
+    // Bind existential variables.
+    let mut full = sub.clone();
+    match policy {
+        NullPolicy::Fresh => {
+            for &z in tgd.existential() {
+                full.bind(z, Term::Null(nulls.fresh()));
+            }
+        }
+        NullPolicy::ByFrontier | NullPolicy::ByFullBody => {
+            for &z in tgd.existential() {
+                full.bind(z, Term::Null(nulls.canonical(tgd_idx, wit, z)));
+            }
+        }
+    }
+    tgd.head().iter().map(|a| full.apply_atom(a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soct_model::{ConstId, Schema, VarId};
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    fn setup() -> (Schema, Tgd) {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 2).unwrap();
+        // r(x, y) → ∃z p(x, z)
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(0), v(2)]).unwrap()],
+        )
+        .unwrap();
+        (s, tgd)
+    }
+
+    #[test]
+    fn frontier_witness_ignores_non_frontier_vars() {
+        let (_s, tgd) = setup();
+        let mut sub1 = Substitution::new();
+        sub1.bind(VarId(0), c(1));
+        sub1.bind(VarId(1), c(2));
+        let mut sub2 = Substitution::new();
+        sub2.bind(VarId(0), c(1));
+        sub2.bind(VarId(1), c(9)); // different y
+        assert_eq!(
+            witness(&tgd, &sub1, NullPolicy::ByFrontier),
+            witness(&tgd, &sub2, NullPolicy::ByFrontier)
+        );
+        assert_ne!(
+            witness(&tgd, &sub1, NullPolicy::ByFullBody),
+            witness(&tgd, &sub2, NullPolicy::ByFullBody)
+        );
+    }
+
+    #[test]
+    fn semi_oblivious_reuses_nulls_across_same_frontier() {
+        let (_s, tgd) = setup();
+        let mut nulls = NullFactory::new();
+        let mut sub1 = Substitution::new();
+        sub1.bind(VarId(0), c(1));
+        sub1.bind(VarId(1), c(2));
+        let w1 = witness(&tgd, &sub1, NullPolicy::ByFrontier);
+        let r1 = result_atoms(&tgd, 0, &sub1, &w1, &mut nulls, NullPolicy::ByFrontier);
+
+        let mut sub2 = Substitution::new();
+        sub2.bind(VarId(0), c(1));
+        sub2.bind(VarId(1), c(9));
+        let w2 = witness(&tgd, &sub2, NullPolicy::ByFrontier);
+        let r2 = result_atoms(&tgd, 0, &sub2, &w2, &mut nulls, NullPolicy::ByFrontier);
+        assert_eq!(r1, r2, "same frontier ⇒ identical result atoms");
+
+        let w3 = witness(&tgd, &sub1, NullPolicy::ByFullBody);
+        let r3 = result_atoms(&tgd, 0, &sub2, &w3, &mut nulls, NullPolicy::ByFullBody);
+        assert_ne!(r1, r3, "full-body naming separates the nulls");
+    }
+
+    #[test]
+    fn fresh_policy_always_invents() {
+        let (_s, tgd) = setup();
+        let mut nulls = NullFactory::new();
+        let mut sub = Substitution::new();
+        sub.bind(VarId(0), c(1));
+        sub.bind(VarId(1), c(2));
+        let w = witness(&tgd, &sub, NullPolicy::Fresh);
+        let r1 = result_atoms(&tgd, 0, &sub, &w, &mut nulls, NullPolicy::Fresh);
+        let r2 = result_atoms(&tgd, 0, &sub, &w, &mut nulls, NullPolicy::Fresh);
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn result_preserves_frontier_bindings() {
+        let (_s, tgd) = setup();
+        let mut nulls = NullFactory::new();
+        let mut sub = Substitution::new();
+        sub.bind(VarId(0), c(4));
+        sub.bind(VarId(1), c(5));
+        let w = witness(&tgd, &sub, NullPolicy::ByFrontier);
+        let out = result_atoms(&tgd, 0, &sub, &w, &mut nulls, NullPolicy::ByFrontier);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].terms[0], c(4));
+        assert!(out[0].terms[1].is_null());
+    }
+}

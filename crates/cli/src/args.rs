@@ -1,0 +1,105 @@
+//! Minimal command-line argument parsing (no external dependencies).
+//!
+//! Flags are `--key value` pairs; `parse` collects them after the
+//! subcommand name and offers typed accessors with defaults.
+
+use std::collections::BTreeMap;
+
+/// Parsed flags of one invocation.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs; bare `--key` (no value) stores `"true"`.
+    pub fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut flags = BTreeMap::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let k = &raw[i];
+            let Some(key) = k.strip_prefix("--") else {
+                return Err(format!("expected a --flag, found `{k}`"));
+            };
+            if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                flags.insert(key.to_string(), raw[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        }
+        Ok(Args { flags })
+    }
+
+    /// String flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// String flag with default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    /// Numeric flag with default.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .replace('_', "")
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+        }
+    }
+
+    /// u64 flag with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        Ok(self.get_usize(key, default as usize)? as u64)
+    }
+
+    /// Boolean flag (present or `--key true`).
+    pub fn get_bool(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_switches() {
+        let a = Args::parse(&strs(&["--rules", "x.dlog", "--verbose", "--n", "42"])).unwrap();
+        assert_eq!(a.get("rules"), Some("x.dlog"));
+        assert!(a.get_bool("verbose"));
+        assert_eq!(a.get_usize("n", 0).unwrap(), 42);
+        assert_eq!(a.get_usize("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_stray_positionals() {
+        assert!(Args::parse(&strs(&["oops"])).is_err());
+    }
+
+    #[test]
+    fn underscores_in_numbers() {
+        let a = Args::parse(&strs(&["--n", "1_000_000"])).unwrap();
+        assert_eq!(a.get_usize("n", 0).unwrap(), 1_000_000);
+    }
+
+    #[test]
+    fn require_reports_the_flag_name() {
+        let a = Args::parse(&[]).unwrap();
+        assert_eq!(a.require("rules").unwrap_err(), "missing --rules");
+    }
+}

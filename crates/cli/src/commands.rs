@@ -1,0 +1,290 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use soct_core::{check_termination, ms, FindShapesMode, Verdict};
+use soct_model::{Database, Instance, Interner, Schema, TgdClass};
+use soct_storage::InstanceSource;
+use std::time::Instant;
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn write_out(args: &Args, content: &str) -> Result<(), String> {
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, content).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("wrote {path} ({} bytes)", content.len());
+            Ok(())
+        }
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn mode_of(args: &Args) -> Result<FindShapesMode, String> {
+    match args.get_or("mode", "memory") {
+        "memory" | "mem" => Ok(FindShapesMode::InMemory),
+        "db" | "database" => Ok(FindShapesMode::InDatabase),
+        other => Err(format!("--mode must be memory|db, got `{other}`")),
+    }
+}
+
+/// Loads rules and (optionally) a fact file over one shared vocabulary.
+fn load_program(args: &Args) -> Result<(Schema, Interner, Vec<soct_model::Tgd>, Database), String> {
+    let rules_path = args.require("rules")?;
+    let mut schema = Schema::new();
+    let mut consts = Interner::new();
+    let tgds = soct_parser::parse_tgds(&read(rules_path)?, &mut schema, &mut consts)
+        .map_err(|e| format!("{rules_path}: {e}"))?;
+    let db = match args.get("db") {
+        Some(db_path) => soct_parser::parse_facts(&read(db_path)?, &mut schema, &mut consts)
+            .map_err(|e| format!("{db_path}: {e}"))?,
+        None => {
+            // D_Σ (Remark 1): one atom per predicate, distinct constants.
+            let mut db = Database::new();
+            let mut next = consts.len() as u32;
+            for p in soct_model::tgd::predicates_of(&tgds) {
+                let terms: Vec<soct_model::Term> = (0..schema.arity(p))
+                    .map(|_| {
+                        let c = soct_model::ConstId(next);
+                        next += 1;
+                        soct_model::Term::Const(c)
+                    })
+                    .collect();
+                db.insert(soct_model::Atom::new(&schema, p, terms).expect("arity matches"));
+            }
+            db
+        }
+    };
+    Ok((schema, consts, tgds, db))
+}
+
+/// `soct check`.
+pub fn check(args: &Args) -> Result<(), String> {
+    let (schema, _consts, tgds, db) = load_program(args)?;
+    let mode = mode_of(args)?;
+    let class = soct_model::tgd::classify(&tgds);
+    let t0 = Instant::now();
+    let report = check_termination(&schema, &tgds, &db, mode);
+    let elapsed = t0.elapsed();
+    println!(
+        "class: {class}  rules: {}  db-atoms: {}",
+        tgds.len(),
+        db.len()
+    );
+    match report.verdict {
+        Verdict::Finite => println!("verdict: FINITE (chase terminates)"),
+        Verdict::Infinite => println!("verdict: INFINITE (chase does not terminate)"),
+        Verdict::Unknown => println!(
+            "verdict: UNKNOWN (general TGDs: not D-weakly-acyclic; \
+             termination is undecidable in general)"
+        ),
+    }
+    println!("time: {:.3} ms", ms(elapsed));
+    if args.get_bool("quiet") {
+        return Ok(());
+    }
+    // Detailed breakdown for the linear classes.
+    match class {
+        TgdClass::SimpleLinear => {
+            let db_preds: soct_model::FxHashSet<_> =
+                db.non_empty_predicates().into_iter().collect();
+            let rep = soct_core::is_chase_finite_sl(&schema, &tgds, &db_preds);
+            println!(
+                "breakdown: t-graph {:.3} ms | t-comp {:.3} ms | t-supports {:.3} ms \
+                 | graph {} nodes / {} edges ({} special) | special SCCs: {}",
+                ms(rep.timings.t_graph),
+                ms(rep.timings.t_comp),
+                ms(rep.timings.t_supports),
+                rep.graph_nodes,
+                rep.graph_edges,
+                rep.special_edges,
+                rep.num_special_sccs
+            );
+        }
+        TgdClass::Linear => {
+            let src = InstanceSource::new(&schema, &db);
+            let rep = soct_core::is_chase_finite_l(&schema, &tgds, &src, mode);
+            println!(
+                "breakdown: t-shapes {:.3} ms | t-graph {:.3} ms | t-comp {:.3} ms \
+                 | db-shapes {} | derived shapes {} | simplified rules {}",
+                ms(rep.timings.t_shapes),
+                ms(rep.timings.t_graph),
+                ms(rep.timings.t_comp),
+                rep.n_db_shapes,
+                rep.shapes_derived,
+                rep.n_simplified_tgds
+            );
+        }
+        TgdClass::General => {}
+    }
+    Ok(())
+}
+
+/// `soct chase`.
+pub fn chase(args: &Args) -> Result<(), String> {
+    let (schema, consts, tgds, db) = load_program(args)?;
+    let variant = match args.get_or("variant", "so") {
+        "so" | "semi-oblivious" => soct_chase::ChaseVariant::SemiOblivious,
+        "oblivious" => soct_chase::ChaseVariant::Oblivious,
+        "restricted" | "standard" => soct_chase::ChaseVariant::Restricted,
+        other => return Err(format!("--variant must be so|oblivious|restricted, got `{other}`")),
+    };
+    let cfg = soct_chase::ChaseConfig {
+        variant,
+        max_atoms: args.get_usize("max-atoms", 1_000_000)?,
+        max_rounds: args.get_usize("max-rounds", usize::MAX)?,
+    };
+    let t0 = Instant::now();
+    let res = soct_chase::run_chase(&db, &tgds, &cfg);
+    let elapsed = t0.elapsed();
+    println!(
+        "outcome: {:?}  rounds: {}  atoms: {} ({} derived)  triggers: {}  nulls: {}  time: {:.3} ms",
+        res.outcome,
+        res.rounds,
+        res.instance.len(),
+        res.instance.len() - db.len(),
+        res.triggers_applied,
+        res.nulls_created,
+        ms(elapsed)
+    );
+    if args.get("out").is_some() {
+        let rendered = soct_parser::write_facts(&res.instance, &schema, &consts);
+        write_out(args, &rendered)?;
+    }
+    Ok(())
+}
+
+/// `soct shapes`.
+pub fn shapes(args: &Args) -> Result<(), String> {
+    let db_path = args.require("db")?;
+    let mut schema = Schema::new();
+    let mut consts = Interner::new();
+    let db = soct_parser::parse_facts(&read(db_path)?, &mut schema, &mut consts)
+        .map_err(|e| format!("{db_path}: {e}"))?;
+    let mode = mode_of(args)?;
+    let src = InstanceSource::new(&schema, &db);
+    let t0 = Instant::now();
+    let rep = soct_core::find_shapes(&src, mode);
+    let elapsed = t0.elapsed();
+    println!(
+        "{} shapes in {} atoms ({:.3} ms, mode {:?})",
+        rep.shapes.len(),
+        db.len(),
+        ms(elapsed),
+        mode
+    );
+    for s in &rep.shapes {
+        println!("  {}_{}", schema.name(s.pred), s.rgs);
+    }
+    if mode == FindShapesMode::InDatabase {
+        println!(
+            "queries: {} relaxed, {} exact, {} pruned lattice nodes",
+            rep.stats.relaxed_queries, rep.stats.exact_queries, rep.stats.pruned_nodes
+        );
+    }
+    Ok(())
+}
+
+/// `soct stats`.
+pub fn stats(args: &Args) -> Result<(), String> {
+    let rules_path = args.require("rules")?;
+    let mut schema = Schema::new();
+    let mut consts = Interner::new();
+    let t0 = Instant::now();
+    let tgds = soct_parser::parse_tgds(&read(rules_path)?, &mut schema, &mut consts)
+        .map_err(|e| format!("{rules_path}: {e}"))?;
+    let t_parse = t0.elapsed();
+    let class = soct_model::tgd::classify(&tgds);
+    let graph = soct_graph::DependencyGraph::build(&schema, &tgds);
+    let scc = soct_graph::find_special_sccs(&graph);
+    println!(
+        "rules: {}  class: {class}  predicates: {}  positions: {}",
+        tgds.len(),
+        schema.len(),
+        schema.num_positions()
+    );
+    println!(
+        "dependency graph: {} nodes, {} edges ({} special), {} SCCs ({} special)",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.num_special_edges(),
+        scc.num_sccs,
+        scc.special_sccs().len()
+    );
+    println!(
+        "weakly acyclic: {}  t-parse: {:.3} ms",
+        !scc.has_special_scc(),
+        ms(t_parse)
+    );
+    Ok(())
+}
+
+/// `soct generate-tgds`.
+pub fn generate_tgds(args: &Args) -> Result<(), String> {
+    let ssize = args.get_usize("ssize", 50)?;
+    let tsize = args.get_usize("tsize", 1000)?;
+    let min = args.get_usize("min", 1)?;
+    let max = args.get_usize("max", 5)?;
+    let seed = args.get_u64("seed", 42)?;
+    let tclass = match args.get_or("class", "sl") {
+        "sl" => TgdClass::SimpleLinear,
+        "l" | "linear" => TgdClass::Linear,
+        other => return Err(format!("--class must be sl|l, got `{other}`")),
+    };
+    let mut schema = Schema::new();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let pool =
+        soct_gen::datagen::make_predicates(&mut schema, "p", ssize.max(10) * 2, min, max, &mut rng);
+    let cfg = soct_gen::TgdGenConfig {
+        ssize,
+        min_arity: min,
+        max_arity: max,
+        tsize,
+        tclass,
+        existential_prob: 0.1,
+        seed,
+    };
+    let tgds = soct_gen::generate_tgds(&cfg, &schema, &pool);
+    let consts = Interner::new();
+    let rendered = soct_parser::write_tgds(&tgds, &schema, &consts);
+    write_out(args, &rendered)
+}
+
+/// `soct generate-data`.
+pub fn generate_data(args: &Args) -> Result<(), String> {
+    let cfg = soct_gen::DataGenConfig {
+        preds: args.get_usize("preds", 10)?,
+        min_arity: args.get_usize("min", 1)?,
+        max_arity: args.get_usize("max", 5)?,
+        dsize: args.get_usize("dsize", 1000)?,
+        rsize: args.get_usize("rsize", 100)?,
+        seed: args.get_u64("seed", 42)?,
+    };
+    let mut schema = Schema::new();
+    let (_preds, inst) = soct_gen::generate_instance(&cfg, &mut schema);
+    let rendered = render_generated_facts(&schema, &inst);
+    write_out(args, &rendered)
+}
+
+/// Renders generated facts with synthetic constant names `c{i}` (the
+/// generator works on raw constant ids without an interner).
+fn render_generated_facts(schema: &Schema, inst: &Instance) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(inst.len() * 24);
+    for atom in inst.atoms() {
+        out.push_str(schema.name(atom.pred));
+        out.push('(');
+        for (i, t) in atom.terms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "c{}", t.raw());
+        }
+        out.push_str(").\n");
+    }
+    out
+}

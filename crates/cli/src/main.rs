@@ -1,0 +1,74 @@
+//! `soct` — semi-oblivious chase termination toolkit.
+//!
+//! ```text
+//! soct check          --rules FILE [--db FILE] [--mode memory|db]
+//! soct chase          --rules FILE --db FILE [--variant so|oblivious|restricted]
+//!                     [--max-atoms N] [--out FILE]
+//! soct shapes         --db FILE [--mode memory|db]
+//! soct stats          --rules FILE
+//! soct generate-tgds  --ssize N --tsize N [--class sl|l] [--seed N] [--out FILE]
+//! soct generate-data  [--preds N] [--min N] [--max N] [--dsize N] [--rsize N]
+//!                     [--seed N] [--out FILE]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("soct: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "check" => commands::check(&args),
+        "chase" => commands::chase(&args),
+        "shapes" => commands::shapes(&args),
+        "stats" => commands::stats(&args),
+        "generate-tgds" => commands::generate_tgds(&args),
+        "generate-data" => commands::generate_data(&args),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `soct help`)")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "soct — semi-oblivious chase termination for linear existential rules
+
+USAGE:
+  soct check          --rules FILE [--db FILE] [--mode memory|db]
+                      decide whether chase(D, Σ) is finite
+  soct chase          --rules FILE --db FILE [--variant so|oblivious|restricted]
+                      [--max-atoms N] [--max-rounds N] [--out FILE]
+                      materialise the chase
+  soct shapes         --db FILE [--mode memory|db]
+                      list the database shapes
+  soct stats          --rules FILE
+                      rule-set statistics and dependency-graph profile
+  soct generate-tgds  --ssize N --tsize N [--class sl|l] [--min N] [--max N]
+                      [--seed N] [--out FILE]
+  soct generate-data  [--preds N] [--min N] [--max N] [--dsize N] [--rsize N]
+                      [--seed N] [--out FILE]
+
+Rule files use `body -> head.` / `head :- body.` syntax with implicit
+existentials; fact files hold `r(a,b).` lines."
+    );
+}

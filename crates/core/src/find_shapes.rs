@@ -1,0 +1,230 @@
+//! The `FindShapes` procedure (§5.4): computing `shape(D)` from a tuple
+//! source, with the paper's two implementations.
+//!
+//! - **In-memory**: stream every relation through main memory and take the
+//!   shape of each tuple (the paper loads relations wholesale and splits
+//!   oversized ones; our page-wise streaming is the same computation with
+//!   the chunking built in — every tuple is decoded and hashed).
+//! - **In-database**: never materialise tuples; issue one relaxed + one
+//!   exact Boolean EXISTS query per candidate shape, Apriori-pruned over the
+//!   partition lattice (`soct-storage::shape_query`).
+//!
+//! Which one wins depends on the database (§9.3): few tuples per relation
+//! favour in-memory; few predicates of small arity favour in-database.
+
+use soct_model::{FxHashSet, PredId, Rgs, Shape};
+use soct_storage::{find_shapes_apriori, ShapeQueryStats, StorageEngine, TupleSource};
+
+/// Which `FindShapes` implementation to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FindShapesMode {
+    InMemory,
+    InDatabase,
+}
+
+/// The outcome of `FindShapes`.
+#[derive(Clone, Debug)]
+pub struct ShapesReport {
+    /// The distinct shapes of the database atoms, sorted.
+    pub shapes: Vec<Shape>,
+    /// Query counters (all zero for the in-memory implementation).
+    pub stats: ShapeQueryStats,
+    /// Tuples scanned (in-memory) — the work metric of Figure 3.
+    pub tuples_scanned: u64,
+}
+
+/// `FindShapes(D)` under the chosen implementation.
+pub fn find_shapes(src: &dyn TupleSource, mode: FindShapesMode) -> ShapesReport {
+    match mode {
+        FindShapesMode::InMemory => find_shapes_in_memory(src),
+        FindShapesMode::InDatabase => find_shapes_in_database(src),
+    }
+}
+
+/// Rows loaded per chunk by the in-memory implementation ("for relations
+/// that cannot be entirely loaded into the main memory, we split them into
+/// smaller relations processed separately", §5.4).
+const IN_MEMORY_CHUNK_ROWS: usize = 1 << 16;
+
+/// In-memory implementation, faithful to §5.4's description: *load* each
+/// relation's tuples into main memory (chunked), then iterate over the
+/// loaded tuples computing shapes. The explicit materialisation step is
+/// part of the measured cost — it is what the paper's in-memory/in-database
+/// comparison hinges on.
+pub fn find_shapes_in_memory(src: &dyn TupleSource) -> ShapesReport {
+    let mut shapes: Vec<Shape> = Vec::new();
+    let mut tuples_scanned = 0u64;
+    for pred in src.non_empty_predicates() {
+        let arity = src.arity_of(pred).max(1);
+        let mut seen: FxHashSet<Rgs> = FxHashSet::default();
+        // Load phase: materialise the relation chunk by chunk.
+        let mut chunk: Vec<u64> = Vec::with_capacity(IN_MEMORY_CHUNK_ROWS * arity);
+        let flush = |chunk: &mut Vec<u64>, seen: &mut FxHashSet<Rgs>| {
+            for row in chunk.chunks_exact(arity) {
+                seen.insert(Rgs::of(row));
+            }
+            chunk.clear();
+        };
+        src.scan(pred, &mut |row| {
+            tuples_scanned += 1;
+            chunk.extend_from_slice(row);
+            if chunk.len() >= IN_MEMORY_CHUNK_ROWS * arity {
+                flush(&mut chunk, &mut seen);
+            }
+            true
+        });
+        flush(&mut chunk, &mut seen);
+        shapes.extend(seen.into_iter().map(|rgs| Shape { pred, rgs }));
+    }
+    shapes.sort_unstable();
+    ShapesReport {
+        shapes,
+        stats: ShapeQueryStats::default(),
+        tuples_scanned,
+    }
+}
+
+/// In-database implementation: Apriori-pruned EXISTS queries per relation.
+pub fn find_shapes_in_database(src: &dyn TupleSource) -> ShapesReport {
+    let mut shapes: Vec<Shape> = Vec::new();
+    let mut stats = ShapeQueryStats::default();
+    for pred in src.non_empty_predicates() {
+        let (rgss, s) = find_shapes_apriori(src, pred);
+        stats.relaxed_queries += s.relaxed_queries;
+        stats.exact_queries += s.exact_queries;
+        stats.pruned_nodes += s.pruned_nodes;
+        shapes.extend(rgss.into_iter().map(|rgs| Shape { pred, rgs }));
+    }
+    shapes.sort_unstable();
+    ShapesReport {
+        shapes,
+        stats,
+        tuples_scanned: 0,
+    }
+}
+
+/// Materialised-catalog implementation (§10 future work): a constant-time
+/// read of the engine's incrementally-maintained shape catalog. Returns
+/// `None` when tracking was never enabled on the engine (callers should
+/// fall back to one of the online modes).
+pub fn find_shapes_materialized(engine: &StorageEngine) -> Option<ShapesReport> {
+    let catalog = engine.shape_catalog()?;
+    Some(ShapesReport {
+        shapes: catalog.shapes(),
+        stats: ShapeQueryStats::default(),
+        tuples_scanned: 0,
+    })
+}
+
+/// Shapes restricted to one predicate — convenience for tests and stats.
+pub fn shapes_of_pred(report: &ShapesReport, pred: PredId) -> Vec<&Shape> {
+    report.shapes.iter().filter(|s| s.pred == pred).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soct_model::{Atom, ConstId, Instance, Schema, Term};
+    use soct_storage::{InstanceSource, LimitView, StorageEngine};
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    fn engine() -> (Schema, StorageEngine) {
+        let mut schema = Schema::new();
+        let r = schema.add_predicate("r", 3).unwrap();
+        let p = schema.add_predicate("p", 2).unwrap();
+        let mut e = StorageEngine::new();
+        e.create_table(r, "r", 3);
+        e.create_table(p, "p", 2);
+        e.insert(r, &[c(1), c(1), c(2)]);
+        e.insert(r, &[c(3), c(4), c(5)]);
+        e.insert(r, &[c(6), c(6), c(7)]); // duplicate shape
+        e.insert(p, &[c(1), c(1)]);
+        (schema, e)
+    }
+
+    #[test]
+    fn in_memory_and_in_database_agree() {
+        let (_schema, e) = engine();
+        let a = find_shapes(&e, FindShapesMode::InMemory);
+        let b = find_shapes(&e, FindShapesMode::InDatabase);
+        assert_eq!(a.shapes, b.shapes);
+        assert_eq!(a.shapes.len(), 3);
+    }
+
+    #[test]
+    fn in_memory_counts_tuples_in_database_counts_queries() {
+        let (_schema, e) = engine();
+        let a = find_shapes(&e, FindShapesMode::InMemory);
+        assert_eq!(a.tuples_scanned, 4);
+        assert_eq!(a.stats.exact_queries, 0);
+        let b = find_shapes(&e, FindShapesMode::InDatabase);
+        assert_eq!(b.tuples_scanned, 0);
+        assert!(b.stats.exact_queries > 0);
+        assert!(b.stats.relaxed_queries >= b.stats.exact_queries);
+    }
+
+    #[test]
+    fn works_over_views() {
+        let (_schema, e) = engine();
+        // A 1-row view of r only exposes shape (1,1,2); p exposes (1,1).
+        let v = LimitView::new(&e, 1);
+        let a = find_shapes(&v, FindShapesMode::InMemory);
+        let b = find_shapes(&v, FindShapesMode::InDatabase);
+        assert_eq!(a.shapes, b.shapes);
+        assert_eq!(a.shapes.len(), 2);
+    }
+
+    #[test]
+    fn works_over_instances() {
+        let mut schema = Schema::new();
+        let r = schema.add_predicate("r", 2).unwrap();
+        let mut inst = Instance::new();
+        inst.insert(Atom::new(&schema, r, vec![c(0), c(0)]).unwrap());
+        inst.insert(Atom::new(&schema, r, vec![c(0), c(1)]).unwrap());
+        let src = InstanceSource::new(&schema, &inst);
+        let rep = find_shapes(&src, FindShapesMode::InMemory);
+        assert_eq!(rep.shapes.len(), 2);
+        assert_eq!(shapes_of_pred(&rep, r).len(), 2);
+        let rep_db = find_shapes(&src, FindShapesMode::InDatabase);
+        assert_eq!(rep.shapes, rep_db.shapes);
+    }
+
+    #[test]
+    fn materialized_mode_matches_online_modes() {
+        let (_schema, mut e) = engine();
+        assert!(find_shapes_materialized(&e).is_none(), "tracking off");
+        e.enable_shape_tracking();
+        let mat = find_shapes_materialized(&e).unwrap();
+        let mem = find_shapes(&e, FindShapesMode::InMemory);
+        assert_eq!(mat.shapes, mem.shapes);
+        // Inserts keep the catalog current.
+        let r = soct_model::PredId(0);
+        e.insert(r, &[c(9), c(9), c(9)]);
+        let mat2 = find_shapes_materialized(&e).unwrap();
+        let mem2 = find_shapes(&e, FindShapesMode::InMemory);
+        assert_eq!(mat2.shapes, mem2.shapes);
+        assert_eq!(mat2.shapes.len(), mat.shapes.len() + 1);
+    }
+
+    #[test]
+    fn matches_model_level_shape_extraction() {
+        // `shapes_of_instance` on the instance and `find_shapes` on the
+        // engine must coincide.
+        let mut schema = Schema::new();
+        let r = schema.add_predicate("r", 4).unwrap();
+        let mut inst = Instance::new();
+        let rows: &[&[u32]] = &[&[1, 2, 1, 2], &[3, 3, 3, 3], &[4, 5, 6, 7], &[8, 8, 9, 8]];
+        for row in rows {
+            let terms: Vec<Term> = row.iter().map(|&x| c(x)).collect();
+            inst.insert(Atom::new(&schema, r, terms).unwrap());
+        }
+        let mut e = StorageEngine::new();
+        e.load_instance(&schema, &inst);
+        let via_engine = find_shapes(&e, FindShapesMode::InDatabase);
+        let via_model = soct_model::shape::shapes_of_instance(&inst);
+        assert_eq!(via_engine.shapes, via_model);
+    }
+}

@@ -1,0 +1,28 @@
+//! # soct-core
+//!
+//! The paper's primary contribution, rebuilt: the practical semi-oblivious
+//! chase termination checkers `IsChaseFinite[SL]` (Algorithm 1) and
+//! `IsChaseFinite[L]` (Algorithm 3), with the `FindShapes` procedure in its
+//! in-memory and in-database incarnations, `DynSimplification`
+//! (Algorithm 2), the timing instrumentation behind every figure of §7–§9,
+//! and the materialization-based oracle used for cross-validation.
+
+pub mod check_l;
+pub mod check_sl;
+pub mod dynsimpl;
+pub mod find_shapes;
+pub mod oracle;
+pub mod timings;
+
+pub use check_l::{check_l_with_shapes, is_chase_finite_l, is_chase_finite_l_text, LCheckReport};
+pub use check_sl::{
+    derivable_predicates, is_chase_finite_sl, is_chase_finite_sl_source, is_chase_finite_sl_text,
+    SlCheckReport,
+};
+pub use dynsimpl::{dyn_simplification, DynSimplification};
+pub use find_shapes::{
+    find_shapes, find_shapes_in_database, find_shapes_in_memory, find_shapes_materialized,
+    FindShapesMode, ShapesReport,
+};
+pub use oracle::{check_termination, materialization_check, TerminationReport, Verdict};
+pub use timings::{ms, LTimings, SlTimings};

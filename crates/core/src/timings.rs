@@ -1,0 +1,90 @@
+//! Timing breakdowns matching the paper's reported quantities.
+//!
+//! §7 (simple-linear): `t-parse`, `t-graph`, `t-comp`; `t-total` is their
+//! sum. §8 (linear): additionally `t-shapes` — the db-dependent component —
+//! while `t-parse + t-graph + t-comp` form the db-independent component.
+
+use std::time::Duration;
+
+/// Timing breakdown of `IsChaseFinite[SL]` (§7).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SlTimings {
+    /// Time to parse the TGDs from an input file (zero when the caller
+    /// passes pre-parsed TGDs).
+    pub t_parse: Duration,
+    /// Time to build the dependency graph.
+    pub t_graph: Duration,
+    /// Time to find the special SCCs.
+    pub t_comp: Duration,
+    /// Time for the `Supports` check — reported separately because Remark 1
+    /// argues it is negligible; our numbers let the reader verify that.
+    pub t_supports: Duration,
+}
+
+impl SlTimings {
+    /// End-to-end runtime (`t-total` of Figure 1).
+    pub fn total(&self) -> Duration {
+        self.t_parse + self.t_graph + self.t_comp + self.t_supports
+    }
+}
+
+/// Timing breakdown of `IsChaseFinite[L]` (§8).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LTimings {
+    /// The db-dependent component: time to find the database shapes.
+    pub t_shapes: Duration,
+    /// Time to parse the TGDs (zero when pre-parsed).
+    pub t_parse: Duration,
+    /// Time to dynamically simplify and build the dependency graph of the
+    /// simplified set (the paper folds simplification into `t-graph`).
+    pub t_graph: Duration,
+    /// Time to find the special SCCs.
+    pub t_comp: Duration,
+}
+
+impl LTimings {
+    /// The db-independent component (`t-total` of Figure 5).
+    pub fn db_independent(&self) -> Duration {
+        self.t_parse + self.t_graph + self.t_comp
+    }
+
+    /// Full end-to-end runtime (`t-total` of Table 2).
+    pub fn total(&self) -> Duration {
+        self.t_shapes + self.db_independent()
+    }
+}
+
+/// Milliseconds with fractional part, the unit of Table 2.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let t = SlTimings {
+            t_parse: Duration::from_millis(5),
+            t_graph: Duration::from_millis(3),
+            t_comp: Duration::from_millis(2),
+            t_supports: Duration::from_millis(1),
+        };
+        assert_eq!(t.total(), Duration::from_millis(11));
+
+        let l = LTimings {
+            t_shapes: Duration::from_millis(100),
+            t_parse: Duration::from_millis(5),
+            t_graph: Duration::from_millis(3),
+            t_comp: Duration::from_millis(2),
+        };
+        assert_eq!(l.db_independent(), Duration::from_millis(10));
+        assert_eq!(l.total(), Duration::from_millis(110));
+    }
+
+    #[test]
+    fn ms_converts() {
+        assert!((ms(Duration::from_micros(1500)) - 1.5).abs() < 1e-9);
+    }
+}

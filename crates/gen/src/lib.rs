@@ -1,0 +1,19 @@
+//! # soct-gen
+//!
+//! The experimental infrastructure of §6: a shape-controlled data generator,
+//! a shape-controlled TGD generator, the predicate/TGD/combined profiles of
+//! §7.1 and the `D★`-plus-views design of §8.1, and synthetic stand-ins for
+//! the §9 validation scenarios (Deep, LUBM, iBench) matching their published
+//! Table 1 statistics.
+
+pub mod datagen;
+pub mod partition;
+pub mod profiles;
+pub mod scenarios;
+pub mod tgdgen;
+
+pub use datagen::{generate_database, generate_instance, DataGenConfig, GeneratedData};
+pub use partition::PartitionSampler;
+pub use profiles::{combined_profiles, CombinedProfile, Scale};
+pub use scenarios::{deep_like, ibench_like, lubm_like, IBenchVariant, Scenario, ScenarioStats};
+pub use tgdgen::{generate_tgds, TgdGenConfig};

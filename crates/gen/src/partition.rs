@@ -1,0 +1,144 @@
+//! Uniform random set partitions.
+//!
+//! The data generator "randomly selects a shape" per tuple (§6.1) and the
+//! TGD generator "randomly chooses a shape for the body-atom" (§6.2); since
+//! shapes of arity n are exactly the set partitions of `[n]`, we sample
+//! partitions uniformly. The sampler uses the standard conditional-count
+//! method: with `D(n, k)` = number of ways to complete a partition that has
+//! `k` open blocks and `n` elements left (`D(0,·) = 1`,
+//! `D(n,k) = k·D(n−1,k) + D(n−1,k+1)`), element placement probabilities
+//! follow the counts exactly, so every partition is equally likely.
+
+use rand::{Rng, RngExt};
+use soct_model::Rgs;
+
+/// Maximum supported arity for uniform shape sampling.
+pub const MAX_ARITY: usize = 16;
+
+/// Precomputed `D(n, k)` table for uniform partition sampling.
+pub struct PartitionSampler {
+    /// `d[n][k]`, n ∈ 0..=MAX_ARITY, k ∈ 0..=MAX_ARITY.
+    d: Vec<Vec<u128>>,
+}
+
+impl Default for PartitionSampler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartitionSampler {
+    /// Builds the count table.
+    pub fn new() -> Self {
+        let n_max = MAX_ARITY;
+        let mut d = vec![vec![0u128; n_max + 2]; n_max + 1];
+        for k in 0..=n_max + 1 {
+            d[0][k] = 1;
+        }
+        for n in 1..=n_max {
+            for k in (0..=n_max).rev() {
+                d[n][k] = (k as u128) * d[n - 1][k] + d[n - 1][k + 1];
+            }
+        }
+        PartitionSampler { d }
+    }
+
+    /// Number of partitions of `[n]` (the Bell number), from the table.
+    pub fn count(&self, n: usize) -> u128 {
+        assert!(n <= MAX_ARITY);
+        self.d[n][0]
+    }
+
+    /// Samples a uniformly random partition of `[n]` as an RGS.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Rgs {
+        assert!(n <= MAX_ARITY, "arity beyond sampler table");
+        let mut ids = Vec::with_capacity(n);
+        let mut k = 0usize; // open blocks
+        for i in 0..n {
+            let remaining = n - i - 1;
+            let total = self.d[remaining + 1][k];
+            // Choose among k existing blocks (weight D(remaining, k) each)
+            // and one new block (weight D(remaining, k+1)).
+            let mut ticket = rng.random_range(0..total);
+            let existing_w = self.d[remaining][k];
+            let mut placed = false;
+            for b in 1..=k {
+                if ticket < existing_w {
+                    ids.push(b as u8);
+                    placed = true;
+                    break;
+                }
+                ticket -= existing_w;
+            }
+            if !placed {
+                k += 1;
+                ids.push(k as u8);
+            }
+        }
+        Rgs::canonicalize(&ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use soct_model::bell;
+    use std::collections::HashMap;
+
+    #[test]
+    fn counts_match_bell_numbers() {
+        let s = PartitionSampler::new();
+        for n in 0..=10 {
+            assert_eq!(s.count(n), bell(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn samples_are_valid_rgs() {
+        let s = PartitionSampler::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in 1..=8 {
+            for _ in 0..50 {
+                let r = s.sample(&mut rng, n);
+                assert_eq!(r.len(), n);
+                // RGS validity: first id is 1 and ids grow by at most 1.
+                let ids = r.ids();
+                assert_eq!(ids[0], 1);
+                let mut max = 1;
+                for &v in ids {
+                    assert!(v <= max + 1 && v >= 1);
+                    max = max.max(v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_is_uniform_for_n3() {
+        // Bell(3) = 5 partitions; a chi-square-ish sanity band around the
+        // expected 1/5 frequency.
+        let s = PartitionSampler::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 25_000;
+        let mut freq: HashMap<Vec<u8>, usize> = HashMap::new();
+        for _ in 0..trials {
+            let r = s.sample(&mut rng, 3);
+            *freq.entry(r.ids().to_vec()).or_insert(0) += 1;
+        }
+        assert_eq!(freq.len(), 5);
+        let expected = trials as f64 / 5.0;
+        for (ids, count) in freq {
+            let dev = (count as f64 - expected).abs() / expected;
+            assert!(dev < 0.08, "partition {ids:?} off by {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn n1_is_deterministic() {
+        let s = PartitionSampler::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.sample(&mut rng, 1).ids(), &[1]);
+    }
+}

@@ -1,0 +1,213 @@
+//! The experimental design of §7.1 and §8.1: predicate profiles, TGD
+//! profiles, their nine combined profiles, and the shared 1000-predicate
+//! schema everything draws from.
+//!
+//! Paper scale: TGD profiles up to one million rules, 100 sets per combined
+//! profile (900 sets total) for SL; 5 sets per profile (45) for L; `D★`
+//! with 500M tuples. A [`Scale`] knob shrinks set counts and sizes so the
+//! default suite runs on a laptop; `Scale::full()` restores the paper's
+//! numbers. The measured *trends* are scale-invariant — that is what
+//! EXPERIMENTS.md compares.
+
+use crate::datagen::make_predicates;
+use crate::tgdgen::{generate_tgds, TgdGenConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use soct_model::{PredId, Schema, Tgd, TgdClass};
+
+/// The three predicate profiles of §7.1.
+pub const PRED_PROFILES: [(usize, usize); 3] = [(5, 200), (200, 400), (400, 600)];
+
+/// The three TGD profiles of §7.1 at paper scale.
+pub const TGD_PROFILES_FULL: [(usize, usize); 3] =
+    [(1, 333_000), (333_000, 666_000), (666_000, 1_000_000)];
+
+/// Experiment scale factors.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Sets generated per combined profile (paper: 100 for SL, 5 for L).
+    pub sl_sets_per_profile: usize,
+    pub l_sets_per_profile: usize,
+    /// Multiplier on the TGD profile bounds (paper: 1.0).
+    pub tgd_scale: f64,
+    /// Multiplier on `D★`'s `dsize`/`rsize` (paper: 1.0 = 500K each).
+    pub data_scale: f64,
+}
+
+impl Scale {
+    /// Laptop-friendly default: 1/20 of the rule volume, 1/500 of the data
+    /// volume, a handful of sets per profile.
+    pub fn default_scale() -> Self {
+        Scale {
+            sl_sets_per_profile: 5,
+            l_sets_per_profile: 2,
+            tgd_scale: 0.05,
+            data_scale: 0.002,
+        }
+    }
+
+    /// A smoke-test scale for CI and criterion benches.
+    pub fn quick() -> Self {
+        Scale {
+            sl_sets_per_profile: 2,
+            l_sets_per_profile: 1,
+            tgd_scale: 0.01,
+            data_scale: 0.0005,
+        }
+    }
+
+    /// The paper's numbers.
+    pub fn full() -> Self {
+        Scale {
+            sl_sets_per_profile: 100,
+            l_sets_per_profile: 5,
+            tgd_scale: 1.0,
+            data_scale: 1.0,
+        }
+    }
+
+    /// The TGD profiles under this scale.
+    pub fn tgd_profiles(&self) -> [(usize, usize); 3] {
+        TGD_PROFILES_FULL.map(|(lo, hi)| {
+            (
+                ((lo as f64 * self.tgd_scale) as usize).max(1),
+                ((hi as f64 * self.tgd_scale) as usize).max(2),
+            )
+        })
+    }
+
+    /// The view sizes (`tuples per predicate`) of §8.1 under this scale:
+    /// paper values 1K, 50K, 100K, 250K, 500K.
+    pub fn view_sizes(&self) -> [u64; 5] {
+        [1_000u64, 50_000, 100_000, 250_000, 500_000]
+            .map(|v| ((v as f64 * self.data_scale) as u64).max(1))
+    }
+}
+
+/// One of the nine combined profiles.
+#[derive(Clone, Copy, Debug)]
+pub struct CombinedProfile {
+    /// Index into [`PRED_PROFILES`] (0..3).
+    pub pred_profile: usize,
+    /// Index into the TGD profiles (0..3).
+    pub tgd_profile: usize,
+    pub pred_range: (usize, usize),
+    pub tgd_range: (usize, usize),
+}
+
+impl CombinedProfile {
+    /// Human-readable label, e.g. `[200,400]x[333K,666K]`.
+    pub fn label(&self) -> String {
+        format!(
+            "preds[{},{}] x rules[{},{}]",
+            self.pred_range.0, self.pred_range.1, self.tgd_range.0, self.tgd_range.1
+        )
+    }
+}
+
+/// The nine combined profiles under a scale.
+pub fn combined_profiles(scale: &Scale) -> Vec<CombinedProfile> {
+    let tgd_profiles = scale.tgd_profiles();
+    let mut out = Vec::with_capacity(9);
+    for (pi, &pred_range) in PRED_PROFILES.iter().enumerate() {
+        for (ti, &tgd_range) in tgd_profiles.iter().enumerate() {
+            out.push(CombinedProfile {
+                pred_profile: pi,
+                tgd_profile: ti,
+                pred_range,
+                tgd_range,
+            });
+        }
+    }
+    out
+}
+
+/// The shared underlying schema S of §7.1: 1000 predicates with arities in
+/// `[1,5]`.
+pub fn shared_schema(seed: u64) -> (Schema, Vec<PredId>) {
+    let mut schema = Schema::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let preds = make_predicates(&mut schema, "p", 1000, 1, 5, &mut rng);
+    (schema, preds)
+}
+
+/// Samples one TGD set from a combined profile: `ssize` and `tsize` drawn
+/// uniformly from the profile's ranges, exactly as §7.1 describes.
+pub fn sample_profile_set(
+    profile: &CombinedProfile,
+    schema: &Schema,
+    pool: &[PredId],
+    tclass: TgdClass,
+    seed: u64,
+) -> Vec<Tgd> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ssize = rng.random_range(profile.pred_range.0..=profile.pred_range.1);
+    let tsize = rng.random_range(profile.tgd_range.0.max(1)..=profile.tgd_range.1);
+    let cfg = TgdGenConfig {
+        ssize,
+        min_arity: 1,
+        max_arity: 5,
+        tsize,
+        tclass,
+        existential_prob: 0.1,
+        seed: rng.random_range(0..u64::MAX),
+    };
+    generate_tgds(&cfg, schema, pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_combined_profiles() {
+        let profiles = combined_profiles(&Scale::quick());
+        assert_eq!(profiles.len(), 9);
+        // All pred/tgd pairs distinct.
+        let mut keys: Vec<(usize, usize)> = profiles
+            .iter()
+            .map(|p| (p.pred_profile, p.tgd_profile))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 9);
+    }
+
+    #[test]
+    fn full_scale_matches_paper_numbers() {
+        let s = Scale::full();
+        assert_eq!(s.tgd_profiles(), TGD_PROFILES_FULL);
+        assert_eq!(s.view_sizes(), [1_000, 50_000, 100_000, 250_000, 500_000]);
+        assert_eq!(s.sl_sets_per_profile, 100);
+        assert_eq!(s.l_sets_per_profile, 5);
+    }
+
+    #[test]
+    fn shared_schema_is_the_thousand_predicate_pool() {
+        let (schema, preds) = shared_schema(0);
+        assert_eq!(preds.len(), 1000);
+        assert_eq!(schema.len(), 1000);
+        assert!(preds.iter().all(|&p| (1..=5).contains(&schema.arity(p))));
+    }
+
+    #[test]
+    fn sampled_sets_respect_their_profile() {
+        let (schema, pool) = shared_schema(1);
+        let profiles = combined_profiles(&Scale::quick());
+        let p = &profiles[4]; // [200,400] × middle TGD profile
+        let tgds = sample_profile_set(p, &schema, &pool, TgdClass::SimpleLinear, 5);
+        assert!(tgds.len() >= p.tgd_range.0 && tgds.len() <= p.tgd_range.1);
+        let used = soct_model::tgd::predicates_of(&tgds);
+        assert!(used.len() <= p.pred_range.1);
+        assert!(tgds.iter().all(Tgd::is_simple_linear));
+    }
+
+    #[test]
+    fn scaled_profiles_shrink_monotonically() {
+        let q = Scale::quick().tgd_profiles();
+        let f = Scale::full().tgd_profiles();
+        for (a, b) in q.iter().zip(f.iter()) {
+            assert!(a.1 <= b.1);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The TGD generator (§6.2).
+//!
+//! Existing dependency generators (e.g. iBench) cannot control the shape of
+//! the body atoms; this one can. It takes the paper's tuning tuple
+//! `(ssize, min, max, tsize, tclass)` and generates single-head TGDs:
+//!
+//! - **simple-linear**: distinct fresh variables fill the body atom; each
+//!   head position becomes an existential variable with probability 10%,
+//!   otherwise a uniformly random body variable;
+//! - **linear**: additionally, a uniformly random shape is drawn for the
+//!   body atom, and the body variables follow it (repetitions allowed).
+
+use crate::partition::PartitionSampler;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use soct_model::{Atom, PredId, Schema, Term, Tgd, TgdClass, VarId};
+
+/// The paper's TGD-generator tuning parameters, plus knobs it fixes
+/// implicitly (existential probability 10%).
+#[derive(Clone, Copy, Debug)]
+pub struct TgdGenConfig {
+    /// `|sch(Σ)|`: number of predicates drawn from the pool.
+    pub ssize: usize,
+    /// Minimum predicate arity considered.
+    pub min_arity: usize,
+    /// Maximum predicate arity considered (inclusive).
+    pub max_arity: usize,
+    /// `|Σ|`: number of TGDs.
+    pub tsize: usize,
+    /// SL or L (General is not generated; the paper studies linear rules).
+    pub tclass: TgdClass,
+    /// Probability that a head position is existential (paper: 10%).
+    pub existential_prob: f64,
+    pub seed: u64,
+}
+
+impl TgdGenConfig {
+    /// Paper defaults with the 10% existential probability.
+    pub fn new(ssize: usize, tsize: usize, tclass: TgdClass, seed: u64) -> Self {
+        TgdGenConfig {
+            ssize,
+            min_arity: 1,
+            max_arity: 5,
+            tsize,
+            tclass,
+            existential_prob: 0.1,
+            seed,
+        }
+    }
+}
+
+/// Generates a set of TGDs over a subset of the predicate `pool`
+/// (mirroring §6.2: "first chooses a subset S′ of S such that |S′| = ssize
+/// and its predicates have arity between min and max").
+pub fn generate_tgds(cfg: &TgdGenConfig, schema: &Schema, pool: &[PredId]) -> Vec<Tgd> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let eligible: Vec<PredId> = pool
+        .iter()
+        .copied()
+        .filter(|&p| (cfg.min_arity..=cfg.max_arity).contains(&schema.arity(p)))
+        .collect();
+    assert!(
+        eligible.len() >= cfg.ssize,
+        "pool has {} eligible predicates, need {}",
+        eligible.len(),
+        cfg.ssize
+    );
+    // Partial Fisher–Yates: pick ssize distinct predicates.
+    let mut pick = eligible;
+    for i in 0..cfg.ssize {
+        let j = rng.random_range(i..pick.len());
+        pick.swap(i, j);
+    }
+    pick.truncate(cfg.ssize);
+    generate_tgds_over(cfg, schema, &pick, &mut rng)
+}
+
+/// Generates TGDs using *all* the given predicates (the subset having been
+/// chosen by the caller).
+pub fn generate_tgds_over(
+    cfg: &TgdGenConfig,
+    schema: &Schema,
+    preds: &[PredId],
+    rng: &mut StdRng,
+) -> Vec<Tgd> {
+    let sampler = PartitionSampler::new();
+    let mut out = Vec::with_capacity(cfg.tsize);
+    while out.len() < cfg.tsize {
+        // "randomly selects two predicates … with repetition".
+        let body_pred = preds[rng.random_range(0..preds.len())];
+        let head_pred = preds[rng.random_range(0..preds.len())];
+        let body_arity = schema.arity(body_pred);
+        let head_arity = schema.arity(head_pred);
+
+        // Body variables: distinct for SL; shape-guided for L.
+        let body_terms: Vec<Term> = match cfg.tclass {
+            TgdClass::SimpleLinear => (0..body_arity as u32).map(|i| Term::Var(VarId(i))).collect(),
+            _ => {
+                let shape = sampler.sample(rng, body_arity);
+                shape
+                    .ids()
+                    .iter()
+                    .map(|&id| Term::Var(VarId(id as u32 - 1)))
+                    .collect()
+            }
+        };
+        let distinct_body: Vec<VarId> = {
+            let mut v = Vec::new();
+            for t in &body_terms {
+                let var = t.as_var().unwrap();
+                if !v.contains(&var) {
+                    v.push(var);
+                }
+            }
+            v
+        };
+
+        // Head positions: existential with probability p, else a random
+        // body variable. Existential variable ids start above the body's.
+        let mut next_exist = body_arity as u32;
+        let head_terms: Vec<Term> = (0..head_arity)
+            .map(|_| {
+                if rng.random_bool(cfg.existential_prob) {
+                    let v = VarId(next_exist);
+                    next_exist += 1;
+                    Term::Var(v)
+                } else {
+                    Term::Var(distinct_body[rng.random_range(0..distinct_body.len())])
+                }
+            })
+            .collect();
+
+        let body = Atom::new(schema, body_pred, body_terms).expect("arity by construction");
+        let head = Atom::new(schema, head_pred, head_terms).expect("arity by construction");
+        out.push(Tgd::new(vec![body], vec![head]).expect("generated TGD is valid"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::make_predicates;
+
+    fn pool(n: usize, min: usize, max: usize) -> (Schema, Vec<PredId>) {
+        let mut schema = Schema::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        let preds = make_predicates(&mut schema, "p", n, min, max, &mut rng);
+        (schema, preds)
+    }
+
+    #[test]
+    fn generates_the_requested_count_and_class() {
+        let (schema, preds) = pool(50, 1, 5);
+        for tclass in [TgdClass::SimpleLinear, TgdClass::Linear] {
+            let cfg = TgdGenConfig::new(20, 300, tclass, 5);
+            let tgds = generate_tgds(&cfg, &schema, &preds);
+            assert_eq!(tgds.len(), 300);
+            for t in &tgds {
+                assert!(t.is_linear());
+                assert_eq!(t.head().len(), 1, "single-head (§6.2)");
+                if tclass == TgdClass::SimpleLinear {
+                    assert!(t.is_simple_linear());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_mode_produces_repeated_body_variables() {
+        let (schema, preds) = pool(20, 3, 5);
+        let cfg = TgdGenConfig::new(10, 500, TgdClass::Linear, 6);
+        let tgds = generate_tgds(&cfg, &schema, &preds);
+        let with_repeats = tgds
+            .iter()
+            .filter(|t| t.body()[0].has_repeated_var())
+            .count();
+        // Bell-uniform shapes at arity ≥ 3 repeat variables most of the
+        // time (only 1 of Bell(3) = 5 partitions is the identity... no:
+        // identity is 1 of 5); expect a solid fraction either way.
+        assert!(with_repeats > 100, "only {with_repeats} of 500 repeat");
+    }
+
+    #[test]
+    fn existential_rate_is_roughly_ten_percent() {
+        let (schema, preds) = pool(30, 4, 4);
+        let cfg = TgdGenConfig::new(10, 2000, TgdClass::SimpleLinear, 11);
+        let tgds = generate_tgds(&cfg, &schema, &preds);
+        let positions: usize = tgds.iter().map(|t| t.head()[0].arity()).sum();
+        let existential_positions: usize = tgds
+            .iter()
+            .map(|t| {
+                t.head()[0]
+                    .terms
+                    .iter()
+                    .filter(|term| {
+                        t.existential().contains(&term.as_var().unwrap())
+                    })
+                    .count()
+            })
+            .sum();
+        let rate = existential_positions as f64 / positions as f64;
+        assert!((0.07..0.13).contains(&rate), "rate = {rate}");
+    }
+
+    #[test]
+    fn respects_the_arity_window() {
+        let (schema, preds) = pool(60, 1, 8);
+        let cfg = TgdGenConfig {
+            ssize: 15,
+            min_arity: 2,
+            max_arity: 4,
+            tsize: 100,
+            tclass: TgdClass::Linear,
+            existential_prob: 0.1,
+            seed: 8,
+        };
+        let tgds = generate_tgds(&cfg, &schema, &preds);
+        for t in &tgds {
+            for a in t.body().iter().chain(t.head()) {
+                assert!((2..=4).contains(&a.arity()));
+            }
+        }
+        // At most ssize distinct predicates used.
+        let used = soct_model::tgd::predicates_of(&tgds);
+        assert!(used.len() <= 15);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (schema, preds) = pool(40, 1, 5);
+        let cfg = TgdGenConfig::new(20, 100, TgdClass::Linear, 77);
+        let a = generate_tgds(&cfg, &schema, &preds);
+        let b = generate_tgds(&cfg, &schema, &preds);
+        assert_eq!(a, b);
+    }
+}

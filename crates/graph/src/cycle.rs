@@ -1,0 +1,188 @@
+//! Naive bad-cycle detection — the strawman of §4: "a naive search for a
+//! 'bad' cycle in a dependency graph will be too costly since we may have to
+//! go through exponentially many cycles".
+//!
+//! Two baselines live here:
+//! - [`has_special_cycle_per_edge`]: for every special edge `(u, v)`, test
+//!   whether `u` is reachable from `v` — O(S·E) instead of the SCC
+//!   approach's O(V+E). This is the "reasonable but naive" implementation
+//!   used in the `abl-scc` ablation.
+//! - [`enumerate_special_cycles`]: explicitly enumerates simple cycles
+//!   through special edges (with a cap), the truly exponential strawman,
+//!   kept for tests and small-graph diagnostics.
+
+use crate::depgraph::DependencyGraph;
+
+/// True iff some cycle contains a special edge, decided one special edge at
+/// a time via forward reachability.
+pub fn has_special_cycle_per_edge(g: &DependencyGraph) -> bool {
+    let n = g.num_nodes();
+    let mut visited = vec![false; n];
+    let mut queue: Vec<u32> = Vec::new();
+    for e in g.edges() {
+        if !e.special {
+            continue;
+        }
+        // BFS from e.to looking for e.from.
+        if e.to == e.from {
+            return true;
+        }
+        visited.iter_mut().for_each(|b| *b = false);
+        visited[e.to as usize] = true;
+        queue.clear();
+        queue.push(e.to);
+        let mut qi = 0;
+        while qi < queue.len() {
+            let v = queue[qi];
+            qi += 1;
+            for (w, _) in g.successors(v) {
+                if w == e.from {
+                    return true;
+                }
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    queue.push(w);
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Enumerates up to `cap` simple cycles that traverse at least one special
+/// edge, each returned as a node sequence starting and ending at the same
+/// node (the endpoint is implicit). Exponential; for small graphs only.
+pub fn enumerate_special_cycles(g: &DependencyGraph, cap: usize) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let n = g.num_nodes();
+    // DFS from each node, only keeping cycles whose minimal node is the
+    // start (canonical form, avoids duplicates up to rotation).
+    for start in 0..n as u32 {
+        if out.len() >= cap {
+            break;
+        }
+        let mut path = vec![start];
+        let mut on_path = vec![false; n];
+        on_path[start as usize] = true;
+        let mut specials = vec![false]; // specials[i] = edge i-1 → i special
+        dfs(g, start, start, &mut path, &mut on_path, &mut specials, &mut out, cap);
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    g: &DependencyGraph,
+    start: u32,
+    v: u32,
+    path: &mut Vec<u32>,
+    on_path: &mut [bool],
+    specials: &mut Vec<bool>,
+    out: &mut Vec<Vec<u32>>,
+    cap: usize,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    for (w, sp) in g.successors(v) {
+        if out.len() >= cap {
+            return;
+        }
+        if w == start {
+            if sp || specials.iter().any(|&b| b) {
+                out.push(path.clone());
+            }
+        } else if w > start && !on_path[w as usize] {
+            path.push(w);
+            on_path[w as usize] = true;
+            specials.push(sp);
+            dfs(g, start, w, path, on_path, specials, out, cap);
+            specials.pop();
+            on_path[w as usize] = false;
+            path.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tarjan::find_special_sccs;
+    use soct_model::{Atom, Schema, Term, Tgd, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    fn self_loop_example() -> DependencyGraph {
+        let mut s = Schema::new();
+        let r = s.add_predicate("R", 2).unwrap();
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, r, vec![v(1), v(2)]).unwrap()],
+        )
+        .unwrap();
+        DependencyGraph::build(&s, &[tgd])
+    }
+
+    #[test]
+    fn per_edge_baseline_detects_the_running_example() {
+        let g = self_loop_example();
+        assert!(has_special_cycle_per_edge(&g));
+        assert_eq!(
+            has_special_cycle_per_edge(&g),
+            find_special_sccs(&g).has_special_scc()
+        );
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_special_cycle() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 2).unwrap();
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(0), v(2)]).unwrap()],
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&s, &[tgd]);
+        assert!(!has_special_cycle_per_edge(&g));
+        assert!(enumerate_special_cycles(&g, 100).is_empty());
+    }
+
+    #[test]
+    fn enumeration_finds_the_cycle() {
+        let g = self_loop_example();
+        let cycles = enumerate_special_cycles(&g, 100);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0], vec![1]); // (R,2) → (R,2)
+    }
+
+    #[test]
+    fn normal_only_cycles_are_skipped() {
+        // Copy cycle r ↔ p: cycles exist but none special.
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 1).unwrap();
+        let p = s.add_predicate("p", 1).unwrap();
+        let t1 = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(0)]).unwrap()],
+        )
+        .unwrap();
+        let t2 = Tgd::new(
+            vec![Atom::new(&s, p, vec![v(0)]).unwrap()],
+            vec![Atom::new(&s, r, vec![v(0)]).unwrap()],
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&s, &[t1, t2]);
+        assert!(!has_special_cycle_per_edge(&g));
+        assert!(enumerate_special_cycles(&g, 100).is_empty());
+        assert!(!find_special_sccs(&g).has_special_scc());
+    }
+
+    #[test]
+    fn cap_limits_enumeration() {
+        let g = self_loop_example();
+        assert!(enumerate_special_cycles(&g, 0).is_empty());
+    }
+}

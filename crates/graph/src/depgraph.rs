@@ -1,0 +1,284 @@
+//! The dependency graph `dg(Σ)` of a set of TGDs (§3).
+//!
+//! Nodes are the predicate positions `pos(sch(Σ))`; for each TGD σ, each
+//! frontier variable x, and each body position π of x:
+//! - a *normal* edge `(π, π′)` to every head position π′ of x, and
+//! - a *special* edge `(π, π′)` to every head position π′ of an
+//!   existentially quantified variable.
+//!
+//! `dg(Σ)` is formally a multigraph, but parallel duplicates carry no
+//! information for acyclicity, so construction deduplicates
+//! `(from, to, special)` triples — the paper relies on the same fact when
+//! discussing edge counts ("many TGDs simply lead to the same edges, which
+//! are of course considered once in the graph", Appendix A).
+//!
+//! Following §5.1, the adjacency structure is doubly linked: every node
+//! carries forward *and* reverse edge lists, so `Supports` (§5.3) can walk
+//! the graph against the edge direction. Construction is linear in `|Σ|`
+//! thanks to the dense position numbering provided by
+//! [`soct_model::Schema`].
+
+use soct_model::fxhash::FxHashSet;
+use soct_model::{Position, Schema, Tgd};
+
+/// A directed edge of the dependency graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    pub from: u32,
+    pub to: u32,
+    pub special: bool,
+}
+
+/// The dependency graph, with forward and reverse adjacency.
+#[derive(Clone, Debug, Default)]
+pub struct DependencyGraph {
+    num_nodes: usize,
+    edges: Vec<Edge>,
+    /// `fwd[v]` = indices into `edges` of the edges leaving `v`.
+    fwd: Vec<Vec<u32>>,
+    /// `rev[v]` = indices into `edges` of the edges entering `v`.
+    rev: Vec<Vec<u32>>,
+    num_special: usize,
+}
+
+impl DependencyGraph {
+    /// `BuildDepGraph` (§5.1): constructs `dg(Σ)` over the positions of
+    /// `schema`. Predicates of `schema` not mentioned in `tgds` contribute
+    /// isolated nodes, which is harmless.
+    pub fn build(schema: &Schema, tgds: &[Tgd]) -> Self {
+        let n = schema.num_positions();
+        let mut g = DependencyGraph {
+            num_nodes: n,
+            edges: Vec::new(),
+            fwd: vec![Vec::new(); n],
+            rev: vec![Vec::new(); n],
+            num_special: 0,
+        };
+        // Dedup key: from (high), to (low), special bit folded into `to`'s
+        // high bit space — packed into one u64 for a cheap set.
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        for tgd in tgds {
+            for &x in tgd.frontier() {
+                for body_atom in tgd.body() {
+                    for pi in body_atom.positions_of_var(x) {
+                        let from = schema.position_index(pi) as u32;
+                        // Normal edges: to every head occurrence of x.
+                        for head_atom in tgd.head() {
+                            for pj in head_atom.positions_of_var(x) {
+                                let to = schema.position_index(pj) as u32;
+                                g.add_edge(&mut seen, from, to, false);
+                            }
+                            // Special edges: to every head occurrence of an
+                            // existential variable.
+                            for &z in tgd.existential() {
+                                for pj in head_atom.positions_of_var(z) {
+                                    let to = schema.position_index(pj) as u32;
+                                    g.add_edge(&mut seen, from, to, true);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    fn add_edge(&mut self, seen: &mut FxHashSet<u64>, from: u32, to: u32, special: bool) {
+        let key = ((from as u64) << 33) | ((to as u64) << 1) | special as u64;
+        if !seen.insert(key) {
+            return;
+        }
+        let idx = self.edges.len() as u32;
+        self.edges.push(Edge { from, to, special });
+        self.fwd[from as usize].push(idx);
+        self.rev[to as usize].push(idx);
+        if special {
+            self.num_special += 1;
+        }
+    }
+
+    /// Number of nodes (= `|pos(sch(Σ))|`).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of distinct edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of distinct special edges.
+    #[inline]
+    pub fn num_special_edges(&self) -> usize {
+        self.num_special
+    }
+
+    /// The edge table.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Raw outgoing edge ids of `v` (indices into [`DependencyGraph::edges`]);
+    /// the zero-abstraction path used by the iterative Tarjan.
+    #[inline]
+    pub fn successors_raw(&self, v: u32) -> &[u32] {
+        &self.fwd[v as usize]
+    }
+
+    /// Outgoing `(target, special)` pairs of `v`.
+    pub fn successors(&self, v: u32) -> impl Iterator<Item = (u32, bool)> + '_ {
+        self.fwd[v as usize].iter().map(move |&e| {
+            let edge = self.edges[e as usize];
+            (edge.to, edge.special)
+        })
+    }
+
+    /// Incoming `(source, special)` pairs of `v` (the reverse links of
+    /// §5.1).
+    pub fn predecessors(&self, v: u32) -> impl Iterator<Item = (u32, bool)> + '_ {
+        self.rev[v as usize].iter().map(move |&e| {
+            let edge = self.edges[e as usize];
+            (edge.from, edge.special)
+        })
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.fwd[v as usize].len()
+    }
+
+    /// Resolves a node id back to its predicate position.
+    pub fn position(&self, schema: &Schema, v: u32) -> Position {
+        schema.position_at(v as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soct_model::{Atom, Term, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    /// D = {R(a,b)}, Σ = {R(x,y) → ∃z R(y,z)} — the §3 running example.
+    fn running_example() -> (Schema, Vec<Tgd>) {
+        let mut s = Schema::new();
+        let r = s.add_predicate("R", 2).unwrap();
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, r, vec![v(1), v(2)]).unwrap()],
+        )
+        .unwrap();
+        (s, vec![tgd])
+    }
+
+    #[test]
+    fn running_example_edges() {
+        let (s, tgds) = running_example();
+        let g = DependencyGraph::build(&s, &tgds);
+        assert_eq!(g.num_nodes(), 2);
+        // y: (R,2) → (R,1) normal; plus special (R,2) → (R,2).
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_special_edges(), 1);
+        let normal: Vec<_> = g.successors(1).collect();
+        assert!(normal.contains(&(0, false)));
+        assert!(normal.contains(&(1, true)));
+    }
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        let (s, tgds) = running_example();
+        let doubled: Vec<Tgd> = tgds.iter().cloned().chain(tgds.iter().cloned()).collect();
+        let g = DependencyGraph::build(&s, &doubled);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn weakly_acyclic_set_has_no_special_cycle_material() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 2).unwrap();
+        // r(x,y) → ∃z p(x,z): copies x, invents z — no cycle back into r.
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(0), v(2)]).unwrap()],
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&s, &[tgd]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_special_edges(), 1);
+        // Edges only go r → p.
+        for e in g.edges() {
+            assert!(e.from < 2 && e.to >= 2);
+        }
+    }
+
+    #[test]
+    fn reverse_adjacency_mirrors_forward() {
+        let (s, tgds) = running_example();
+        let g = DependencyGraph::build(&s, &tgds);
+        for e in g.edges() {
+            assert!(g.successors(e.from).any(|(t, sp)| t == e.to && sp == e.special));
+            assert!(g.predecessors(e.to).any(|(f, sp)| f == e.from && sp == e.special));
+        }
+    }
+
+    #[test]
+    fn repeated_frontier_var_in_head_multiplies_normal_edges() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 1).unwrap();
+        let p = s.add_predicate("p", 3).unwrap();
+        // r(x) → p(x, x, x): three normal edges from (r,1).
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(0), v(0), v(0)]).unwrap()],
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&s, &[tgd]);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_special_edges(), 0);
+        assert_eq!(g.out_degree(0), 3);
+    }
+
+    #[test]
+    fn empty_frontier_contributes_no_edges() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 1).unwrap();
+        let p = s.add_predicate("p", 1).unwrap();
+        // r(x) → ∃z p(z): fr = ∅.
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(1)]).unwrap()],
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&s, &[tgd]);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn multi_head_tgd_links_all_head_atoms() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 2).unwrap();
+        let q = s.add_predicate("q", 1).unwrap();
+        // r(x,y) → ∃z p(y,z), q(z)
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![
+                Atom::new(&s, p, vec![v(1), v(2)]).unwrap(),
+                Atom::new(&s, q, vec![v(2)]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&s, &[tgd]);
+        // y: (r,2) → (p,1) normal. z: (r,2) → (p,2) special, (r,2) → (q,1)
+        // special.
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_special_edges(), 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Kosaraju's two-pass SCC algorithm (§5.2 mentions it as the simpler
+//! alternative to Tarjan; the paper builds on Tarjan "as it is more
+//! efficient in practice"). We keep Kosaraju as the ablation baseline
+//! (`abl-scc`) and as an independent oracle for the Tarjan implementation.
+
+use crate::depgraph::DependencyGraph;
+use crate::tarjan::SccResult;
+
+/// Runs Kosaraju's algorithm; produces the same [`SccResult`] shape as
+/// [`crate::tarjan::find_special_sccs`] (component ids may be numbered
+/// differently, but the partition and the special labels agree).
+pub fn find_special_sccs_kosaraju(g: &DependencyGraph) -> SccResult {
+    let n = g.num_nodes();
+    // Pass 1: iterative DFS on the forward graph, recording finish order.
+    let mut visited = vec![false; n];
+    let mut finish_order: Vec<u32> = Vec::with_capacity(n);
+    let mut stack: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if visited[root as usize] {
+            continue;
+        }
+        visited[root as usize] = true;
+        stack.push((root, 0));
+        while let Some(&mut (v, ref mut ei)) = stack.last_mut() {
+            let out = g.successors_raw(v);
+            if let Some(&e) = out.get(*ei) {
+                *ei += 1;
+                let w = g.edges()[e as usize].to;
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                finish_order.push(v);
+                stack.pop();
+            }
+        }
+    }
+
+    // Pass 2: DFS on the reverse graph in decreasing finish order.
+    let mut scc_of = vec![u32::MAX; n];
+    let mut num_sccs = 0usize;
+    let mut dfs: Vec<u32> = Vec::new();
+    for &root in finish_order.iter().rev() {
+        if scc_of[root as usize] != u32::MAX {
+            continue;
+        }
+        let c = num_sccs as u32;
+        num_sccs += 1;
+        scc_of[root as usize] = c;
+        dfs.push(root);
+        while let Some(v) = dfs.pop() {
+            for (w, _) in g.predecessors(v) {
+                if scc_of[w as usize] == u32::MAX {
+                    scc_of[w as usize] = c;
+                    dfs.push(w);
+                }
+            }
+        }
+    }
+
+    let mut special = vec![false; num_sccs];
+    for e in g.edges() {
+        if e.special && scc_of[e.from as usize] == scc_of[e.to as usize] {
+            special[scc_of[e.from as usize] as usize] = true;
+        }
+    }
+
+    SccResult {
+        scc_of,
+        num_sccs,
+        special,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tarjan::find_special_sccs;
+    use soct_model::{Atom, Schema, Term, Tgd, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    /// Partition refinement check: two SCC labelings describe the same
+    /// partition iff the label pairs biject.
+    fn same_partition(a: &[u32], b: &[u32]) -> bool {
+        use std::collections::HashMap;
+        let mut fwd: HashMap<u32, u32> = HashMap::new();
+        let mut bwd: HashMap<u32, u32> = HashMap::new();
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            if *fwd.entry(x).or_insert(y) != y {
+                return false;
+            }
+            if *bwd.entry(y).or_insert(x) != x {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn agrees_with_tarjan() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 2).unwrap();
+        let q = s.add_predicate("q", 2).unwrap();
+        let rules = vec![
+            Tgd::new(
+                vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+                vec![Atom::new(&s, p, vec![v(1), v(2)]).unwrap()],
+            )
+            .unwrap(),
+            Tgd::new(
+                vec![Atom::new(&s, p, vec![v(0), v(1)]).unwrap()],
+                vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            )
+            .unwrap(),
+            Tgd::new(
+                vec![Atom::new(&s, q, vec![v(0), v(1)]).unwrap()],
+                vec![Atom::new(&s, q, vec![v(1), v(0)]).unwrap()],
+            )
+            .unwrap(),
+        ];
+        let g = crate::depgraph::DependencyGraph::build(&s, &rules);
+        let t = find_special_sccs(&g);
+        let k = find_special_sccs_kosaraju(&g);
+        assert_eq!(t.num_sccs, k.num_sccs);
+        assert!(same_partition(&t.scc_of, &k.scc_of));
+        // Special labels agree component-wise.
+        for e in g.edges() {
+            let tc = t.scc_of[e.from as usize] as usize;
+            let kc = k.scc_of[e.from as usize] as usize;
+            if t.scc_of[e.from as usize] == t.scc_of[e.to as usize] {
+                assert_eq!(t.special[tc], k.special[kc]);
+            }
+        }
+        assert_eq!(t.has_special_scc(), k.has_special_scc());
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let mut s = Schema::new();
+        s.add_predicate("lonely", 3).unwrap();
+        let g = crate::depgraph::DependencyGraph::build(&s, &[]);
+        let k = find_special_sccs_kosaraju(&g);
+        assert_eq!(k.num_sccs, 3);
+        assert!(!k.has_special_scc());
+    }
+}

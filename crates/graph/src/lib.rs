@@ -1,0 +1,19 @@
+//! # soct-graph
+//!
+//! Dependency graphs of TGD sets and the graph algorithms behind the chase
+//! termination checkers (§3, §5.1–§5.3 of the paper): linear-time
+//! construction with forward *and* reverse adjacency, special-SCC detection
+//! via an iterative Tarjan (with a Kosaraju baseline and naive cycle-search
+//! strawmen for the ablations), and the `Supports` reverse traversal.
+
+pub mod cycle;
+pub mod depgraph;
+pub mod kosaraju;
+pub mod reach;
+pub mod tarjan;
+
+pub use cycle::{enumerate_special_cycles, has_special_cycle_per_edge};
+pub use depgraph::{DependencyGraph, Edge};
+pub use kosaraju::find_special_sccs_kosaraju;
+pub use reach::{predicate_reachable, reverse_closure, supports};
+pub use tarjan::{find_special_sccs, SccResult};

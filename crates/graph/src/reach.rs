@@ -1,0 +1,204 @@
+//! The `Supports` procedure (§5.3) and predicate-level reachability.
+//!
+//! A (possibly cyclic) path C in `dg(Σ)` is *D-supported* if some atom
+//! `R(t̄) ∈ D` and some node `(P, i)` of C satisfy "P is reachable from R"
+//! — where reachability means `R = P` or a path from *some* position of R to
+//! *some* position of P (§2). Algorithm 1 therefore takes one node per
+//! special SCC and asks whether any of them is reachable from a position of
+//! an extensional (database) predicate.
+//!
+//! Following §5.3 this runs *backwards*: we traverse the reverse edges from
+//! the special-SCC representatives and stop as soon as we touch a position
+//! whose predicate occurs in the database. The reverse adjacency was built
+//! for exactly this purpose (§5.1).
+
+use crate::depgraph::DependencyGraph;
+use soct_model::{PredId, Schema};
+
+/// `Supports(D, P, G)`: true iff some node of `starts` is reachable (in the
+/// forward direction) from a position of a predicate satisfying
+/// `is_db_pred`. Implemented as a reverse BFS from `starts`.
+///
+/// `is_db_pred` abstracts "the predicate has at least one tuple in D" — the
+/// catalog query of §5.3 — so callers can back it with an instance, a
+/// storage-engine catalog, or the derivable-predicate closure used for
+/// empty-frontier TGDs.
+pub fn supports(
+    g: &DependencyGraph,
+    schema: &Schema,
+    starts: &[u32],
+    is_db_pred: impl Fn(PredId) -> bool,
+) -> bool {
+    let mut visited = vec![false; g.num_nodes()];
+    let mut queue: Vec<u32> = Vec::with_capacity(starts.len());
+    for &s in starts {
+        if !visited[s as usize] {
+            visited[s as usize] = true;
+            queue.push(s);
+        }
+    }
+    let mut qi = 0;
+    while qi < queue.len() {
+        let v = queue[qi];
+        qi += 1;
+        // The R = P base case: the node's own predicate is extensional.
+        if is_db_pred(schema.position_at(v as usize).pred) {
+            return true;
+        }
+        for (w, _) in g.predecessors(v) {
+            if !visited[w as usize] {
+                visited[w as usize] = true;
+                queue.push(w);
+            }
+        }
+    }
+    false
+}
+
+/// All nodes from which some node of `starts` is reachable (inclusive) —
+/// the full reverse closure, for diagnostics and tests.
+pub fn reverse_closure(g: &DependencyGraph, starts: &[u32]) -> Vec<u32> {
+    let mut visited = vec![false; g.num_nodes()];
+    let mut queue: Vec<u32> = Vec::new();
+    for &s in starts {
+        if !visited[s as usize] {
+            visited[s as usize] = true;
+            queue.push(s);
+        }
+    }
+    let mut qi = 0;
+    while qi < queue.len() {
+        let v = queue[qi];
+        qi += 1;
+        for (w, _) in g.predecessors(v) {
+            if !visited[w as usize] {
+                visited[w as usize] = true;
+                queue.push(w);
+            }
+        }
+    }
+    queue.sort_unstable();
+    queue
+}
+
+/// "P is reachable from R w.r.t. Σ" (§2): `R = P`, or a path in `dg(Σ)`
+/// from a position of R to a position of P. Forward BFS; used in tests and
+/// by the derivable-predicate closure.
+pub fn predicate_reachable(
+    g: &DependencyGraph,
+    schema: &Schema,
+    from: PredId,
+    to: PredId,
+) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut visited = vec![false; g.num_nodes()];
+    let mut queue: Vec<u32> = Vec::new();
+    for i in 0..schema.arity(from) {
+        let v = schema.position_index(soct_model::Position::new(from, i)) as u32;
+        visited[v as usize] = true;
+        queue.push(v);
+    }
+    let mut qi = 0;
+    while qi < queue.len() {
+        let v = queue[qi];
+        qi += 1;
+        if schema.position_at(v as usize).pred == to {
+            return true;
+        }
+        for (w, _) in g.successors(v) {
+            if !visited[w as usize] {
+                visited[w as usize] = true;
+                queue.push(w);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depgraph::DependencyGraph;
+    use crate::tarjan::find_special_sccs;
+    use soct_model::{Atom, Term, Tgd, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    /// s(x) → r(x,x);  r(x,y) → ∃z r(y,z): the special cycle on (r,2) is
+    /// supported iff the database mentions s or r.
+    fn chainable() -> (Schema, DependencyGraph, PredId, PredId, PredId) {
+        let mut sch = Schema::new();
+        let s = sch.add_predicate("s", 1).unwrap();
+        let r = sch.add_predicate("r", 2).unwrap();
+        let u = sch.add_predicate("u", 1).unwrap();
+        let t1 = Tgd::new(
+            vec![Atom::new(&sch, s, vec![v(0)]).unwrap()],
+            vec![Atom::new(&sch, r, vec![v(0), v(0)]).unwrap()],
+        )
+        .unwrap();
+        let t2 = Tgd::new(
+            vec![Atom::new(&sch, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&sch, r, vec![v(1), v(2)]).unwrap()],
+        )
+        .unwrap();
+        let g = DependencyGraph::build(&sch, &[t1, t2]);
+        (sch, g, s, r, u)
+    }
+
+    #[test]
+    fn supported_via_direct_membership() {
+        let (sch, g, _s, r, _u) = chainable();
+        let scc = find_special_sccs(&g);
+        let starts = scc.special_representatives();
+        assert!(!starts.is_empty());
+        assert!(supports(&g, &sch, &starts, |p| p == r));
+    }
+
+    #[test]
+    fn supported_via_upstream_predicate() {
+        let (sch, g, s, _r, _u) = chainable();
+        let scc = find_special_sccs(&g);
+        let starts = scc.special_representatives();
+        // Database contains only s-atoms: s feeds r, so the cycle is
+        // supported.
+        assert!(supports(&g, &sch, &starts, |p| p == s));
+    }
+
+    #[test]
+    fn unsupported_when_database_is_unrelated() {
+        let (sch, g, _s, _r, u) = chainable();
+        let scc = find_special_sccs(&g);
+        let starts = scc.special_representatives();
+        // Database contains only u-atoms: u has no path into the cycle.
+        assert!(!supports(&g, &sch, &starts, |p| p == u));
+        assert!(!supports(&g, &sch, &starts, |_| false));
+    }
+
+    #[test]
+    fn predicate_reachability() {
+        let (sch, g, s, r, u) = chainable();
+        assert!(predicate_reachable(&g, &sch, s, r));
+        assert!(predicate_reachable(&g, &sch, r, r));
+        assert!(predicate_reachable(&g, &sch, u, u)); // R = P base case
+        assert!(!predicate_reachable(&g, &sch, r, s));
+        assert!(!predicate_reachable(&g, &sch, u, r));
+    }
+
+    #[test]
+    fn reverse_closure_contains_starts_and_feeders() {
+        let (sch, g, s, _r, _u) = chainable();
+        let scc = find_special_sccs(&g);
+        let starts = scc.special_representatives();
+        let closure = reverse_closure(&g, &starts);
+        // The s-position feeds the cycle, so it belongs to the closure.
+        let s_pos = sch.position_index(soct_model::Position::new(s, 0)) as u32;
+        assert!(closure.contains(&s_pos));
+        for st in starts {
+            assert!(closure.contains(&st));
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Atoms and facts (§2 of the paper).
+
+use crate::error::ModelError;
+use crate::schema::{PredId, Position, Schema};
+use crate::term::{Term, VarId};
+use std::fmt;
+
+/// An atom `R(t₁, …, tₙ)`: a predicate applied to a tuple of terms.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Atom {
+    pub pred: PredId,
+    pub terms: Box<[Term]>,
+}
+
+impl Atom {
+    /// Builds an atom, checking the argument count against `schema`.
+    pub fn new(schema: &Schema, pred: PredId, terms: Vec<Term>) -> Result<Self, ModelError> {
+        let expected = schema.arity(pred);
+        if terms.len() != expected {
+            return Err(ModelError::WrongArgumentCount {
+                predicate: schema.name(pred).to_string(),
+                expected,
+                found: terms.len(),
+            });
+        }
+        Ok(Atom {
+            pred,
+            terms: terms.into_boxed_slice(),
+        })
+    }
+
+    /// Builds an atom without an arity check (for internal callers that
+    /// guarantee it). Debug builds still assert when a schema is on hand.
+    #[inline]
+    pub fn new_unchecked(pred: PredId, terms: Vec<Term>) -> Self {
+        Atom {
+            pred,
+            terms: terms.into_boxed_slice(),
+        }
+    }
+
+    /// The atom's arity.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if every argument is a constant (a *fact*, §2).
+    pub fn is_fact(&self) -> bool {
+        self.terms.iter().all(|t| t.is_const())
+    }
+
+    /// True if every argument is ground (constant or null) — i.e. the atom
+    /// may appear in an instance.
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(|t| t.is_ground())
+    }
+
+    /// `var(α)`: the distinct variables of the atom, in first-occurrence
+    /// order.
+    pub fn variables(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        for t in self.terms.iter() {
+            if let Term::Var(v) = *t {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// `pos(α, x)`: the positions of `α` at which variable `x` occurs.
+    pub fn positions_of_var(&self, x: VarId) -> impl Iterator<Item = Position> + '_ {
+        self.terms.iter().enumerate().filter_map(move |(i, t)| {
+            (*t == Term::Var(x)).then(|| Position::new(self.pred, i))
+        })
+    }
+
+    /// True if some variable occurs more than once (the atom is not
+    /// *simple*).
+    pub fn has_repeated_var(&self) -> bool {
+        for (i, t) in self.terms.iter().enumerate() {
+            if t.is_var() && self.terms[..i].contains(t) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Renders the atom against a schema (predicate names only; terms use
+    /// their `Display` form).
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> AtomDisplay<'a> {
+        AtomDisplay { atom: self, schema }
+    }
+}
+
+/// Helper for rendering atoms with predicate names.
+pub struct AtomDisplay<'a> {
+    atom: &'a Atom,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for AtomDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.schema.name(self.atom.pred))?;
+        for (i, t) in self.atom.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// `var(A)` for a set of atoms: distinct variables in first-occurrence order.
+pub fn variables_of(atoms: &[Atom]) -> Vec<VarId> {
+    let mut out = Vec::new();
+    for a in atoms {
+        for t in a.terms.iter() {
+            if let Term::Var(v) = *t {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{ConstId, NullId};
+
+    fn schema() -> (Schema, PredId) {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 3).unwrap();
+        (s, r)
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let (s, r) = schema();
+        assert!(Atom::new(&s, r, vec![Term::Var(VarId(0))]).is_err());
+        assert!(Atom::new(
+            &s,
+            r,
+            vec![Term::Var(VarId(0)), Term::Var(VarId(1)), Term::Var(VarId(2))]
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn fact_and_ground_classification() {
+        let (s, r) = schema();
+        let fact = Atom::new(
+            &s,
+            r,
+            vec![
+                Term::Const(ConstId(0)),
+                Term::Const(ConstId(1)),
+                Term::Const(ConstId(0)),
+            ],
+        )
+        .unwrap();
+        assert!(fact.is_fact() && fact.is_ground());
+        let with_null = Atom::new(
+            &s,
+            r,
+            vec![
+                Term::Const(ConstId(0)),
+                Term::Null(NullId(0)),
+                Term::Const(ConstId(0)),
+            ],
+        )
+        .unwrap();
+        assert!(!with_null.is_fact() && with_null.is_ground());
+        let open = Atom::new(
+            &s,
+            r,
+            vec![
+                Term::Var(VarId(0)),
+                Term::Null(NullId(0)),
+                Term::Const(ConstId(0)),
+            ],
+        )
+        .unwrap();
+        assert!(!open.is_ground());
+    }
+
+    #[test]
+    fn variable_positions() {
+        let (s, r) = schema();
+        let x = VarId(0);
+        let y = VarId(1);
+        let a = Atom::new(&s, r, vec![Term::Var(x), Term::Var(y), Term::Var(x)]).unwrap();
+        assert_eq!(a.variables(), vec![x, y]);
+        let pos: Vec<_> = a.positions_of_var(x).map(|p| p.index).collect();
+        assert_eq!(pos, vec![0, 2]);
+        assert!(a.has_repeated_var());
+        let b = Atom::new(&s, r, vec![Term::Var(x), Term::Var(y), Term::Var(VarId(2))]).unwrap();
+        assert!(!b.has_repeated_var());
+    }
+
+    #[test]
+    fn display_uses_predicate_names() {
+        let (s, r) = schema();
+        let a = Atom::new(
+            &s,
+            r,
+            vec![
+                Term::Const(ConstId(0)),
+                Term::Var(VarId(1)),
+                Term::Null(NullId(2)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.display(&s).to_string(), "r(c0,X1,_:n2)");
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for the model layer.
+
+use std::fmt;
+
+/// Errors raised when constructing schemas, atoms, or TGDs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A predicate was declared with arity 0; the paper assumes `ar(R) > 0`.
+    ZeroArity { predicate: String },
+    /// A predicate name was used with two different arities.
+    ArityMismatch {
+        predicate: String,
+        expected: usize,
+        found: usize,
+    },
+    /// Arity exceeds the supported maximum (u16).
+    ArityTooLarge { predicate: String, arity: usize },
+    /// An atom was built with the wrong number of arguments.
+    WrongArgumentCount {
+        predicate: String,
+        expected: usize,
+        found: usize,
+    },
+    /// A TGD contained a constant; TGDs are constant-free sentences (§2).
+    ConstantInTgd,
+    /// A TGD contained a null; nulls only appear in instances.
+    NullInTgd,
+    /// A fact (database atom) contained a variable.
+    VariableInFact,
+    /// A TGD body or head was empty; both must be non-empty conjunctions.
+    EmptyConjunction { part: &'static str },
+    /// A TGD reused an existential variable in its body.
+    ExistentialInBody { var: u32 },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ZeroArity { predicate } => {
+                write!(f, "predicate `{predicate}` declared with arity 0")
+            }
+            ModelError::ArityMismatch {
+                predicate,
+                expected,
+                found,
+            } => write!(
+                f,
+                "predicate `{predicate}` used with arity {found}, previously {expected}"
+            ),
+            ModelError::ArityTooLarge { predicate, arity } => {
+                write!(f, "predicate `{predicate}` arity {arity} exceeds maximum")
+            }
+            ModelError::WrongArgumentCount {
+                predicate,
+                expected,
+                found,
+            } => write!(
+                f,
+                "atom over `{predicate}` has {found} arguments, expected {expected}"
+            ),
+            ModelError::ConstantInTgd => write!(f, "TGDs must be constant-free"),
+            ModelError::NullInTgd => write!(f, "TGDs must not mention nulls"),
+            ModelError::VariableInFact => write!(f, "facts must not mention variables"),
+            ModelError::EmptyConjunction { part } => {
+                write!(f, "TGD {part} must be a non-empty conjunction")
+            }
+            ModelError::ExistentialInBody { var } => {
+                write!(f, "existential variable X{var} occurs in the body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

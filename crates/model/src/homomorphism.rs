@@ -1,0 +1,338 @@
+//! Substitutions and homomorphisms (§2).
+//!
+//! A homomorphism from a set of atoms A to a set of atoms B is a substitution
+//! over the terms of A that is the identity on constants and maps every atom
+//! of A into B. Homomorphisms drive trigger enumeration (§3) and the
+//! restricted chase's head-satisfaction check.
+
+use crate::atom::Atom;
+use crate::fxhash::FxHashMap;
+use crate::instance::Instance;
+use crate::term::{Term, VarId};
+
+/// A substitution: a partial map from variables to ground terms. Constants
+/// map to themselves implicitly (homomorphisms are the identity on C).
+#[derive(Default, Clone, Debug, PartialEq, Eq)]
+pub struct Substitution {
+    map: FxHashMap<VarId, Term>,
+}
+
+impl Substitution {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The image of variable `v`, if bound.
+    #[inline]
+    pub fn get(&self, v: VarId) -> Option<Term> {
+        self.map.get(&v).copied()
+    }
+
+    /// Binds `v ↦ t`; returns `false` (leaving the binding unchanged) if `v`
+    /// is already bound to a different term.
+    pub fn bind(&mut self, v: VarId, t: Term) -> bool {
+        debug_assert!(t.is_ground());
+        match self.map.get(&v) {
+            Some(&old) => old == t,
+            None => {
+                self.map.insert(v, t);
+                true
+            }
+        }
+    }
+
+    /// Removes the binding of `v` (backtracking support).
+    pub fn unbind(&mut self, v: VarId) {
+        self.map.remove(&v);
+    }
+
+    /// Applies the substitution to a term; unbound variables are returned
+    /// unchanged.
+    #[inline]
+    pub fn apply_term(&self, t: Term) -> Term {
+        match t {
+            Term::Var(v) => self.get(v).unwrap_or(t),
+            other => other,
+        }
+    }
+
+    /// Applies the substitution to an atom.
+    pub fn apply_atom(&self, a: &Atom) -> Atom {
+        Atom {
+            pred: a.pred,
+            terms: a.terms.iter().map(|&t| self.apply_term(t)).collect(),
+        }
+    }
+
+    /// The restriction `h|_S` of the substitution to the variables in `vars`
+    /// (assumed sorted); returns the images in the same order. Unbound
+    /// variables are an error in debug builds.
+    pub fn project(&self, vars: &[VarId]) -> Vec<Term> {
+        vars.iter()
+            .map(|&v| {
+                self.get(v)
+                    .expect("projection over unbound variable")
+            })
+            .collect()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over the bindings in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Term)> + '_ {
+        self.map.iter().map(|(&v, &t)| (v, t))
+    }
+}
+
+/// Tries to extend `sub` so that `pattern` maps onto the ground atom
+/// `target`. Returns the extension, or `None` if they clash. `sub` is left
+/// unchanged either way.
+pub fn match_atom(pattern: &Atom, target: &Atom, sub: &Substitution) -> Option<Substitution> {
+    if pattern.pred != target.pred || pattern.arity() != target.arity() {
+        return None;
+    }
+    let mut out = sub.clone();
+    for (p, t) in pattern.terms.iter().zip(target.terms.iter()) {
+        match *p {
+            Term::Var(v) => {
+                if !out.bind(v, *t) {
+                    return None;
+                }
+            }
+            ground => {
+                if ground != *t {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Enumerates every homomorphism from the conjunction `atoms` into
+/// `instance` that extends `initial`, invoking `visit` for each. If `visit`
+/// returns `false`, enumeration stops early (used for Boolean checks).
+///
+/// The matcher picks, at each step, a candidate list using the instance's
+/// position index when some argument is already ground under the current
+/// substitution; otherwise it scans the predicate's atoms. This is a simple
+/// but effective index-nested-loops join.
+pub fn for_each_homomorphism<F>(
+    atoms: &[Atom],
+    instance: &Instance,
+    initial: &Substitution,
+    visit: &mut F,
+) -> bool
+where
+    F: FnMut(&Substitution) -> bool,
+{
+    fn recurse<F>(
+        atoms: &[Atom],
+        depth: usize,
+        instance: &Instance,
+        sub: &Substitution,
+        visit: &mut F,
+    ) -> bool
+    where
+        F: FnMut(&Substitution) -> bool,
+    {
+        if depth == atoms.len() {
+            return visit(sub);
+        }
+        let pattern = &atoms[depth];
+        // Choose candidates: prefer a position whose pattern term is ground
+        // under `sub` so the index can narrow the scan.
+        let mut bound_pos: Option<(usize, Term)> = None;
+        for (i, t) in pattern.terms.iter().enumerate() {
+            let img = sub.apply_term(*t);
+            if img.is_ground() {
+                bound_pos = Some((i, img));
+                break;
+            }
+        }
+        let candidates: Vec<crate::instance::AtomIdx> = match bound_pos {
+            Some((i, t)) => instance.atoms_with(pattern.pred, i, t),
+            None => instance.atoms_of(pattern.pred).to_vec(),
+        };
+        for idx in candidates {
+            let target = instance.atom(idx);
+            if let Some(ext) = match_atom(pattern, target, sub) {
+                if !recurse(atoms, depth + 1, instance, &ext, visit) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+    recurse(atoms, 0, instance, initial, visit)
+}
+
+/// Collects all homomorphisms from `atoms` into `instance` extending
+/// `initial`.
+pub fn all_homomorphisms(
+    atoms: &[Atom],
+    instance: &Instance,
+    initial: &Substitution,
+) -> Vec<Substitution> {
+    let mut out = Vec::new();
+    for_each_homomorphism(atoms, instance, initial, &mut |s| {
+        out.push(s.clone());
+        true
+    });
+    out
+}
+
+/// True if some homomorphism from `atoms` into `instance` extends
+/// `initial` — the `I ⊨ σ` head check and the restricted chase's
+/// applicability test.
+pub fn exists_homomorphism(atoms: &[Atom], instance: &Instance, initial: &Substitution) -> bool {
+    !for_each_homomorphism(atoms, instance, initial, &mut |_| false)
+}
+
+/// `I ⊨ σ` (§2): for every homomorphism h from body(σ) to I there is an
+/// extension of `h|x̄` mapping head(σ) into I.
+pub fn satisfies_tgd(instance: &Instance, tgd: &crate::tgd::Tgd) -> bool {
+    for_each_homomorphism(tgd.body(), instance, &Substitution::new(), &mut |h| {
+        // Keep only the frontier bindings, then try to extend to the head.
+        let mut frontier_sub = Substitution::new();
+        for &v in tgd.frontier() {
+            if let Some(t) = h.get(v) {
+                frontier_sub.bind(v, t);
+            }
+        }
+        exists_homomorphism(tgd.head(), instance, &frontier_sub)
+    })
+}
+
+/// `I ⊨ Σ`: satisfaction of every TGD of the set.
+pub fn satisfies_all(instance: &Instance, tgds: &[crate::tgd::Tgd]) -> bool {
+    tgds.iter().all(|t| satisfies_tgd(instance, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{PredId, Schema};
+    use crate::term::{ConstId, NullId};
+    use crate::tgd::Tgd;
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    fn atom(s: &Schema, p: PredId, ts: &[Term]) -> Atom {
+        Atom::new(s, p, ts.to_vec()).unwrap()
+    }
+
+    fn setup() -> (Schema, PredId) {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        (s, r)
+    }
+
+    #[test]
+    fn match_atom_binds_consistently() {
+        let (s, r) = setup();
+        let pat = atom(&s, r, &[v(0), v(0)]);
+        let sub = Substitution::new();
+        assert!(match_atom(&pat, &atom(&s, r, &[c(1), c(1)]), &sub).is_some());
+        assert!(match_atom(&pat, &atom(&s, r, &[c(1), c(2)]), &sub).is_none());
+    }
+
+    #[test]
+    fn match_atom_respects_existing_bindings() {
+        let (s, r) = setup();
+        let pat = atom(&s, r, &[v(0), v(1)]);
+        let mut sub = Substitution::new();
+        sub.bind(VarId(0), c(7));
+        let got = match_atom(&pat, &atom(&s, r, &[c(7), c(8)]), &sub).unwrap();
+        assert_eq!(got.get(VarId(1)), Some(c(8)));
+        assert!(match_atom(&pat, &atom(&s, r, &[c(9), c(8)]), &sub).is_none());
+    }
+
+    #[test]
+    fn enumerates_joins() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let mut inst = Instance::with_index();
+        inst.insert(atom(&s, r, &[c(0), c(1)]));
+        inst.insert(atom(&s, r, &[c(1), c(2)]));
+        inst.insert(atom(&s, r, &[c(1), c(3)]));
+        // r(X,Y), r(Y,Z): paths of length 2.
+        let conj = vec![atom(&s, r, &[v(0), v(1)]), atom(&s, r, &[v(1), v(2)])];
+        let homs = all_homomorphisms(&conj, &inst, &Substitution::new());
+        assert_eq!(homs.len(), 2);
+        for h in &homs {
+            assert_eq!(h.get(VarId(0)), Some(c(0)));
+            assert_eq!(h.get(VarId(1)), Some(c(1)));
+        }
+    }
+
+    #[test]
+    fn exists_homomorphism_short_circuits() {
+        let (s, r) = setup();
+        let mut inst = Instance::new();
+        inst.insert(atom(&s, r, &[c(0), c(0)]));
+        assert!(exists_homomorphism(
+            &[atom(&s, r, &[v(0), v(0)])],
+            &inst,
+            &Substitution::new()
+        ));
+        assert!(!exists_homomorphism(
+            &[atom(&s, r, &[v(0), v(1)]), atom(&s, r, &[v(1), v(0)])],
+            &inst,
+            &Substitution::new()
+        ) == false);
+    }
+
+    #[test]
+    fn example_1_1_restricted_satisfaction() {
+        // D = {R(a,a)}, σ: R(x,y) → ∃z R(z,x). D ⊨ σ (h' maps z,x ↦ a).
+        let (s, r) = setup();
+        let mut inst = Instance::new();
+        inst.insert(atom(&s, r, &[c(0), c(0)]));
+        let tgd = Tgd::new(
+            vec![atom(&s, r, &[v(0), v(1)])],
+            vec![atom(&s, r, &[v(2), v(0)])],
+        )
+        .unwrap();
+        assert!(satisfies_tgd(&inst, &tgd));
+        // But D' = {R(a,b)} does not satisfy σ': R(x,y) → ∃z R(y,z).
+        let mut inst2 = Instance::new();
+        inst2.insert(atom(&s, r, &[c(0), c(1)]));
+        let tgd2 = Tgd::new(
+            vec![atom(&s, r, &[v(0), v(1)])],
+            vec![atom(&s, r, &[v(1), v(2)])],
+        )
+        .unwrap();
+        assert!(!satisfies_tgd(&inst2, &tgd2));
+        assert!(!satisfies_all(&inst2, &[tgd2]));
+    }
+
+    #[test]
+    fn nulls_participate_in_matching() {
+        let (s, r) = setup();
+        let mut inst = Instance::new();
+        inst.insert(atom(&s, r, &[c(0), Term::Null(NullId(0))]));
+        let homs = all_homomorphisms(
+            &[atom(&s, r, &[v(0), v(1)])],
+            &inst,
+            &Substitution::new(),
+        );
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].get(VarId(1)), Some(Term::Null(NullId(0))));
+    }
+}

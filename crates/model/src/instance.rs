@@ -1,0 +1,269 @@
+//! In-memory instances and databases (§2).
+//!
+//! An [`Instance`] is a set of ground atoms (constants and nulls) with:
+//! - O(1) duplicate detection (set semantics, required by the `chase_i`
+//!   fixpoint of §3),
+//! - per-predicate atom lists (the scan path for body matching), and
+//! - an optional `(predicate, position, term) → atoms` index used by the
+//!   conjunctive matcher for multi-atom bodies and restricted-chase head
+//!   checks.
+
+use crate::atom::Atom;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::schema::PredId;
+use crate::term::Term;
+
+/// Index of an atom within an [`Instance`] (insertion order).
+pub type AtomIdx = u32;
+
+/// A (possibly growing) set of ground atoms.
+#[derive(Default, Clone, Debug)]
+pub struct Instance {
+    atoms: Vec<Atom>,
+    seen: FxHashSet<Atom>,
+    by_pred: FxHashMap<PredId, Vec<AtomIdx>>,
+    /// `(pred, position, term) → atom indices`; maintained only when
+    /// `indexed` is true.
+    pos_index: FxHashMap<(PredId, u16, Term), Vec<AtomIdx>>,
+    indexed: bool,
+}
+
+impl Instance {
+    /// Creates an empty, unindexed instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty instance that maintains the position index.
+    pub fn with_index() -> Self {
+        Instance {
+            indexed: true,
+            ..Self::default()
+        }
+    }
+
+    /// Creates an instance from ground atoms (panics on non-ground input in
+    /// debug builds; use [`Instance::insert`] for checked insertion).
+    pub fn from_atoms<I: IntoIterator<Item = Atom>>(atoms: I) -> Self {
+        let mut inst = Instance::new();
+        for a in atoms {
+            inst.insert(a);
+        }
+        inst
+    }
+
+    /// Inserts `atom`; returns `true` if it was new. Ground-ness is the
+    /// caller's contract and asserted in debug builds.
+    pub fn insert(&mut self, atom: Atom) -> bool {
+        debug_assert!(atom.is_ground(), "instances contain only ground atoms");
+        if self.seen.contains(&atom) {
+            return false;
+        }
+        let idx = self.atoms.len() as AtomIdx;
+        self.by_pred.entry(atom.pred).or_default().push(idx);
+        if self.indexed {
+            for (i, t) in atom.terms.iter().enumerate() {
+                self.pos_index
+                    .entry((atom.pred, i as u16, *t))
+                    .or_default()
+                    .push(idx);
+            }
+        }
+        self.seen.insert(atom.clone());
+        self.atoms.push(atom);
+        true
+    }
+
+    /// True if the instance contains `atom`.
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.seen.contains(atom)
+    }
+
+    /// Number of atoms.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The atom at `idx` (insertion order).
+    #[inline]
+    pub fn atom(&self, idx: AtomIdx) -> &Atom {
+        &self.atoms[idx as usize]
+    }
+
+    /// All atoms in insertion order.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Indices of the atoms of predicate `p`.
+    pub fn atoms_of(&self, p: PredId) -> &[AtomIdx] {
+        self.by_pred.get(&p).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The distinct predicates with at least one atom — the "catalog query"
+    /// (§5.3 step 1) for instance-backed databases.
+    pub fn non_empty_predicates(&self) -> Vec<PredId> {
+        let mut preds: Vec<PredId> = self.by_pred.keys().copied().collect();
+        preds.sort_unstable();
+        preds
+    }
+
+    /// Atom indices of predicate `p` whose `position`-th argument is `t`.
+    /// Requires the position index. Falls back to a scan when unindexed.
+    pub fn atoms_with(&self, p: PredId, position: usize, t: Term) -> Vec<AtomIdx> {
+        if self.indexed {
+            self.pos_index
+                .get(&(p, position as u16, t))
+                .cloned()
+                .unwrap_or_default()
+        } else {
+            self.atoms_of(p)
+                .iter()
+                .copied()
+                .filter(|&i| self.atoms[i as usize].terms[position] == t)
+                .collect()
+        }
+    }
+
+    /// `dom(I)`: the distinct ground terms occurring in the instance.
+    pub fn active_domain(&self) -> FxHashSet<Term> {
+        let mut dom = FxHashSet::default();
+        for a in &self.atoms {
+            dom.extend(a.terms.iter().copied());
+        }
+        dom
+    }
+
+    /// Number of distinct constants (ignores nulls); the generator's
+    /// `dsize` measure.
+    pub fn num_constants(&self) -> usize {
+        self.active_domain()
+            .into_iter()
+            .filter(|t| t.is_const())
+            .count()
+    }
+
+    /// True if this instance is a database (facts only — no nulls).
+    pub fn is_database(&self) -> bool {
+        self.atoms.iter().all(Atom::is_fact)
+    }
+
+    /// Whether the index is enabled.
+    pub fn is_indexed(&self) -> bool {
+        self.indexed
+    }
+
+    /// Atoms inserted at or after index `from` (the Δ of a chase round).
+    pub fn atoms_since(&self, from: AtomIdx) -> &[Atom] {
+        &self.atoms[from as usize..]
+    }
+}
+
+/// A database is an instance of facts; we use a type alias plus the
+/// [`Instance::is_database`] runtime check rather than a separate type, so
+/// the chase can grow a database into an instance in place.
+pub type Database = Instance;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::term::{ConstId, NullId};
+
+    fn atom(s: &Schema, p: PredId, ts: &[Term]) -> Atom {
+        Atom::new(s, p, ts.to_vec()).unwrap()
+    }
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    fn n(i: u32) -> Term {
+        Term::Null(NullId(i))
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let mut inst = Instance::new();
+        assert!(inst.insert(atom(&s, r, &[c(0), c(1)])));
+        assert!(!inst.insert(atom(&s, r, &[c(0), c(1)])));
+        assert!(inst.insert(atom(&s, r, &[c(1), c(0)])));
+        assert_eq!(inst.len(), 2);
+        assert!(inst.contains(&atom(&s, r, &[c(0), c(1)])));
+    }
+
+    #[test]
+    fn per_predicate_listing() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 1).unwrap();
+        let mut inst = Instance::new();
+        inst.insert(atom(&s, r, &[c(0), c(1)]));
+        inst.insert(atom(&s, p, &[c(2)]));
+        inst.insert(atom(&s, r, &[c(2), c(2)]));
+        assert_eq!(inst.atoms_of(r).len(), 2);
+        assert_eq!(inst.atoms_of(p).len(), 1);
+        assert_eq!(inst.non_empty_predicates(), vec![r, p]);
+    }
+
+    #[test]
+    fn position_index_matches_scan() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let mut indexed = Instance::with_index();
+        let mut plain = Instance::new();
+        let atoms = [
+            atom(&s, r, &[c(0), c(1)]),
+            atom(&s, r, &[c(0), c(2)]),
+            atom(&s, r, &[c(1), c(2)]),
+            atom(&s, r, &[c(0), n(0)]),
+        ];
+        for a in &atoms {
+            indexed.insert(a.clone());
+            plain.insert(a.clone());
+        }
+        for pos in 0..2 {
+            for t in [c(0), c(1), c(2), n(0), n(9)] {
+                let mut a = indexed.atoms_with(r, pos, t);
+                let mut b = plain.atoms_with(r, pos, t);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "pos {pos} term {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn active_domain_and_database_check() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let mut inst = Instance::new();
+        inst.insert(atom(&s, r, &[c(0), c(1)]));
+        assert!(inst.is_database());
+        assert_eq!(inst.num_constants(), 2);
+        inst.insert(atom(&s, r, &[c(0), n(0)]));
+        assert!(!inst.is_database());
+        assert_eq!(inst.active_domain().len(), 3);
+        assert_eq!(inst.num_constants(), 2);
+    }
+
+    #[test]
+    fn atoms_since_returns_delta() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 1).unwrap();
+        let mut inst = Instance::new();
+        inst.insert(atom(&s, r, &[c(0)]));
+        let mark = inst.len() as AtomIdx;
+        inst.insert(atom(&s, r, &[c(1)]));
+        inst.insert(atom(&s, r, &[c(2)]));
+        assert_eq!(inst.atoms_since(mark).len(), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! # soct-model
+//!
+//! The relational and rule model underlying the `soct` workspace: terms,
+//! atoms, schemas, instances, homomorphisms, tuple-generating dependencies
+//! (TGDs), and the shape/simplification machinery of
+//! *Semi-Oblivious Chase Termination for Linear Existential Rules:
+//! An Experimental Study* (Calautti, Milani, Pieris; VLDB 2023).
+//!
+//! Everything downstream — the chase engines, the dependency-graph
+//! machinery, the termination checkers, the storage engine, the generators —
+//! builds on the types defined here. Strings are interned at the boundary;
+//! the algorithms operate on dense `u32` ids throughout.
+
+pub mod atom;
+pub mod error;
+pub mod fxhash;
+pub mod homomorphism;
+pub mod instance;
+pub mod schema;
+pub mod shape;
+pub mod simplify;
+pub mod symbol;
+pub mod term;
+pub mod tgd;
+
+pub use atom::Atom;
+pub use error::ModelError;
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use homomorphism::{satisfies_all, satisfies_tgd, Substitution};
+pub use instance::{AtomIdx, Database, Instance};
+pub use schema::{Position, PredId, Schema};
+pub use shape::{bell, Rgs, Shape};
+pub use simplify::{ShapeInterner, Specialization};
+pub use symbol::{Interner, SymbolId};
+pub use term::{ConstId, NullId, Term, VarId};
+pub use tgd::{Tgd, TgdClass};

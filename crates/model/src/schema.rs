@@ -1,0 +1,243 @@
+//! Schemas, predicates and predicate positions (§2 of the paper).
+//!
+//! A schema S is a finite set of predicates with associated arities;
+//! `pos(S)` is the set of pairs `(R, i)` identifying the i-th argument of R.
+
+use crate::error::ModelError;
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// Id of a predicate within a [`Schema`]. Dense, insertion-ordered.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PredId(pub u32);
+
+impl PredId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A predicate position `(R, i)` with `i` zero-based (the paper uses
+/// 1-based `[n]`; we index from 0 internally and print 1-based).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Position {
+    pub pred: PredId,
+    pub index: u16,
+}
+
+impl Position {
+    #[inline]
+    pub fn new(pred: PredId, index: usize) -> Self {
+        Position {
+            pred,
+            index: index as u16,
+        }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(p{}, {})", self.pred.0, self.index + 1)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct PredInfo {
+    name: Box<str>,
+    arity: u16,
+}
+
+/// A schema: named predicates with arities, plus the `pos(S)` numbering.
+///
+/// Positions are numbered densely in predicate order: predicate `R` with
+/// `offset(R) = o` owns position indices `o .. o + ar(R)`. This gives the
+/// dependency graph an array-backed node space with no hashing on the hot
+/// path (§5.1: "an index structure that maps predicate positions to their
+/// corresponding elements").
+#[derive(Default, Clone, Debug)]
+pub struct Schema {
+    preds: Vec<PredInfo>,
+    by_name: FxHashMap<Box<str>, PredId>,
+    /// Prefix sums of arities: `offsets[p] = Σ_{q<p} ar(q)`.
+    offsets: Vec<u32>,
+    total_positions: u32,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or finds) a predicate `name/arity`.
+    ///
+    /// Returns an error if `name` already exists with a different arity, or
+    /// if `arity` is zero (the paper assumes `n > 0`).
+    pub fn add_predicate(&mut self, name: &str, arity: usize) -> Result<PredId, ModelError> {
+        if arity == 0 {
+            return Err(ModelError::ZeroArity {
+                predicate: name.to_string(),
+            });
+        }
+        if arity > u16::MAX as usize {
+            return Err(ModelError::ArityTooLarge {
+                predicate: name.to_string(),
+                arity,
+            });
+        }
+        if let Some(&id) = self.by_name.get(name) {
+            let existing = self.preds[id.index()].arity as usize;
+            if existing != arity {
+                return Err(ModelError::ArityMismatch {
+                    predicate: name.to_string(),
+                    expected: existing,
+                    found: arity,
+                });
+            }
+            return Ok(id);
+        }
+        let id = PredId(self.preds.len() as u32);
+        let boxed: Box<str> = name.into();
+        self.by_name.insert(boxed.clone(), id);
+        self.offsets.push(self.total_positions);
+        self.total_positions += arity as u32;
+        self.preds.push(PredInfo {
+            name: boxed,
+            arity: arity as u16,
+        });
+        Ok(id)
+    }
+
+    /// Looks up a predicate by name.
+    pub fn pred_by_name(&self, name: &str) -> Option<PredId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a predicate.
+    pub fn name(&self, p: PredId) -> &str {
+        &self.preds[p.index()].name
+    }
+
+    /// The arity `ar(R)` of a predicate.
+    #[inline]
+    pub fn arity(&self, p: PredId) -> usize {
+        self.preds[p.index()].arity as usize
+    }
+
+    /// Number of predicates in the schema.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True if the schema has no predicates.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Total number of positions `|pos(S)|`.
+    #[inline]
+    pub fn num_positions(&self) -> usize {
+        self.total_positions as usize
+    }
+
+    /// Dense index of position `(p, i)` in `0..num_positions()`.
+    #[inline]
+    pub fn position_index(&self, pos: Position) -> usize {
+        debug_assert!((pos.index as usize) < self.arity(pos.pred));
+        self.offsets[pos.pred.index()] as usize + pos.index as usize
+    }
+
+    /// Inverse of [`Schema::position_index`].
+    pub fn position_at(&self, dense: usize) -> Position {
+        debug_assert!(dense < self.num_positions());
+        // Binary search the offset table for the owning predicate.
+        let dense = dense as u32;
+        let p = match self.offsets.binary_search(&dense) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        Position {
+            pred: PredId(p as u32),
+            index: (dense - self.offsets[p]) as u16,
+        }
+    }
+
+    /// Iterates over all predicates.
+    pub fn predicates(&self) -> impl Iterator<Item = PredId> + '_ {
+        (0..self.preds.len() as u32).map(PredId)
+    }
+
+    /// Iterates over `pos(S)` in dense order.
+    pub fn positions(&self) -> impl Iterator<Item = Position> + '_ {
+        self.predicates().flat_map(move |p| {
+            (0..self.arity(p)).map(move |i| Position::new(p, i))
+        })
+    }
+
+    /// Maximum arity over all predicates (0 for an empty schema).
+    pub fn max_arity(&self) -> usize {
+        self.preds.iter().map(|p| p.arity as usize).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let t = s.add_predicate("t", 3).unwrap();
+        assert_ne!(r, t);
+        assert_eq!(s.pred_by_name("r"), Some(r));
+        assert_eq!(s.arity(r), 2);
+        assert_eq!(s.arity(t), 3);
+        assert_eq!(s.name(t), "t");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.max_arity(), 3);
+    }
+
+    #[test]
+    fn re_adding_same_arity_is_idempotent() {
+        let mut s = Schema::new();
+        let r1 = s.add_predicate("r", 2).unwrap();
+        let r2 = s.add_predicate("r", 2).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn arity_conflicts_are_rejected() {
+        let mut s = Schema::new();
+        s.add_predicate("r", 2).unwrap();
+        assert!(matches!(
+            s.add_predicate("r", 3),
+            Err(ModelError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.add_predicate("z", 0),
+            Err(ModelError::ZeroArity { .. })
+        ));
+    }
+
+    #[test]
+    fn position_numbering_is_dense_and_invertible() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let t = s.add_predicate("t", 3).unwrap();
+        assert_eq!(s.num_positions(), 5);
+        let mut seen = vec![false; 5];
+        for pos in s.positions() {
+            let d = s.position_index(pos);
+            assert!(!seen[d]);
+            seen[d] = true;
+            assert_eq!(s.position_at(d), pos);
+        }
+        assert!(seen.iter().all(|&b| b));
+        assert_eq!(s.position_index(Position::new(r, 1)), 1);
+        assert_eq!(s.position_index(Position::new(t, 0)), 2);
+    }
+}

@@ -1,0 +1,375 @@
+//! Shapes of atoms and the partition lattice behind them (§3, Def. 3.5).
+//!
+//! For a tuple `t̄ = (t₁,…,tₙ)`, `id(t̄)` assigns each position the index of
+//! the first occurrence of its term within `unique(t̄)` — e.g.
+//! `id(x,y,x,z,y) = (1,2,1,3,2)`. Such tuples are exactly the *restricted
+//! growth strings* (RGS) over `[n]`, in bijection with the set partitions of
+//! the positions. The *shape* of an atom `R(t̄)` is the pair `(R, id(t̄))`,
+//! written `R_{id(t̄)}` in the paper.
+//!
+//! The partition lattice (ordered by refinement) is what the in-database
+//! `FindShapes` walks with Apriori pruning (§5.4): "more specific" shapes
+//! have more equalities, i.e. are *coarser* partitions.
+
+use crate::fxhash::FxHashMap;
+use crate::schema::PredId;
+use crate::term::Term;
+use std::fmt;
+
+/// A restricted growth string: `rgs[0] == 1` and
+/// `rgs[i] <= 1 + max(rgs[..i])`, values 1-based as in the paper.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Rgs(Box<[u8]>);
+
+impl Rgs {
+    /// `id(t̄)` for an arbitrary slice of comparable items.
+    pub fn of<T: PartialEq>(items: &[T]) -> Rgs {
+        let mut ids = Vec::with_capacity(items.len());
+        let mut next = 1u8;
+        for (i, it) in items.iter().enumerate() {
+            let mut found = None;
+            for j in 0..i {
+                if items[j] == *it {
+                    found = Some(ids[j]);
+                    break;
+                }
+            }
+            match found {
+                Some(id) => ids.push(id),
+                None => {
+                    ids.push(next);
+                    next += 1;
+                }
+            }
+        }
+        Rgs(ids.into_boxed_slice())
+    }
+
+    /// `id(t̄)` for a term tuple.
+    pub fn of_terms(terms: &[Term]) -> Rgs {
+        Rgs::of(terms)
+    }
+
+    /// The identity (finest) partition `(1,2,…,n)`: all positions distinct.
+    pub fn identity(n: usize) -> Rgs {
+        Rgs((1..=n as u8).collect())
+    }
+
+    /// Constructs from raw ids, re-canonicalising so the result is a valid
+    /// RGS (first occurrences in increasing order).
+    pub fn canonicalize(ids: &[u8]) -> Rgs {
+        Rgs::of(ids)
+    }
+
+    /// The raw 1-based ids.
+    #[inline]
+    pub fn ids(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Tuple length (the arity of the shaped atom).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty tuple.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of blocks = `|unique(t̄)|` = arity of the shape predicate.
+    #[inline]
+    pub fn block_count(&self) -> usize {
+        self.0.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// True if all positions are distinct (`id = (1,2,…,n)`).
+    pub fn is_identity(&self) -> bool {
+        self.0.iter().enumerate().all(|(i, &v)| v as usize == i + 1)
+    }
+
+    /// True if `self` is coarser than or equal to `other`: every pair of
+    /// positions equated by `other` is also equated by `self`. (Partition
+    /// order: `other` refines `self`.)
+    pub fn coarsens(&self, other: &Rgs) -> bool {
+        debug_assert_eq!(self.len(), other.len());
+        // For each block id of `other`, all its positions must share one
+        // block id in `self`.
+        let mut rep: [u8; 256] = [0; 256];
+        for (i, &ob) in other.0.iter().enumerate() {
+            let sb = self.0[i];
+            let slot = &mut rep[ob as usize];
+            if *slot == 0 {
+                *slot = sb;
+            } else if *slot != sb {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True if `self` refines (or equals) `other`.
+    pub fn refines(&self, other: &Rgs) -> bool {
+        other.coarsens(self)
+    }
+
+    /// All immediate coarsenings: merge one pair of blocks, canonicalised.
+    /// (The lattice step of the Apriori walk, §5.4.)
+    pub fn immediate_coarsenings(&self) -> Vec<Rgs> {
+        let k = self.block_count();
+        let mut out = Vec::new();
+        for b1 in 1..=k as u8 {
+            for b2 in (b1 + 1)..=k as u8 {
+                let merged: Vec<u8> = self
+                    .0
+                    .iter()
+                    .map(|&v| if v == b2 { b1 } else { v })
+                    .collect();
+                out.push(Rgs::canonicalize(&merged));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The first-occurrence position of each block, in block order — i.e.
+    /// the positions that survive in `unique(t̄)`.
+    pub fn block_representatives(&self) -> Vec<usize> {
+        let k = self.block_count();
+        let mut reps = vec![usize::MAX; k];
+        for (i, &b) in self.0.iter().enumerate() {
+            let slot = &mut reps[b as usize - 1];
+            if *slot == usize::MAX {
+                *slot = i;
+            }
+        }
+        reps
+    }
+
+    /// `unique(t̄)`: keeps the first occurrence of each block.
+    pub fn unique_of<'a, T>(&self, items: &'a [T]) -> Vec<&'a T> {
+        self.block_representatives()
+            .into_iter()
+            .map(|i| &items[i])
+            .collect()
+    }
+
+    /// Enumerates every RGS of length `n` (all `Bell(n)` set partitions).
+    ///
+    /// Exponential by design — this is what makes *static* simplification
+    /// blow up (§4.2); callers beyond the lattice roots should prefer the
+    /// Apriori walk. Panics for `n > 12` (Bell(12) ≈ 4.2M) to catch misuse.
+    pub fn all_of_len(n: usize) -> Vec<Rgs> {
+        assert!(n <= 12, "refusing to enumerate Bell({n}) partitions");
+        if n == 0 {
+            return vec![Rgs(Box::from([]))];
+        }
+        let mut out = Vec::with_capacity(bell(n) as usize);
+        let mut ids = vec![1u8; n];
+        loop {
+            out.push(Rgs(ids.clone().into_boxed_slice()));
+            // Advance to the next RGS in lexicographic order.
+            let mut i = n - 1;
+            loop {
+                let max_prefix = ids[..i].iter().copied().max().unwrap_or(0);
+                if i > 0 && ids[i] <= max_prefix {
+                    ids[i] += 1;
+                    for v in ids[i + 1..].iter_mut() {
+                        *v = 1;
+                    }
+                    break;
+                }
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rgs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The n-th Bell number (number of set partitions of `[n]`), computed via
+/// the Bell triangle. Saturates at `u128::MAX`.
+pub fn bell(n: usize) -> u128 {
+    let mut row = vec![1u128];
+    for _ in 0..n {
+        let mut next = Vec::with_capacity(row.len() + 1);
+        next.push(*row.last().unwrap());
+        for &x in &row {
+            let last = *next.last().unwrap();
+            next.push(last.saturating_add(x));
+        }
+        row = next;
+    }
+    row[0]
+}
+
+/// A shape `R_{id(t̄)}`: a predicate together with an RGS of its arity.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Shape {
+    pub pred: PredId,
+    pub rgs: Rgs,
+}
+
+impl Shape {
+    /// `shape(α)` of an atom.
+    pub fn of_atom(atom: &crate::atom::Atom) -> Shape {
+        Shape {
+            pred: atom.pred,
+            rgs: Rgs::of_terms(&atom.terms),
+        }
+    }
+
+    /// Arity of the shape predicate (`|unique(t̄)|`).
+    pub fn simple_arity(&self) -> usize {
+        self.rgs.block_count()
+    }
+}
+
+/// `shape(I)`: the distinct shapes of the atoms of an instance, with
+/// multiplicities discarded. Returned in sorted order for determinism.
+pub fn shapes_of_instance(instance: &crate::instance::Instance) -> Vec<Shape> {
+    let mut seen: FxHashMap<Shape, ()> = FxHashMap::default();
+    for a in instance.atoms() {
+        seen.entry(Shape::of_atom(a)).or_insert(());
+    }
+    let mut out: Vec<Shape> = seen.into_keys().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Number of shapes over a schema, `|shape(S)| = Σ_R Bell(ar(R))` — the
+/// worst-case iteration count of the shape fixpoint (§4.2).
+pub fn num_schema_shapes(schema: &crate::schema::Schema) -> u128 {
+    schema
+        .predicates()
+        .map(|p| bell(schema.arity(p)))
+        .fold(0u128, |a, b| a.saturating_add(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{ConstId, VarId};
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    #[test]
+    fn paper_example_id_tuple() {
+        // id(x,y,x,z,y) = (1,2,1,3,2)
+        let x = Term::Var(VarId(0));
+        let y = Term::Var(VarId(1));
+        let z = Term::Var(VarId(2));
+        let tuple = [x, y, x, z, y];
+        let rgs = Rgs::of_terms(&tuple);
+        assert_eq!(rgs.ids(), &[1, 2, 1, 3, 2]);
+        assert_eq!(rgs.block_count(), 3);
+        let uniq = rgs.unique_of(&tuple);
+        assert_eq!(uniq, vec![&x, &y, &z]);
+    }
+
+    #[test]
+    fn identity_partition() {
+        let r = Rgs::identity(4);
+        assert_eq!(r.ids(), &[1, 2, 3, 4]);
+        assert!(r.is_identity());
+        assert!(!Rgs::of(&[1, 1]).is_identity());
+    }
+
+    #[test]
+    fn coarsens_and_refines() {
+        let fine = Rgs::of(&[1, 2, 3]); // {1}{2}{3}
+        let mid = Rgs::of(&[1, 1, 2]); // {1,2}{3}
+        let coarse = Rgs::of(&[1, 1, 1]); // {1,2,3}
+        assert!(coarse.coarsens(&mid));
+        assert!(mid.coarsens(&fine));
+        assert!(coarse.coarsens(&fine));
+        assert!(!mid.coarsens(&coarse));
+        assert!(fine.refines(&coarse));
+        // Incomparable pair.
+        let a = Rgs::of(&[1, 1, 2]);
+        let b = Rgs::of(&[1, 2, 2]);
+        assert!(!a.coarsens(&b) && !b.coarsens(&a));
+        // Reflexive.
+        assert!(a.coarsens(&a) && a.refines(&a));
+    }
+
+    #[test]
+    fn immediate_coarsenings_merge_one_block_pair() {
+        let r = Rgs::identity(3);
+        let cs = r.immediate_coarsenings();
+        assert_eq!(cs.len(), 3); // {12}{3}, {13}{2}, {1}{23}
+        for c in &cs {
+            assert_eq!(c.block_count(), 2);
+            assert!(c.coarsens(&r));
+        }
+        let top = Rgs::of(&[1, 1, 1]);
+        assert!(top.immediate_coarsenings().is_empty());
+    }
+
+    #[test]
+    fn enumeration_counts_match_bell() {
+        assert_eq!(bell(0), 1);
+        assert_eq!(bell(1), 1);
+        assert_eq!(bell(2), 2);
+        assert_eq!(bell(3), 5);
+        assert_eq!(bell(4), 15);
+        assert_eq!(bell(5), 52);
+        assert_eq!(bell(10), 115975);
+        for n in 1..=6 {
+            let all = Rgs::all_of_len(n);
+            assert_eq!(all.len() as u128, bell(n), "n = {n}");
+            let set: std::collections::HashSet<_> = all.iter().collect();
+            assert_eq!(set.len(), all.len());
+        }
+    }
+
+    #[test]
+    fn canonicalize_normalises_labels() {
+        assert_eq!(Rgs::canonicalize(&[2, 1, 2]).ids(), &[1, 2, 1]);
+        assert_eq!(Rgs::canonicalize(&[3, 3, 1]).ids(), &[1, 1, 2]);
+    }
+
+    #[test]
+    fn shape_of_atom_and_instance() {
+        let mut s = crate::schema::Schema::new();
+        let r = s.add_predicate("r", 3).unwrap();
+        let a = crate::atom::Atom::new(&s, r, vec![c(5), c(5), c(7)]).unwrap();
+        let sh = Shape::of_atom(&a);
+        assert_eq!(sh.pred, r);
+        assert_eq!(sh.rgs.ids(), &[1, 1, 2]);
+        assert_eq!(sh.simple_arity(), 2);
+
+        let mut inst = crate::instance::Instance::new();
+        inst.insert(a);
+        inst.insert(crate::atom::Atom::new(&s, r, vec![c(1), c(1), c(2)]).unwrap());
+        inst.insert(crate::atom::Atom::new(&s, r, vec![c(1), c(2), c(3)]).unwrap());
+        let shapes = shapes_of_instance(&inst);
+        assert_eq!(shapes.len(), 2);
+    }
+
+    #[test]
+    fn schema_shape_count() {
+        let mut s = crate::schema::Schema::new();
+        s.add_predicate("r", 3).unwrap();
+        s.add_predicate("p", 2).unwrap();
+        assert_eq!(num_schema_shapes(&s), 5 + 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! String interning for constants and variable names.
+//!
+//! All algorithms in this workspace operate on dense `u32` ids; strings exist
+//! only at the parsing/printing boundary. The interner hands out ids in
+//! insertion order, so ids can double as indices into side tables.
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// An interned symbol (a constant name or a variable name).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SymbolId(pub u32);
+
+impl SymbolId {
+    /// The id as a usize, for indexing side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+/// A bidirectional string ↔ [`SymbolId`] table.
+#[derive(Default, Clone, Debug)]
+pub struct Interner {
+    names: Vec<Box<str>>,
+    ids: FxHashMap<Box<str>, SymbolId>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, name: &str) -> SymbolId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = SymbolId(
+            u32::try_from(self.names.len()).expect("interner overflow: more than 2^32 symbols"),
+        );
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.ids.insert(boxed, id);
+        id
+    }
+
+    /// Looks up an already-interned symbol without inserting.
+    pub fn get(&self, name: &str) -> Option<SymbolId> {
+        self.ids.get(name).copied()
+    }
+
+    /// Resolves an id back to its string. Panics on a foreign id.
+    pub fn resolve(&self, id: SymbolId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Resolves an id if it belongs to this interner.
+    pub fn try_resolve(&self, id: SymbolId) -> Option<&str> {
+        self.names.get(id.index()).map(|s| &**s)
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no symbol has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (SymbolId(i as u32), &**n))
+    }
+
+    /// Interns `count` fresh symbols `prefix0..prefix{count-1}` and returns
+    /// their ids. Used by the generators to mint constant pools quickly.
+    pub fn intern_numbered(&mut self, prefix: &str, count: usize) -> Vec<SymbolId> {
+        let mut out = Vec::with_capacity(count);
+        let mut buf = String::with_capacity(prefix.len() + 12);
+        for i in 0..count {
+            buf.clear();
+            buf.push_str(prefix);
+            buf.push_str(itoa(i).as_str());
+            out.push(self.intern(&buf));
+        }
+        out
+    }
+}
+
+/// Minimal integer-to-string helper avoiding `format!` allocations in loops.
+fn itoa(mut v: usize) -> String {
+    if v == 0 {
+        return "0".to_string();
+    }
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    while v > 0 {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+    }
+    std::str::from_utf8(&buf[i..]).unwrap().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = Interner::new();
+        let a = it.intern("alice");
+        let b = it.intern("bob");
+        assert_ne!(a, b);
+        assert_eq!(it.intern("alice"), a);
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut it = Interner::new();
+        let a = it.intern("x");
+        assert_eq!(it.resolve(a), "x");
+        assert_eq!(it.get("x"), Some(a));
+        assert_eq!(it.get("y"), None);
+        assert_eq!(it.try_resolve(SymbolId(99)), None);
+    }
+
+    #[test]
+    fn numbered_symbols_are_distinct() {
+        let mut it = Interner::new();
+        let ids = it.intern_numbered("c", 100);
+        assert_eq!(ids.len(), 100);
+        assert_eq!(it.resolve(ids[0]), "c0");
+        assert_eq!(it.resolve(ids[99]), "c99");
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), 100);
+    }
+
+    #[test]
+    fn iter_in_insertion_order() {
+        let mut it = Interner::new();
+        it.intern("p");
+        it.intern("q");
+        let names: Vec<&str> = it.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["p", "q"]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Terms: constants, labelled nulls, and variables (§2 of the paper).
+//!
+//! The three countably infinite sets C, N, V are modelled as disjoint `u32`
+//! id spaces. A [`Term`] is a tagged id and fits in 8 bytes; atoms therefore
+//! store their arguments in a compact `Box<[Term]>`.
+
+use crate::symbol::SymbolId;
+use std::fmt;
+
+/// Id of a constant (an element of C). Constants are interned strings; the
+/// id is the [`SymbolId`] of the name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ConstId(pub u32);
+
+/// Id of a labelled null (an element of N). Nulls are minted by the chase;
+/// see `soct-chase::null_gen` for the canonical naming scheme
+/// `⊥^x_{σ, h|fr(σ)}`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NullId(pub u32);
+
+/// Id of a variable (an element of V). Variable ids are scoped to a single
+/// TGD or query; distinct rules may reuse ids.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+impl ConstId {
+    /// The underlying symbol of this constant's name.
+    #[inline]
+    pub fn symbol(self) -> SymbolId {
+        SymbolId(self.0)
+    }
+
+    /// Constructs from an interned symbol.
+    #[inline]
+    pub fn from_symbol(s: SymbolId) -> Self {
+        ConstId(s.0)
+    }
+}
+
+impl VarId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NullId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A term: constant, null, or variable (§2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A constant from C.
+    Const(ConstId),
+    /// A labelled null from N.
+    Null(NullId),
+    /// A variable from V.
+    Var(VarId),
+}
+
+impl Term {
+    /// True for constants.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// True for nulls.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        matches!(self, Term::Null(_))
+    }
+
+    /// True for variables.
+    #[inline]
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// True for constants and nulls — the values allowed in instances
+    /// (`dom(I) ⊆ C ∪ N`).
+    #[inline]
+    pub fn is_ground(self) -> bool {
+        !self.is_var()
+    }
+
+    /// The variable id, if this is a variable.
+    #[inline]
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The constant id, if this is a constant.
+    #[inline]
+    pub fn as_const(self) -> Option<ConstId> {
+        match self {
+            Term::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// A dense, order-preserving 2-bit tag used by storage encodings.
+    #[inline]
+    pub fn tag(self) -> u8 {
+        match self {
+            Term::Const(_) => 0,
+            Term::Null(_) => 1,
+            Term::Var(_) => 2,
+        }
+    }
+
+    /// The raw id payload.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        match self {
+            Term::Const(ConstId(x)) | Term::Null(NullId(x)) | Term::Var(VarId(x)) => x,
+        }
+    }
+
+    /// Packs the term into a single `u64` (tag in the high bits). This is the
+    /// storage-engine encoding; see `soct-storage`.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        ((self.tag() as u64) << 32) | self.raw() as u64
+    }
+
+    /// Inverse of [`Term::pack`]. Returns `None` for an invalid tag.
+    #[inline]
+    pub fn unpack(v: u64) -> Option<Term> {
+        let raw = (v & 0xFFFF_FFFF) as u32;
+        match v >> 32 {
+            0 => Some(Term::Const(ConstId(raw))),
+            1 => Some(Term::Null(NullId(raw))),
+            2 => Some(Term::Var(VarId(raw))),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(c) => write!(f, "c{}", c.0),
+            Term::Null(n) => write!(f, "_:n{}", n.0),
+            Term::Var(v) => write!(f, "X{}", v.0),
+        }
+    }
+}
+
+impl From<ConstId> for Term {
+    fn from(c: ConstId) -> Self {
+        Term::Const(c)
+    }
+}
+
+impl From<NullId> for Term {
+    fn from(n: NullId) -> Self {
+        Term::Null(n)
+    }
+}
+
+impl From<VarId> for Term {
+    fn from(v: VarId) -> Self {
+        Term::Var(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(Term::Const(ConstId(0)).is_const());
+        assert!(Term::Null(NullId(0)).is_null());
+        assert!(Term::Var(VarId(0)).is_var());
+        assert!(Term::Const(ConstId(0)).is_ground());
+        assert!(Term::Null(NullId(0)).is_ground());
+        assert!(!Term::Var(VarId(0)).is_ground());
+    }
+
+    #[test]
+    fn same_raw_different_kind_are_distinct() {
+        let c = Term::Const(ConstId(5));
+        let n = Term::Null(NullId(5));
+        let v = Term::Var(VarId(5));
+        assert_ne!(c, n);
+        assert_ne!(n, v);
+        assert_ne!(c, v);
+    }
+
+    #[test]
+    fn pack_round_trips() {
+        for t in [
+            Term::Const(ConstId(0)),
+            Term::Const(ConstId(u32::MAX)),
+            Term::Null(NullId(17)),
+            Term::Var(VarId(1234)),
+        ] {
+            assert_eq!(Term::unpack(t.pack()), Some(t));
+        }
+        assert_eq!(Term::unpack(3 << 32), None);
+    }
+
+    #[test]
+    fn term_is_small() {
+        assert!(std::mem::size_of::<Term>() <= 8);
+    }
+}

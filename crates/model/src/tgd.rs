@@ -1,0 +1,326 @@
+//! Tuple-generating dependencies (§2): general, linear (L), and
+//! simple-linear (SL) TGDs.
+
+use crate::atom::{variables_of, Atom};
+use crate::error::ModelError;
+use crate::schema::Schema;
+use crate::term::VarId;
+use std::fmt;
+
+/// The syntactic class of a TGD or a set of TGDs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum TgdClass {
+    /// Single body atom with no repeated body variable (SL ⊊ L).
+    SimpleLinear,
+    /// Single body atom (L).
+    Linear,
+    /// Anything else (multiple body atoms).
+    General,
+}
+
+impl fmt::Display for TgdClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TgdClass::SimpleLinear => write!(f, "SL"),
+            TgdClass::Linear => write!(f, "L"),
+            TgdClass::General => write!(f, "TGD"),
+        }
+    }
+}
+
+/// A TGD `φ(x̄, ȳ) → ∃z̄ ψ(x̄, z̄)`.
+///
+/// Invariants (enforced by [`Tgd::new`]):
+/// - body and head are non-empty conjunctions of atoms;
+/// - all arguments are variables (TGDs are constant-free sentences);
+/// - the *frontier* `fr(σ)` is the set of variables occurring in both body
+///   and head; the *existential* variables are the head-only ones.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Tgd {
+    body: Vec<Atom>,
+    head: Vec<Atom>,
+    /// Frontier variables, sorted ascending.
+    frontier: Vec<VarId>,
+    /// Existentially quantified variables, sorted ascending.
+    existential: Vec<VarId>,
+}
+
+impl Tgd {
+    /// Builds and validates a TGD.
+    pub fn new(body: Vec<Atom>, head: Vec<Atom>) -> Result<Self, ModelError> {
+        if body.is_empty() {
+            return Err(ModelError::EmptyConjunction { part: "body" });
+        }
+        if head.is_empty() {
+            return Err(ModelError::EmptyConjunction { part: "head" });
+        }
+        for a in body.iter().chain(head.iter()) {
+            for t in a.terms.iter() {
+                match t {
+                    crate::term::Term::Const(_) => return Err(ModelError::ConstantInTgd),
+                    crate::term::Term::Null(_) => return Err(ModelError::NullInTgd),
+                    crate::term::Term::Var(_) => {}
+                }
+            }
+        }
+        let body_vars = variables_of(&body);
+        let head_vars = variables_of(&head);
+        let mut frontier: Vec<VarId> = head_vars
+            .iter()
+            .copied()
+            .filter(|v| body_vars.contains(v))
+            .collect();
+        frontier.sort_unstable();
+        let mut existential: Vec<VarId> = head_vars
+            .into_iter()
+            .filter(|v| !body_vars.contains(v))
+            .collect();
+        existential.sort_unstable();
+        Ok(Tgd {
+            body,
+            head,
+            frontier,
+            existential,
+        })
+    }
+
+    /// `body(σ)`.
+    #[inline]
+    pub fn body(&self) -> &[Atom] {
+        &self.body
+    }
+
+    /// `head(σ)`.
+    #[inline]
+    pub fn head(&self) -> &[Atom] {
+        &self.head
+    }
+
+    /// `fr(σ)`: the frontier variables, sorted ascending.
+    #[inline]
+    pub fn frontier(&self) -> &[VarId] {
+        &self.frontier
+    }
+
+    /// The existentially quantified variables, sorted ascending.
+    #[inline]
+    pub fn existential(&self) -> &[VarId] {
+        &self.existential
+    }
+
+    /// True if `fr(σ) = ∅`. Such TGDs fire at most once under the
+    /// semi-oblivious chase (the frontier witness is the empty tuple); the
+    /// checkers handle them natively instead of normalising (see DESIGN.md).
+    pub fn has_empty_frontier(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    /// True for linear TGDs (single body atom).
+    #[inline]
+    pub fn is_linear(&self) -> bool {
+        self.body.len() == 1
+    }
+
+    /// True for simple-linear TGDs (linear and no repeated body variable).
+    pub fn is_simple_linear(&self) -> bool {
+        self.is_linear() && !self.body[0].has_repeated_var()
+    }
+
+    /// The most specific class this TGD belongs to.
+    pub fn class(&self) -> TgdClass {
+        if self.is_simple_linear() {
+            TgdClass::SimpleLinear
+        } else if self.is_linear() {
+            TgdClass::Linear
+        } else {
+            TgdClass::General
+        }
+    }
+
+    /// All distinct body variables, in first-occurrence order.
+    pub fn body_variables(&self) -> Vec<VarId> {
+        variables_of(&self.body)
+    }
+
+    /// All distinct head variables, in first-occurrence order.
+    pub fn head_variables(&self) -> Vec<VarId> {
+        variables_of(&self.head)
+    }
+
+    /// Renders the TGD against a schema, e.g. `r(X0,X1) -> s(X1,X2)`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> TgdDisplay<'a> {
+        TgdDisplay { tgd: self, schema }
+    }
+}
+
+/// Helper for rendering TGDs with predicate names.
+pub struct TgdDisplay<'a> {
+    tgd: &'a Tgd,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for TgdDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.tgd.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", a.display(self.schema))?;
+        }
+        write!(f, " -> ")?;
+        for (i, a) in self.tgd.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", a.display(self.schema))?;
+        }
+        Ok(())
+    }
+}
+
+/// The most specific class containing every TGD of `tgds`
+/// (SL if all are SL, else L if all are linear, else General).
+pub fn classify(tgds: &[Tgd]) -> TgdClass {
+    let mut class = TgdClass::SimpleLinear;
+    for t in tgds {
+        class = class.max(t.class());
+    }
+    class
+}
+
+/// `sch(Σ)`: the distinct predicates occurring in `tgds`, in first-occurrence
+/// order.
+pub fn predicates_of(tgds: &[Tgd]) -> Vec<crate::schema::PredId> {
+    let mut seen = crate::fxhash::FxHashSet::default();
+    let mut out = Vec::new();
+    for t in tgds {
+        for a in t.body().iter().chain(t.head().iter()) {
+            if seen.insert(a.pred) {
+                out.push(a.pred);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    fn setup() -> (Schema, crate::schema::PredId, crate::schema::PredId) {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 2).unwrap();
+        (s, r, p)
+    }
+
+    #[test]
+    fn frontier_and_existential_are_computed() {
+        let (s, r, p) = setup();
+        // r(X0, X1) -> ∃X2 p(X1, X2)
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(1), v(2)]).unwrap()],
+        )
+        .unwrap();
+        assert_eq!(tgd.frontier(), &[VarId(1)]);
+        assert_eq!(tgd.existential(), &[VarId(2)]);
+        assert!(!tgd.has_empty_frontier());
+        assert!(tgd.is_linear());
+        assert!(tgd.is_simple_linear());
+        assert_eq!(tgd.class(), TgdClass::SimpleLinear);
+    }
+
+    #[test]
+    fn repeated_body_variable_is_linear_not_simple() {
+        let (s, r, p) = setup();
+        // r(X0, X0) -> ∃X2 p(X2, X0)   (Example 3.4 of the paper)
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(0)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(2), v(0)]).unwrap()],
+        )
+        .unwrap();
+        assert!(tgd.is_linear());
+        assert!(!tgd.is_simple_linear());
+        assert_eq!(tgd.class(), TgdClass::Linear);
+    }
+
+    #[test]
+    fn multi_body_is_general() {
+        let (s, r, p) = setup();
+        let tgd = Tgd::new(
+            vec![
+                Atom::new(&s, r, vec![v(0), v(1)]).unwrap(),
+                Atom::new(&s, p, vec![v(1), v(2)]).unwrap(),
+            ],
+            vec![Atom::new(&s, r, vec![v(0), v(2)]).unwrap()],
+        )
+        .unwrap();
+        assert_eq!(tgd.class(), TgdClass::General);
+        assert_eq!(classify(std::slice::from_ref(&tgd)), TgdClass::General);
+    }
+
+    #[test]
+    fn empty_frontier_detected() {
+        let (s, r, p) = setup();
+        // r(X0, X1) -> ∃X2,X3 p(X2, X3)
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(2), v(3)]).unwrap()],
+        )
+        .unwrap();
+        assert!(tgd.has_empty_frontier());
+        assert_eq!(tgd.existential(), &[VarId(2), VarId(3)]);
+    }
+
+    #[test]
+    fn constants_and_empty_parts_rejected() {
+        let (s, r, _) = setup();
+        let with_const = Atom::new(
+            &s,
+            r,
+            vec![Term::Const(crate::term::ConstId(0)), v(1)],
+        )
+        .unwrap();
+        assert!(matches!(
+            Tgd::new(vec![with_const.clone()], vec![with_const]),
+            Err(ModelError::ConstantInTgd)
+        ));
+        let a = Atom::new(&s, r, vec![v(0), v(1)]).unwrap();
+        assert!(Tgd::new(vec![], vec![a.clone()]).is_err());
+        assert!(Tgd::new(vec![a], vec![]).is_err());
+    }
+
+    #[test]
+    fn classify_takes_the_max() {
+        let (s, r, p) = setup();
+        let sl = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(0), v(1)]).unwrap()],
+        )
+        .unwrap();
+        let l = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(0)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(0), v(0)]).unwrap()],
+        )
+        .unwrap();
+        assert_eq!(classify(&[sl.clone()]), TgdClass::SimpleLinear);
+        assert_eq!(classify(&[sl, l]), TgdClass::Linear);
+    }
+
+    #[test]
+    fn display_renders_rule() {
+        let (s, r, p) = setup();
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(1), v(2)]).unwrap()],
+        )
+        .unwrap();
+        assert_eq!(tgd.display(&s).to_string(), "r(X0,X1) -> p(X1,X2)");
+    }
+}

@@ -1,0 +1,51 @@
+//! Parse errors with source positions.
+
+use soct_model::ModelError;
+use std::fmt;
+
+/// A parse (or validation) error, with 1-based line/column when it comes
+/// from the text itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: u32,
+    pub column: u32,
+    pub kind: ParseErrorKind,
+}
+
+/// What went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// An unexpected byte in the input.
+    UnexpectedChar(char),
+    /// A token other than the expected one.
+    Expected { expected: &'static str, found: String },
+    /// Unterminated quoted constant.
+    UnterminatedQuote,
+    /// A rule used a variable in a fact or vice versa.
+    Model(ModelError),
+    /// Input ended mid-statement.
+    UnexpectedEof,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: u32, column: u32, kind: ParseErrorKind) -> Self {
+        ParseError { line, column, kind }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: ", self.line, self.column)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character `{c}`"),
+            ParseErrorKind::Expected { expected, found } => {
+                write!(f, "expected {expected}, found `{found}`")
+            }
+            ParseErrorKind::UnterminatedQuote => write!(f, "unterminated quoted constant"),
+            ParseErrorKind::Model(e) => write!(f, "{e}"),
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,392 @@
+//! Recursive-descent parser for programs of TGDs and facts.
+//!
+//! Grammar (statements end with `.`):
+//!
+//! ```text
+//! program   := statement*
+//! statement := rule | fact
+//! rule      := conj "->" conj "."          (body -> head)
+//!            | conj ":-" conj "."          (head :- body)
+//! conj      := atom ("," atom)*
+//! atom      := ident "(" term ("," term)* ")"
+//! fact      := atom "."                    (all arguments constant)
+//! term      := variable | constant
+//! ```
+//!
+//! Identifiers starting with an uppercase letter, `_`, or `?` are variables;
+//! everything else (including quoted strings and numbers) is a constant.
+//! Head-only variables are existentially quantified (implicit `∃`, as in the
+//! DLGP format used by existential-rule tools).
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::lexer::{is_variable_name, Lexer, Token};
+use soct_model::{
+    Atom, ConstId, Database, FxHashMap, Interner, Schema, Term, Tgd, VarId,
+};
+
+/// A parsed program: rules plus a database of facts, over a shared schema
+/// and constant interner.
+#[derive(Debug, Default)]
+pub struct Program {
+    pub schema: Schema,
+    pub consts: Interner,
+    pub tgds: Vec<Tgd>,
+    pub database: Database,
+}
+
+impl Program {
+    /// Parses a complete program from text.
+    pub fn parse(text: &str) -> Result<Program, ParseError> {
+        let mut p = Program::default();
+        parse_into(text, &mut p.schema, &mut p.consts, &mut p.tgds, &mut p.database)?;
+        Ok(p)
+    }
+}
+
+/// Parses `text`, accumulating into existing schema/interner/rule/fact
+/// collections (so several files can share one vocabulary).
+pub fn parse_into(
+    text: &str,
+    schema: &mut Schema,
+    consts: &mut Interner,
+    tgds: &mut Vec<Tgd>,
+    database: &mut Database,
+) -> Result<(), ParseError> {
+    let mut parser = Parser {
+        lexer: Lexer::new(text),
+        lookahead: None,
+        schema,
+        consts,
+    };
+    loop {
+        if parser.peek()? == Token::Eof {
+            return Ok(());
+        }
+        parser.statement(tgds, database)?;
+    }
+}
+
+/// Parses a set of TGDs only; facts are rejected.
+pub fn parse_tgds(
+    text: &str,
+    schema: &mut Schema,
+    consts: &mut Interner,
+) -> Result<Vec<Tgd>, ParseError> {
+    let mut tgds = Vec::new();
+    let mut db = Database::new();
+    parse_into(text, schema, consts, &mut tgds, &mut db)?;
+    if !db.is_empty() {
+        return Err(ParseError::new(
+            0,
+            0,
+            ParseErrorKind::Expected {
+                expected: "rules only",
+                found: "a fact".to_string(),
+            },
+        ));
+    }
+    Ok(tgds)
+}
+
+/// Parses a database of facts only; rules are rejected.
+pub fn parse_facts(
+    text: &str,
+    schema: &mut Schema,
+    consts: &mut Interner,
+) -> Result<Database, ParseError> {
+    let mut tgds = Vec::new();
+    let mut db = Database::new();
+    parse_into(text, schema, consts, &mut tgds, &mut db)?;
+    if !tgds.is_empty() {
+        return Err(ParseError::new(
+            0,
+            0,
+            ParseErrorKind::Expected {
+                expected: "facts only",
+                found: "a rule".to_string(),
+            },
+        ));
+    }
+    Ok(db)
+}
+
+struct Parser<'a, 'v> {
+    lexer: Lexer<'a>,
+    lookahead: Option<Token<'a>>,
+    schema: &'v mut Schema,
+    consts: &'v mut Interner,
+}
+
+/// A pre-validation atom: terms may still be raw variable names.
+struct RawAtom {
+    pred: soct_model::PredId,
+    terms: Vec<RawTerm>,
+}
+
+enum RawTerm {
+    Var(u32),
+    Const(ConstId),
+}
+
+impl<'a> Parser<'a, '_> {
+    fn peek(&mut self) -> Result<Token<'a>, ParseError> {
+        if self.lookahead.is_none() {
+            self.lookahead = Some(self.lexer.next_token()?);
+        }
+        Ok(self.lookahead.unwrap())
+    }
+
+    fn advance(&mut self) -> Result<Token<'a>, ParseError> {
+        match self.lookahead.take() {
+            Some(t) => Ok(t),
+            None => self.lexer.next_token(),
+        }
+    }
+
+    fn error(&self, expected: &'static str, found: Token<'_>) -> ParseError {
+        ParseError::new(
+            self.lexer.line(),
+            self.lexer.column(),
+            ParseErrorKind::Expected {
+                expected,
+                found: found.describe(),
+            },
+        )
+    }
+
+    fn expect(&mut self, want: Token<'static>, what: &'static str) -> Result<(), ParseError> {
+        let got = self.advance()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(self.error(what, got))
+        }
+    }
+
+    fn model_err(&self, e: soct_model::ModelError) -> ParseError {
+        ParseError::new(self.lexer.line(), self.lexer.column(), ParseErrorKind::Model(e))
+    }
+
+    /// Parses one statement (rule or fact) into the output collections.
+    fn statement(&mut self, tgds: &mut Vec<Tgd>, db: &mut Database) -> Result<(), ParseError> {
+        // Variables are scoped per statement: name → dense id.
+        let mut vars: FxHashMap<&'a str, u32> = FxHashMap::default();
+        let first = self.conjunction(&mut vars)?;
+        match self.advance()? {
+            Token::Period => {
+                // A conjunction of facts.
+                for atom in first {
+                    db.insert(self.ground(atom)?);
+                }
+                Ok(())
+            }
+            Token::Arrow => {
+                let head = self.conjunction(&mut vars)?;
+                self.expect(Token::Period, "`.`")?;
+                tgds.push(self.rule(first, head)?);
+                Ok(())
+            }
+            Token::ColonDash => {
+                let body = self.conjunction(&mut vars)?;
+                self.expect(Token::Period, "`.`")?;
+                tgds.push(self.rule(body, first)?);
+                Ok(())
+            }
+            other => Err(self.error("`.`, `->` or `:-`", other)),
+        }
+    }
+
+    fn rule(&self, body: Vec<RawAtom>, head: Vec<RawAtom>) -> Result<Tgd, ParseError> {
+        let lift = |atoms: Vec<RawAtom>| -> Vec<Atom> {
+            atoms
+                .into_iter()
+                .map(|a| {
+                    Atom::new_unchecked(
+                        a.pred,
+                        a.terms
+                            .into_iter()
+                            .map(|t| match t {
+                                RawTerm::Var(v) => Term::Var(VarId(v)),
+                                RawTerm::Const(c) => Term::Const(c),
+                            })
+                            .collect(),
+                    )
+                })
+                .collect()
+        };
+        Tgd::new(lift(body), lift(head)).map_err(|e| self.model_err(e))
+    }
+
+    fn ground(&self, atom: RawAtom) -> Result<Atom, ParseError> {
+        let mut terms = Vec::with_capacity(atom.terms.len());
+        for t in atom.terms {
+            match t {
+                RawTerm::Const(c) => terms.push(Term::Const(c)),
+                RawTerm::Var(_) => {
+                    return Err(self.model_err(soct_model::ModelError::VariableInFact))
+                }
+            }
+        }
+        Ok(Atom::new_unchecked(atom.pred, terms))
+    }
+
+    fn conjunction(
+        &mut self,
+        vars: &mut FxHashMap<&'a str, u32>,
+    ) -> Result<Vec<RawAtom>, ParseError> {
+        let mut atoms = vec![self.atom(vars)?];
+        while self.peek()? == Token::Comma {
+            self.advance()?;
+            atoms.push(self.atom(vars)?);
+        }
+        Ok(atoms)
+    }
+
+    fn atom(&mut self, vars: &mut FxHashMap<&'a str, u32>) -> Result<RawAtom, ParseError> {
+        let name = match self.advance()? {
+            Token::Ident(s) => s,
+            other => return Err(self.error("a predicate name", other)),
+        };
+        self.expect(Token::LParen, "`(`")?;
+        let mut terms = Vec::new();
+        loop {
+            let t = self.advance()?;
+            let term = match t {
+                Token::Ident(s) if is_variable_name(s) => {
+                    let next = vars.len() as u32;
+                    RawTerm::Var(*vars.entry(s).or_insert(next))
+                }
+                Token::Ident(s) => RawTerm::Const(ConstId::from_symbol(self.consts.intern(s))),
+                Token::Quoted(s) => RawTerm::Const(ConstId::from_symbol(self.consts.intern(s))),
+                other => return Err(self.error("a term", other)),
+            };
+            terms.push(term);
+            match self.advance()? {
+                Token::Comma => continue,
+                Token::RParen => break,
+                other => return Err(self.error("`,` or `)`", other)),
+            }
+        }
+        let pred = self
+            .schema
+            .add_predicate(name, terms.len())
+            .map_err(|e| self.model_err(e))?;
+        Ok(RawAtom { pred, terms })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soct_model::TgdClass;
+
+    #[test]
+    fn parses_rules_and_facts() {
+        let p = Program::parse(
+            "% the running example of §3\n\
+             r(a, b).\n\
+             r(X, Y) -> r(Y, Z).\n",
+        )
+        .unwrap();
+        assert_eq!(p.tgds.len(), 1);
+        assert_eq!(p.database.len(), 1);
+        let tgd = &p.tgds[0];
+        assert!(tgd.is_simple_linear());
+        assert_eq!(tgd.frontier().len(), 1);
+        assert_eq!(tgd.existential().len(), 1);
+    }
+
+    #[test]
+    fn datalog_orientation_swaps_body_and_head() {
+        // The two spellings are alpha-equivalent; the writer renumbers
+        // variables in body-first order, so the rendered forms coincide.
+        let a = Program::parse("s(Y, Z) :- r(X, Y).").unwrap();
+        let b = Program::parse("r(X, Y) -> s(Y, Z).").unwrap();
+        let ra = crate::writer::write_tgds(&a.tgds, &a.schema, &a.consts);
+        let rb = crate::writer::write_tgds(&b.tgds, &b.schema, &b.consts);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn variables_scoped_per_rule() {
+        let p = Program::parse("r(X) -> s(X).\nr(X) -> t(X).").unwrap();
+        assert_eq!(p.tgds[0].frontier(), p.tgds[1].frontier());
+    }
+
+    #[test]
+    fn multi_atom_conjunctions() {
+        let p = Program::parse("r(X, Y), s(Y) -> t(X), u(X, Y).").unwrap();
+        let tgd = &p.tgds[0];
+        assert_eq!(tgd.body().len(), 2);
+        assert_eq!(tgd.head().len(), 2);
+        assert_eq!(tgd.class(), TgdClass::General);
+    }
+
+    #[test]
+    fn fact_conjunction_inserts_all() {
+        let p = Program::parse("r(a, b), r(b, c).").unwrap();
+        assert_eq!(p.database.len(), 2);
+    }
+
+    #[test]
+    fn repeated_body_variable_is_linear() {
+        let p = Program::parse("r(X, X) -> r(Z, X).").unwrap();
+        assert_eq!(p.tgds[0].class(), TgdClass::Linear);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let err = Program::parse("r(a, b).\nr(a).").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Model(_)), "{err}");
+    }
+
+    #[test]
+    fn variables_in_facts_are_rejected() {
+        let err = Program::parse("r(X, b).").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::Model(soct_model::ModelError::VariableInFact)
+        ));
+    }
+
+    #[test]
+    fn parse_tgds_rejects_facts_and_vice_versa() {
+        let mut s = Schema::new();
+        let mut c = Interner::new();
+        assert!(parse_tgds("r(a).", &mut s, &mut c).is_err());
+        let mut s2 = Schema::new();
+        let mut c2 = Interner::new();
+        assert!(parse_facts("r(X) -> s(X).", &mut s2, &mut c2).is_err());
+        let mut s3 = Schema::new();
+        let mut c3 = Interner::new();
+        assert_eq!(parse_facts("r(a). r(b).", &mut s3, &mut c3).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn quoted_and_numeric_constants() {
+        let p = Program::parse("r('hello world', 42).").unwrap();
+        assert_eq!(p.database.len(), 1);
+        assert_eq!(p.consts.len(), 2);
+        assert!(p.consts.get("hello world").is_some());
+        assert!(p.consts.get("42").is_some());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = Program::parse("r(a)\ns(b).").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn shared_vocabulary_across_calls() {
+        let mut schema = Schema::new();
+        let mut consts = Interner::new();
+        let tgds = parse_tgds("r(X, Y) -> s(Y).", &mut schema, &mut consts).unwrap();
+        let db = parse_facts("r(a, b).", &mut schema, &mut consts).unwrap();
+        assert_eq!(tgds.len(), 1);
+        assert_eq!(db.len(), 1);
+        assert_eq!(schema.len(), 2);
+        // The fact and the rule body share the predicate id.
+        assert_eq!(db.atoms()[0].pred, tgds[0].body()[0].pred);
+    }
+}

@@ -1,0 +1,310 @@
+//! The storage engine and its catalog, plus the [`TupleSource`] abstraction
+//! the termination algorithms consume.
+//!
+//! The paper stores every database in PostgreSQL and touches it through
+//! exactly three operations (§5.3, §5.4):
+//! 1. the *catalog query* — list the non-empty relations without reading
+//!    data;
+//! 2. *shape EXISTS queries* — Boolean scans with equality/disequality
+//!    column conditions;
+//! 3. *full scans* — the in-memory `FindShapes` loads each relation.
+//!
+//! [`TupleSource`] captures those three operations; the engine, the
+//! first-k-rows views of §8.1 ([`crate::view::LimitView`]), and plain
+//! in-memory instances ([`InstanceSource`]) all implement it, so the
+//! checkers in `soct-core` are storage-agnostic — mirroring the paper's
+//! remark that the FindShapes backend can be swapped freely (§10).
+
+use crate::query::{self, ColumnCondition};
+use crate::shape_catalog::ShapeCatalog;
+use crate::table::Table;
+use soct_model::{Instance, PredId, Term};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Row-level access used by the termination checkers and generators.
+pub trait TupleSource {
+    /// The catalog query: predicates with at least one tuple, sorted.
+    fn non_empty_predicates(&self) -> Vec<PredId>;
+    /// Arity of a stored relation.
+    fn arity_of(&self, pred: PredId) -> usize;
+    /// Number of tuples visible for `pred`.
+    fn row_count(&self, pred: PredId) -> u64;
+    /// Scans the visible tuples of `pred` (packed terms); early exit on
+    /// `false`. Returns `false` if the callback stopped the scan.
+    fn scan(&self, pred: PredId, f: &mut dyn FnMut(&[u64]) -> bool) -> bool;
+    /// `EXISTS(SELECT * FROM pred WHERE conds)` over the visible tuples.
+    fn exists_where(&self, pred: PredId, conds: &[ColumnCondition]) -> bool;
+    /// Total tuples across relations.
+    fn total_rows(&self) -> u64 {
+        self.non_empty_predicates()
+            .into_iter()
+            .map(|p| self.row_count(p))
+            .sum()
+    }
+}
+
+/// An embedded, append-only relational store.
+#[derive(Debug, Default)]
+pub struct StorageEngine {
+    tables: Vec<Option<Table>>,
+    /// EXISTS queries answered (the `abl-apriori` ablation metric).
+    exists_queries: AtomicU64,
+    /// Optional incrementally-maintained shape catalog (§10 future work);
+    /// enabled with [`StorageEngine::enable_shape_tracking`].
+    shape_catalog: Option<ShapeCatalog>,
+}
+
+impl StorageEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates (or re-opens) the table for `pred`.
+    pub fn create_table(&mut self, pred: PredId, name: &str, arity: usize) {
+        let idx = pred.index();
+        if idx >= self.tables.len() {
+            self.tables.resize_with(idx + 1, || None);
+        }
+        if self.tables[idx].is_none() {
+            self.tables[idx] = Some(Table::new(name, arity));
+        }
+    }
+
+    /// The table of `pred`, if created.
+    pub fn table(&self, pred: PredId) -> Option<&Table> {
+        self.tables.get(pred.index()).and_then(Option::as_ref)
+    }
+
+    fn table_mut(&mut self, pred: PredId) -> &mut Table {
+        self.tables
+            .get_mut(pred.index())
+            .and_then(Option::as_mut)
+            .expect("table not created")
+    }
+
+    /// Inserts one tuple of terms. The table must exist.
+    pub fn insert(&mut self, pred: PredId, terms: &[Term]) {
+        if self.shape_catalog.is_some() {
+            let mut row = [0u64; 64];
+            for (i, t) in terms.iter().enumerate() {
+                row[i] = t.pack();
+            }
+            self.insert_packed(pred, &row[..terms.len()]);
+        } else {
+            self.table_mut(pred).insert_terms(terms);
+        }
+    }
+
+    /// Inserts one pre-packed tuple. The table must exist.
+    pub fn insert_packed(&mut self, pred: PredId, row: &[u64]) {
+        self.table_mut(pred).insert_packed(row);
+        if let Some(cat) = self.shape_catalog.as_mut() {
+            cat.on_insert(pred, row);
+        }
+    }
+
+    /// Turns on the materialised shape catalog (§10 future work). Existing
+    /// rows are scanned once; every later insert maintains the catalog
+    /// incrementally, making `FindShapesMode::Materialized` a constant-time
+    /// read.
+    pub fn enable_shape_tracking(&mut self) {
+        if self.shape_catalog.is_none() {
+            self.shape_catalog = Some(ShapeCatalog::build(self));
+        }
+    }
+
+    /// The materialised shape catalog, if tracking is enabled.
+    pub fn shape_catalog(&self) -> Option<&ShapeCatalog> {
+        self.shape_catalog.as_ref()
+    }
+
+    /// Bulk-loads an instance (tables are created on the fly, named after
+    /// the schema).
+    pub fn load_instance(&mut self, schema: &soct_model::Schema, instance: &Instance) {
+        for a in instance.atoms() {
+            self.create_table(a.pred, schema.name(a.pred), a.arity());
+            self.insert(a.pred, &a.terms);
+        }
+    }
+
+    /// Number of EXISTS queries served so far.
+    pub fn exists_query_count(&self) -> u64 {
+        self.exists_queries.load(Ordering::Relaxed)
+    }
+
+    /// All created tables with their predicates.
+    pub fn tables(&self) -> impl Iterator<Item = (PredId, &Table)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_ref().map(|t| (PredId(i as u32), t)))
+    }
+
+    pub(crate) fn tables_mut_for_load(&mut self) -> &mut Vec<Option<Table>> {
+        &mut self.tables
+    }
+}
+
+impl TupleSource for StorageEngine {
+    fn non_empty_predicates(&self) -> Vec<PredId> {
+        // Catalog metadata only: no data pages are touched (§5.3 step 1).
+        self.tables()
+            .filter(|(_, t)| !t.is_empty())
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    fn arity_of(&self, pred: PredId) -> usize {
+        self.table(pred).map(Table::arity).unwrap_or(0)
+    }
+
+    fn row_count(&self, pred: PredId) -> u64 {
+        self.table(pred).map(Table::row_count).unwrap_or(0)
+    }
+
+    fn scan(&self, pred: PredId, f: &mut dyn FnMut(&[u64]) -> bool) -> bool {
+        match self.table(pred) {
+            Some(t) => t.for_each_row(f),
+            None => true,
+        }
+    }
+
+    fn exists_where(&self, pred: PredId, conds: &[ColumnCondition]) -> bool {
+        self.exists_queries.fetch_add(1, Ordering::Relaxed);
+        self.table(pred)
+            .is_some_and(|t| query::exists(t, conds, u64::MAX))
+    }
+}
+
+/// [`TupleSource`] over a plain in-memory [`Instance`] — the storage-free
+/// path used by unit tests and small examples.
+pub struct InstanceSource<'a> {
+    instance: &'a Instance,
+    schema: &'a soct_model::Schema,
+}
+
+impl<'a> InstanceSource<'a> {
+    pub fn new(schema: &'a soct_model::Schema, instance: &'a Instance) -> Self {
+        InstanceSource { instance, schema }
+    }
+}
+
+impl TupleSource for InstanceSource<'_> {
+    fn non_empty_predicates(&self) -> Vec<PredId> {
+        self.instance.non_empty_predicates()
+    }
+
+    fn arity_of(&self, pred: PredId) -> usize {
+        self.schema.arity(pred)
+    }
+
+    fn row_count(&self, pred: PredId) -> u64 {
+        self.instance.atoms_of(pred).len() as u64
+    }
+
+    fn scan(&self, pred: PredId, f: &mut dyn FnMut(&[u64]) -> bool) -> bool {
+        let mut row = [0u64; 64];
+        for &idx in self.instance.atoms_of(pred) {
+            let atom = self.instance.atom(idx);
+            for (i, t) in atom.terms.iter().enumerate() {
+                row[i] = t.pack();
+            }
+            if !f(&row[..atom.arity()]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn exists_where(&self, pred: PredId, conds: &[ColumnCondition]) -> bool {
+        let mut found = false;
+        self.scan(pred, &mut |row| {
+            if query::eval_all(conds, row) {
+                found = true;
+                false
+            } else {
+                true
+            }
+        });
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soct_model::{Atom, ConstId, Schema};
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    #[test]
+    fn create_insert_scan() {
+        let mut e = StorageEngine::new();
+        let p = PredId(0);
+        e.create_table(p, "r", 2);
+        e.insert(p, &[c(1), c(2)]);
+        e.insert(p, &[c(3), c(3)]);
+        assert_eq!(e.row_count(p), 2);
+        let mut rows = Vec::new();
+        e.scan(p, &mut |row| {
+            rows.push(row.to_vec());
+            true
+        });
+        assert_eq!(rows.len(), 2);
+        assert_eq!(Term::unpack(rows[0][0]), Some(c(1)));
+    }
+
+    #[test]
+    fn catalog_lists_only_non_empty() {
+        let mut e = StorageEngine::new();
+        e.create_table(PredId(0), "r", 2);
+        e.create_table(PredId(3), "s", 1);
+        e.insert(PredId(3), &[c(0)]);
+        assert_eq!(e.non_empty_predicates(), vec![PredId(3)]);
+    }
+
+    #[test]
+    fn exists_queries_are_counted() {
+        let mut e = StorageEngine::new();
+        e.create_table(PredId(0), "r", 2);
+        e.insert(PredId(0), &[c(1), c(1)]);
+        assert!(e.exists_where(PredId(0), &[ColumnCondition::Eq(0, 1)]));
+        assert!(!e.exists_where(PredId(0), &[ColumnCondition::Ne(0, 1)]));
+        assert_eq!(e.exists_query_count(), 2);
+    }
+
+    #[test]
+    fn load_instance_round_trips() {
+        let mut schema = Schema::new();
+        let r = schema.add_predicate("r", 2).unwrap();
+        let mut inst = Instance::new();
+        inst.insert(Atom::new(&schema, r, vec![c(0), c(1)]).unwrap());
+        inst.insert(Atom::new(&schema, r, vec![c(1), c(1)]).unwrap());
+        let mut e = StorageEngine::new();
+        e.load_instance(&schema, &inst);
+        assert_eq!(e.row_count(r), 2);
+        assert_eq!(e.total_rows(), 2);
+        assert_eq!(e.table(r).unwrap().name(), "r");
+    }
+
+    #[test]
+    fn instance_source_agrees_with_engine() {
+        let mut schema = Schema::new();
+        let r = schema.add_predicate("r", 3).unwrap();
+        let mut inst = Instance::new();
+        inst.insert(Atom::new(&schema, r, vec![c(0), c(0), c(1)]).unwrap());
+        let mut e = StorageEngine::new();
+        e.load_instance(&schema, &inst);
+        let src = InstanceSource::new(&schema, &inst);
+        let conds = [ColumnCondition::Eq(0, 1), ColumnCondition::Ne(0, 2)];
+        assert_eq!(
+            src.exists_where(r, &conds),
+            TupleSource::exists_where(&e, r, &conds)
+        );
+        assert_eq!(src.row_count(r), e.row_count(r));
+        assert_eq!(src.non_empty_predicates(), e.non_empty_predicates());
+    }
+}

@@ -1,0 +1,185 @@
+//! Fixed-size pages of fixed-width rows.
+//!
+//! The storage engine plays the role PostgreSQL plays in the paper (§6, §9):
+//! it holds the generated databases and answers the three queries the
+//! termination algorithms need (catalog listing, shape EXISTS queries, full
+//! scans). Rows are tuples of packed terms ([`soct_model::Term::pack`]), so
+//! a row is `arity × 8` bytes; pages are 8 KiB buffers allocated with
+//! [`bytes::BytesMut`], giving scans good locality without pointer chasing.
+
+use bytes::{BufMut, BytesMut};
+
+/// Page capacity in bytes.
+pub const PAGE_SIZE: usize = 8192;
+
+/// One page: a byte buffer holding complete rows of a single table.
+#[derive(Debug, Clone)]
+pub struct Page {
+    buf: BytesMut,
+    rows: u32,
+    row_width: usize,
+}
+
+impl Page {
+    /// Creates an empty page for rows of `arity` columns.
+    pub fn new(arity: usize) -> Self {
+        let row_width = arity * 8;
+        assert!(row_width > 0 && row_width <= PAGE_SIZE, "arity out of range");
+        Page {
+            buf: BytesMut::with_capacity(PAGE_SIZE - PAGE_SIZE % row_width),
+            rows: 0,
+            row_width,
+        }
+    }
+
+    /// Rows a page of this row width can hold.
+    #[inline]
+    pub fn capacity_rows(&self) -> usize {
+        PAGE_SIZE / self.row_width
+    }
+
+    /// Rows currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows as usize
+    }
+
+    /// True when no row fits anymore.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity_rows()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Appends a row of packed terms. Panics if full or width mismatch.
+    pub fn push_row(&mut self, row: &[u64]) {
+        assert!(!self.is_full(), "page overflow");
+        assert_eq!(row.len() * 8, self.row_width, "row width mismatch");
+        for &v in row {
+            self.buf.put_u64_le(v);
+        }
+        self.rows += 1;
+    }
+
+    /// Decodes row `i` into `out` (length = arity).
+    #[inline]
+    pub fn read_row(&self, i: usize, out: &mut [u64]) {
+        debug_assert!(i < self.len());
+        debug_assert_eq!(out.len() * 8, self.row_width);
+        let base = i * self.row_width;
+        let bytes = &self.buf[base..base + self.row_width];
+        for (j, chunk) in bytes.chunks_exact(8).enumerate() {
+            out[j] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+    }
+
+    /// Visits every row with a reusable decode buffer; stops early when the
+    /// callback returns `false`. Returns `false` on early exit.
+    pub fn for_each_row(&self, scratch: &mut [u64], f: &mut dyn FnMut(&[u64]) -> bool) -> bool {
+        for i in 0..self.len() {
+            self.read_row(i, scratch);
+            if !f(scratch) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Raw page bytes (for persistence).
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Rebuilds a page from raw bytes (for persistence).
+    pub fn from_bytes(arity: usize, data: &[u8]) -> Self {
+        let row_width = arity * 8;
+        assert_eq!(data.len() % row_width, 0, "corrupt page");
+        let mut buf = BytesMut::with_capacity(data.len());
+        buf.extend_from_slice(data);
+        Page {
+            rows: (data.len() / row_width) as u32,
+            buf,
+            row_width,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_round_trip() {
+        let mut p = Page::new(3);
+        p.push_row(&[1, 2, 3]);
+        p.push_row(&[4, 5, 6]);
+        let mut out = [0u64; 3];
+        p.read_row(0, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+        p.read_row(1, &mut out);
+        assert_eq!(out, [4, 5, 6]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn capacity_math() {
+        let p = Page::new(1);
+        assert_eq!(p.capacity_rows(), PAGE_SIZE / 8);
+        let p5 = Page::new(5);
+        assert_eq!(p5.capacity_rows(), PAGE_SIZE / 40);
+    }
+
+    #[test]
+    fn fills_up_exactly() {
+        let mut p = Page::new(4);
+        let cap = p.capacity_rows();
+        for i in 0..cap {
+            p.push_row(&[i as u64; 4]);
+        }
+        assert!(p.is_full());
+        let mut out = [0u64; 4];
+        p.read_row(cap - 1, &mut out);
+        assert_eq!(out[0], (cap - 1) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "page overflow")]
+    fn overflow_panics() {
+        let mut p = Page::new(1024); // 8192-byte rows: exactly one per page
+        p.push_row(&vec![0u64; 1024]);
+        p.push_row(&vec![0u64; 1024]);
+    }
+
+    #[test]
+    fn early_exit_scan() {
+        let mut p = Page::new(1);
+        for i in 0..10 {
+            p.push_row(&[i]);
+        }
+        let mut seen = 0;
+        let mut scratch = [0u64; 1];
+        let complete = p.for_each_row(&mut scratch, &mut |row| {
+            seen += 1;
+            row[0] < 4
+        });
+        assert!(!complete);
+        // Rows 0..=3 return true; row 4 returns false and stops the scan.
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut p = Page::new(2);
+        p.push_row(&[7, 8]);
+        p.push_row(&[9, 10]);
+        let q = Page::from_bytes(2, p.bytes());
+        assert_eq!(q.len(), 2);
+        let mut out = [0u64; 2];
+        q.read_row(1, &mut out);
+        assert_eq!(out, [9, 10]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Binary persistence for storage engines.
+//!
+//! Format (little endian):
+//! ```text
+//! magic "SOCTDB1\0"
+//! u32 table_count
+//! per table:
+//!   u32 pred_id,  u16 name_len, name bytes (UTF-8),  u16 arity,
+//!   u32 page_count,  per page: u32 byte_len, raw page bytes
+//! ```
+//! Databases in the experiments are generated once and re-read by many runs
+//! (the paper's `D★` is built once, §8.1); persistence makes that cheap.
+
+use crate::engine::StorageEngine;
+use crate::page::Page;
+use crate::table::Table;
+use bytes::{Buf, BufMut, BytesMut};
+use soct_model::PredId;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"SOCTDB1\0";
+
+/// Serialises the engine to bytes.
+pub fn to_bytes(engine: &StorageEngine) -> Vec<u8> {
+    let tables: Vec<(PredId, &Table)> = engine.tables().collect();
+    let mut out = BytesMut::new();
+    out.put_slice(MAGIC);
+    out.put_u32_le(tables.len() as u32);
+    for (pred, table) in tables {
+        out.put_u32_le(pred.0);
+        let name = table.name().as_bytes();
+        out.put_u16_le(name.len() as u16);
+        out.put_slice(name);
+        out.put_u16_le(table.arity() as u16);
+        out.put_u32_le(table.pages().len() as u32);
+        for page in table.pages() {
+            out.put_u32_le(page.bytes().len() as u32);
+            out.put_slice(page.bytes());
+        }
+    }
+    out.to_vec()
+}
+
+/// Deserialises an engine from bytes.
+pub fn from_bytes(mut data: &[u8]) -> io::Result<StorageEngine> {
+    let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    if data.len() < 12 || &data[..8] != MAGIC {
+        return Err(err("bad magic"));
+    }
+    data.advance(8);
+    let table_count = data.get_u32_le() as usize;
+    let mut engine = StorageEngine::new();
+    for _ in 0..table_count {
+        if data.remaining() < 4 {
+            return Err(err("truncated table header"));
+        }
+        let pred = PredId(data.get_u32_le());
+        let name_len = data.get_u16_le() as usize;
+        if data.remaining() < name_len {
+            return Err(err("truncated name"));
+        }
+        let name = std::str::from_utf8(&data[..name_len])
+            .map_err(|_| err("name not UTF-8"))?
+            .to_string();
+        data.advance(name_len);
+        let arity = data.get_u16_le() as usize;
+        if arity == 0 {
+            return Err(err("zero arity"));
+        }
+        let page_count = data.get_u32_le() as usize;
+        let mut pages = Vec::with_capacity(page_count);
+        for _ in 0..page_count {
+            if data.remaining() < 4 {
+                return Err(err("truncated page header"));
+            }
+            let len = data.get_u32_le() as usize;
+            if data.remaining() < len || len % (arity * 8) != 0 {
+                return Err(err("corrupt page"));
+            }
+            pages.push(Page::from_bytes(arity, &data[..len]));
+            data.advance(len);
+        }
+        let table = Table::from_pages(name, arity, pages);
+        let slot = pred.index();
+        let tables = engine.tables_mut_for_load();
+        if slot >= tables.len() {
+            tables.resize_with(slot + 1, || None);
+        }
+        tables[slot] = Some(table);
+    }
+    Ok(engine)
+}
+
+/// Writes the engine to a file.
+pub fn save(engine: &StorageEngine, path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, to_bytes(engine))
+}
+
+/// Reads an engine from a file.
+pub fn load(path: impl AsRef<Path>) -> io::Result<StorageEngine> {
+    from_bytes(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::TupleSource;
+    use soct_model::{ConstId, Term};
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    fn sample() -> StorageEngine {
+        let mut e = StorageEngine::new();
+        e.create_table(PredId(0), "r", 2);
+        e.create_table(PredId(2), "s", 3);
+        for i in 0..2000 {
+            e.insert(PredId(0), &[c(i), c(i + 1)]);
+        }
+        e.insert(PredId(2), &[c(1), c(1), c(2)]);
+        e
+    }
+
+    #[test]
+    fn round_trip_preserves_rows() {
+        let e = sample();
+        let bytes = to_bytes(&e);
+        let e2 = from_bytes(&bytes).unwrap();
+        assert_eq!(e2.row_count(PredId(0)), 2000);
+        assert_eq!(e2.row_count(PredId(2)), 1);
+        assert_eq!(e2.table(PredId(0)).unwrap().name(), "r");
+        assert_eq!(e2.arity_of(PredId(2)), 3);
+        // Spot-check data content.
+        let mut last = Vec::new();
+        e2.scan(PredId(0), &mut |row| {
+            last = row.to_vec();
+            true
+        });
+        assert_eq!(Term::unpack(last[1]), Some(c(2000)));
+    }
+
+    #[test]
+    fn corrupt_data_is_rejected() {
+        assert!(from_bytes(b"garbage").is_err());
+        let mut bytes = to_bytes(&sample());
+        bytes[3] = b'X';
+        assert!(from_bytes(&bytes).is_err());
+        // Truncation.
+        let good = to_bytes(&sample());
+        assert!(from_bytes(&good[..good.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("soct_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.soct");
+        let e = sample();
+        save(&e, &path).unwrap();
+        let e2 = load(&path).unwrap();
+        assert_eq!(e2.total_rows(), e.total_rows());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,180 @@
+//! Materialised, incrementally-maintained shape catalogs — the §10 future
+//! work of the paper, implemented:
+//!
+//! > "An interesting direction is to materialize and incrementally keep
+//! > updated the shapes in a database, which will improve the performance
+//! > of the db-dependent component."
+//!
+//! The catalog keeps, per relation, the multiset of tuple shapes. Updating
+//! it costs O(arity²) per insert (one RGS computation), after which
+//! `FindShapes` becomes a constant-time catalog read — the db-dependent
+//! component of `IsChaseFinite[L]` collapses to nothing. Counts (not just
+//! membership) are kept so deletions can be supported by decrementing.
+
+use crate::engine::TupleSource;
+use soct_model::fxhash::FxHashMap;
+use soct_model::{PredId, Rgs, Shape};
+
+/// A multiset of shapes per relation.
+#[derive(Default, Debug, Clone)]
+pub struct ShapeCatalog {
+    per_pred: FxHashMap<PredId, FxHashMap<Rgs, u64>>,
+    tuples_seen: u64,
+}
+
+impl ShapeCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a catalog from an existing source by one full scan (the
+    /// offline computation §9.3 suggests when both online strategies are
+    /// too slow).
+    pub fn build(src: &dyn TupleSource) -> Self {
+        let mut cat = ShapeCatalog::new();
+        for pred in src.non_empty_predicates() {
+            src.scan(pred, &mut |row| {
+                cat.on_insert(pred, row);
+                true
+            });
+        }
+        cat
+    }
+
+    /// Registers one inserted tuple.
+    #[inline]
+    pub fn on_insert(&mut self, pred: PredId, row: &[u64]) {
+        let rgs = Rgs::of(row);
+        *self.per_pred.entry(pred).or_default().entry(rgs).or_insert(0) += 1;
+        self.tuples_seen += 1;
+    }
+
+    /// Registers one deleted tuple; returns `false` if the shape was not
+    /// present (catalog desync — callers should rebuild).
+    pub fn on_delete(&mut self, pred: PredId, row: &[u64]) -> bool {
+        let rgs = Rgs::of(row);
+        let Some(shapes) = self.per_pred.get_mut(&pred) else {
+            return false;
+        };
+        let Some(count) = shapes.get_mut(&rgs) else {
+            return false;
+        };
+        *count -= 1;
+        if *count == 0 {
+            shapes.remove(&rgs);
+            if shapes.is_empty() {
+                self.per_pred.remove(&pred);
+            }
+        }
+        self.tuples_seen -= 1;
+        true
+    }
+
+    /// The distinct shapes, sorted — same contract as `FindShapes`.
+    pub fn shapes(&self) -> Vec<Shape> {
+        let mut out: Vec<Shape> = self
+            .per_pred
+            .iter()
+            .flat_map(|(&pred, shapes)| {
+                shapes.keys().map(move |rgs| Shape {
+                    pred,
+                    rgs: rgs.clone(),
+                })
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Shapes of one relation, sorted.
+    pub fn shapes_of(&self, pred: PredId) -> Vec<Rgs> {
+        let mut out: Vec<Rgs> = self
+            .per_pred
+            .get(&pred)
+            .map(|m| m.keys().cloned().collect())
+            .unwrap_or_default();
+        out.sort_unstable();
+        out
+    }
+
+    /// Multiplicity of a shape.
+    pub fn count(&self, pred: PredId, rgs: &Rgs) -> u64 {
+        self.per_pred
+            .get(&pred)
+            .and_then(|m| m.get(rgs))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Number of distinct shapes across relations.
+    pub fn num_shapes(&self) -> usize {
+        self.per_pred.values().map(FxHashMap::len).sum()
+    }
+
+    /// Tuples accounted for.
+    pub fn tuples_seen(&self) -> u64 {
+        self.tuples_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StorageEngine;
+    use soct_model::{ConstId, Term};
+
+    fn c(i: u32) -> u64 {
+        Term::Const(ConstId(i)).pack()
+    }
+
+    #[test]
+    fn incremental_matches_bulk_build() {
+        let mut engine = StorageEngine::new();
+        let p = PredId(0);
+        engine.create_table(p, "r", 3);
+        let rows: Vec<[u64; 3]> = vec![
+            [c(1), c(1), c(2)],
+            [c(3), c(4), c(5)],
+            [c(6), c(6), c(6)],
+            [c(7), c(7), c(8)],
+        ];
+        let mut incremental = ShapeCatalog::new();
+        for row in &rows {
+            engine.insert_packed(p, row);
+            incremental.on_insert(p, row);
+        }
+        let bulk = ShapeCatalog::build(&engine);
+        assert_eq!(incremental.shapes(), bulk.shapes());
+        assert_eq!(incremental.num_shapes(), 3);
+        assert_eq!(incremental.count(p, &Rgs::canonicalize(&[1, 1, 2])), 2);
+    }
+
+    #[test]
+    fn deletion_decrements_and_removes() {
+        let p = PredId(0);
+        let mut cat = ShapeCatalog::new();
+        cat.on_insert(p, &[c(1), c(1)]);
+        cat.on_insert(p, &[c(2), c(2)]);
+        assert_eq!(cat.num_shapes(), 1);
+        assert!(cat.on_delete(p, &[c(1), c(1)]));
+        assert_eq!(cat.num_shapes(), 1, "one witness left");
+        assert!(cat.on_delete(p, &[c(2), c(2)]));
+        assert_eq!(cat.num_shapes(), 0);
+        assert!(!cat.on_delete(p, &[c(3), c(3)]), "desync detected");
+        assert_eq!(cat.tuples_seen(), 0);
+    }
+
+    #[test]
+    fn matches_findshapes_contract() {
+        // Sorted output with the same Shape ordering as shape_query.
+        let mut engine = StorageEngine::new();
+        let p = PredId(2);
+        engine.create_table(p, "s", 2);
+        engine.insert_packed(p, &[c(1), c(2)]);
+        engine.insert_packed(p, &[c(3), c(3)]);
+        let cat = ShapeCatalog::build(&engine);
+        let (via_queries, _) = crate::shape_query::find_shapes_apriori(&engine, p);
+        assert_eq!(cat.shapes_of(p), via_queries);
+    }
+}

@@ -1,0 +1,228 @@
+//! Shape discovery by queries, with Apriori pruning (§5.4).
+//!
+//! Each shape of arity n is a set partition of the columns; its exact query
+//! carries equalities (each position to its block representative) and
+//! disequalities (between block representatives). The in-database
+//! `FindShapes` issues, per shape, a *relaxed* query (equalities only)
+//! followed by the exact query, and — Apriori-style — skips every more
+//! specific shape (= coarser partition) once a relaxed query fails:
+//! if no tuple satisfies `a1=a2`, none satisfies `a1=a2=a3` either.
+
+use crate::engine::TupleSource;
+use crate::query::ColumnCondition;
+use soct_model::{PredId, Rgs};
+use std::collections::VecDeque;
+
+/// The exact conditions of a shape: equalities binding every position to
+/// its block representative, disequalities separating representatives.
+pub fn shape_conditions(rgs: &Rgs) -> Vec<ColumnCondition> {
+    let mut conds = shape_eq_conditions(rgs);
+    let reps = rgs.block_representatives();
+    for i in 0..reps.len() {
+        for j in (i + 1)..reps.len() {
+            conds.push(ColumnCondition::Ne(reps[i] as u16, reps[j] as u16));
+        }
+    }
+    conds
+}
+
+/// The relaxed (equalities-only) conditions of a shape — the paper's `Q′`.
+pub fn shape_eq_conditions(rgs: &Rgs) -> Vec<ColumnCondition> {
+    let reps = rgs.block_representatives();
+    let mut conds = Vec::new();
+    for (i, &b) in rgs.ids().iter().enumerate() {
+        let rep = reps[b as usize - 1];
+        if rep != i {
+            conds.push(ColumnCondition::Eq(rep as u16, i as u16));
+        }
+    }
+    conds
+}
+
+/// Query counters for the `abl-apriori` ablation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShapeQueryStats {
+    /// Relaxed (`Q′`) queries issued.
+    pub relaxed_queries: u64,
+    /// Exact queries issued.
+    pub exact_queries: u64,
+    /// Lattice nodes never visited thanks to pruning.
+    pub pruned_nodes: u64,
+}
+
+/// In-database shape discovery for one relation with Apriori pruning:
+/// breadth-first over the partition lattice from the identity partition,
+/// expanding a node only when its relaxed query succeeds.
+pub fn find_shapes_apriori(
+    src: &dyn TupleSource,
+    pred: PredId,
+) -> (Vec<Rgs>, ShapeQueryStats) {
+    let arity = src.arity_of(pred);
+    let mut stats = ShapeQueryStats::default();
+    let mut found = Vec::new();
+    if arity == 0 || src.row_count(pred) == 0 {
+        return (found, stats);
+    }
+    let mut visited: soct_model::FxHashSet<Rgs> = soct_model::FxHashSet::default();
+    let mut queue: VecDeque<Rgs> = VecDeque::new();
+    let root = Rgs::identity(arity);
+    visited.insert(root.clone());
+    queue.push_back(root);
+    while let Some(p) = queue.pop_front() {
+        stats.relaxed_queries += 1;
+        if !src.exists_where(pred, &shape_eq_conditions(&p)) {
+            // No tuple coarsens p: every coarsening of p is dead too.
+            stats.pruned_nodes += count_unvisited_coarsenings(&p, &visited);
+            continue;
+        }
+        stats.exact_queries += 1;
+        if src.exists_where(pred, &shape_conditions(&p)) {
+            found.push(p.clone());
+        }
+        for c in p.immediate_coarsenings() {
+            if visited.insert(c.clone()) {
+                queue.push_back(c);
+            }
+        }
+    }
+    found.sort_unstable();
+    (found, stats)
+}
+
+fn count_unvisited_coarsenings(p: &Rgs, visited: &soct_model::FxHashSet<Rgs>) -> u64 {
+    p.immediate_coarsenings()
+        .into_iter()
+        .filter(|c| !visited.contains(c))
+        .count() as u64
+}
+
+/// Exhaustive in-database shape discovery: one exact query per partition of
+/// the arity, no pruning. The `abl-apriori` strawman; exponential in the
+/// arity (`Bell(n)` queries).
+pub fn find_shapes_exhaustive(
+    src: &dyn TupleSource,
+    pred: PredId,
+) -> (Vec<Rgs>, ShapeQueryStats) {
+    let arity = src.arity_of(pred);
+    let mut stats = ShapeQueryStats::default();
+    let mut found = Vec::new();
+    if arity == 0 || src.row_count(pred) == 0 {
+        return (found, stats);
+    }
+    for p in Rgs::all_of_len(arity) {
+        stats.exact_queries += 1;
+        if src.exists_where(pred, &shape_conditions(&p)) {
+            found.push(p);
+        }
+    }
+    found.sort_unstable();
+    (found, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StorageEngine;
+    use soct_model::{ConstId, Term};
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    fn engine_with(rows: &[&[u32]]) -> (StorageEngine, PredId) {
+        let mut e = StorageEngine::new();
+        let p = PredId(0);
+        e.create_table(p, "R", rows[0].len());
+        for r in rows {
+            let terms: Vec<Term> = r.iter().map(|&v| c(v)).collect();
+            e.insert(p, &terms);
+        }
+        (e, p)
+    }
+
+    #[test]
+    fn conditions_for_paper_shape() {
+        // R_(1,1,2): a1=a2 AND a1!=a3 (we anchor equalities at the block
+        // representative, so it is a1=a2 rather than a2=a3; equivalent).
+        let rgs = Rgs::canonicalize(&[1, 1, 2]);
+        let conds = shape_conditions(&rgs);
+        assert!(conds.contains(&ColumnCondition::Eq(0, 1)));
+        assert!(conds.contains(&ColumnCondition::Ne(0, 2)));
+        assert_eq!(conds.len(), 2);
+        assert_eq!(shape_eq_conditions(&rgs), vec![ColumnCondition::Eq(0, 1)]);
+    }
+
+    #[test]
+    fn apriori_finds_exactly_the_present_shapes() {
+        let (e, p) = engine_with(&[
+            &[1, 1, 2], // shape (1,1,2)
+            &[5, 6, 7], // shape (1,2,3)
+            &[9, 9, 9], // shape (1,1,1)
+        ]);
+        let (shapes, _) = find_shapes_apriori(&e, p);
+        let expect: Vec<Rgs> = {
+            let mut v = vec![
+                Rgs::canonicalize(&[1, 1, 2]),
+                Rgs::canonicalize(&[1, 2, 3]),
+                Rgs::canonicalize(&[1, 1, 1]),
+            ];
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(shapes, expect);
+    }
+
+    #[test]
+    fn apriori_agrees_with_exhaustive() {
+        let (e, p) = engine_with(&[
+            &[1, 2, 1, 3],
+            &[4, 4, 4, 4],
+            &[5, 6, 6, 7],
+            &[8, 9, 10, 8],
+        ]);
+        let (a, _) = find_shapes_apriori(&e, p);
+        let (b, _) = find_shapes_exhaustive(&e, p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pruning_saves_queries_on_distinct_data() {
+        // All-distinct tuples: every relaxed query with an equality fails,
+        // so the walk stops at the second lattice level.
+        let (e, p) = engine_with(&[&[1, 2, 3, 4], &[5, 6, 7, 8]]);
+        let (shapes, stats) = find_shapes_apriori(&e, p);
+        assert_eq!(shapes, vec![Rgs::identity(4)]);
+        let (_, full) = find_shapes_exhaustive(&e, p);
+        // Bell(4) = 15 exact queries exhaustively; Apriori needs 1 exact
+        // query and 1 + 6 relaxed ones (identity + its 6 coarsenings).
+        assert_eq!(full.exact_queries, 15);
+        assert_eq!(stats.exact_queries, 1);
+        assert_eq!(stats.relaxed_queries, 7);
+    }
+
+    #[test]
+    fn empty_relation_yields_no_shapes() {
+        let mut e = StorageEngine::new();
+        let p = PredId(0);
+        e.create_table(p, "R", 3);
+        let (shapes, stats) = find_shapes_apriori(&e, p);
+        assert!(shapes.is_empty());
+        assert_eq!(stats.relaxed_queries, 0);
+    }
+
+    #[test]
+    fn arity_one_has_single_shape() {
+        let (e, p) = engine_with(&[&[1], &[2]]);
+        let (shapes, _) = find_shapes_apriori(&e, p);
+        assert_eq!(shapes, vec![Rgs::identity(1)]);
+    }
+
+    #[test]
+    fn intermediate_shape_absent_but_coarser_present() {
+        // Tuples (1,1,1): shape (1,1,2) is absent but its relaxed query
+        // succeeds, so the walk must still reach (1,1,1).
+        let (e, p) = engine_with(&[&[1, 1, 1]]);
+        let (shapes, _) = find_shapes_apriori(&e, p);
+        assert_eq!(shapes, vec![Rgs::canonicalize(&[1, 1, 1])]);
+    }
+}

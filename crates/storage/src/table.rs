@@ -1,0 +1,190 @@
+//! Tables: paged sequences of fixed-width rows for one predicate.
+
+use crate::page::Page;
+use soct_model::Term;
+
+/// A table of packed-term rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    arity: usize,
+    pages: Vec<Page>,
+    rows: u64,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        Table {
+            name: name.into(),
+            arity,
+            pages: Vec::new(),
+            rows: 0,
+        }
+    }
+
+    /// The relation name (for SQL rendering and persistence).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn row_count(&self) -> u64 {
+        self.rows
+    }
+
+    /// True when the table has no rows (drives the catalog query).
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of pages (I/O proxy for the benchmarks).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Appends a row of packed values.
+    pub fn insert_packed(&mut self, row: &[u64]) {
+        debug_assert_eq!(row.len(), self.arity);
+        if self.pages.last().is_none_or(Page::is_full) {
+            self.pages.push(Page::new(self.arity));
+        }
+        self.pages.last_mut().unwrap().push_row(row);
+        self.rows += 1;
+    }
+
+    /// Appends a row of terms.
+    pub fn insert_terms(&mut self, terms: &[Term]) {
+        debug_assert_eq!(terms.len(), self.arity);
+        let mut row = [0u64; 64];
+        assert!(terms.len() <= 64, "arity beyond storage row buffer");
+        for (i, t) in terms.iter().enumerate() {
+            row[i] = t.pack();
+        }
+        self.insert_packed(&row[..terms.len()]);
+    }
+
+    /// Visits up to `limit` rows (`u64::MAX` = all) with early exit.
+    /// Returns `false` if the callback stopped the scan.
+    pub fn for_each_row_limited(&self, limit: u64, f: &mut dyn FnMut(&[u64]) -> bool) -> bool {
+        let mut scratch = vec![0u64; self.arity];
+        let mut remaining = limit;
+        for page in &self.pages {
+            if remaining == 0 {
+                return true;
+            }
+            let take = (page.len() as u64).min(remaining);
+            for i in 0..take as usize {
+                page.read_row(i, &mut scratch);
+                if !f(&scratch) {
+                    return false;
+                }
+            }
+            remaining -= take;
+        }
+        true
+    }
+
+    /// Visits every row with early exit.
+    pub fn for_each_row(&self, f: &mut dyn FnMut(&[u64]) -> bool) -> bool {
+        self.for_each_row_limited(u64::MAX, f)
+    }
+
+    /// Reads row `i` (global index) into a fresh vector — the slow
+    /// convenience path used by tests.
+    pub fn row(&self, mut i: u64) -> Option<Vec<u64>> {
+        if i >= self.rows {
+            return None;
+        }
+        for page in &self.pages {
+            if (i as usize) < page.len() {
+                let mut out = vec![0u64; self.arity];
+                page.read_row(i as usize, &mut out);
+                return Some(out);
+            }
+            i -= page.len() as u64;
+        }
+        None
+    }
+
+    /// The pages (for persistence).
+    pub(crate) fn pages(&self) -> &[Page] {
+        &self.pages
+    }
+
+    /// Restores a table from persisted pages.
+    pub(crate) fn from_pages(name: String, arity: usize, pages: Vec<Page>) -> Self {
+        let rows = pages.iter().map(|p| p.len() as u64).sum();
+        Table {
+            name,
+            arity,
+            pages,
+            rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soct_model::ConstId;
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = Table::new("r", 2);
+        for i in 0..5000u64 {
+            t.insert_packed(&[i, i * 2]);
+        }
+        assert_eq!(t.row_count(), 5000);
+        assert!(t.page_count() > 1, "spills to multiple pages");
+        let mut sum = 0u64;
+        t.for_each_row(&mut |row| {
+            sum += row[1];
+            true
+        });
+        assert_eq!(sum, (0..5000u64).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn limited_scan_sees_prefix() {
+        let mut t = Table::new("r", 1);
+        for i in 0..100u64 {
+            t.insert_packed(&[i]);
+        }
+        let mut seen = Vec::new();
+        t.for_each_row_limited(7, &mut |row| {
+            seen.push(row[0]);
+            true
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn term_round_trip() {
+        let mut t = Table::new("r", 2);
+        let a = Term::Const(ConstId(42));
+        let b = Term::Const(ConstId(7));
+        t.insert_terms(&[a, b]);
+        let row = t.row(0).unwrap();
+        assert_eq!(Term::unpack(row[0]), Some(a));
+        assert_eq!(Term::unpack(row[1]), Some(b));
+    }
+
+    #[test]
+    fn random_access_across_pages() {
+        let mut t = Table::new("r", 3);
+        for i in 0..3000u64 {
+            t.insert_packed(&[i, i, i]);
+        }
+        assert_eq!(t.row(0).unwrap()[0], 0);
+        assert_eq!(t.row(2999).unwrap()[0], 2999);
+        assert!(t.row(3000).is_none());
+    }
+}

@@ -1,0 +1,123 @@
+//! First-k-rows views (§8.1).
+//!
+//! The paper builds one very large database `D★` and derives "on-demand
+//! virtual databases" by views that keep the first 1K/50K/100K/250K/500K
+//! tuples per predicate. [`LimitView`] is that construct: a zero-copy
+//! [`TupleSource`] that exposes a row-count-limited prefix of every relation
+//! of an underlying engine.
+
+use crate::engine::{StorageEngine, TupleSource};
+use crate::query::{self, ColumnCondition};
+use soct_model::PredId;
+
+/// A virtual database exposing the first `limit` rows of every relation.
+pub struct LimitView<'a> {
+    engine: &'a StorageEngine,
+    limit: u64,
+}
+
+impl<'a> LimitView<'a> {
+    /// Creates a view keeping the first `limit` tuples per predicate.
+    pub fn new(engine: &'a StorageEngine, limit: u64) -> Self {
+        LimitView { engine, limit }
+    }
+
+    /// The per-relation row limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+impl TupleSource for LimitView<'_> {
+    fn non_empty_predicates(&self) -> Vec<PredId> {
+        // A view over a non-empty relation is non-empty whenever limit > 0.
+        if self.limit == 0 {
+            return Vec::new();
+        }
+        self.engine.non_empty_predicates()
+    }
+
+    fn arity_of(&self, pred: PredId) -> usize {
+        self.engine.arity_of(pred)
+    }
+
+    fn row_count(&self, pred: PredId) -> u64 {
+        self.engine.row_count(pred).min(self.limit)
+    }
+
+    fn scan(&self, pred: PredId, f: &mut dyn FnMut(&[u64]) -> bool) -> bool {
+        match self.engine.table(pred) {
+            Some(t) => t.for_each_row_limited(self.limit, f),
+            None => true,
+        }
+    }
+
+    fn exists_where(&self, pred: PredId, conds: &[ColumnCondition]) -> bool {
+        self.engine
+            .table(pred)
+            .is_some_and(|t| query::exists(t, conds, self.limit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soct_model::{ConstId, Term};
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    fn engine() -> StorageEngine {
+        let mut e = StorageEngine::new();
+        e.create_table(PredId(0), "r", 2);
+        for i in 0..100 {
+            // First 50 rows have distinct columns; the rest are "doubles".
+            if i < 50 {
+                e.insert(PredId(0), &[c(i), c(i + 1000)]);
+            } else {
+                e.insert(PredId(0), &[c(i), c(i)]);
+            }
+        }
+        e
+    }
+
+    #[test]
+    fn row_counts_are_clamped() {
+        let e = engine();
+        let v = LimitView::new(&e, 10);
+        assert_eq!(v.row_count(PredId(0)), 10);
+        assert_eq!(v.total_rows(), 10);
+        let v_all = LimitView::new(&e, 10_000);
+        assert_eq!(v_all.row_count(PredId(0)), 100);
+    }
+
+    #[test]
+    fn scan_sees_only_the_prefix() {
+        let e = engine();
+        let v = LimitView::new(&e, 3);
+        let mut n = 0;
+        v.scan(PredId(0), &mut |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn exists_respects_the_limit() {
+        let e = engine();
+        // The "doubles" shape (1,1) only exists beyond row 50.
+        let conds = [ColumnCondition::Eq(0, 1)];
+        assert!(!LimitView::new(&e, 50).exists_where(PredId(0), &conds));
+        assert!(LimitView::new(&e, 51).exists_where(PredId(0), &conds));
+    }
+
+    #[test]
+    fn zero_limit_views_are_empty() {
+        let e = engine();
+        let v = LimitView::new(&e, 0);
+        assert!(v.non_empty_predicates().is_empty());
+        assert_eq!(v.total_rows(), 0);
+    }
+}

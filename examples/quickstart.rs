@@ -1,0 +1,75 @@
+//! Quickstart: parse a program, decide chase termination, materialise the
+//! chase when it is finite.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use soct::prelude::*;
+
+fn main() {
+    // A tiny referential-integrity style schema. `advisor` invents a person
+    // (the ∃Y), and persons keep acquiring advisors — the semi-oblivious
+    // chase diverges. Dropping the second rule makes it finite.
+    let diverging = Program::parse(
+        "% every person has an advisor, advisors are persons\n\
+         person(X) -> advisor(X, Y).\n\
+         advisor(X, Y) -> person(Y).\n\
+         person(alice).\n\
+         person(bob).",
+    )
+    .expect("program parses");
+
+    let verdict = check_termination(
+        &diverging.schema,
+        &diverging.tgds,
+        &diverging.database,
+        FindShapesMode::InMemory,
+    );
+    println!("rules: {} (class {})", diverging.tgds.len(), verdict.class);
+    println!("diverging program verdict: {:?}", verdict.verdict);
+    assert_eq!(verdict.verdict, Verdict::Infinite);
+
+    // A terminating variant: advisors are *recorded*, not invented anew.
+    let terminating = Program::parse(
+        "person(X) -> advisor(X, Y).\n\
+         advisor(X, Y) -> knows(Y, X).\n\
+         person(alice).\n\
+         person(bob).",
+    )
+    .expect("program parses");
+    let verdict2 = check_termination(
+        &terminating.schema,
+        &terminating.tgds,
+        &terminating.database,
+        FindShapesMode::InMemory,
+    );
+    println!("terminating program verdict: {:?}", verdict2.verdict);
+    assert_eq!(verdict2.verdict, Verdict::Finite);
+
+    // Safe to materialise now: the checker said finite.
+    let result = run_chase(
+        &terminating.database,
+        &terminating.tgds,
+        &ChaseConfig::unbounded(ChaseVariant::SemiOblivious),
+    );
+    assert_eq!(result.outcome, ChaseOutcome::Terminated);
+    println!(
+        "chase({} facts, {} rules) = {} atoms in {} rounds ({} nulls)",
+        terminating.database.len(),
+        terminating.tgds.len(),
+        result.instance.len(),
+        result.rounds,
+        result.nulls_created,
+    );
+    for atom in result.instance.atoms() {
+        println!("  {}", atom.display(&terminating.schema));
+    }
+
+    // The result is a model of the rules — the whole point of the chase.
+    assert!(soct::model::satisfies_all(
+        &result.instance,
+        &terminating.tgds
+    ));
+    println!("result satisfies every rule ✓");
+}

@@ -1,0 +1,163 @@
+//! Property tests for the chase engines (§1.1, §3).
+
+use proptest::prelude::*;
+use soct::gen::{DataGenConfig, TgdGenConfig};
+use soct::prelude::*;
+
+fn random_program(seed: u64) -> (Schema, Database, Vec<Tgd>) {
+    let mut schema = Schema::new();
+    let (preds, db) = soct::gen::generate_instance(
+        &DataGenConfig {
+            preds: 3,
+            min_arity: 1,
+            max_arity: 3,
+            dsize: 4,
+            rsize: 3,
+            seed,
+        },
+        &mut schema,
+    );
+    let tgds = soct::gen::generate_tgds(
+        &TgdGenConfig {
+            ssize: 3,
+            min_arity: 1,
+            max_arity: 3,
+            tsize: 4,
+            tclass: TgdClass::Linear,
+            existential_prob: 0.2,
+            seed: seed ^ 0x77,
+        },
+        &schema,
+        &preds,
+    );
+    (schema, db, tgds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn terminating_chases_satisfy_sigma(seed in 0u64..5_000) {
+        let (_schema, db, tgds) = random_program(seed);
+        for variant in [
+            ChaseVariant::Oblivious,
+            ChaseVariant::SemiOblivious,
+            ChaseVariant::Restricted,
+        ] {
+            let res = run_chase(&db, &tgds, &ChaseConfig::with_max_atoms(variant, 20_000));
+            if res.outcome == ChaseOutcome::Terminated {
+                prop_assert!(
+                    soct::model::satisfies_all(&res.instance, &tgds),
+                    "{variant:?} fixpoint violates Σ (seed {seed})"
+                );
+                prop_assert!(res.instance.len() >= db.len());
+            }
+        }
+    }
+
+    #[test]
+    fn variant_size_ordering_holds(seed in 0u64..5_000) {
+        // restricted ≤ semi-oblivious ≤ oblivious whenever all three
+        // terminate (§1.2).
+        let (_schema, db, tgds) = random_program(seed);
+        let run = |v| run_chase(&db, &tgds, &ChaseConfig::with_max_atoms(v, 20_000));
+        let r = run(ChaseVariant::Restricted);
+        let s = run(ChaseVariant::SemiOblivious);
+        let o = run(ChaseVariant::Oblivious);
+        if r.outcome == ChaseOutcome::Terminated
+            && s.outcome == ChaseOutcome::Terminated
+            && o.outcome == ChaseOutcome::Terminated
+        {
+            prop_assert!(r.instance.len() <= s.instance.len(), "seed {seed}");
+            prop_assert!(s.instance.len() <= o.instance.len(), "seed {seed}");
+        }
+        // Termination ordering: if the oblivious chase terminates, so do
+        // the cheaper ones.
+        if o.outcome == ChaseOutcome::Terminated {
+            prop_assert_eq!(s.outcome, ChaseOutcome::Terminated);
+        }
+        if s.outcome == ChaseOutcome::Terminated {
+            prop_assert_eq!(r.outcome, ChaseOutcome::Terminated);
+        }
+    }
+
+    #[test]
+    fn semi_oblivious_chase_is_deterministic(seed in 0u64..5_000) {
+        // Canonical null naming makes the SO result a set function of
+        // (D, Σ).
+        let (_schema, db, tgds) = random_program(seed);
+        let a = run_chase(
+            &db,
+            &tgds,
+            &ChaseConfig::with_max_atoms(ChaseVariant::SemiOblivious, 5_000),
+        );
+        let b = run_chase(
+            &db,
+            &tgds,
+            &ChaseConfig::with_max_atoms(ChaseVariant::SemiOblivious, 5_000),
+        );
+        prop_assert_eq!(a.instance.len(), b.instance.len());
+        for atom in a.instance.atoms() {
+            prop_assert!(b.instance.contains(atom));
+        }
+    }
+
+    #[test]
+    fn database_atoms_are_preserved(seed in 0u64..5_000) {
+        let (_schema, db, tgds) = random_program(seed);
+        let res = run_chase(
+            &db,
+            &tgds,
+            &ChaseConfig::with_max_atoms(ChaseVariant::SemiOblivious, 5_000),
+        );
+        for atom in db.atoms() {
+            prop_assert!(res.instance.contains(atom), "lost a database atom");
+        }
+    }
+
+    #[test]
+    fn chase_size_bound_dominates_finite_chases(seed in 0u64..5_000) {
+        // Only check simple-linear sets: there the dg(Σ)-based bound is
+        // provably sound.
+        let mut schema = Schema::new();
+        let (preds, db) = soct::gen::generate_instance(
+            &DataGenConfig {
+                preds: 3,
+                min_arity: 1,
+                max_arity: 3,
+                dsize: 4,
+                rsize: 3,
+                seed,
+            },
+            &mut schema,
+        );
+        let tgds = soct::gen::generate_tgds(
+            &TgdGenConfig {
+                ssize: 3,
+                min_arity: 1,
+                max_arity: 3,
+                tsize: 4,
+                tclass: TgdClass::SimpleLinear,
+                existential_prob: 0.2,
+                seed: seed ^ 0x3131,
+            },
+            &schema,
+            &preds,
+        );
+        let res = run_chase(
+            &db,
+            &tgds,
+            &ChaseConfig::with_max_atoms(ChaseVariant::SemiOblivious, 20_000),
+        );
+        if res.outcome == ChaseOutcome::Terminated {
+            let bound = soct::chase::chase_size_bound(&schema, &tgds, &db);
+            prop_assert!(
+                (res.instance.len() as u128) <= bound,
+                "chase {} atoms > bound {} (seed {})",
+                res.instance.len(),
+                bound,
+                seed
+            );
+        }
+    }
+}

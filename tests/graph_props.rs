@@ -1,0 +1,102 @@
+//! Property tests for the graph layer: Tarjan vs Kosaraju vs the naive
+//! cycle baselines on dependency graphs of random rule sets.
+
+use proptest::prelude::*;
+use soct::gen::TgdGenConfig;
+use soct::graph::{
+    enumerate_special_cycles, find_special_sccs, find_special_sccs_kosaraju,
+    has_special_cycle_per_edge, DependencyGraph,
+};
+use soct::prelude::*;
+
+fn random_graph(seed: u64, tsize: usize) -> (Schema, DependencyGraph) {
+    let mut schema = Schema::new();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let preds = soct::gen::datagen::make_predicates(&mut schema, "g", 6, 1, 3, &mut rng);
+    let tgds = soct::gen::generate_tgds(
+        &TgdGenConfig {
+            ssize: 5,
+            min_arity: 1,
+            max_arity: 3,
+            tsize,
+            tclass: TgdClass::Linear,
+            existential_prob: 0.3,
+            seed: seed ^ 0x6060,
+        },
+        &schema,
+        &preds,
+    );
+    let g = DependencyGraph::build(&schema, &tgds);
+    (schema, g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    #[test]
+    fn tarjan_and_kosaraju_agree(seed in 0u64..10_000, tsize in 1usize..20) {
+        let (_schema, g) = random_graph(seed, tsize);
+        let t = find_special_sccs(&g);
+        let k = find_special_sccs_kosaraju(&g);
+        prop_assert_eq!(t.num_sccs, k.num_sccs);
+        // Same partition (bijective relabelling).
+        let mut fwd = std::collections::HashMap::new();
+        let mut bwd = std::collections::HashMap::new();
+        for v in 0..g.num_nodes() {
+            let (a, b) = (t.scc_of[v], k.scc_of[v]);
+            prop_assert_eq!(*fwd.entry(a).or_insert(b), b, "partition mismatch");
+            prop_assert_eq!(*bwd.entry(b).or_insert(a), a, "partition mismatch");
+            prop_assert_eq!(
+                t.special[a as usize],
+                k.special[b as usize],
+                "special label mismatch at node {}",
+                v
+            );
+        }
+    }
+
+    #[test]
+    fn scc_detection_matches_per_edge_reachability(seed in 0u64..10_000, tsize in 1usize..20) {
+        let (_schema, g) = random_graph(seed, tsize);
+        prop_assert_eq!(
+            find_special_sccs(&g).has_special_scc(),
+            has_special_cycle_per_edge(&g)
+        );
+    }
+
+    #[test]
+    fn scc_detection_matches_cycle_enumeration(seed in 0u64..10_000, tsize in 1usize..10) {
+        let (_schema, g) = random_graph(seed, tsize);
+        let enumerated = enumerate_special_cycles(&g, 100_000);
+        prop_assert_eq!(
+            find_special_sccs(&g).has_special_scc(),
+            !enumerated.is_empty()
+        );
+    }
+
+    #[test]
+    fn representatives_live_in_their_components(seed in 0u64..10_000, tsize in 1usize..20) {
+        let (_schema, g) = random_graph(seed, tsize);
+        let scc = find_special_sccs(&g);
+        for rep in scc.special_representatives() {
+            let c = scc.scc_of[rep as usize] as usize;
+            prop_assert!(scc.special[c]);
+        }
+        prop_assert_eq!(
+            scc.special_representatives().len(),
+            scc.special_sccs().len()
+        );
+    }
+
+    #[test]
+    fn edge_counts_are_bounded_by_rule_structure(seed in 0u64..10_000, tsize in 1usize..30) {
+        // Sanity on the n-edges statistic of the Appendix plot: duplicates
+        // are collapsed, so edges ≤ nodes² × 2 and grows sub-linearly once
+        // the rule set saturates the schema.
+        let (schema, g) = random_graph(seed, tsize);
+        let n = schema.num_positions();
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert!(g.num_edges() <= 2 * n * n);
+        prop_assert!(g.num_special_edges() <= g.num_edges());
+    }
+}

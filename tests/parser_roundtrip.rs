@@ -1,0 +1,116 @@
+//! Property test: the writer and the parser are mutually inverse on
+//! generated rule sets and databases.
+
+use proptest::prelude::*;
+use soct::gen::{DataGenConfig, TgdGenConfig};
+use soct::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn tgd_sets_round_trip(seed in 0u64..10_000, tsize in 1usize..40, linear in any::<bool>()) {
+        let mut schema = Schema::new();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let preds = soct::gen::datagen::make_predicates(&mut schema, "p", 8, 1, 4, &mut rng);
+        let tgds = soct::gen::generate_tgds(
+            &TgdGenConfig {
+                ssize: 6,
+                min_arity: 1,
+                max_arity: 4,
+                tsize,
+                tclass: if linear { TgdClass::Linear } else { TgdClass::SimpleLinear },
+                existential_prob: 0.2,
+                seed: seed ^ 0x1234,
+            },
+            &schema,
+            &preds,
+        );
+        let consts = Interner::new();
+        let text = soct::parser::write_tgds(&tgds, &schema, &consts);
+
+        let mut schema2 = Schema::new();
+        let mut consts2 = Interner::new();
+        let parsed = parse_tgds(&text, &mut schema2, &mut consts2).unwrap();
+        prop_assert_eq!(parsed.len(), tgds.len());
+
+        // Second round trip must be textually identical (canonical form).
+        let text2 = soct::parser::write_tgds(&parsed, &schema2, &consts2);
+        prop_assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn fact_files_round_trip(seed in 0u64..10_000) {
+        let mut schema = Schema::new();
+        let (_preds, inst) = soct::gen::generate_instance(
+            &DataGenConfig {
+                preds: 5,
+                min_arity: 1,
+                max_arity: 4,
+                dsize: 20,
+                rsize: 15,
+                seed,
+            },
+            &mut schema,
+        );
+        // Generated constants have no interner entries; print them through
+        // a synthetic namer, parse back, and compare shape multisets (the
+        // only structure constant renaming preserves).
+        let mut text = String::new();
+        for atom in inst.atoms() {
+            text.push_str(schema.name(atom.pred));
+            text.push('(');
+            for (i, t) in atom.terms.iter().enumerate() {
+                if i > 0 {
+                    text.push(',');
+                }
+                text.push_str(&format!("k{}", t.raw()));
+            }
+            text.push_str(").\n");
+        }
+        let mut schema2 = Schema::new();
+        let mut consts2 = Interner::new();
+        let parsed = parse_facts(&text, &mut schema2, &mut consts2).unwrap();
+        prop_assert_eq!(parsed.len(), inst.len());
+        let shapes_a = soct::model::shape::shapes_of_instance(&inst);
+        let shapes_b = soct::model::shape::shapes_of_instance(&parsed);
+        prop_assert_eq!(shapes_a.len(), shapes_b.len());
+        // Constant renaming is a bijection, so per-predicate shape sets
+        // match by name.
+        for (a, b) in shapes_a.iter().zip(shapes_b.iter()) {
+            prop_assert_eq!(schema.name(a.pred), schema2.name(b.pred));
+            prop_assert_eq!(&a.rgs, &b.rgs);
+        }
+    }
+
+    #[test]
+    fn termination_verdict_survives_round_trip(seed in 0u64..10_000) {
+        let mut schema = Schema::new();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let preds = soct::gen::datagen::make_predicates(&mut schema, "q", 5, 1, 3, &mut rng);
+        let tgds = soct::gen::generate_tgds(
+            &TgdGenConfig {
+                ssize: 4,
+                min_arity: 1,
+                max_arity: 3,
+                tsize: 6,
+                tclass: TgdClass::SimpleLinear,
+                existential_prob: 0.25,
+                seed: seed ^ 0x9999,
+            },
+            &schema,
+            &preds,
+        );
+        let before = soct::core::is_chase_finite_sl(
+            &schema,
+            &tgds,
+            &soct::model::tgd::predicates_of(&tgds).into_iter().collect(),
+        );
+        let consts = Interner::new();
+        let text = soct::parser::write_tgds(&tgds, &schema, &consts);
+        let (after, _, _) = soct::core::is_chase_finite_sl_text(&text).unwrap();
+        prop_assert_eq!(before.finite, after.finite, "seed {}", seed);
+        prop_assert_eq!(before.graph_edges, after.graph_edges);
+        prop_assert_eq!(before.special_edges, after.special_edges);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for the simplification machinery (§3 Def. 3.5, §4.2):
+//! dynamic ⊆ static, verdict preservation (Lemmas 4.3/4.5), and shape
+//! discovery agreement across implementations.
+
+use proptest::prelude::*;
+use soct::core::dyn_simplification;
+use soct::gen::{DataGenConfig, TgdGenConfig};
+use soct::model::shape::shapes_of_instance;
+use soct::model::simplify::{static_simplification, ShapeInterner};
+use soct::prelude::*;
+
+fn random_linear(seed: u64) -> (Schema, Database, Vec<Tgd>) {
+    let mut schema = Schema::new();
+    let (preds, db) = soct::gen::generate_instance(
+        &DataGenConfig {
+            preds: 4,
+            min_arity: 1,
+            max_arity: 3,
+            dsize: 5,
+            rsize: 4,
+            seed,
+        },
+        &mut schema,
+    );
+    let tgds = soct::gen::generate_tgds(
+        &TgdGenConfig {
+            ssize: 3,
+            min_arity: 1,
+            max_arity: 3,
+            tsize: 6,
+            tclass: TgdClass::Linear,
+            existential_prob: 0.25,
+            seed: seed ^ 0xabcd,
+        },
+        &schema,
+        &preds,
+    );
+    (schema, db, tgds)
+}
+
+/// Canonical rendering of a simplified TGD that is independent of the
+/// interner it was built against: origin shapes plus variable pattern.
+fn canonical(tgd: &Tgd, interner: &ShapeInterner) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let atom_key = |a: &soct::model::Atom, out: &mut String| {
+        let origin = interner.origin(a.pred);
+        let _ = write!(out, "{}#{:?}#", origin.pred.0, origin.rgs.ids());
+        for t in a.terms.iter() {
+            let _ = write!(out, "{t},");
+        }
+        out.push('|');
+    };
+    atom_key(&tgd.body()[0], &mut out);
+    out.push_str("=>");
+    // Head atoms as a sorted multiset.
+    let mut heads: Vec<String> = tgd
+        .head()
+        .iter()
+        .map(|a| {
+            let mut s = String::new();
+            atom_key(a, &mut s);
+            s
+        })
+        .collect();
+    heads.sort();
+    for h in heads {
+        out.push_str(&h);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn dynamic_simplification_is_a_subset_of_static(seed in 0u64..5_000) {
+        let (schema, db, tgds) = random_linear(seed);
+        let db_shapes = shapes_of_instance(&db);
+        let dynamic = dyn_simplification(&schema, &tgds, &db_shapes);
+        let mut static_interner = ShapeInterner::new();
+        let stat = static_simplification(&mut static_interner, &schema, &tgds).unwrap();
+        prop_assert!(dynamic.tgds.len() <= stat.len());
+        let static_keys: std::collections::HashSet<String> = stat
+            .iter()
+            .map(|t| canonical(t, &static_interner))
+            .collect();
+        for t in &dynamic.tgds {
+            let key = canonical(t, &dynamic.interner);
+            prop_assert!(
+                static_keys.contains(&key),
+                "dynamic TGD not found statically (seed {}): {}",
+                seed,
+                key
+            );
+        }
+    }
+
+    #[test]
+    fn static_simplification_preserves_the_verdict(seed in 0u64..5_000) {
+        // Theorem 3.6 directly: chase(D, Σ) finite iff simple(Σ) is
+        // simple(D)-weakly-acyclic — checked via the SL checker on the
+        // *statically* simplified system vs IsChaseFinite[L] on the
+        // original.
+        let (schema, db, tgds) = random_linear(seed);
+        let mut interner = ShapeInterner::new();
+        let stat = static_simplification(&mut interner, &schema, &tgds).unwrap();
+        let simple_db = soct::model::simplify::simplify_instance(&mut interner, &schema, &db);
+        let db_preds: soct::model::FxHashSet<_> =
+            simple_db.non_empty_predicates().into_iter().collect();
+        let via_static = soct::core::is_chase_finite_sl(interner.schema(), &stat, &db_preds);
+
+        let src = InstanceSource::new(&schema, &db);
+        let via_dynamic =
+            soct::core::is_chase_finite_l(&schema, &tgds, &src, FindShapesMode::InMemory);
+        prop_assert_eq!(via_static.finite, via_dynamic.finite, "seed {}", seed);
+    }
+
+    #[test]
+    fn simplified_sets_are_simple_linear(seed in 0u64..5_000) {
+        let (schema, db, tgds) = random_linear(seed);
+        let db_shapes = shapes_of_instance(&db);
+        let dynamic = dyn_simplification(&schema, &tgds, &db_shapes);
+        for t in &dynamic.tgds {
+            prop_assert!(t.is_simple_linear());
+        }
+        // Shape accounting: derived shapes include the database's.
+        prop_assert!(dynamic.shapes_derived >= db_shapes.len());
+    }
+
+    #[test]
+    fn apriori_equals_exhaustive_shape_discovery(seed in 0u64..5_000) {
+        let mut schema = Schema::new();
+        let data = soct::gen::generate_database(
+            &DataGenConfig {
+                preds: 3,
+                min_arity: 1,
+                max_arity: 4,
+                dsize: 6,
+                rsize: 30,
+                seed,
+            },
+            &mut schema,
+        );
+        for pred in data.engine.non_empty_predicates() {
+            let (a, _) = soct::storage::find_shapes_apriori(&data.engine, pred);
+            let (b, stats_b) = soct::storage::find_shapes_exhaustive(&data.engine, pred);
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(
+                stats_b.exact_queries as u128,
+                soct::model::bell(schema.arity(pred))
+            );
+        }
+    }
+
+    #[test]
+    fn shapes_report_matches_model_extraction(seed in 0u64..5_000) {
+        let mut schema = Schema::new();
+        let (_, inst) = soct::gen::generate_instance(
+            &DataGenConfig {
+                preds: 4,
+                min_arity: 1,
+                max_arity: 4,
+                dsize: 8,
+                rsize: 20,
+                seed,
+            },
+            &mut schema,
+        );
+        let src = InstanceSource::new(&schema, &inst);
+        let via_scan = soct::core::find_shapes(&src, FindShapesMode::InMemory);
+        let via_queries = soct::core::find_shapes(&src, FindShapesMode::InDatabase);
+        let via_model = shapes_of_instance(&inst);
+        prop_assert_eq!(&via_scan.shapes, &via_model);
+        prop_assert_eq!(&via_queries.shapes, &via_model);
+    }
+}
