@@ -70,7 +70,6 @@ fn main() {
             std::process::exit(2);
         }
     };
-    println!("== soct experiments | scale: {scale_name} | output: {} ==\n", out.display());
     let mut h = Harness {
         scale,
         scale_name,
@@ -79,6 +78,11 @@ fn main() {
         lubm_scales,
         dstar: None,
     };
+    println!(
+        "== soct experiments | scale: {} | output: {} ==\n",
+        h.scale_name,
+        h.out.display()
+    );
     for id in &ids {
         let t0 = Instant::now();
         match id.as_str() {

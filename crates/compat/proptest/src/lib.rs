@@ -1,0 +1,452 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! Implements the slice of the API the workspace's property tests use:
+//! the [`proptest!`] macro (with `#![proptest_config(...)]`), integer
+//! range strategies, [`any`] for primitives, the `prop_assert*` macros,
+//! and a checked-in regression-seed file compatible in spirit with
+//! proptest's `proptest-regressions/` convention.
+//!
+//! # Regression files
+//!
+//! For a test file `tests/foo.rs`, seeds are read from
+//! `proptest-regressions/foo.txt`, one per line:
+//!
+//! ```text
+//! # comment
+//! cc <test_name> 0x<16-hex-seed>   # optional trailing note
+//! ```
+//!
+//! Regression seeds run before the randomized cases. Randomized cases are
+//! derived deterministically from the (file, test) pair, so runs are
+//! reproducible; when a case fails, the panic message names the seed to
+//! add to the regression file. `PROPTEST_CASES` overrides the case count.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::Rng as RngCore;
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of randomized cases per test (after regression seeds).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` randomized cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// A failed test case (raised by the `prop_assert*` macros).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Attaches the generated-input description to the failure.
+    pub fn with_context(self, case: &str) -> Self {
+        TestCaseError {
+            message: format!("{}\n    inputs: {}", self.message, case),
+        }
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+/// Generates one value per test case.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rand::RngExt::random_range(rng, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rand::RngExt::random_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rand::Rng::next_u64(rng) & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rand::Rng::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(PhantomData<T>);
+
+/// Unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// FNV-1a over the identifying strings: the deterministic base seed for a
+/// test's randomized cases.
+fn base_seed(source_file: &str, test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in source_file.bytes().chain([0]).chain(test_name.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// `tests/foo.rs` → `proptest-regressions/foo.txt` (resolved against the
+/// package root, which is the cwd cargo gives test binaries).
+fn regression_path(source_file: &str) -> std::path::PathBuf {
+    let stem = std::path::Path::new(source_file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_string());
+    std::path::PathBuf::from("proptest-regressions").join(format!("{stem}.txt"))
+}
+
+/// Parses regression seeds for `test_name` out of the regression file.
+fn regression_seeds(source_file: &str, test_name: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(regression_path(source_file)) else {
+        return Vec::new();
+    };
+    parse_regression_lines(&text, test_name)
+}
+
+/// Extracts `cc <test_name> 0x<hex>` seeds from regression-file text.
+///
+/// Panics on a malformed `cc` line: a checked-in seed that silently fails
+/// to parse would never replay, which is exactly the false confidence the
+/// regression file exists to prevent.
+fn parse_regression_lines(text: &str, test_name: &str) -> Vec<u64> {
+    let mut seeds = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("cc") {
+            continue;
+        }
+        let (Some(name), Some(seed)) = (parts.next(), parts.next()) else {
+            panic!("malformed regression line {} (want `cc <test> 0x<hex>`): {raw:?}", lineno + 1);
+        };
+        if name != test_name {
+            continue;
+        }
+        let digits = seed.strip_prefix("0x").unwrap_or(seed);
+        match u64::from_str_radix(digits, 16) {
+            Ok(seed) => seeds.push(seed),
+            Err(_) => panic!(
+                "malformed regression seed on line {} (want hex u64): {raw:?}",
+                lineno + 1
+            ),
+        }
+    }
+    seeds
+}
+
+/// Drives one property test: regression seeds first, then `cfg.cases`
+/// deterministic pseudo-random cases. Panics (test failure) on the first
+/// failing case, naming the seed to check in.
+pub fn run_proptest(
+    cfg: &ProptestConfig,
+    source_file: &str,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cfg.cases);
+    let base = base_seed(source_file, test_name);
+    let regressions = regression_seeds(source_file, test_name);
+    let labelled = regressions
+        .iter()
+        .map(|&s| ("regression", s))
+        .chain((0..cases as u64).map(|i| ("random", base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))));
+    for (kind, seed) in labelled {
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "proptest case failed ({kind} seed)\n  test: {test_name}\n  {msg}\n  \
+                 to make this case a permanent regression test, add the line\n    \
+                 cc {test_name} {seed:#018x}\n  to {path}",
+                msg = e.message(),
+                path = regression_path(source_file).display(),
+            );
+        }
+    }
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert!({}) failed at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert!({}) failed at {}:{}: {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "prop_assert_eq! failed at {}:{}\n    left: {:?}\n   right: {:?}",
+                        file!(), line!(), l, r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "prop_assert_eq! failed at {}:{}: {}\n    left: {:?}\n   right: {:?}",
+                        file!(), line!(), format!($($fmt)+), l, r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "prop_assert_ne! failed at {}:{}\n    both: {:?}",
+                        file!(), line!(), l
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "prop_assert_ne! failed at {}:{}: {}\n    both: {:?}",
+                        file!(), line!(), format!($($fmt)+), l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Declares property tests over generated inputs.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(40))]
+///
+///     #[test]
+///     fn holds(x in 0u64..100, flip in any::<bool>()) {
+///         prop_assert!(x < 100 || flip);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_proptest(&__cfg, file!(), stringify!($name), |__rng| {
+                    let mut __inputs: ::std::vec::Vec<::std::string::String> =
+                        ::std::vec::Vec::new();
+                    $(
+                        let $arg = $crate::Strategy::new_value(&($strat), __rng);
+                        __inputs.push(format!("{} = {:?}", stringify!($arg), &$arg));
+                    )+
+                    let __case: ::std::string::String = __inputs.join(", ");
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                    __result.map_err(|e| e.with_context(&__case))
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in 0usize..=4, b in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4, "y was {}", y);
+            prop_assert_eq!(b || !b, true);
+            prop_assert_ne!(x, 99);
+        }
+    }
+
+    #[test]
+    fn deterministic_base_seed() {
+        assert_eq!(
+            super::base_seed("tests/a.rs", "t"),
+            super::base_seed("tests/a.rs", "t")
+        );
+        assert_ne!(
+            super::base_seed("tests/a.rs", "t"),
+            super::base_seed("tests/a.rs", "u")
+        );
+    }
+
+    #[test]
+    fn regression_lines_parse() {
+        let text = "# header comment\n\
+                    cc alpha 0x0000000000000001\n\
+                    cc beta 0xdeadbeefcafef00d # note\n\
+                    cc alpha 002a\n\
+                    not a cc line\n";
+        assert_eq!(super::parse_regression_lines(text, "alpha"), vec![1, 0x2a]);
+        assert_eq!(
+            super::parse_regression_lines(text, "beta"),
+            vec![0xdead_beef_cafe_f00d]
+        );
+        assert!(super::parse_regression_lines(text, "gamma").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed regression line")]
+    fn truncated_cc_line_panics() {
+        super::parse_regression_lines("cc alpha\n", "alpha");
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed regression seed")]
+    fn non_hex_seed_panics() {
+        super::parse_regression_lines("cc alpha 0xZZZ\n", "alpha");
+    }
+
+    #[test]
+    fn regression_path_mapping() {
+        assert_eq!(
+            super::regression_path("tests/parser_roundtrip.rs"),
+            std::path::PathBuf::from("proptest-regressions/parser_roundtrip.txt")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic_with_seed() {
+        crate::run_proptest(
+            &ProptestConfig::with_cases(1),
+            "tests/x.rs",
+            "always_fails",
+            |_| Err(TestCaseError::fail("nope")),
+        );
+    }
+}

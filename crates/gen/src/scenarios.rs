@@ -181,7 +181,7 @@ fn random_shape_menu(
         let merges = if arity < 2 {
             0
         } else {
-            [0usize, 1, 1, 2][rng.random_range(0..4)]
+            [0usize, 1, 1, 2][rng.random_range(0..4usize)]
         };
         for _ in 0..merges {
             let i = rng.random_range(0..arity);
@@ -279,13 +279,13 @@ pub fn lubm_like(scale: usize, atom_scale: f64, seed: u64) -> Scenario {
     }
     // 22 domain + 22 range axioms.
     for i in 0..22 {
-        let c = classes[rng.random_range(0..60)];
+        let c = classes[rng.random_range(0..60usize)];
         push(
             Atom::new(&schema, props[i * 2], vec![v0, v1]).unwrap(),
             Atom::new(&schema, c, vec![v0]).unwrap(),
             &mut tgds,
         );
-        let c2 = classes[rng.random_range(0..60)];
+        let c2 = classes[rng.random_range(0..60usize)];
         push(
             Atom::new(&schema, props[i * 2 + 1], vec![v0, v1]).unwrap(),
             Atom::new(&schema, c2, vec![v1]).unwrap(),

@@ -27,7 +27,17 @@ fn write_term(
                 .try_resolve(c.symbol())
                 .unwrap_or("<unknown-constant>");
             if needs_quoting(name) {
-                let _ = write!(out, "'{name}'");
+                // The format has no escapes, so pick whichever quote the
+                // name doesn't contain. A name containing both quote
+                // characters is inexpressible; panic rather than emit
+                // output that silently re-parses as different data.
+                let quote = if name.contains('\'') { '"' } else { '\'' };
+                assert!(
+                    !name.contains(quote),
+                    "constant {name:?} contains both quote characters and \
+                     cannot be written in the escape-free text format"
+                );
+                let _ = write!(out, "{quote}{name}{quote}");
             } else {
                 out.push_str(name);
             }

@@ -7,7 +7,9 @@
 
 use soct::prelude::*;
 
-fn main() {
+// `pub` so tests/workspace_smoke.rs can include this file as a module and
+// run it under `cargo test`.
+pub fn main() {
     // A tiny referential-integrity style schema. `advisor` invents a person
     // (the ∃Y), and persons keep acquiring advisors — the semi-oblivious
     // chase diverges. Dropping the second rule makes it finite.

@@ -1,5 +1,9 @@
 //! Property test: the writer and the parser are mutually inverse on
-//! generated rule sets and databases.
+//! generated rule sets and databases — plus a Unicode/whitespace-hostile
+//! corpus exercising the byte-level lexer on inputs the generators never
+//! produce. Regression seeds live in
+//! `proptest-regressions/parser_roundtrip.txt` and replay before the
+//! randomized cases.
 
 use proptest::prelude::*;
 use soct::gen::{DataGenConfig, TgdGenConfig};
@@ -113,4 +117,158 @@ proptest! {
         prop_assert_eq!(before.graph_edges, after.graph_edges);
         prop_assert_eq!(before.special_edges, after.special_edges);
     }
+}
+
+// ── Unicode / whitespace-hostile lexer corpus ───────────────────────────
+//
+// The lexer walks raw bytes of a (guaranteed valid UTF-8) `&str`. These
+// inputs probe every place where a multi-byte character, an exotic space,
+// or a pathological token boundary could panic, mis-slice, or mis-count
+// positions. The contract under test: hostile input NEVER panics — it
+// either parses or returns a positioned `ParseError`.
+
+/// Inputs that must parse successfully.
+const HOSTILE_ACCEPT: &[&str] = &[
+    // CRLF and lone-\r line endings.
+    "person(a).\r\nperson(b).\r\n",
+    "person(a).\rperson(b).",
+    // Tabs and runs of blank lines between and inside facts.
+    "\t\tperson(\ta\t,\tb\t)\t.\n\n\n\n\nperson(c,d).",
+    // Comments in both styles, containing multi-byte text the lexer must
+    // skip byte-by-byte without splitting a code point's accounting.
+    "% commentaire: héhé ☃ 日本語\nperson(a).",
+    "# ← arrows → and 🦀 crabs\nperson(a).",
+    // Comment at EOF without a trailing newline.
+    "person(a). % trailing ☃",
+    // Quoted constants holding arbitrary Unicode.
+    "person('日本語').",
+    "person('☃ snowman').",
+    "person(\"double → quoted\").",
+    // Empty quoted constant.
+    "person('').",
+    // `#` continues identifiers but starts comments in trivia position.
+    "r#1_2(a). # the predicate above is r#1_2\n",
+    // Whitespace-free and whitespace-heavy rule forms.
+    "p(X)->q(X,Y).",
+    "  p ( X )   ->   q ( X , Y )  .  ",
+    "q(X,Y):-p(X).",
+    // A 4 KiB identifier.
+    // (constructed in the test body below; placeholder here)
+];
+
+/// Inputs that must be rejected with a `ParseError` (never a panic).
+const HOSTILE_REJECT: &[&str] = &[
+    // UTF-8 BOM is not trivia.
+    "\u{FEFF}person(a).",
+    // No-break space, en quad, ideographic space: not whitespace here.
+    "person(\u{00A0}a).",
+    "person(\u{2000}a).",
+    "person(\u{3000}a).",
+    // Line/paragraph separators are not line breaks in this format.
+    "person(a)\u{2028}.",
+    // Bare multi-byte identifiers are not (yet) identifiers.
+    "pérson(a).",
+    "🦀(x).",
+    // NUL and other control bytes.
+    "person(\u{0000}a).",
+    "person(\u{001B}[31ma).",
+    // Unterminated and newline-crossing quotes.
+    "person('oops).",
+    "person('line\nbreak').",
+    // Stray punctuation.
+    "-",
+    ":",
+    "person(a),",
+    "(a).",
+    // Arrow with nothing around it.
+    "->.",
+];
+
+#[test]
+fn hostile_corpus_accepts() {
+    for src in HOSTILE_ACCEPT {
+        let mut schema = Schema::new();
+        let mut consts = Interner::new();
+        let mut tgds = Vec::new();
+        let mut db = soct::model::Database::new();
+        soct::parser::parse_into(src, &mut schema, &mut consts, &mut tgds, &mut db)
+            .unwrap_or_else(|e| panic!("rejected {src:?}: {e}"));
+        assert!(
+            !tgds.is_empty() || !db.is_empty(),
+            "parsed nothing from {src:?}"
+        );
+    }
+}
+
+#[test]
+fn hostile_corpus_rejects_without_panicking() {
+    for src in HOSTILE_REJECT {
+        let mut schema = Schema::new();
+        let mut consts = Interner::new();
+        let mut tgds = Vec::new();
+        let mut db = soct::model::Database::new();
+        let res = soct::parser::parse_into(src, &mut schema, &mut consts, &mut tgds, &mut db);
+        assert!(res.is_err(), "unexpectedly accepted {src:?}");
+    }
+}
+
+#[test]
+fn four_kib_identifier_and_deep_whitespace() {
+    let long = "p".repeat(4096);
+    let src = format!("{}({}).", long, "\n\t ".repeat(2000) + "a" + &" ".repeat(2000));
+    let mut schema = Schema::new();
+    let mut consts = Interner::new();
+    let db = parse_facts(&src, &mut schema, &mut consts).expect("long fact parses");
+    assert_eq!(db.len(), 1);
+    assert_eq!(schema.name(db.atoms().first().unwrap().pred), long);
+}
+
+#[test]
+fn empty_and_comment_only_inputs_parse_to_nothing() {
+    for src in ["", "   \t\r\n  ", "% only a comment", "# ☃\n% héhé\n"] {
+        let mut schema = Schema::new();
+        let mut consts = Interner::new();
+        let db = parse_facts(src, &mut schema, &mut consts)
+            .unwrap_or_else(|e| panic!("rejected {src:?}: {e}"));
+        assert!(db.is_empty(), "non-empty parse of {src:?}");
+    }
+}
+
+#[test]
+fn unicode_quoted_constants_round_trip() {
+    let src = "person('日本語').\nperson('☃ has spaces').\nperson(\"it's quoted\").\n";
+    let mut schema = Schema::new();
+    let mut consts = Interner::new();
+    let db = parse_facts(src, &mut schema, &mut consts).expect("quoted facts parse");
+    assert_eq!(db.len(), 3);
+
+    let text = soct::parser::write_facts(&db, &schema, &consts);
+    let mut schema2 = Schema::new();
+    let mut consts2 = Interner::new();
+    let db2 = parse_facts(&text, &mut schema2, &mut consts2).expect("writer output re-parses");
+    assert_eq!(db2.len(), db.len());
+
+    // Same constant names in the same order after the round trip.
+    let names = |db: &Database, consts: &Interner| -> Vec<String> {
+        db.atoms()
+            .iter()
+            .flat_map(|a| a.terms.iter())
+            .map(|t| match t {
+                Term::Const(c) => consts.try_resolve(c.symbol()).unwrap().to_string(),
+                other => panic!("unexpected term {other:?}"),
+            })
+            .collect()
+    };
+    assert_eq!(names(&db, &consts), names(&db2, &consts2));
+}
+
+#[test]
+fn error_positions_survive_multibyte_prefixes() {
+    // The bad token is on line 3; multi-byte comment bytes on earlier lines
+    // must not derail the line counter.
+    let src = "% ☃☃☃\n% 日本語テスト\npérson(a).";
+    let mut schema = Schema::new();
+    let mut consts = Interner::new();
+    let err = parse_facts(src, &mut schema, &mut consts).expect_err("must reject");
+    assert_eq!(err.line, 3, "wrong line in: {err}");
 }
