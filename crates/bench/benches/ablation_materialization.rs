@@ -37,7 +37,11 @@ fn bench(c: &mut Criterion) {
     );
     // Only bench a decisive, finite instance.
     let fast = check_termination(&schema, &tgds, &db, FindShapesMode::InMemory);
-    assert_eq!(fast.verdict, soct_core::Verdict::Finite, "pick another seed");
+    assert_eq!(
+        fast.verdict,
+        soct_core::Verdict::Finite,
+        "pick another seed"
+    );
 
     let mut group = c.benchmark_group("ablation_materialization");
     group.bench_function("acyclicity_based", |b| {

@@ -13,7 +13,11 @@ fn bench(c: &mut Criterion) {
     let shapes = find_shapes(&s.engine, FindShapesMode::InMemory).shapes;
     let mut group = c.benchmark_group("ablation_simplification");
     group.bench_function("dynamic_deep100", |b| {
-        b.iter(|| dyn_simplification(&s.schema, &s.tgds, std::hint::black_box(&shapes)).tgds.len())
+        b.iter(|| {
+            dyn_simplification(&s.schema, &s.tgds, std::hint::black_box(&shapes))
+                .tgds
+                .len()
+        })
     });
     group.bench_function("static_deep100", |b| {
         b.iter(|| {

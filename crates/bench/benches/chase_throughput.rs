@@ -1,0 +1,134 @@
+//! `chase_throughput`: raw chase-engine throughput over the two
+//! `ChaseStore` backends — the perf baseline later scaling PRs must beat.
+//!
+//! Two workloads, each run over the in-memory columnar backend and the
+//! storage-backed one (the storage numbers include loading the database
+//! into the engine and writing every derived tuple back through):
+//!
+//! - **transitive closure** — `e(x,y), e(y,z) → e(x,z)` on a path graph:
+//!   a terminating multi-atom join stressing the position index and the
+//!   semi-naive delta split (O(n²) derived atoms);
+//! - **divergent linear** — `R(x,y) → ∃z R(y,z)` under an atom budget:
+//!   the §3 running example, stressing null minting and witness interning
+//!   (one trigger per round, long round chains).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use soct_chase::{
+    run_chase_columnar, run_chase_on_engine, ChaseConfig, ChaseOutcome, ChaseVariant,
+};
+use soct_model::{Atom, ConstId, Instance, Schema, Term, Tgd, VarId};
+use soct_storage::StorageEngine;
+use std::time::Duration;
+
+fn v(i: u32) -> Term {
+    Term::Var(VarId(i))
+}
+
+fn c(i: u32) -> Term {
+    Term::Const(ConstId(i))
+}
+
+/// Path graph e(0,1), …, e(n-1,n) with the transitive-closure TGD.
+fn transitive_closure(n: u32) -> (Schema, Instance, Vec<Tgd>) {
+    let mut s = Schema::new();
+    let e = s.add_predicate("e", 2).unwrap();
+    let tgd = Tgd::new(
+        vec![
+            Atom::new(&s, e, vec![v(0), v(1)]).unwrap(),
+            Atom::new(&s, e, vec![v(1), v(2)]).unwrap(),
+        ],
+        vec![Atom::new(&s, e, vec![v(0), v(2)]).unwrap()],
+    )
+    .unwrap();
+    let mut db = Instance::new();
+    for i in 0..n {
+        db.insert(Atom::new(&s, e, vec![c(i), c(i + 1)]).unwrap());
+    }
+    (s, db, vec![tgd])
+}
+
+/// The §3 running example: R(x,y) → ∃z R(y,z), divergent for every variant.
+fn divergent_linear() -> (Schema, Instance, Vec<Tgd>) {
+    let mut s = Schema::new();
+    let r = s.add_predicate("R", 2).unwrap();
+    let tgd = Tgd::new(
+        vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+        vec![Atom::new(&s, r, vec![v(1), v(2)]).unwrap()],
+    )
+    .unwrap();
+    let mut db = Instance::new();
+    db.insert(Atom::new(&s, r, vec![c(0), c(1)]).unwrap());
+    (s, db, vec![tgd])
+}
+
+fn bench(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("chase_throughput");
+
+    // Transitive closure: n edges chase to n(n+1)/2 atoms.
+    for n in [64u32, 128] {
+        let (schema, db, tgds) = transitive_closure(n);
+        let cfg = ChaseConfig::unbounded(ChaseVariant::SemiOblivious);
+        let atoms = (n as u64) * (n as u64 + 1) / 2;
+        group.throughput(Throughput::Elements(atoms));
+        group.bench_with_input(BenchmarkId::new("tc/memory", n), &db, |b, db| {
+            b.iter(|| {
+                let res = run_chase_columnar(criterion::black_box(db), &tgds, &cfg);
+                assert_eq!(res.outcome, ChaseOutcome::Terminated);
+                res.store.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tc/storage", n), &db, |b, db| {
+            b.iter(|| {
+                // Storage cost includes the load and the write-through.
+                let mut engine = StorageEngine::new();
+                engine.load_instance(&schema, db);
+                let res = run_chase_on_engine(&schema, &mut engine, &tgds, &cfg);
+                assert_eq!(res.outcome, ChaseOutcome::Terminated);
+                res.store.len()
+            })
+        });
+    }
+
+    // Divergent linear rule under an atom budget: nulls + witness churn.
+    for budget in [2_000usize, 8_000] {
+        let (schema, db, tgds) = divergent_linear();
+        let cfg = ChaseConfig::with_max_atoms(ChaseVariant::SemiOblivious, budget);
+        group.throughput(Throughput::Elements(budget as u64));
+        group.bench_with_input(
+            BenchmarkId::new("divergent/memory", budget),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    let res = run_chase_columnar(criterion::black_box(db), &tgds, &cfg);
+                    assert_eq!(res.outcome, ChaseOutcome::AtomBudgetExceeded);
+                    res.store.len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("divergent/storage", budget),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    let mut engine = StorageEngine::new();
+                    engine.load_instance(&schema, db);
+                    let res = run_chase_on_engine(&schema, &mut engine, &tgds, &cfg);
+                    assert_eq!(res.outcome, ChaseOutcome::AtomBudgetExceeded);
+                    res.store.len()
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

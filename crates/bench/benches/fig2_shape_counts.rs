@@ -13,11 +13,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_shape_counts");
     for &view_size in &d.view_sizes {
         let view = LimitView::new(&d.engine, view_size);
-        group.bench_with_input(
-            BenchmarkId::new("shapes", view_size),
-            &view,
-            |b, view| b.iter(|| find_shapes(view, FindShapesMode::InMemory).shapes.len()),
-        );
+        group.bench_with_input(BenchmarkId::new("shapes", view_size), &view, |b, view| {
+            b.iter(|| find_shapes(view, FindShapesMode::InMemory).shapes.len())
+        });
     }
     group.finish();
 }

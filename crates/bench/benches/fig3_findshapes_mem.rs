@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_findshapes_mem");
     for &view_size in &d.view_sizes {
         let view = LimitView::new(&d.engine, view_size);
-        group.throughput(criterion::Throughput::Elements(view_size * d.pool.len() as u64));
+        group.throughput(criterion::Throughput::Elements(
+            view_size * d.pool.len() as u64,
+        ));
         group.bench_with_input(
             BenchmarkId::new("in_memory", view_size),
             &view,

@@ -19,17 +19,13 @@ fn bench(c: &mut Criterion) {
             (FindShapesMode::InDatabase, "in_db"),
             (FindShapesMode::InMemory, "in_mem"),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, &s.name),
-                &mode,
-                |b, &mode| {
-                    b.iter(|| {
-                        let rep = is_chase_finite_l(&s.schema, &s.tgds, &s.engine, mode);
-                        assert!(rep.finite);
-                        rep.n_db_shapes
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, &s.name), &mode, |b, &mode| {
+                b.iter(|| {
+                    let rep = is_chase_finite_l(&s.schema, &s.tgds, &s.engine, mode);
+                    assert!(rep.finite);
+                    rep.n_db_shapes
+                })
+            });
         }
     }
     group.finish();

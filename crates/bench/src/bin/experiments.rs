@@ -20,8 +20,22 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 const ALL: &[&str] = &[
-    "fig1", "sec8sep", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "appedges", "table1",
-    "table2", "ablsimpl", "ablmat", "ablscc", "ablapriori", "ablcatalog",
+    "fig1",
+    "sec8sep",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "appedges",
+    "table1",
+    "table2",
+    "ablsimpl",
+    "ablmat",
+    "ablscc",
+    "ablapriori",
+    "ablcatalog",
 ];
 
 struct Harness {
@@ -158,14 +172,19 @@ fn dstar_and_lsets(h: &mut Harness) -> &(Dstar, Vec<LSet>) {
             d.view_sizes
         );
         let sets = l_family(&h.scale, &d.schema, &d.pool, 2);
-        println!("  linear family: {} sets across 9 combined profiles", sets.len());
+        println!(
+            "  linear family: {} sets across 9 combined profiles",
+            sets.len()
+        );
         h.dstar = Some((d, sets));
     }
     h.dstar.as_ref().unwrap()
 }
 
 fn rule_schema_filter(set: &LSet) -> FxHashSet<PredId> {
-    soct_model::tgd::predicates_of(&set.tgds).into_iter().collect()
+    soct_model::tgd::predicates_of(&set.tgds)
+        .into_iter()
+        .collect()
 }
 
 fn profile_name(idx: usize) -> &'static str {
@@ -180,7 +199,13 @@ fn fig1(h: &mut Harness) {
     println!("== fig1: IsChaseFinite[SL] runtime (paper Fig. 1) ==");
     let (_schema, sets) = sl_family(&h.scale, 7);
     let mut table = Table::new(&[
-        "profile", "n-rules", "t-parse(ms)", "t-graph(ms)", "t-comp(ms)", "t-total(ms)", "finite",
+        "profile",
+        "n-rules",
+        "t-parse(ms)",
+        "t-graph(ms)",
+        "t-comp(ms)",
+        "t-total(ms)",
+        "finite",
     ]);
     let mut parse_pts = Vec::new();
     let mut graph_pts = Vec::new();
@@ -206,9 +231,16 @@ fn fig1(h: &mut Harness) {
         ]);
     }
     table.print();
-    for (name, pts) in [("t-parse", &parse_pts), ("t-graph", &graph_pts), ("t-comp", &comp_pts)] {
+    for (name, pts) in [
+        ("t-parse", &parse_pts),
+        ("t-graph", &graph_pts),
+        ("t-comp", &comp_pts),
+    ] {
         if let (Some((slope, _)), Some(r)) = (ols_slope(pts), pearson(pts)) {
-            println!("  {name} vs n-rules: slope {:.3} µs/rule, pearson r = {r:.3}", slope * 1e3);
+            println!(
+                "  {name} vs n-rules: slope {:.3} µs/rule, pearson r = {r:.3}",
+                slope * 1e3
+            );
         }
     }
     println!(
@@ -236,7 +268,10 @@ fn sec8_separation(h: &mut Harness) {
         let mut n = 0usize;
         for set in sets.iter() {
             let allow = rule_schema_filter(set);
-            let filtered = FilteredSource { inner: &view, allow: &allow };
+            let filtered = FilteredSource {
+                inner: &view,
+                allow: &allow,
+            };
             let shapes = find_shapes(&filtered, FindShapesMode::InMemory);
             let rep = check_l_with_shapes(&d.schema, &set.tgds, &shapes.shapes);
             total += ms(rep.timings.t_graph + rep.timings.t_comp);
@@ -270,8 +305,13 @@ fn fig2(h: &mut Harness) {
             let mut n = 0usize;
             for set in sets.iter().filter(|s| s.profile.pred_profile == pp) {
                 let allow = rule_schema_filter(set);
-                let filtered = FilteredSource { inner: &view, allow: &allow };
-                total += find_shapes(&filtered, FindShapesMode::InMemory).shapes.len();
+                let filtered = FilteredSource {
+                    inner: &view,
+                    allow: &allow,
+                };
+                total += find_shapes(&filtered, FindShapesMode::InMemory)
+                    .shapes
+                    .len();
                 n += 1;
             }
             table.row(vec![
@@ -314,7 +354,10 @@ fn fig3_fig4(h: &mut Harness, mode: FindShapesMode, id: &str) {
             let mut n = 0usize;
             for set in sets.iter().filter(|s| s.profile.pred_profile == pp) {
                 let allow = rule_schema_filter(set);
-                let filtered = FilteredSource { inner: &view, allow: &allow };
+                let filtered = FilteredSource {
+                    inner: &view,
+                    allow: &allow,
+                };
                 let t0 = Instant::now();
                 let _ = find_shapes(&filtered, mode);
                 total += ms(t0.elapsed());
@@ -328,7 +371,9 @@ fn fig3_fig4(h: &mut Harness, mode: FindShapesMode, id: &str) {
         }
     }
     table.print();
-    println!("  paper's take-home: t-shapes grows with database size and with the predicate profile.");
+    println!(
+        "  paper's take-home: t-shapes grows with database size and with the predicate profile."
+    );
     let _ = write_csv(&h.out, id, &table);
 }
 
@@ -351,11 +396,19 @@ fn fig5_6_7(h: &mut Harness, pred_profile: usize, id: &str) {
         h.dstar.as_ref().unwrap()
     };
     let mut table = Table::new(&[
-        "n-rules", "n-tuples/pred", "t-parse(ms)", "t-graph(ms)", "t-comp(ms)", "t-total(ms)",
+        "n-rules",
+        "n-tuples/pred",
+        "t-parse(ms)",
+        "t-graph(ms)",
+        "t-comp(ms)",
+        "t-total(ms)",
     ]);
     let mut parse_pts = Vec::new();
     let mut graph_pts = Vec::new();
-    for set in sets.iter().filter(|s| s.profile.pred_profile == pred_profile) {
+    for set in sets
+        .iter()
+        .filter(|s| s.profile.pred_profile == pred_profile)
+    {
         // t-parse of the rendered rule set (measured once per set).
         let t0 = Instant::now();
         let mut sch = soct_model::Schema::new();
@@ -365,7 +418,10 @@ fn fig5_6_7(h: &mut Harness, pred_profile: usize, id: &str) {
         for &view_size in &d.view_sizes {
             let view = soct_storage::LimitView::new(&d.engine, view_size);
             let allow = rule_schema_filter(set);
-            let filtered = FilteredSource { inner: &view, allow: &allow };
+            let filtered = FilteredSource {
+                inner: &view,
+                allow: &allow,
+            };
             let shapes = find_shapes(&filtered, FindShapesMode::InMemory);
             let rep = check_l_with_shapes(&d.schema, &set.tgds, &shapes.shapes);
             let t_graph = rep.timings.t_graph;
@@ -409,7 +465,10 @@ fn appendix_edges(h: &mut Harness) {
     let mut table = Table::new(&["profile", "n-rules", "n-edges", "n-simplified-rules"]);
     for set in sets.iter() {
         let allow = rule_schema_filter(set);
-        let filtered = FilteredSource { inner: &view, allow: &allow };
+        let filtered = FilteredSource {
+            inner: &view,
+            allow: &allow,
+        };
         let shapes = find_shapes(&filtered, FindShapesMode::InMemory);
         let rep = check_l_with_shapes(&d.schema, &set.tgds, &shapes.shapes);
         table.row(vec![
@@ -441,7 +500,10 @@ fn scenarios(h: &Harness) -> Vec<Scenario> {
 
 /// Table 1: scenario statistics.
 fn table1(h: &mut Harness) {
-    println!("== table1: scenario families (paper Table 1; atoms scaled ×{}) ==", h.scenario_atoms);
+    println!(
+        "== table1: scenario families (paper Table 1; atoms scaled ×{}) ==",
+        h.scenario_atoms
+    );
     let mut table = Table::new(&["name", "n-pred", "arity", "n-atoms", "n-shapes", "n-rules"]);
     for s in scenarios(h) {
         table.row(vec![
@@ -473,8 +535,16 @@ fn table2(h: &mut Harness) {
     println!("== table2: IsChaseFinite[L] on the scenarios, ms (paper Table 2) ==");
     let consts = soct_model::Interner::new();
     let mut table = Table::new(&[
-        "name", "t-parse", "t-graph", "t-comp", "t-shapes(db)", "t-total(db)", "t-shapes(mem)",
-        "t-total(mem)", "winner", "finite",
+        "name",
+        "t-parse",
+        "t-graph",
+        "t-comp",
+        "t-shapes(db)",
+        "t-total(db)",
+        "t-shapes(mem)",
+        "t-total(mem)",
+        "winner",
+        "finite",
     ]);
     for s in scenarios(h) {
         let text = soct_parser::write_tgds(&s.tgds, &s.schema, &consts);
@@ -490,7 +560,10 @@ fn table2(h: &mut Harness) {
         let t2 = Instant::now();
         let shapes_mem = find_shapes(&s.engine, FindShapesMode::InMemory);
         let t_shapes_mem = ms(t2.elapsed());
-        assert_eq!(shapes_db.shapes, shapes_mem.shapes, "FindShapes modes disagree");
+        assert_eq!(
+            shapes_db.shapes, shapes_mem.shapes,
+            "FindShapes modes disagree"
+        );
 
         let rep = check_l_with_shapes(&s.schema, &s.tgds, &shapes_db.shapes);
         let t_graph = ms(rep.timings.t_graph);
@@ -506,7 +579,12 @@ fn table2(h: &mut Harness) {
             format!("{total_db:.2}"),
             format!("{t_shapes_mem:.2}"),
             format!("{total_mem:.2}"),
-            if total_db <= total_mem { "in-db" } else { "in-mem" }.to_string(),
+            if total_db <= total_mem {
+                "in-db"
+            } else {
+                "in-mem"
+            }
+            .to_string(),
             rep.finite.to_string(),
         ]);
     }
@@ -527,15 +605,21 @@ fn table2(h: &mut Harness) {
 fn ablation_simplification(h: &mut Harness) {
     println!("== ablsimpl: dynamic vs static simplification (§4.2 claims) ==");
     let mut table = Table::new(&[
-        "input", "n-rules", "|simple_D(S)|", "|simple(S)|", "ratio", "t-dyn(ms)", "t-static(ms)",
+        "input",
+        "n-rules",
+        "|simple_D(S)|",
+        "|simple(S)|",
+        "ratio",
+        "t-dyn(ms)",
+        "t-static(ms)",
     ]);
     let mut ratios = Vec::new();
     let measure = |name: &str,
-                       schema: &soct_model::Schema,
-                       tgds: &[soct_model::Tgd],
-                       shapes: &[Shape],
-                       table: &mut Table,
-                       ratios: &mut Vec<f64>| {
+                   schema: &soct_model::Schema,
+                   tgds: &[soct_model::Tgd],
+                   shapes: &[Shape],
+                   table: &mut Table,
+                   ratios: &mut Vec<f64>| {
         let t0 = Instant::now();
         let dynamic = soct_core::dyn_simplification(schema, tgds, shapes);
         let t_dyn = ms(t0.elapsed());
@@ -546,7 +630,11 @@ fn ablation_simplification(h: &mut Harness) {
             .map(|t| soct_model::bell(t.body()[0].variables().len()))
             .sum();
         let (stat_str, ratio_str, t_static_str) = if est > 3_000_000 {
-            (format!("OOM-guard (~{est})"), "n/a".to_string(), "n/a".to_string())
+            (
+                format!("OOM-guard (~{est})"),
+                "n/a".to_string(),
+                "n/a".to_string(),
+            )
         } else {
             let t1 = Instant::now();
             let mut interner = soct_model::ShapeInterner::new();
@@ -555,7 +643,11 @@ fn ablation_simplification(h: &mut Harness) {
             let t_static = ms(t1.elapsed());
             let ratio = stat.len() as f64 / dynamic.tgds.len().max(1) as f64;
             ratios.push(ratio);
-            (stat.len().to_string(), format!("{ratio:.1}x"), format!("{t_static:.2}"))
+            (
+                stat.len().to_string(),
+                format!("{ratio:.1}x"),
+                format!("{t_static:.2}"),
+            )
         };
         table.row(vec![
             name.to_string(),
@@ -569,7 +661,14 @@ fn ablation_simplification(h: &mut Harness) {
     };
     for s in scenarios(h) {
         let shapes = find_shapes(&s.engine, FindShapesMode::InMemory).shapes;
-        measure(&s.name, &s.schema, &s.tgds, &shapes, &mut table, &mut ratios);
+        measure(
+            &s.name,
+            &s.schema,
+            &s.tgds,
+            &shapes,
+            &mut table,
+            &mut ratios,
+        );
     }
     // Contrast: a uniform-random profile set whose database exposes nearly
     // every shape — dynamic ≈ static there.
@@ -593,9 +692,19 @@ fn ablation_simplification(h: &mut Harness) {
         );
         let view = soct_storage::LimitView::new(&d.engine, *d.view_sizes.last().unwrap());
         let allow: FxHashSet<PredId> = soct_model::tgd::predicates_of(&tgds).into_iter().collect();
-        let filtered = FilteredSource { inner: &view, allow: &allow };
+        let filtered = FilteredSource {
+            inner: &view,
+            allow: &allow,
+        };
         let shapes: Vec<Shape> = find_shapes(&filtered, FindShapesMode::InMemory).shapes;
-        measure("uniform-random", &d.schema, &tgds, &shapes, &mut table, &mut ratios);
+        measure(
+            "uniform-random",
+            &d.schema,
+            &tgds,
+            &shapes,
+            &mut table,
+            &mut ratios,
+        );
     }
     table.print();
     let avg = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
@@ -613,7 +722,12 @@ fn ablation_simplification(h: &mut Harness) {
 fn ablation_materialization(h: &mut Harness) {
     println!("== ablmat: materialization-based vs acyclicity-based (§1.4) ==");
     let mut table = Table::new(&[
-        "seed", "verdict", "t-acyclicity(ms)", "t-materialization(ms)", "atoms-built", "oracle",
+        "seed",
+        "verdict",
+        "t-acyclicity(ms)",
+        "t-materialization(ms)",
+        "atoms-built",
+        "oracle",
     ]);
     let mut speedups = Vec::new();
     for seed in 0..10u64 {
@@ -673,7 +787,12 @@ fn ablation_scc(h: &mut Harness) {
     println!("== ablscc: special-SCC detection strategies (§5.2) ==");
     let (schema, sets) = sl_family(&h.scale, 31);
     let mut table = Table::new(&[
-        "n-rules", "nodes", "edges", "t-tarjan(ms)", "t-kosaraju(ms)", "t-per-edge(ms)",
+        "n-rules",
+        "nodes",
+        "edges",
+        "t-tarjan(ms)",
+        "t-kosaraju(ms)",
+        "t-per-edge(ms)",
     ]);
     for set in sets.iter().step_by(3) {
         let mut sch = soct_model::Schema::new();
@@ -714,9 +833,18 @@ fn ablation_scc(h: &mut Harness) {
 /// §5.4 ablation: Apriori pruning on/off for in-database FindShapes.
 fn ablation_apriori(h: &mut Harness) {
     println!("== ablapriori: Apriori pruning for in-db FindShapes (§5.4) ==");
-    let s = ibench_like(IBenchVariant::Stb128, (h.scenario_atoms * 0.2).max(0.0005), 17);
+    let s = ibench_like(
+        IBenchVariant::Stb128,
+        (h.scenario_atoms * 0.2).max(0.0005),
+        17,
+    );
     let mut table = Table::new(&[
-        "arity", "preds", "apriori-queries", "exhaustive-queries", "t-apriori(ms)", "t-exhaustive(ms)",
+        "arity",
+        "preds",
+        "apriori-queries",
+        "exhaustive-queries",
+        "t-apriori(ms)",
+        "t-exhaustive(ms)",
     ]);
     let mut by_arity: std::collections::BTreeMap<usize, (u64, u64, f64, f64, usize)> =
         std::collections::BTreeMap::new();
@@ -762,7 +890,12 @@ fn ablation_apriori(h: &mut Harness) {
 fn ablation_catalog(h: &mut Harness) {
     println!("== ablcatalog: materialised shape catalog (§10 future work) ==");
     let mut table = Table::new(&[
-        "name", "n-atoms", "t-mem(ms)", "t-db(ms)", "t-materialized(ms)", "t-build-once(ms)",
+        "name",
+        "n-atoms",
+        "t-mem(ms)",
+        "t-db(ms)",
+        "t-materialized(ms)",
+        "t-build-once(ms)",
     ]);
     for mut s in scenarios(h) {
         let t0 = Instant::now();

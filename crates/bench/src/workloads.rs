@@ -7,7 +7,9 @@
 //! - §8.1: the big shape-rich database `D★`, its first-k-rows views, and
 //!   per-profile families of linear TGD sets.
 
-use soct_gen::profiles::{combined_profiles, sample_profile_set, shared_schema, CombinedProfile, Scale};
+use soct_gen::profiles::{
+    combined_profiles, sample_profile_set, shared_schema, CombinedProfile, Scale,
+};
 use soct_model::{Interner, PredId, Schema, Tgd, TgdClass};
 use soct_storage::StorageEngine;
 

@@ -221,7 +221,7 @@ mod tests {
         .unwrap();
         let mut db = Instance::new();
         db.insert(Atom::new(&s, r, vec![c(0), c(1)]).unwrap());
-        let bound = chase_size_bound(&s, &[tgd.clone()], &db);
+        let bound = chase_size_bound(&s, std::slice::from_ref(&tgd), &db);
         assert!(bound < u128::MAX);
         // The bound must dominate the actual chase size.
         let res = crate::engine::run_chase(
@@ -289,8 +289,7 @@ mod tests {
         .unwrap();
         let g = DependencyGraph::build(&s, &[t1, t2]);
         let ranks = position_ranks(&g, &s, |pr| pr == r);
-        let pos =
-            |pred: PredId, i: usize| s.position_index(soct_model::Position::new(pred, i));
+        let pos = |pred: PredId, i: usize| s.position_index(soct_model::Position::new(pred, i));
         assert_eq!(ranks[pos(r, 0)], Some(0));
         assert_eq!(ranks[pos(p, 1)], Some(1));
         assert_eq!(ranks[pos(q, 1)], Some(2));

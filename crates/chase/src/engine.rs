@@ -16,12 +16,21 @@
 //!   an extension of `h|fr(σ)`; fresh nulls. Triggers are applied in a
 //!   deterministic order within a round (the classic sequential policy);
 //!   satisfaction is monotone, so each trigger needs checking only once.
+//!
+//! The engine runs on a [`ChaseStore`] of packed-`u64` tuples: TGDs are
+//! compiled to slot form once, substitutions are flat binding arrays,
+//! trigger dedup and null naming go through an interned witness arena —
+//! the hot enumeration path allocates no `Atom`, no `Box<[Term]>`, and
+//! clones no index posting list. [`run_chase`] is a thin compatibility
+//! wrapper over the in-memory backend; [`run_chase_on_engine`] chases a
+//! database resident in the storage layer directly, mirroring the paper's
+//! PostgreSQL setup (§5.3/§5.4).
 
-use crate::null_gen::NullFactory;
-use crate::trigger::{result_atoms, witness, NullPolicy};
-use soct_model::fxhash::FxHashSet;
-use soct_model::homomorphism::{exists_homomorphism, match_atom};
-use soct_model::{Atom, Instance, Substitution, Term, Tgd};
+use crate::null_gen::PackedNullFactory;
+use crate::store::{ChaseStore, ColumnarStore, EngineBackedStore, RowId, UNBOUND};
+use crate::trigger::{CompiledAtom, CompiledTgd, NullPolicy, WitnessTable};
+use soct_model::{Instance, Schema, Term, Tgd, MAX_ARITY};
+use soct_storage::StorageEngine;
 
 /// Which chase to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -84,7 +93,50 @@ pub enum ChaseOutcome {
     RoundBudgetExceeded,
 }
 
-/// The output of a chase run.
+/// Counters of a chase run, independent of where the tuples live.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaseStats {
+    pub outcome: ChaseOutcome,
+    /// Number of completed rounds (`i` such that the result is `chase_i`).
+    pub rounds: usize,
+    /// Triggers applied (atoms may be fewer: set semantics).
+    pub triggers_applied: usize,
+    /// Nulls minted.
+    pub nulls_created: usize,
+}
+
+/// The output of a chase run over the packed columnar backend: the chased
+/// instance stays in packed form ([`ColumnarStore`] implements
+/// `soct_storage::TupleSource`, so the result feeds `FindShapes` and the
+/// checkers without a copy-out conversion).
+#[derive(Debug)]
+pub struct StoreChaseResult {
+    pub store: ColumnarStore,
+    pub outcome: ChaseOutcome,
+    pub rounds: usize,
+    pub triggers_applied: usize,
+    pub nulls_created: usize,
+}
+
+impl StoreChaseResult {
+    fn new(store: ColumnarStore, stats: ChaseStats) -> Self {
+        StoreChaseResult {
+            store,
+            outcome: stats.outcome,
+            rounds: stats.rounds,
+            triggers_applied: stats.triggers_applied,
+            nulls_created: stats.nulls_created,
+        }
+    }
+
+    /// Atoms beyond the input database.
+    pub fn derived_atoms(&self, db_len: usize) -> usize {
+        self.store.len().saturating_sub(db_len)
+    }
+}
+
+/// The output of a chase run, decoded to a boxed-atom [`Instance`]
+/// (compatibility shape; see [`StoreChaseResult`] for the packed one).
 #[derive(Debug)]
 pub struct ChaseResult {
     pub instance: Instance,
@@ -105,24 +157,83 @@ impl ChaseResult {
 }
 
 /// Runs the chase of `db` with `tgds` under `config`.
+///
+/// Compatibility wrapper: chases over the in-memory columnar backend, then
+/// decodes the result into an [`Instance`]. Callers that can consume
+/// packed tuples should use [`run_chase_columnar`] and skip the decode.
 pub fn run_chase(db: &Instance, tgds: &[Tgd], config: &ChaseConfig) -> ChaseResult {
-    let mut inst = Instance::with_index();
-    for a in db.atoms() {
-        inst.insert(a.clone());
+    let res = run_chase_columnar(db, tgds, config);
+    ChaseResult {
+        instance: res.store.to_instance(),
+        outcome: res.outcome,
+        rounds: res.rounds,
+        triggers_applied: res.triggers_applied,
+        nulls_created: res.nulls_created,
     }
+}
+
+/// Runs the chase of `db` over the in-memory columnar backend, returning
+/// the result in packed form.
+pub fn run_chase_columnar(db: &Instance, tgds: &[Tgd], config: &ChaseConfig) -> StoreChaseResult {
+    let mut store = ColumnarStore::from_instance(db);
+    let stats = run_chase_on_store(&mut store, tgds, config);
+    StoreChaseResult::new(store, stats)
+}
+
+/// Chases the database resident in `engine` — the paper's in-database mode.
+///
+/// The engine's tables are scanned once to open the store, every derived
+/// tuple is written back through to the engine (tables for freshly
+/// materialised predicates are created on the fly, named after `schema`),
+/// and the packed working set is returned alongside the run counters. After
+/// the call, `engine` holds the chased instance.
+pub fn run_chase_on_engine(
+    schema: &Schema,
+    engine: &mut StorageEngine,
+    tgds: &[Tgd],
+    config: &ChaseConfig,
+) -> StoreChaseResult {
+    let mut store = EngineBackedStore::open(schema, engine);
+    let stats = run_chase_on_store(&mut store, tgds, config);
+    StoreChaseResult::new(store.into_store(), stats)
+}
+
+/// Runs the chase in place on any [`ChaseStore`] already holding the
+/// database. The generic core of every entry point above.
+pub fn run_chase_on_store<S: ChaseStore>(
+    store: &mut S,
+    tgds: &[Tgd],
+    config: &ChaseConfig,
+) -> ChaseStats {
     let policy = config.variant.null_policy();
-    let mut nulls = NullFactory::new();
-    // Dedup key: (TGD index, witness tuple). For the restricted chase the
-    // key is the full body witness: each homomorphism is *checked* once
-    // (satisfaction is monotone, so a skipped trigger stays inapplicable).
-    let mut applied: FxHashSet<(u32, Box<[Term]>)> = FxHashSet::default();
+    let compiled: Vec<CompiledTgd> = tgds.iter().map(CompiledTgd::compile).collect();
+    let max_slots = compiled.iter().map(|c| c.n_slots).max().unwrap_or(0);
+    let max_body = compiled
+        .iter()
+        .map(|c| c.body.len().max(c.head.len()))
+        .max()
+        .unwrap_or(0);
+    // Reusable scratch: one binding array, range vectors, witness and row
+    // buffers. Nothing below allocates per enumerated match.
+    let mut binding = vec![UNBOUND; max_slots];
+    let mut lo: Vec<RowId> = Vec::with_capacity(max_body);
+    let mut hi: Vec<RowId> = Vec::with_capacity(max_body);
+    let mut wit_scratch: Vec<u64> = Vec::with_capacity(max_slots);
+    let mut row_scratch = [0u64; MAX_ARITY];
+    // Witness interning doubles as the applied-trigger dedup set. For the
+    // restricted chase the key is the full body witness: each homomorphism
+    // is *checked* once (satisfaction is monotone, so a skipped trigger
+    // stays inapplicable).
+    let mut witnesses = WitnessTable::default();
+    let mut nulls = PackedNullFactory::default();
+    let mut new_triggers: Vec<(u32, u32)> = Vec::new();
     let mut triggers_applied = 0usize;
     let mut rounds = 0usize;
-    let mut delta_start = 0u32;
+    let mut delta_start: RowId = 0;
     let mut outcome = ChaseOutcome::Terminated;
 
     'rounds: loop {
-        let delta_end = inst.len() as u32;
+        let delta_end = store.len() as RowId;
         if delta_start == delta_end {
             break; // fixpoint
         }
@@ -132,59 +243,84 @@ pub fn run_chase(db: &Instance, tgds: &[Tgd], config: &ChaseConfig) -> ChaseResu
         }
         rounds += 1;
         // Phase 1: enumerate the round's new triggers. The matcher borrows
-        // the instance immutably, so application is deferred to phase 2.
-        let mut new_triggers: Vec<(u32, Substitution, Vec<Term>)> = Vec::new();
-        for (ti, tgd) in tgds.iter().enumerate() {
-            let body_len = tgd.body().len();
+        // the store immutably, so application is deferred to phase 2.
+        new_triggers.clear();
+        for (ti, ctgd) in compiled.iter().enumerate() {
+            let body_len = ctgd.body.len();
+            let wit_slots = ctgd.witness_slots(policy);
             for j in 0..body_len {
                 // Semi-naive ranges: body[j] in the delta, body[<j] strictly
                 // older, body[>j] anywhere up to delta_end.
-                let mut lo = vec![0u32; body_len];
-                let mut hi = vec![delta_end; body_len];
+                lo.clear();
+                lo.resize(body_len, 0);
+                hi.clear();
+                hi.resize(body_len, delta_end);
                 lo[j] = delta_start;
                 for h in hi.iter_mut().take(j) {
                     *h = delta_start;
                 }
-                for_each_match_ranged(
-                    tgd.body(),
-                    &inst,
-                    &lo,
-                    &hi,
-                    &Substitution::new(),
-                    &mut |sub| {
-                        let wit = witness(tgd, sub, policy);
-                        if applied.insert((ti as u32, wit.clone().into_boxed_slice())) {
-                            new_triggers.push((ti as u32, sub.clone(), wit));
-                        }
-                        true
-                    },
-                );
+                for s in binding.iter_mut().take(ctgd.n_slots) {
+                    *s = UNBOUND;
+                }
+                match_ranged(&ctgd.body, &*store, &lo, &hi, &mut binding, &mut |b| {
+                    wit_scratch.clear();
+                    wit_scratch.extend(wit_slots.iter().map(|&s| b[s as usize]));
+                    let (wit, is_new) = witnesses.intern(ti as u32, &wit_scratch);
+                    if is_new {
+                        new_triggers.push((ti as u32, wit));
+                    }
+                    true
+                });
             }
         }
         // Phase 2: apply. The (semi-)oblivious variants realise the
         // parallel `chase_i` semantics (results are key-determined, so
         // application order is irrelevant); the restricted variant applies
         // sequentially, re-checking head satisfaction against the live
-        // instance. Atoms inserted here sit beyond `delta_end` and feed the
+        // store. Rows inserted here sit beyond `delta_end` and feed the
         // next round's delta.
-        for (ti, sub, wit) in new_triggers {
-            let tgd = &tgds[ti as usize];
+        for &(ti, wit) in &new_triggers {
+            let ctgd = &compiled[ti as usize];
+            for s in binding.iter_mut().take(ctgd.n_slots) {
+                *s = UNBOUND;
+            }
+            {
+                let wtuple = witnesses.tuple(wit);
+                let fpos = ctgd.frontier_positions(policy);
+                for (fi, &s) in ctgd.frontier.iter().enumerate() {
+                    binding[s as usize] = wtuple[fpos[fi] as usize];
+                }
+            }
             if config.variant == ChaseVariant::Restricted {
                 // Applicable iff no extension of h|fr maps the head into
-                // the current instance.
-                let mut fr_sub = Substitution::new();
-                for &v in tgd.frontier() {
-                    fr_sub.bind(v, sub.get(v).expect("frontier is bound"));
-                }
-                if exists_homomorphism(tgd.head(), &inst, &fr_sub) {
+                // the current store.
+                let head_len = ctgd.head.len();
+                lo.clear();
+                lo.resize(head_len, 0);
+                hi.clear();
+                hi.resize(head_len, store.len() as RowId);
+                let satisfied =
+                    !match_ranged(&ctgd.head, &*store, &lo, &hi, &mut binding, &mut |_| false);
+                if satisfied {
                     continue;
                 }
             }
             triggers_applied += 1;
-            for a in result_atoms(tgd, ti, &sub, &wit, &mut nulls, policy) {
-                inst.insert(a);
+            for &es in ctgd.existential.iter() {
+                let null = match policy {
+                    NullPolicy::Fresh => nulls.fresh(),
+                    NullPolicy::ByFrontier | NullPolicy::ByFullBody => nulls.canonical(wit, es),
+                };
+                binding[es as usize] = Term::Null(null).pack();
             }
-            if inst.len() > config.max_atoms {
+            for ha in &ctgd.head {
+                for (i, &s) in ha.slots.iter().enumerate() {
+                    debug_assert_ne!(binding[s as usize], UNBOUND, "head var outside fr ∪ ∃");
+                    row_scratch[i] = binding[s as usize];
+                }
+                store.insert(ha.pred, &row_scratch[..ha.slots.len()]);
+            }
+            if store.len() > config.max_atoms {
                 outcome = ChaseOutcome::AtomBudgetExceeded;
                 break 'rounds;
             }
@@ -192,8 +328,7 @@ pub fn run_chase(db: &Instance, tgds: &[Tgd], config: &ChaseConfig) -> ChaseResu
         delta_start = delta_end;
     }
 
-    ChaseResult {
-        instance: inst,
+    ChaseStats {
         outcome,
         rounds,
         triggers_applied,
@@ -201,71 +336,102 @@ pub fn run_chase(db: &Instance, tgds: &[Tgd], config: &ChaseConfig) -> ChaseResu
     }
 }
 
-/// Backtracking matcher over atom-index ranges: body atom `i` may only match
-/// instance atoms with index in `[lo[i], hi[i])`. The ranges implement the
-/// semi-naive split; candidate lists come from the instance's position index
-/// whenever some argument is already ground.
-fn for_each_match_ranged<F>(
-    body: &[Atom],
-    inst: &Instance,
-    lo: &[u32],
-    hi: &[u32],
-    sub: &Substitution,
+/// Backtracking matcher over row-id ranges: body atom `i` may only match
+/// store rows with id in `[lo[i], hi[i])`. The ranges implement the
+/// semi-naive split; candidate lists are borrowed posting slices from the
+/// store's position index whenever some argument is already bound.
+/// `binding` maps variable slots to packed values ([`UNBOUND`] = free);
+/// bindings made while descending are unwound on backtrack, so the array
+/// returns to its entry state. Returns `false` iff `visit` stopped the
+/// enumeration.
+fn match_ranged<S, F>(
+    body: &[CompiledAtom],
+    store: &S,
+    lo: &[RowId],
+    hi: &[RowId],
+    binding: &mut [u64],
     visit: &mut F,
 ) -> bool
 where
-    F: FnMut(&Substitution) -> bool,
+    S: ChaseStore + ?Sized,
+    F: FnMut(&[u64]) -> bool,
 {
-    fn recurse<F>(
-        body: &[Atom],
+    fn recurse<S, F>(
+        body: &[CompiledAtom],
         depth: usize,
-        inst: &Instance,
-        lo: &[u32],
-        hi: &[u32],
-        sub: &Substitution,
+        store: &S,
+        lo: &[RowId],
+        hi: &[RowId],
+        binding: &mut [u64],
         visit: &mut F,
     ) -> bool
     where
-        F: FnMut(&Substitution) -> bool,
+        S: ChaseStore + ?Sized,
+        F: FnMut(&[u64]) -> bool,
     {
         if depth == body.len() {
-            return visit(sub);
+            return visit(binding);
         }
         if lo[depth] >= hi[depth] {
             return true; // empty range: no matches at this decomposition
         }
         let pattern = &body[depth];
-        let mut bound_pos: Option<(usize, Term)> = None;
-        for (i, t) in pattern.terms.iter().enumerate() {
-            let img = sub.apply_term(*t);
-            if img.is_ground() {
-                bound_pos = Some((i, img));
+        let mut pivot: Option<(usize, u64)> = None;
+        for (i, &s) in pattern.slots.iter().enumerate() {
+            let v = binding[s as usize];
+            if v != UNBOUND {
+                pivot = Some((i, v));
                 break;
             }
         }
-        let candidates: Vec<u32> = match bound_pos {
-            Some((i, t)) => inst.atoms_with(pattern.pred, i, t),
-            None => inst.atoms_of(pattern.pred).to_vec(),
+        let candidates: &[RowId] = match pivot {
+            Some((i, v)) => store.rows_with(pattern.pred, i, v),
+            None => store.rows_of(pattern.pred),
         };
-        for idx in candidates {
+        for &idx in candidates {
             if idx < lo[depth] || idx >= hi[depth] {
                 continue;
             }
-            if let Some(ext) = match_atom(pattern, inst.atom(idx), sub) {
-                if !recurse(body, depth + 1, inst, lo, hi, &ext, visit) {
-                    return false;
+            let row = store.row(idx);
+            debug_assert_eq!(row.len(), pattern.slots.len());
+            // Bind this atom's slots against the row, trailing fresh binds
+            // so they unwind whether the row matches or not.
+            let mut trail = [0u16; MAX_ARITY];
+            let mut trailed = 0usize;
+            let mut ok = true;
+            for (&s, &v) in pattern.slots.iter().zip(row.iter()) {
+                let cur = binding[s as usize];
+                if cur == UNBOUND {
+                    binding[s as usize] = v;
+                    trail[trailed] = s;
+                    trailed += 1;
+                } else if cur != v {
+                    ok = false;
+                    break;
                 }
+            }
+            let keep_going = if ok {
+                recurse(body, depth + 1, store, lo, hi, binding, visit)
+            } else {
+                true
+            };
+            for &s in &trail[..trailed] {
+                binding[s as usize] = UNBOUND;
+            }
+            if !keep_going {
+                return false;
             }
         }
         true
     }
-    recurse(body, 0, inst, lo, hi, sub, visit)
+    recurse(body, 0, store, lo, hi, binding, visit)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use soct_model::{satisfies_all, Atom, ConstId, Schema, VarId};
+    use soct_storage::TupleSource;
 
     fn c(i: u32) -> Term {
         Term::Const(ConstId(i))
@@ -332,7 +498,11 @@ mod tests {
             ChaseVariant::SemiOblivious,
             ChaseVariant::Restricted,
         ] {
-            let res = run_chase(&db, &[tgd.clone()], &ChaseConfig::with_max_atoms(variant, 40));
+            let res = run_chase(
+                &db,
+                std::slice::from_ref(&tgd),
+                &ChaseConfig::with_max_atoms(variant, 40),
+            );
             assert_eq!(res.outcome, ChaseOutcome::AtomBudgetExceeded, "{variant:?}");
         }
     }
@@ -498,5 +668,72 @@ mod tests {
         assert_eq!(res.outcome, ChaseOutcome::RoundBudgetExceeded);
         assert_eq!(res.rounds, 3);
         assert_eq!(res.instance.len(), 4, "one new atom per round");
+    }
+
+    #[test]
+    fn columnar_and_instance_paths_agree() {
+        let (_s, db, tgds) = example_1_1();
+        let packed = run_chase_columnar(
+            &db,
+            &tgds,
+            &ChaseConfig::with_max_atoms(ChaseVariant::SemiOblivious, 30),
+        );
+        let boxed = run_chase(
+            &db,
+            &tgds,
+            &ChaseConfig::with_max_atoms(ChaseVariant::SemiOblivious, 30),
+        );
+        assert_eq!(packed.store.len(), boxed.instance.len());
+        assert_eq!(packed.rounds, boxed.rounds);
+        assert_eq!(packed.triggers_applied, boxed.triggers_applied);
+        assert_eq!(packed.nulls_created, boxed.nulls_created);
+        assert_eq!(
+            packed.derived_atoms(db.len()),
+            boxed.derived_atoms(db.len())
+        );
+        let decoded = packed.store.to_instance();
+        for a in decoded.atoms() {
+            assert!(boxed.instance.contains(a));
+        }
+    }
+
+    #[test]
+    fn engine_backed_chase_persists_derived_atoms() {
+        // r(x,y) → ∃z p(x,z); p(x,y) → q(y), database resident in storage.
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 2).unwrap();
+        let q = s.add_predicate("q", 1).unwrap();
+        let tgds = vec![
+            Tgd::new(
+                vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+                vec![Atom::new(&s, p, vec![v(0), v(2)]).unwrap()],
+            )
+            .unwrap(),
+            Tgd::new(
+                vec![Atom::new(&s, p, vec![v(0), v(1)]).unwrap()],
+                vec![Atom::new(&s, q, vec![v(1)]).unwrap()],
+            )
+            .unwrap(),
+        ];
+        let mut engine = StorageEngine::new();
+        engine.create_table(r, "r", 2);
+        engine.insert(r, &[c(0), c(1)]);
+        engine.insert(r, &[c(1), c(1)]);
+        let res = run_chase_on_engine(
+            &s,
+            &mut engine,
+            &tgds,
+            &ChaseConfig::unbounded(ChaseVariant::SemiOblivious),
+        );
+        assert_eq!(res.outcome, ChaseOutcome::Terminated);
+        // Two p-atoms (one per frontier value) and the two q-atoms they feed.
+        assert_eq!(res.store.len(), 2 + 2 + 2);
+        assert_eq!(engine.row_count(p), 2, "derived p-atoms reached storage");
+        assert_eq!(engine.row_count(q), 2, "derived q-atoms reached storage");
+        assert_eq!(engine.table(q).unwrap().name(), "q");
+        // The packed result and the storage contents agree.
+        assert_eq!(res.store.non_empty_predicates(), vec![r, p, q]);
+        assert!(satisfies_all(&res.store.to_instance(), &tgds));
     }
 }

@@ -7,17 +7,41 @@
 //! exploratory analysis dismissed as impractical (§1.4). General (multi-atom
 //! body/head) TGDs are supported throughout; the linear classes are simply
 //! the fast path.
+//!
+//! ## The `ChaseStore` layer
+//!
+//! Since the paper runs every experiment against a database-resident
+//! instance, the engines here run on a packed columnar tuple store
+//! ([`store::ChaseStore`]) rather than on boxed atoms, with one backend
+//! per deployment mode:
+//!
+//! - [`ColumnarStore`] — the **in-memory** mode (§5.3): per-predicate
+//!   packed-`u64` row arenas with an incremental position index.
+//! - [`store::EngineBackedStore`] — the **in-database** mode (§5.4): the
+//!   instance lives in a `soct_storage::StorageEngine` (our PostgreSQL
+//!   stand-in); [`run_chase_on_engine`] chases it directly and writes every
+//!   derived tuple back through to the engine's tables.
+//!
+//! [`run_chase`] remains the boxed-[`soct_model::Instance`] compatibility
+//! wrapper; [`run_chase_columnar`] returns the packed result, which
+//! implements `soct_storage::TupleSource` and therefore feeds `FindShapes`
+//! and the termination checkers without a copy-out conversion.
 
 pub mod bounds;
 pub mod engine;
 pub mod materialization;
 pub mod null_gen;
+pub mod store;
 pub mod trigger;
 
 pub use bounds::{chase_size_bound, position_ranks};
-pub use engine::{run_chase, ChaseConfig, ChaseOutcome, ChaseResult, ChaseVariant};
+pub use engine::{
+    run_chase, run_chase_columnar, run_chase_on_engine, run_chase_on_store, ChaseConfig,
+    ChaseOutcome, ChaseResult, ChaseStats, ChaseVariant, StoreChaseResult,
+};
 pub use materialization::{
     is_chase_finite_materialization, MaterializationReport, MaterializationVerdict,
 };
 pub use null_gen::NullFactory;
+pub use store::{ChaseStore, ColumnarStore, EngineBackedStore, RowId};
 pub use trigger::{result_atoms, witness, NullPolicy};

@@ -16,7 +16,8 @@
 //! simple-linear TGDs and for any set whose bound the caller trusts.
 
 use crate::bounds::chase_size_bound;
-use crate::engine::{run_chase, ChaseConfig, ChaseOutcome, ChaseVariant};
+use crate::engine::{run_chase_on_store, ChaseConfig, ChaseOutcome, ChaseVariant};
+use crate::store::ColumnarStore;
 use soct_model::{Instance, Schema, Tgd};
 
 /// Verdict of the materialization-based checker.
@@ -59,21 +60,24 @@ pub fn is_chase_finite_materialization(
         bound as usize + 1
     };
     let cutoff = budget.map_or(bound_cutoff, |b| b.min(bound_cutoff));
-    let res = run_chase(
-        db,
+    // Only the atom count matters here, so the chase runs directly on the
+    // packed columnar store — no boxed-atom instance is ever materialized.
+    let mut store = ColumnarStore::from_instance(db);
+    let stats = run_chase_on_store(
+        &mut store,
         tgds,
         &ChaseConfig::with_max_atoms(ChaseVariant::SemiOblivious, cutoff),
     );
-    let verdict = match res.outcome {
+    let verdict = match stats.outcome {
         ChaseOutcome::Terminated => MaterializationVerdict::Finite,
-        _ if res.instance.len() as u128 > bound => MaterializationVerdict::Infinite,
+        _ if store.len() as u128 > bound => MaterializationVerdict::Infinite,
         _ => MaterializationVerdict::BudgetExhausted,
     };
     MaterializationReport {
         verdict,
         bound,
-        atoms_materialized: res.instance.len(),
-        rounds: res.rounds,
+        atoms_materialized: store.len(),
+        rounds: stats.rounds,
     }
 }
 

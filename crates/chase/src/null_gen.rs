@@ -70,6 +70,42 @@ impl NullFactory {
     }
 }
 
+/// The packed engine's null factory: canonical nulls are keyed by
+/// `(witness id, existential slot)`, where the witness id comes from the
+/// engine's [`crate::trigger::WitnessTable`] (which already encodes the TGD
+/// and the witness tuple). No tuple is cloned per null — the whole key is
+/// eight bytes.
+#[derive(Default, Debug)]
+pub(crate) struct PackedNullFactory {
+    map: FxHashMap<(u32, u16), NullId>,
+    next: u32,
+}
+
+impl PackedNullFactory {
+    /// The null `⊥^slot_{witness}`; stable across calls with the same key.
+    pub fn canonical(&mut self, witness: u32, slot: u16) -> NullId {
+        if let Some(&n) = self.map.get(&(witness, slot)) {
+            return n;
+        }
+        let id = NullId(self.next);
+        self.next += 1;
+        self.map.insert((witness, slot), id);
+        id
+    }
+
+    /// A fresh null that will never be reused (restricted chase).
+    pub fn fresh(&mut self) -> NullId {
+        let id = NullId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Number of nulls minted so far.
+    pub fn count(&self) -> usize {
+        self.next as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +144,18 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(b, c_);
         assert_eq!(f.count(), 3);
+    }
+
+    #[test]
+    fn packed_factory_mirrors_the_term_factory() {
+        let mut f = PackedNullFactory::default();
+        let a = f.canonical(0, 0);
+        assert_eq!(f.canonical(0, 0), a);
+        assert_ne!(f.canonical(1, 0), a); // other witness
+        assert_ne!(f.canonical(0, 1), a); // other slot
+        let fresh = f.fresh();
+        assert_ne!(fresh, a);
+        assert_eq!(f.count(), 4);
     }
 
     #[test]

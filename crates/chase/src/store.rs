@@ -1,0 +1,532 @@
+//! The packed columnar tuple store the chase engines run on.
+//!
+//! The paper runs every experiment against a database-resident instance
+//! (PostgreSQL, §5.3/§5.4); this module is the substrate that lets our
+//! chase do the same. A [`ChaseStore`] is a mutable set of packed-`u64`
+//! tuples ([`soct_model::Term::pack`] encoding) with the three access paths
+//! trigger enumeration needs:
+//!
+//! 1. per-predicate row listings (the scan side of body matching),
+//! 2. an incremental `(predicate, position, value) → rows` index with
+//!    borrowed-slice lookups (the index-nested-loops side), and
+//! 3. tuple-hash duplicate detection (the set semantics of the `chase_i`
+//!    fixpoint).
+//!
+//! Rows carry global, insertion-ordered ids ([`RowId`]) so the engine's
+//! semi-naive delta ranges work across predicates, exactly like the atom
+//! indices of [`soct_model::Instance`] — but a row here is a bare `&[u64]`
+//! slice into a per-predicate arena: the hot path never allocates an
+//! `Atom`, boxes a term slice, or clones an index posting list.
+//!
+//! Two implementations mirror the paper's two deployment modes:
+//!
+//! - [`ColumnarStore`] — the in-memory mode (§5.3's "in-memory" flavour):
+//!   everything lives in per-predicate packed arenas.
+//! - [`EngineBackedStore`] — the in-database mode (§5.4): the instance
+//!   lives in a [`StorageEngine`] (our stand-in for PostgreSQL). Opening
+//!   the store performs the engine's *full-scan* operation once to build
+//!   the working arenas — a decoded buffer pool over the engine's pages —
+//!   and every derived tuple is written back through to the engine's
+//!   tables, so after the run the chased instance is database-resident.
+//!
+//! [`ColumnarStore`] also implements [`TupleSource`], so chase output can
+//! be handed straight to the termination checkers and `FindShapes` without
+//! converting back to boxed atoms.
+
+use soct_model::fxhash::{FxHashMap, FxHasher};
+use soct_model::{Atom, Instance, PredId, Schema, Term, MAX_ARITY};
+use soct_storage::{query, ColumnCondition, StorageEngine, TupleSource};
+use std::hash::Hasher;
+
+/// Global index of a row within a store (insertion order, across all
+/// predicates) — the unit of the engine's semi-naive delta ranges.
+pub type RowId = u32;
+
+/// The sentinel an engine binding slot holds while unbound. Never a valid
+/// packed ground term (packed tags are 0..=2 in bits 32..34).
+pub(crate) const UNBOUND: u64 = u64::MAX;
+
+/// Mutable packed-tuple storage with the access paths the chase needs.
+///
+/// The chase engine is generic over this trait; [`ColumnarStore`] and
+/// [`EngineBackedStore`] are the two shipped implementations.
+pub trait ChaseStore {
+    /// Total rows, across all predicates.
+    fn len(&self) -> usize;
+
+    /// True when no rows are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The packed terms of row `id`.
+    fn row(&self, id: RowId) -> &[u64];
+
+    /// The predicate of row `id`.
+    fn pred_of(&self, id: RowId) -> PredId;
+
+    /// Row ids of predicate `pred`, in insertion order.
+    fn rows_of(&self, pred: PredId) -> &[RowId];
+
+    /// Row ids of `pred` whose `position`-th column equals `value` — an
+    /// exact, borrowed posting list from the incremental position index.
+    fn rows_with(&self, pred: PredId, position: usize, value: u64) -> &[RowId];
+
+    /// Inserts a packed tuple; returns its new id, or `None` if an equal
+    /// tuple of the same predicate is already stored.
+    ///
+    /// `row.len()` is the predicate's arity: it must be in
+    /// `1..=MAX_ARITY` and consistent across all inserts of `pred`
+    /// (schema-checked atoms guarantee this; implementations may panic on
+    /// violation rather than corrupt their arenas).
+    fn insert(&mut self, pred: PredId, row: &[u64]) -> Option<RowId>;
+}
+
+/// Hash of a `(predicate, packed tuple)` pair — the dedup key.
+#[inline]
+fn row_hash(pred: PredId, row: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u32(pred.0);
+    for &v in row {
+        h.write_u64(v);
+    }
+    h.finish()
+}
+
+/// Per-predicate packed-row arena.
+#[derive(Default, Clone, Debug)]
+struct PredColumn {
+    /// Columns per row; fixed after the first insert.
+    arity: u32,
+    /// Row-major packed values, `arity` per row, insertion order.
+    values: Vec<u64>,
+    /// Global ids of this predicate's rows, insertion order.
+    rows: Vec<RowId>,
+}
+
+/// Locates a row inside its predicate's arena.
+#[derive(Clone, Copy, Debug)]
+struct RowRef {
+    pred: PredId,
+    /// Offset of the row's first value in `PredColumn::values`.
+    offset: u32,
+}
+
+/// The in-memory [`ChaseStore`]: per-predicate packed-row arenas, a global
+/// insertion-order directory, an incremental position index, and
+/// tuple-hash dedup. Predicates are discovered lazily from inserted rows,
+/// so no schema is needed to create one.
+#[derive(Default, Clone, Debug)]
+pub struct ColumnarStore {
+    preds: Vec<PredColumn>,
+    dir: Vec<RowRef>,
+    /// `(pred, position, packed value) → row ids`, maintained on insert.
+    pos_index: FxHashMap<(PredId, u16, u64), Vec<RowId>>,
+    /// `row_hash → row ids`; collisions resolved by comparing arenas.
+    dedup: FxHashMap<u64, Vec<RowId>>,
+}
+
+impl ColumnarStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a store holding the atoms of `db`, in insertion order.
+    pub fn from_instance(db: &Instance) -> Self {
+        let mut store = Self::new();
+        let mut scratch = [0u64; MAX_ARITY];
+        for a in db.atoms() {
+            for (i, t) in a.terms.iter().enumerate() {
+                scratch[i] = t.pack();
+            }
+            store.insert(a.pred, &scratch[..a.arity()]);
+        }
+        store
+    }
+
+    /// Builds a store from any [`TupleSource`] — predicates in catalog
+    /// order, rows in scan order. Duplicate source rows collapse (set
+    /// semantics).
+    pub fn from_source(src: &dyn TupleSource) -> Self {
+        let mut store = Self::new();
+        for pred in src.non_empty_predicates() {
+            src.scan(pred, &mut |row| {
+                store.insert(pred, row);
+                true
+            });
+        }
+        store
+    }
+
+    /// Total rows, across all predicates (inherent mirror of
+    /// [`ChaseStore::len`], so callers need no trait import).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dir.len()
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.dir.is_empty()
+    }
+
+    /// The distinct predicates with at least one row, ascending.
+    pub fn predicates(&self) -> impl Iterator<Item = PredId> + '_ {
+        self.preds
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.rows.is_empty())
+            .map(|(i, _)| PredId(i as u32))
+    }
+
+    /// Arity of `pred` (0 when the predicate holds no rows).
+    pub fn arity_of(&self, pred: PredId) -> usize {
+        self.preds
+            .get(pred.index())
+            .map(|c| c.arity as usize)
+            .unwrap_or(0)
+    }
+
+    /// True if an equal tuple of `pred` is stored.
+    pub fn contains(&self, pred: PredId, row: &[u64]) -> bool {
+        self.find(pred, row).is_some()
+    }
+
+    fn find(&self, pred: PredId, row: &[u64]) -> Option<RowId> {
+        let candidates = self.dedup.get(&row_hash(pred, row))?;
+        candidates
+            .iter()
+            .copied()
+            .find(|&id| self.pred_of(id) == pred && self.row(id) == row)
+    }
+
+    /// Iterates `(predicate, packed row)` in global insertion order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (PredId, &[u64])> + '_ {
+        self.dir.iter().map(move |r| {
+            let col = &self.preds[r.pred.index()];
+            let off = r.offset as usize;
+            (r.pred, &col.values[off..off + col.arity as usize])
+        })
+    }
+
+    /// Decodes the store into a boxed-atom [`Instance`] (compatibility
+    /// path; the hot paths stay packed). The result keeps the position
+    /// index so downstream homomorphism checks stay fast.
+    pub fn to_instance(&self) -> Instance {
+        let mut inst = Instance::with_index();
+        for (pred, row) in self.iter_rows() {
+            let terms: Vec<Term> = row
+                .iter()
+                .map(|&v| Term::unpack(v).expect("stores hold valid packed ground terms"))
+                .collect();
+            inst.insert(Atom::new_unchecked(pred, terms));
+        }
+        inst
+    }
+}
+
+impl ChaseStore for ColumnarStore {
+    #[inline]
+    fn len(&self) -> usize {
+        ColumnarStore::len(self)
+    }
+
+    #[inline]
+    fn row(&self, id: RowId) -> &[u64] {
+        let r = self.dir[id as usize];
+        let col = &self.preds[r.pred.index()];
+        let off = r.offset as usize;
+        &col.values[off..off + col.arity as usize]
+    }
+
+    #[inline]
+    fn pred_of(&self, id: RowId) -> PredId {
+        self.dir[id as usize].pred
+    }
+
+    fn rows_of(&self, pred: PredId) -> &[RowId] {
+        self.preds
+            .get(pred.index())
+            .map(|c| c.rows.as_slice())
+            .unwrap_or(&[])
+    }
+
+    fn rows_with(&self, pred: PredId, position: usize, value: u64) -> &[RowId] {
+        self.pos_index
+            .get(&(pred, position as u16, value))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    fn insert(&mut self, pred: PredId, row: &[u64]) -> Option<RowId> {
+        debug_assert!(!row.is_empty() && row.len() <= MAX_ARITY);
+        let hash = row_hash(pred, row);
+        if let Some(candidates) = self.dedup.get(&hash) {
+            if candidates
+                .iter()
+                .any(|&id| self.pred_of(id) == pred && self.row(id) == row)
+            {
+                return None;
+            }
+        }
+        if pred.index() >= self.preds.len() {
+            self.preds
+                .resize_with(pred.index() + 1, PredColumn::default);
+        }
+        let id = self.dir.len() as RowId;
+        let col = &mut self.preds[pred.index()];
+        if col.rows.is_empty() {
+            col.arity = row.len() as u32;
+        }
+        // A hard assert: a mismatched-arity insert would misalign every
+        // later row of the arena. Trivial next to the hashing above.
+        assert_eq!(
+            col.arity as usize,
+            row.len(),
+            "arity drift within a predicate"
+        );
+        let offset = col.values.len() as u32;
+        col.values.extend_from_slice(row);
+        col.rows.push(id);
+        self.dir.push(RowRef { pred, offset });
+        for (i, &v) in row.iter().enumerate() {
+            self.pos_index
+                .entry((pred, i as u16, v))
+                .or_default()
+                .push(id);
+        }
+        self.dedup.entry(hash).or_default().push(id);
+        Some(id)
+    }
+}
+
+impl TupleSource for ColumnarStore {
+    fn non_empty_predicates(&self) -> Vec<PredId> {
+        self.predicates().collect()
+    }
+
+    fn arity_of(&self, pred: PredId) -> usize {
+        ColumnarStore::arity_of(self, pred)
+    }
+
+    fn row_count(&self, pred: PredId) -> u64 {
+        self.rows_of(pred).len() as u64
+    }
+
+    fn scan(&self, pred: PredId, f: &mut dyn FnMut(&[u64]) -> bool) -> bool {
+        let Some(col) = self.preds.get(pred.index()) else {
+            return true;
+        };
+        if col.rows.is_empty() {
+            return true;
+        }
+        for row in col.values.chunks_exact(col.arity as usize) {
+            if !f(row) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn exists_where(&self, pred: PredId, conds: &[ColumnCondition]) -> bool {
+        !self.scan(pred, &mut |row| !query::eval_all(conds, row))
+    }
+}
+
+/// The storage-backed [`ChaseStore`]: the instance lives in a
+/// [`StorageEngine`] and every derived tuple is written through to it.
+///
+/// Opening the store performs the engine's full-scan operation once (the
+/// §5.3 "load" step) to populate a [`ColumnarStore`] working set — the
+/// decoded buffer pool the matcher reads — then all inserts go to both.
+/// Duplicate rows already present in the engine collapse into the working
+/// set but are left untouched on disk.
+pub struct EngineBackedStore<'a> {
+    engine: &'a mut StorageEngine,
+    schema: &'a Schema,
+    mem: ColumnarStore,
+    /// Predicates whose engine table is known to exist (growth hook cache).
+    ensured: Vec<bool>,
+}
+
+impl<'a> EngineBackedStore<'a> {
+    /// Opens the database resident in `engine` for chasing. Scans every
+    /// non-empty table once; `schema` supplies table names for predicates
+    /// first materialised by the chase.
+    pub fn open(schema: &'a Schema, engine: &'a mut StorageEngine) -> Self {
+        // One source of truth for the canonical load order (predicates
+        // ascending, rows in insertion order): the bit-identical guarantee
+        // between backends depends on it.
+        let mem = ColumnarStore::from_source(engine);
+        let mut ensured = vec![false; schema.len()];
+        for (pred, _) in engine.tables() {
+            if let Some(e) = ensured.get_mut(pred.index()) {
+                *e = true;
+            }
+        }
+        EngineBackedStore {
+            engine,
+            schema,
+            mem,
+            ensured,
+        }
+    }
+
+    /// Detaches the in-memory working set (the chased instance) from the
+    /// engine borrow.
+    pub fn into_store(self) -> ColumnarStore {
+        self.mem
+    }
+
+    /// The engine this store writes through to.
+    pub fn engine(&self) -> &StorageEngine {
+        self.engine
+    }
+}
+
+impl ChaseStore for EngineBackedStore<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    #[inline]
+    fn row(&self, id: RowId) -> &[u64] {
+        self.mem.row(id)
+    }
+
+    #[inline]
+    fn pred_of(&self, id: RowId) -> PredId {
+        self.mem.pred_of(id)
+    }
+
+    fn rows_of(&self, pred: PredId) -> &[RowId] {
+        self.mem.rows_of(pred)
+    }
+
+    fn rows_with(&self, pred: PredId, position: usize, value: u64) -> &[RowId] {
+        self.mem.rows_with(pred, position, value)
+    }
+
+    fn insert(&mut self, pred: PredId, row: &[u64]) -> Option<RowId> {
+        let id = self.mem.insert(pred, row)?;
+        if !self.ensured.get(pred.index()).copied().unwrap_or(false) {
+            self.engine
+                .create_table(pred, self.schema.name(pred), row.len());
+            if pred.index() >= self.ensured.len() {
+                self.ensured.resize(pred.index() + 1, false);
+            }
+            self.ensured[pred.index()] = true;
+        }
+        self.engine.insert_packed(pred, row);
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soct_model::ConstId;
+
+    fn c(i: u32) -> u64 {
+        Term::Const(ConstId(i)).pack()
+    }
+
+    #[test]
+    fn insert_dedups_and_indexes() {
+        let mut s = ColumnarStore::new();
+        let p = PredId(0);
+        assert_eq!(s.insert(p, &[c(0), c(1)]), Some(0));
+        assert_eq!(s.insert(p, &[c(0), c(1)]), None);
+        assert_eq!(s.insert(p, &[c(1), c(1)]), Some(1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.rows_of(p), &[0, 1]);
+        assert_eq!(s.rows_with(p, 0, c(0)), &[0]);
+        assert_eq!(s.rows_with(p, 1, c(1)), &[0, 1]);
+        assert_eq!(s.rows_with(p, 1, c(9)), &[] as &[RowId]);
+        assert_eq!(s.row(1), &[c(1), c(1)]);
+        assert!(s.contains(p, &[c(0), c(1)]));
+        assert!(!s.contains(p, &[c(1), c(0)]));
+    }
+
+    #[test]
+    fn global_ids_interleave_predicates() {
+        let mut s = ColumnarStore::new();
+        let (p, q) = (PredId(0), PredId(2));
+        s.insert(p, &[c(0)]);
+        s.insert(q, &[c(1), c(1)]);
+        s.insert(p, &[c(2)]);
+        assert_eq!(s.rows_of(p), &[0, 2]);
+        assert_eq!(s.rows_of(q), &[1]);
+        assert_eq!(s.pred_of(1), q);
+        assert_eq!(s.arity_of(q), 2);
+        let preds: Vec<PredId> = s.predicates().collect();
+        assert_eq!(preds, vec![p, q]);
+    }
+
+    #[test]
+    fn instance_round_trip_preserves_order_and_set() {
+        let mut schema = Schema::new();
+        let r = schema.add_predicate("r", 2).unwrap();
+        let mut inst = Instance::new();
+        for i in 0..5u32 {
+            inst.insert(
+                Atom::new(
+                    &schema,
+                    r,
+                    vec![Term::Const(ConstId(i)), Term::Const(ConstId(i + 1))],
+                )
+                .unwrap(),
+            );
+        }
+        let store = ColumnarStore::from_instance(&inst);
+        assert_eq!(store.len(), 5);
+        let back = store.to_instance();
+        assert_eq!(back.len(), 5);
+        for (a, b) in inst.atoms().iter().zip(back.atoms()) {
+            assert_eq!(a, b, "insertion order survives the round trip");
+        }
+    }
+
+    #[test]
+    fn tuple_source_view_matches_contents() {
+        let mut s = ColumnarStore::new();
+        let p = PredId(1);
+        s.insert(p, &[c(3), c(3)]);
+        s.insert(p, &[c(3), c(4)]);
+        assert_eq!(s.non_empty_predicates(), vec![p]);
+        assert_eq!(TupleSource::row_count(&s, p), 2);
+        assert!(s.exists_where(p, &[ColumnCondition::Eq(0, 1)]));
+        assert!(!s.exists_where(p, &[ColumnCondition::Ne(0, 1), ColumnCondition::Eq(0, 1)]));
+        let mut seen = 0;
+        s.scan(p, &mut |row| {
+            assert_eq!(row.len(), 2);
+            seen += 1;
+            true
+        });
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn engine_backed_store_writes_through() {
+        let mut schema = Schema::new();
+        let r = schema.add_predicate("r", 2).unwrap();
+        let p = schema.add_predicate("p", 1).unwrap();
+        let mut engine = StorageEngine::new();
+        engine.create_table(r, "r", 2);
+        engine.insert_packed(r, &[c(0), c(1)]);
+        engine.insert_packed(r, &[c(0), c(1)]); // on-disk duplicate
+        let mut store = EngineBackedStore::open(&schema, &mut engine);
+        assert_eq!(store.len(), 1, "duplicates collapse in the working set");
+        // A derived tuple for a predicate with no table yet.
+        assert!(store.insert(p, &[c(7)]).is_some());
+        assert!(store.insert(p, &[c(7)]).is_none(), "write-through dedups");
+        let mem = store.into_store();
+        assert_eq!(mem.len(), 2);
+        assert_eq!(engine.row_count(p), 1);
+        assert_eq!(engine.table(p).unwrap().name(), "p");
+        // Engine keeps its original rows untouched.
+        assert_eq!(engine.row_count(r), 2);
+    }
+}

@@ -5,7 +5,9 @@
 //! the frontier and by canonical nulls on the existential variables.
 
 use crate::null_gen::NullFactory;
-use soct_model::{Atom, Substitution, Term, Tgd};
+use soct_model::fxhash::{FxHashMap, FxHasher};
+use soct_model::{Atom, PredId, Substitution, Term, Tgd, VarId};
+use std::hash::Hasher;
 
 /// How trigger application names its nulls — the knob that separates the
 /// three chase variants (§1.1).
@@ -59,6 +61,165 @@ pub fn result_atoms(
         }
     }
     tgd.head().iter().map(|a| full.apply_atom(a)).collect()
+}
+
+// ── Packed trigger machinery (the `ChaseStore` hot path) ────────────────
+//
+// The engine no longer matches boxed `Atom`s: each TGD is compiled once
+// into dense *slot* form (variables renamed to 0..n in `VarId` order, one
+// slot per distinct variable), after which a substitution is a plain
+// `[u64]` binding array and a witness is a `&[u64]` projection of it —
+// no `Substitution` maps, no `Box<[Term]>` keys, no per-match allocation.
+
+/// An atom compiled against a TGD's slot numbering: the i-th argument is
+/// the variable in slot `slots[i]`.
+#[derive(Clone, Debug)]
+pub(crate) struct CompiledAtom {
+    pub pred: PredId,
+    pub slots: Box<[u16]>,
+}
+
+/// A TGD compiled for the packed engine.
+#[derive(Clone, Debug)]
+pub(crate) struct CompiledTgd {
+    pub body: Vec<CompiledAtom>,
+    pub head: Vec<CompiledAtom>,
+    /// Number of distinct variables (slots) in the TGD.
+    pub n_slots: usize,
+    /// Frontier slots, `VarId`-ascending (= slot-ascending).
+    pub frontier: Box<[u16]>,
+    /// All body-variable slots, `VarId`-ascending — the full-body witness.
+    pub witness_full: Box<[u16]>,
+    /// Position of each frontier slot within `witness_full`.
+    frontier_in_full: Box<[u16]>,
+    /// `0..frontier.len()` — frontier positions within the frontier witness.
+    frontier_identity: Box<[u16]>,
+    /// Existential slots, `VarId`-ascending.
+    pub existential: Box<[u16]>,
+}
+
+impl CompiledTgd {
+    /// Compiles `tgd`, assigning slots to its variables in `VarId` order so
+    /// slot-order projections coincide with the sorted-variable witness
+    /// tuples of [`witness`].
+    pub fn compile(tgd: &Tgd) -> Self {
+        let mut vars: Vec<VarId> = Vec::new();
+        for a in tgd.body().iter().chain(tgd.head()) {
+            for t in a.terms.iter() {
+                if let Term::Var(v) = *t {
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+            }
+        }
+        vars.sort_unstable();
+        let slot_of = |v: VarId| vars.binary_search(&v).expect("var collected") as u16;
+        let compile_atom = |a: &Atom| CompiledAtom {
+            pred: a.pred,
+            slots: a
+                .terms
+                .iter()
+                .map(|t| slot_of(t.as_var().expect("TGDs are variable-only")))
+                .collect(),
+        };
+        let mut body_vars = tgd.body_variables();
+        body_vars.sort_unstable();
+        let witness_full: Box<[u16]> = body_vars.iter().map(|&v| slot_of(v)).collect();
+        let frontier: Box<[u16]> = tgd.frontier().iter().map(|&v| slot_of(v)).collect();
+        let frontier_in_full: Box<[u16]> = tgd
+            .frontier()
+            .iter()
+            .map(|v| body_vars.binary_search(v).expect("frontier ⊆ body vars") as u16)
+            .collect();
+        CompiledTgd {
+            body: tgd.body().iter().map(compile_atom).collect(),
+            head: tgd.head().iter().map(compile_atom).collect(),
+            n_slots: vars.len(),
+            frontier_identity: (0..frontier.len() as u16).collect(),
+            frontier,
+            witness_full,
+            frontier_in_full,
+            existential: tgd.existential().iter().map(|&v| slot_of(v)).collect(),
+        }
+    }
+
+    /// The slots a trigger's witness tuple projects, per policy — the
+    /// packed counterpart of [`witness`].
+    pub fn witness_slots(&self, policy: NullPolicy) -> &[u16] {
+        match policy {
+            NullPolicy::ByFrontier => &self.frontier,
+            NullPolicy::ByFullBody | NullPolicy::Fresh => &self.witness_full,
+        }
+    }
+
+    /// For each frontier slot (in order), its position within the witness
+    /// tuple of `policy` — how head instantiation recovers frontier values.
+    pub fn frontier_positions(&self, policy: NullPolicy) -> &[u16] {
+        match policy {
+            NullPolicy::ByFrontier => &self.frontier_identity,
+            NullPolicy::ByFullBody | NullPolicy::Fresh => &self.frontier_in_full,
+        }
+    }
+}
+
+/// Interns `(TGD, packed witness tuple)` pairs, assigning dense ids.
+///
+/// This is simultaneously the engine's applied-trigger dedup set and the
+/// key space for canonical null naming: tuples live in one append-only
+/// arena, the map buckets by hash, and collisions compare arena contents —
+/// interning allocates nothing per probe.
+#[derive(Default, Debug)]
+pub(crate) struct WitnessTable {
+    /// Concatenated witness tuples.
+    data: Vec<u64>,
+    /// Per witness id: owning TGD and tuple range in `data`.
+    entries: Vec<(u32, u32, u32)>,
+    /// `hash(tgd, tuple) → witness ids` (collision chains).
+    map: FxHashMap<u64, Vec<u32>>,
+}
+
+impl WitnessTable {
+    fn hash(tgd: u32, tuple: &[u64]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u32(tgd);
+        for &v in tuple {
+            h.write_u64(v);
+        }
+        h.finish()
+    }
+
+    /// Returns the id of `(tgd, tuple)`, interning it if new; the flag is
+    /// `true` exactly when this call interned it.
+    pub fn intern(&mut self, tgd: u32, tuple: &[u64]) -> (u32, bool) {
+        let hash = Self::hash(tgd, tuple);
+        if let Some(ids) = self.map.get(&hash) {
+            for &id in ids {
+                let (t, start, end) = self.entries[id as usize];
+                if t == tgd && &self.data[start as usize..end as usize] == tuple {
+                    return (id, false);
+                }
+            }
+        }
+        let id = self.entries.len() as u32;
+        let start = self.data.len() as u32;
+        self.data.extend_from_slice(tuple);
+        self.entries.push((tgd, start, self.data.len() as u32));
+        self.map.entry(hash).or_default().push(id);
+        (id, true)
+    }
+
+    /// The witness tuple of `id`.
+    pub fn tuple(&self, id: u32) -> &[u64] {
+        let (_, start, end) = self.entries[id as usize];
+        &self.data[start as usize..end as usize]
+    }
+
+    /// Number of interned witnesses.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +300,69 @@ mod tests {
         let r1 = result_atoms(&tgd, 0, &sub, &w, &mut nulls, NullPolicy::Fresh);
         let r2 = result_atoms(&tgd, 0, &sub, &w, &mut nulls, NullPolicy::Fresh);
         assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn compiled_slots_follow_var_order() {
+        // r(y, x) → ∃z p(x, z) with VarId(5)=y, VarId(2)=x, VarId(9)=z:
+        // slots sort as x=0, y=1, z=2.
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 2).unwrap();
+        let tgd = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(5), v(2)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(2), v(9)]).unwrap()],
+        )
+        .unwrap();
+        let ct = CompiledTgd::compile(&tgd);
+        assert_eq!(ct.n_slots, 3);
+        assert_eq!(&*ct.body[0].slots, &[1, 0]);
+        assert_eq!(&*ct.head[0].slots, &[0, 2]);
+        assert_eq!(&*ct.frontier, &[0]);
+        assert_eq!(&*ct.witness_full, &[0, 1]);
+        assert_eq!(&*ct.existential, &[2]);
+        assert_eq!(ct.witness_slots(NullPolicy::ByFrontier), &[0]);
+        assert_eq!(ct.witness_slots(NullPolicy::Fresh), &[0, 1]);
+        assert_eq!(ct.frontier_positions(NullPolicy::ByFrontier), &[0]);
+        assert_eq!(ct.frontier_positions(NullPolicy::ByFullBody), &[0]);
+    }
+
+    #[test]
+    fn packed_witness_projection_matches_term_witness() {
+        let (_s, tgd) = setup();
+        let ct = CompiledTgd::compile(&tgd);
+        let mut sub = Substitution::new();
+        sub.bind(VarId(0), c(3));
+        sub.bind(VarId(1), c(8));
+        // Slot binding array in slot order (x=slot0, y=slot1).
+        let binding = [c(3).pack(), c(8).pack()];
+        for policy in [NullPolicy::ByFrontier, NullPolicy::ByFullBody] {
+            let term_wit: Vec<u64> = witness(&tgd, &sub, policy)
+                .iter()
+                .map(|t| t.pack())
+                .collect();
+            let packed_wit: Vec<u64> = ct
+                .witness_slots(policy)
+                .iter()
+                .map(|&s| binding[s as usize])
+                .collect();
+            assert_eq!(term_wit, packed_wit, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn witness_table_interns_by_tgd_and_tuple() {
+        let mut wt = WitnessTable::default();
+        let (a, new_a) = wt.intern(0, &[1, 2]);
+        assert!(new_a);
+        assert_eq!(wt.intern(0, &[1, 2]), (a, false));
+        let (b, new_b) = wt.intern(1, &[1, 2]); // same tuple, other TGD
+        assert!(new_b && b != a);
+        let (c_, new_c) = wt.intern(0, &[]); // empty frontier witness
+        assert!(new_c);
+        assert_eq!(wt.tuple(a), &[1, 2]);
+        assert_eq!(wt.tuple(c_), &[] as &[u64]);
+        assert_eq!(wt.len(), 3);
     }
 
     #[test]

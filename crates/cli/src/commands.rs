@@ -131,28 +131,50 @@ pub fn chase(args: &Args) -> Result<(), String> {
         "so" | "semi-oblivious" => soct_chase::ChaseVariant::SemiOblivious,
         "oblivious" => soct_chase::ChaseVariant::Oblivious,
         "restricted" | "standard" => soct_chase::ChaseVariant::Restricted,
-        other => return Err(format!("--variant must be so|oblivious|restricted, got `{other}`")),
+        other => {
+            return Err(format!(
+                "--variant must be so|oblivious|restricted, got `{other}`"
+            ))
+        }
     };
     let cfg = soct_chase::ChaseConfig {
         variant,
         max_atoms: args.get_usize("max-atoms", 1_000_000)?,
         max_rounds: args.get_usize("max-rounds", usize::MAX)?,
     };
+    // `--backend memory` chases over the in-memory columnar store;
+    // `--backend storage` loads the database into the embedded storage
+    // engine first and chases it there, writing derived atoms back to the
+    // engine's tables (the paper's in-database mode).
     let t0 = Instant::now();
-    let res = soct_chase::run_chase(&db, &tgds, &cfg);
+    let (res, pages) = match args.get_or("backend", "memory") {
+        "memory" | "mem" => (soct_chase::run_chase_columnar(&db, &tgds, &cfg), None),
+        "storage" | "db" => {
+            let mut engine = soct_storage::StorageEngine::new();
+            engine.load_instance(&schema, &db);
+            let res = soct_chase::run_chase_on_engine(&schema, &mut engine, &tgds, &cfg);
+            let pages: usize = engine.tables().map(|(_, t)| t.page_count()).sum();
+            let tables = engine.tables().count();
+            (res, Some((pages, tables)))
+        }
+        other => return Err(format!("--backend must be memory|storage, got `{other}`")),
+    };
     let elapsed = t0.elapsed();
     println!(
         "outcome: {:?}  rounds: {}  atoms: {} ({} derived)  triggers: {}  nulls: {}  time: {:.3} ms",
         res.outcome,
         res.rounds,
-        res.instance.len(),
-        res.instance.len() - db.len(),
+        res.store.len(),
+        res.derived_atoms(db.len()),
         res.triggers_applied,
         res.nulls_created,
         ms(elapsed)
     );
+    if let Some((pages, tables)) = pages {
+        println!("storage: {pages} pages across {tables} tables");
+    }
     if args.get("out").is_some() {
-        let rendered = soct_parser::write_facts(&res.instance, &schema, &consts);
+        let rendered = soct_parser::write_facts(&res.store.to_instance(), &schema, &consts);
         write_out(args, &rendered)?;
     }
     Ok(())

@@ -196,7 +196,10 @@ fn parse_regression_lines(text: &str, test_name: &str) -> Vec<u64> {
             continue;
         }
         let (Some(name), Some(seed)) = (parts.next(), parts.next()) else {
-            panic!("malformed regression line {} (want `cc <test> 0x<hex>`): {raw:?}", lineno + 1);
+            panic!(
+                "malformed regression line {} (want `cc <test> 0x<hex>`): {raw:?}",
+                lineno + 1
+            );
         };
         if name != test_name {
             continue;
@@ -231,7 +234,12 @@ pub fn run_proptest(
     let labelled = regressions
         .iter()
         .map(|&s| ("regression", s))
-        .chain((0..cases as u64).map(|i| ("random", base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))));
+        .chain((0..cases as u64).map(|i| {
+            (
+                "random",
+                base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            )
+        }));
     for (kind, seed) in labelled {
         let mut rng = TestRng::seed_from_u64(seed);
         if let Err(e) = case(&mut rng) {
@@ -387,7 +395,8 @@ mod tests {
         fn ranges_stay_in_bounds(x in 3u64..10, y in 0usize..=4, b in any::<bool>()) {
             prop_assert!((3..10).contains(&x));
             prop_assert!(y <= 4, "y was {}", y);
-            prop_assert_eq!(b || !b, true);
+            let copy = b;
+            prop_assert_eq!(b, copy); // exercises the eq macro on bools
             prop_assert_ne!(x, 99);
         }
     }

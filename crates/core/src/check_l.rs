@@ -258,12 +258,9 @@ mod tests {
         let mut engine = StorageEngine::new();
         engine.create_table(r, "r", 2);
         engine.insert(r, &[c(0), c(0)]);
-        let (rep, _, _) = is_chase_finite_l_text(
-            "r(X, X) -> r(Z, X).\n",
-            &engine,
-            FindShapesMode::InDatabase,
-        )
-        .unwrap();
+        let (rep, _, _) =
+            is_chase_finite_l_text("r(X, X) -> r(Z, X).\n", &engine, FindShapesMode::InDatabase)
+                .unwrap();
         // Shape (1,1) present ⇒ rule fires producing shape (1,2); shape
         // (1,2) does not re-trigger the rule ⇒ finite.
         assert!(rep.finite);

@@ -11,6 +11,12 @@
 //!
 //! Which one wins depends on the database (§9.3): few tuples per relation
 //! favour in-memory; few predicates of small arity favour in-database.
+//!
+//! Both implementations consume any [`TupleSource`] — engines, views,
+//! plain instances, and (since the chase moved onto the packed columnar
+//! store) chase output directly: a `soct_chase::ColumnarStore` is a
+//! `TupleSource`, so `find_shapes(&chase_result.store, …)` runs with no
+//! copy-out conversion to boxed atoms in between.
 
 use soct_model::{FxHashSet, PredId, Rgs, Shape};
 use soct_storage::{find_shapes_apriori, ShapeQueryStats, StorageEngine, TupleSource};
@@ -207,6 +213,40 @@ mod tests {
         let mem2 = find_shapes(&e, FindShapesMode::InMemory);
         assert_eq!(mat2.shapes, mem2.shapes);
         assert_eq!(mat2.shapes.len(), mat.shapes.len() + 1);
+    }
+
+    #[test]
+    fn consumes_chase_output_without_conversion() {
+        use soct_chase::{run_chase_columnar, ChaseConfig, ChaseVariant};
+        use soct_model::{Tgd, VarId};
+        let v = |i: u32| Term::Var(VarId(i));
+        // r(x,y) → ∃z p(x,z): the chase derives p-atoms with nulls.
+        let mut schema = Schema::new();
+        let r = schema.add_predicate("r", 2).unwrap();
+        let p = schema.add_predicate("p", 2).unwrap();
+        let tgd = Tgd::new(
+            vec![Atom::new(&schema, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&schema, p, vec![v(0), v(2)]).unwrap()],
+        )
+        .unwrap();
+        let mut db = Instance::new();
+        db.insert(Atom::new(&schema, r, vec![c(0), c(0)]).unwrap());
+        db.insert(Atom::new(&schema, r, vec![c(1), c(2)]).unwrap());
+        let res = run_chase_columnar(
+            &db,
+            &[tgd],
+            &ChaseConfig::unbounded(ChaseVariant::SemiOblivious),
+        );
+        // The packed store is a TupleSource: no Instance is built here.
+        let mem = find_shapes(&res.store, FindShapesMode::InMemory);
+        let dbm = find_shapes(&res.store, FindShapesMode::InDatabase);
+        assert_eq!(mem.shapes, dbm.shapes);
+        // r contributes shapes (1,1) and (1,2); p contributes (1,2).
+        assert_eq!(mem.shapes.len(), 3);
+        assert_eq!(shapes_of_pred(&mem, p).len(), 1);
+        // And it agrees with the decoded-instance route.
+        let via_instance = soct_model::shape::shapes_of_instance(&res.store.to_instance());
+        assert_eq!(mem.shapes, via_instance);
     }
 
     #[test]

@@ -17,6 +17,10 @@ use soct_storage::InstanceSource;
 /// linear TGDs (§1.4). Linear sets are dynamically simplified first so the
 /// worst-case bound `k_{D,Σ}` is sound (Theorem 3.6 + Lemma 4.3: the
 /// simplified chase is finite iff the original is).
+///
+/// The underlying chase runs entirely on the packed columnar store: only
+/// the atom count is consulted, so no boxed-atom instance is ever copied
+/// out of the chase.
 pub fn materialization_check(
     schema: &Schema,
     tgds: &[Tgd],
@@ -100,8 +104,7 @@ pub fn check_termination(
             let supported = if reps.is_empty() {
                 false
             } else {
-                let db_preds: FxHashSet<PredId> =
-                    db.non_empty_predicates().into_iter().collect();
+                let db_preds: FxHashSet<PredId> = db.non_empty_predicates().into_iter().collect();
                 let derivable = derivable_predicates(tgds, &db_preds);
                 supports(&graph, schema, &reps, |p| derivable.contains(&p))
             };
@@ -140,7 +143,12 @@ mod tests {
         .unwrap();
         let mut db = Instance::new();
         db.insert(Atom::new(&schema, r, vec![c(0), c(1)]).unwrap());
-        let fast = check_termination(&schema, std::slice::from_ref(&tgd), &db, FindShapesMode::InMemory);
+        let fast = check_termination(
+            &schema,
+            std::slice::from_ref(&tgd),
+            &db,
+            FindShapesMode::InMemory,
+        );
         assert_eq!(fast.verdict, Verdict::Finite);
         assert_eq!(fast.class, TgdClass::Linear);
         let slow = materialization_check(&schema, &[tgd], &db, Some(10_000));
@@ -216,7 +224,12 @@ mod tests {
         .unwrap();
         let mut db = Instance::new();
         db.insert(Atom::new(&schema, u, vec![c(0)]).unwrap());
-        let fast = check_termination(&schema, std::slice::from_ref(&tgd), &db, FindShapesMode::InMemory);
+        let fast = check_termination(
+            &schema,
+            std::slice::from_ref(&tgd),
+            &db,
+            FindShapesMode::InMemory,
+        );
         assert_eq!(fast.verdict, Verdict::Finite);
         let slow = materialization_check(&schema, &[tgd], &db, Some(10_000));
         assert_eq!(slow.verdict, MaterializationVerdict::Finite);

@@ -83,7 +83,14 @@ pub fn make_predicates(
 /// Runs the generator, creating fresh predicates in `schema`.
 pub fn generate_database(cfg: &DataGenConfig, schema: &mut Schema) -> GeneratedData {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let preds = make_predicates(schema, "d", cfg.preds, cfg.min_arity, cfg.max_arity, &mut rng);
+    let preds = make_predicates(
+        schema,
+        "d",
+        cfg.preds,
+        cfg.min_arity,
+        cfg.max_arity,
+        &mut rng,
+    );
     let engine = fill_engine(schema, &preds, cfg.dsize, cfg.rsize, &mut rng);
     GeneratedData { preds, engine }
 }
@@ -143,7 +150,14 @@ fn sample_row_with_shape(
 /// the quickstart example).
 pub fn generate_instance(cfg: &DataGenConfig, schema: &mut Schema) -> (Vec<PredId>, Instance) {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let preds = make_predicates(schema, "d", cfg.preds, cfg.min_arity, cfg.max_arity, &mut rng);
+    let preds = make_predicates(
+        schema,
+        "d",
+        cfg.preds,
+        cfg.min_arity,
+        cfg.max_arity,
+        &mut rng,
+    );
     let sampler = PartitionSampler::new();
     let mut inst = Instance::new();
     let mut row = [0u64; 32];

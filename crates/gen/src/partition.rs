@@ -32,9 +32,7 @@ impl PartitionSampler {
     pub fn new() -> Self {
         let n_max = MAX_ARITY;
         let mut d = vec![vec![0u128; n_max + 2]; n_max + 1];
-        for k in 0..=n_max + 1 {
-            d[0][k] = 1;
-        }
+        d[0].fill(1);
         for n in 1..=n_max {
             for k in (0..=n_max).rev() {
                 d[n][k] = (k as u128) * d[n - 1][k] + d[n - 1][k + 1];

@@ -90,7 +90,9 @@ fn layered_sl_rules(
         let head_pred = layers[lj][rng.random_range(0..layers[lj].len())];
         let body_arity = schema.arity(body_pred);
         let head_arity = schema.arity(head_pred);
-        let body: Vec<Term> = (0..body_arity as u32).map(|i| Term::Var(VarId(i))).collect();
+        let body: Vec<Term> = (0..body_arity as u32)
+            .map(|i| Term::Var(VarId(i)))
+            .collect();
         let mut next = body_arity as u32;
         let head: Vec<Term> = (0..head_arity)
             .map(|_| {
@@ -314,10 +316,7 @@ pub fn lubm_like(scale: usize, atom_scale: f64, seed: u64) -> Scenario {
         menus.push((c, vec![Rgs::identity(1)]));
     }
     for &p in props.iter().take(5) {
-        menus.push((
-            p,
-            vec![Rgs::identity(2), Rgs::canonicalize(&[1, 1])],
-        ));
+        menus.push((p, vec![Rgs::identity(2), Rgs::canonicalize(&[1, 1])]));
     }
     let mut engine = StorageEngine::new();
     let dsize = (total_atoms as u32).max(1000);
@@ -472,8 +471,7 @@ mod tests {
             lubm_like(1, 0.005, 2),
             ibench_like(IBenchVariant::Stb128, 0.001, 2),
         ] {
-            let rep =
-                is_chase_finite_l(&s.schema, &s.tgds, &s.engine, FindShapesMode::InDatabase);
+            let rep = is_chase_finite_l(&s.schema, &s.tgds, &s.engine, FindShapesMode::InDatabase);
             assert!(rep.finite, "{} should be acyclic", s.name);
             assert!(rep.n_db_shapes > 0);
         }

@@ -94,7 +94,9 @@ pub fn generate_tgds_over(
 
         // Body variables: distinct for SL; shape-guided for L.
         let body_terms: Vec<Term> = match cfg.tclass {
-            TgdClass::SimpleLinear => (0..body_arity as u32).map(|i| Term::Var(VarId(i))).collect(),
+            TgdClass::SimpleLinear => (0..body_arity as u32)
+                .map(|i| Term::Var(VarId(i)))
+                .collect(),
             _ => {
                 let shape = sampler.sample(rng, body_arity);
                 shape
@@ -193,9 +195,7 @@ mod tests {
                 t.head()[0]
                     .terms
                     .iter()
-                    .filter(|term| {
-                        t.existential().contains(&term.as_var().unwrap())
-                    })
+                    .filter(|term| t.existential().contains(&term.as_var().unwrap()))
                     .count()
             })
             .sum();

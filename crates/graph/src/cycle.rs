@@ -65,7 +65,16 @@ pub fn enumerate_special_cycles(g: &DependencyGraph, cap: usize) -> Vec<Vec<u32>
         let mut on_path = vec![false; n];
         on_path[start as usize] = true;
         let mut specials = vec![false]; // specials[i] = edge i-1 → i special
-        dfs(g, start, start, &mut path, &mut on_path, &mut specials, &mut out, cap);
+        dfs(
+            g,
+            start,
+            start,
+            &mut path,
+            &mut on_path,
+            &mut specials,
+            &mut out,
+            cap,
+        );
     }
     out
 }

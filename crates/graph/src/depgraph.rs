@@ -223,8 +223,12 @@ mod tests {
         let (s, tgds) = running_example();
         let g = DependencyGraph::build(&s, &tgds);
         for e in g.edges() {
-            assert!(g.successors(e.from).any(|(t, sp)| t == e.to && sp == e.special));
-            assert!(g.predecessors(e.to).any(|(f, sp)| f == e.from && sp == e.special));
+            assert!(g
+                .successors(e.from)
+                .any(|(t, sp)| t == e.to && sp == e.special));
+            assert!(g
+                .predecessors(e.to)
+                .any(|(f, sp)| f == e.from && sp == e.special));
         }
     }
 

@@ -84,12 +84,7 @@ pub fn reverse_closure(g: &DependencyGraph, starts: &[u32]) -> Vec<u32> {
 /// "P is reachable from R w.r.t. Σ" (§2): `R = P`, or a path in `dg(Σ)`
 /// from a position of R to a position of P. Forward BFS; used in tests and
 /// by the derivable-predicate closure.
-pub fn predicate_reachable(
-    g: &DependencyGraph,
-    schema: &Schema,
-    from: PredId,
-    to: PredId,
-) -> bool {
+pub fn predicate_reachable(g: &DependencyGraph, schema: &Schema, from: PredId, to: PredId) -> bool {
     if from == to {
         return true;
     }

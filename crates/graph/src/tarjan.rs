@@ -116,8 +116,7 @@ pub fn find_special_sccs(g: &DependencyGraph) -> SccResult {
                 // All edges of v processed: pop and propagate lowlink.
                 call_stack.pop();
                 if let Some(&mut (parent, _)) = call_stack.last_mut() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     // v is the root of an SCC: pop the component.
@@ -228,7 +227,7 @@ mod tests {
         let p = s.add_predicate("p", 1).unwrap();
         let t1 = Tgd::new(
             vec![Atom::new(&s, r, vec![v(0)]).unwrap()],
-            vec![Atom::new(&s, p, vec![v(1), ]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(1)]).unwrap()],
         );
         // fr(t1) = ∅ — that rule alone cannot drive a cycle. Use the frontier
         // version instead: r(x) → ∃z p(z) has empty frontier, so we model
@@ -288,11 +287,12 @@ mod tests {
             reach[e.from as usize][e.to as usize] = true;
         }
         for k in 0..n {
-            for i in 0..n {
-                if reach[i][k] {
-                    for j in 0..n {
-                        if reach[k][j] {
-                            reach[i][j] = true;
+            let row_k = reach[k].clone();
+            for row in reach.iter_mut() {
+                if row[k] {
+                    for (cell, &via_k) in row.iter_mut().zip(&row_k) {
+                        if via_k {
+                            *cell = true;
                         }
                     }
                 }
@@ -306,9 +306,9 @@ mod tests {
                 continue;
             }
             let mut comp = Vec::new();
-            for j in 0..n {
-                if !assigned[j] && same(i, j) {
-                    assigned[j] = true;
+            for (j, a) in assigned.iter_mut().enumerate() {
+                if !*a && same(i, j) {
+                    *a = true;
                     comp.push(j as u32);
                 }
             }
@@ -317,11 +317,9 @@ mod tests {
         comps
             .into_iter()
             .filter(|comp| {
-                g.edges().iter().any(|e| {
-                    e.special
-                        && comp.contains(&e.from)
-                        && comp.contains(&e.to)
-                })
+                g.edges()
+                    .iter()
+                    .any(|e| e.special && comp.contains(&e.from) && comp.contains(&e.to))
             })
             .collect()
     }

@@ -1,7 +1,7 @@
 //! Atoms and facts (§2 of the paper).
 
 use crate::error::ModelError;
-use crate::schema::{PredId, Position, Schema};
+use crate::schema::{Position, PredId, Schema};
 use crate::term::{Term, VarId};
 use std::fmt;
 
@@ -72,9 +72,11 @@ impl Atom {
 
     /// `pos(α, x)`: the positions of `α` at which variable `x` occurs.
     pub fn positions_of_var(&self, x: VarId) -> impl Iterator<Item = Position> + '_ {
-        self.terms.iter().enumerate().filter_map(move |(i, t)| {
-            (*t == Term::Var(x)).then(|| Position::new(self.pred, i))
-        })
+        self.terms
+            .iter()
+            .enumerate()
+            .filter(move |(_, t)| **t == Term::Var(x))
+            .map(|(i, _)| Position::new(self.pred, i))
     }
 
     /// True if some variable occurs more than once (the atom is not
@@ -147,7 +149,11 @@ mod tests {
         assert!(Atom::new(
             &s,
             r,
-            vec![Term::Var(VarId(0)), Term::Var(VarId(1)), Term::Var(VarId(2))]
+            vec![
+                Term::Var(VarId(0)),
+                Term::Var(VarId(1)),
+                Term::Var(VarId(2))
+            ]
         )
         .is_ok());
     }

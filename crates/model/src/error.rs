@@ -13,7 +13,8 @@ pub enum ModelError {
         expected: usize,
         found: usize,
     },
-    /// Arity exceeds the supported maximum (u16).
+    /// Arity exceeds [`crate::schema::MAX_ARITY`], the fixed row-buffer
+    /// width shared by the storage and chase layers.
     ArityTooLarge { predicate: String, arity: usize },
     /// An atom was built with the wrong number of arguments.
     WrongArgumentCount {
@@ -48,7 +49,11 @@ impl fmt::Display for ModelError {
                 "predicate `{predicate}` used with arity {found}, previously {expected}"
             ),
             ModelError::ArityTooLarge { predicate, arity } => {
-                write!(f, "predicate `{predicate}` arity {arity} exceeds maximum")
+                write!(
+                    f,
+                    "predicate `{predicate}` arity {arity} exceeds maximum {}",
+                    crate::schema::MAX_ARITY
+                )
             }
             ModelError::WrongArgumentCount {
                 predicate,

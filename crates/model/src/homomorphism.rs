@@ -70,10 +70,7 @@ impl Substitution {
     /// variables are an error in debug builds.
     pub fn project(&self, vars: &[VarId]) -> Vec<Term> {
         vars.iter()
-            .map(|&v| {
-                self.get(v)
-                    .expect("projection over unbound variable")
-            })
+            .map(|&v| self.get(v).expect("projection over unbound variable"))
             .collect()
     }
 
@@ -159,11 +156,13 @@ where
                 break;
             }
         }
-        let candidates: Vec<crate::instance::AtomIdx> = match bound_pos {
+        let candidates: &[crate::instance::AtomIdx] = match bound_pos {
+            // Exact when indexed, a per-predicate superset otherwise;
+            // `match_atom` re-verifies every position either way.
             Some((i, t)) => instance.atoms_with(pattern.pred, i, t),
-            None => instance.atoms_of(pattern.pred).to_vec(),
+            None => instance.atoms_of(pattern.pred),
         };
-        for idx in candidates {
+        for &idx in candidates {
             let target = instance.atom(idx);
             if let Some(ext) = match_atom(pattern, target, sub) {
                 if !recurse(atoms, depth + 1, instance, &ext, visit) {
@@ -291,11 +290,11 @@ mod tests {
             &inst,
             &Substitution::new()
         ));
-        assert!(!exists_homomorphism(
+        assert!(exists_homomorphism(
             &[atom(&s, r, &[v(0), v(1)]), atom(&s, r, &[v(1), v(0)])],
             &inst,
             &Substitution::new()
-        ) == false);
+        ));
     }
 
     #[test]
@@ -327,11 +326,7 @@ mod tests {
         let (s, r) = setup();
         let mut inst = Instance::new();
         inst.insert(atom(&s, r, &[c(0), Term::Null(NullId(0))]));
-        let homs = all_homomorphisms(
-            &[atom(&s, r, &[v(0), v(1)])],
-            &inst,
-            &Substitution::new(),
-        );
+        let homs = all_homomorphisms(&[atom(&s, r, &[v(0), v(1)])], &inst, &Substitution::new());
         assert_eq!(homs.len(), 1);
         assert_eq!(homs[0].get(VarId(1)), Some(Term::Null(NullId(0))));
     }

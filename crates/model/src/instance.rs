@@ -114,20 +114,22 @@ impl Instance {
         preds
     }
 
-    /// Atom indices of predicate `p` whose `position`-th argument is `t`.
-    /// Requires the position index. Falls back to a scan when unindexed.
-    pub fn atoms_with(&self, p: PredId, position: usize, t: Term) -> Vec<AtomIdx> {
+    /// Candidate atom indices of predicate `p` whose `position`-th argument
+    /// may be `t`, as a borrowed slice (no per-lookup allocation).
+    ///
+    /// With the position index enabled the slice is *exact*: precisely the
+    /// atoms with `t` at `position`. Without it, the slice is the
+    /// predicate's full atom list — a superset the caller must re-verify
+    /// (both conjunctive matchers do, via `match_atom`). Callers needing an
+    /// exact answer on unindexed instances should filter the result.
+    pub fn atoms_with(&self, p: PredId, position: usize, t: Term) -> &[AtomIdx] {
         if self.indexed {
             self.pos_index
                 .get(&(p, position as u16, t))
-                .cloned()
-                .unwrap_or_default()
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
         } else {
             self.atoms_of(p)
-                .iter()
-                .copied()
-                .filter(|&i| self.atoms[i as usize].terms[position] == t)
-                .collect()
         }
     }
 
@@ -232,11 +234,16 @@ mod tests {
         }
         for pos in 0..2 {
             for t in [c(0), c(1), c(2), n(0), n(9)] {
-                let mut a = indexed.atoms_with(r, pos, t);
-                let mut b = plain.atoms_with(r, pos, t);
+                // Indexed lookups are exact and match a manual scan.
+                let exact: Vec<u32> = (0..atoms.len() as u32)
+                    .filter(|&i| indexed.atom(i).terms[pos] == t)
+                    .collect();
+                let mut a = indexed.atoms_with(r, pos, t).to_vec();
                 a.sort_unstable();
-                b.sort_unstable();
-                assert_eq!(a, b, "pos {pos} term {t:?}");
+                assert_eq!(a, exact, "pos {pos} term {t:?}");
+                // Unindexed lookups return a candidate superset.
+                let b = plain.atoms_with(r, pos, t);
+                assert!(exact.iter().all(|i| b.contains(i)), "pos {pos} {t:?}");
             }
         }
     }

@@ -28,7 +28,7 @@ pub use error::ModelError;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use homomorphism::{satisfies_all, satisfies_tgd, Substitution};
 pub use instance::{AtomIdx, Database, Instance};
-pub use schema::{Position, PredId, Schema};
+pub use schema::{Position, PredId, Schema, MAX_ARITY};
 pub use shape::{bell, Rgs, Shape};
 pub use simplify::{ShapeInterner, Specialization};
 pub use symbol::{Interner, SymbolId};

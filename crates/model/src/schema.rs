@@ -48,6 +48,16 @@ struct PredInfo {
     arity: u16,
 }
 
+/// Maximum supported predicate arity.
+///
+/// This is the single arity contract of the whole workspace: the storage
+/// layer ([`soct_storage`]'s tables, the `InstanceSource` scan path) and the
+/// chase's packed tuple stores size their fixed row buffers as
+/// `[u64; MAX_ARITY]`, so a predicate admitted here can never overflow a row
+/// buffer downstream. [`Schema::add_predicate`] rejects larger arities with
+/// [`ModelError::ArityTooLarge`]; no later layer re-checks.
+pub const MAX_ARITY: usize = 64;
+
 /// A schema: named predicates with arities, plus the `pos(S)` numbering.
 ///
 /// Positions are numbered densely in predicate order: predicate `R` with
@@ -72,15 +82,17 @@ impl Schema {
 
     /// Adds (or finds) a predicate `name/arity`.
     ///
-    /// Returns an error if `name` already exists with a different arity, or
-    /// if `arity` is zero (the paper assumes `n > 0`).
+    /// Returns an error if `name` already exists with a different arity, if
+    /// `arity` is zero (the paper assumes `n > 0`), or if `arity` exceeds
+    /// [`MAX_ARITY`] (the fixed row-buffer width of the storage and chase
+    /// layers).
     pub fn add_predicate(&mut self, name: &str, arity: usize) -> Result<PredId, ModelError> {
         if arity == 0 {
             return Err(ModelError::ZeroArity {
                 predicate: name.to_string(),
             });
         }
-        if arity > u16::MAX as usize {
+        if arity > MAX_ARITY {
             return Err(ModelError::ArityTooLarge {
                 predicate: name.to_string(),
                 arity,
@@ -171,14 +183,17 @@ impl Schema {
 
     /// Iterates over `pos(S)` in dense order.
     pub fn positions(&self) -> impl Iterator<Item = Position> + '_ {
-        self.predicates().flat_map(move |p| {
-            (0..self.arity(p)).map(move |i| Position::new(p, i))
-        })
+        self.predicates()
+            .flat_map(move |p| (0..self.arity(p)).map(move |i| Position::new(p, i)))
     }
 
     /// Maximum arity over all predicates (0 for an empty schema).
     pub fn max_arity(&self) -> usize {
-        self.preds.iter().map(|p| p.arity as usize).max().unwrap_or(0)
+        self.preds
+            .iter()
+            .map(|p| p.arity as usize)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -224,12 +239,23 @@ mod tests {
     }
 
     #[test]
+    fn arity_cap_is_enforced_at_declaration() {
+        let mut s = Schema::new();
+        assert!(s.add_predicate("wide", MAX_ARITY).is_ok());
+        let err = s.add_predicate("wider", MAX_ARITY + 1);
+        assert!(matches!(err, Err(ModelError::ArityTooLarge { .. })));
+        assert!(err.unwrap_err().to_string().contains("64"));
+        // Declaration is all-or-nothing: the rejected name is not interned.
+        assert_eq!(s.pred_by_name("wider"), None);
+    }
+
+    #[test]
     fn position_numbering_is_dense_and_invertible() {
         let mut s = Schema::new();
         let r = s.add_predicate("r", 2).unwrap();
         let t = s.add_predicate("t", 3).unwrap();
         assert_eq!(s.num_positions(), 5);
-        let mut seen = vec![false; 5];
+        let mut seen = [false; 5];
         for pos in s.positions() {
             let d = s.position_index(pos);
             assert!(!seen[d]);

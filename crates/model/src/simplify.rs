@@ -209,8 +209,7 @@ pub fn simplify_tgd(
             simplify_atom(interner, base, &spec_head)
         })
         .collect();
-    Tgd::new(vec![simple_body], head)
-        .expect("simplification of a valid TGD is a valid TGD")
+    Tgd::new(vec![simple_body], head).expect("simplification of a valid TGD is a valid TGD")
 }
 
 /// `simple(σ)`: the simplifications of a linear TGD under *all*
@@ -222,7 +221,9 @@ pub fn simplify_tgd_all(
     tgd: &Tgd,
 ) -> Result<Vec<Tgd>, ModelError> {
     if !tgd.is_linear() {
-        return Err(ModelError::EmptyConjunction { part: "body (not linear)" });
+        return Err(ModelError::EmptyConjunction {
+            part: "body (not linear)",
+        });
     }
     let distinct = tgd.body()[0].variables();
     let mut seen = FxHashSet::default();

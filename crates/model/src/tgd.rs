@@ -281,12 +281,8 @@ mod tests {
     #[test]
     fn constants_and_empty_parts_rejected() {
         let (s, r, _) = setup();
-        let with_const = Atom::new(
-            &s,
-            r,
-            vec![Term::Const(crate::term::ConstId(0)), v(1)],
-        )
-        .unwrap();
+        let with_const =
+            Atom::new(&s, r, vec![Term::Const(crate::term::ConstId(0)), v(1)]).unwrap();
         assert!(matches!(
             Tgd::new(vec![with_const.clone()], vec![with_const]),
             Err(ModelError::ConstantInTgd)
@@ -309,7 +305,7 @@ mod tests {
             vec![Atom::new(&s, p, vec![v(0), v(0)]).unwrap()],
         )
         .unwrap();
-        assert_eq!(classify(&[sl.clone()]), TgdClass::SimpleLinear);
+        assert_eq!(classify(std::slice::from_ref(&sl)), TgdClass::SimpleLinear);
         assert_eq!(classify(&[sl, l]), TgdClass::Linear);
     }
 

@@ -18,7 +18,10 @@ pub enum ParseErrorKind {
     /// An unexpected byte in the input.
     UnexpectedChar(char),
     /// A token other than the expected one.
-    Expected { expected: &'static str, found: String },
+    Expected {
+        expected: &'static str,
+        found: String,
+    },
     /// Unterminated quoted constant.
     UnterminatedQuote,
     /// A rule used a variable in a fact or vice versa.

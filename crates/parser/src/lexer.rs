@@ -213,7 +213,10 @@ mod tests {
     #[test]
     fn lexes_rule_syntax() {
         let toks = lex_all("r(X, y) -> s(y, Z).");
-        assert_eq!(toks, vec!["r", "(", "X", ",", "y", ")", "->", "s", "(", "y", ",", "Z", ")", "."]);
+        assert_eq!(
+            toks,
+            vec!["r", "(", "X", ",", "y", ")", "->", "s", "(", "y", ",", "Z", ")", "."]
+        );
     }
 
     #[test]

@@ -20,9 +20,7 @@
 
 use crate::error::{ParseError, ParseErrorKind};
 use crate::lexer::{is_variable_name, Lexer, Token};
-use soct_model::{
-    Atom, ConstId, Database, FxHashMap, Interner, Schema, Term, Tgd, VarId,
-};
+use soct_model::{Atom, ConstId, Database, FxHashMap, Interner, Schema, Term, Tgd, VarId};
 
 /// A parsed program: rules plus a database of facts, over a shared schema
 /// and constant interner.
@@ -38,7 +36,13 @@ impl Program {
     /// Parses a complete program from text.
     pub fn parse(text: &str) -> Result<Program, ParseError> {
         let mut p = Program::default();
-        parse_into(text, &mut p.schema, &mut p.consts, &mut p.tgds, &mut p.database)?;
+        parse_into(
+            text,
+            &mut p.schema,
+            &mut p.consts,
+            &mut p.tgds,
+            &mut p.database,
+        )?;
         Ok(p)
     }
 }
@@ -164,7 +168,11 @@ impl<'a> Parser<'a, '_> {
     }
 
     fn model_err(&self, e: soct_model::ModelError) -> ParseError {
-        ParseError::new(self.lexer.line(), self.lexer.column(), ParseErrorKind::Model(e))
+        ParseError::new(
+            self.lexer.line(),
+            self.lexer.column(),
+            ParseErrorKind::Model(e),
+        )
     }
 
     /// Parses one statement (rule or fact) into the output collections.
@@ -359,7 +367,10 @@ mod tests {
         assert!(parse_facts("r(X) -> s(X).", &mut s2, &mut c2).is_err());
         let mut s3 = Schema::new();
         let mut c3 = Interner::new();
-        assert_eq!(parse_facts("r(a). r(b).", &mut s3, &mut c3).unwrap().len(), 2);
+        assert_eq!(
+            parse_facts("r(a). r(b).", &mut s3, &mut c3).unwrap().len(),
+            2
+        );
     }
 
     #[test]

@@ -10,12 +10,7 @@ use std::fmt::Write as _;
 /// Writes one term. Variables render as `V{n}` with per-rule dense
 /// renumbering supplied by `vars`; constants resolve through the interner,
 /// quoted when necessary.
-fn write_term(
-    out: &mut String,
-    t: Term,
-    consts: &Interner,
-    vars: &mut FxHashMap<VarId, u32>,
-) {
+fn write_term(out: &mut String, t: Term, consts: &Interner, vars: &mut FxHashMap<VarId, u32>) {
     match t {
         Term::Var(v) => {
             let next = vars.len() as u32;
@@ -117,12 +112,7 @@ pub fn write_facts(db: &Database, schema: &Schema, consts: &Interner) -> String 
 }
 
 /// Renders rules followed by facts.
-pub fn write_program(
-    tgds: &[Tgd],
-    db: &Database,
-    schema: &Schema,
-    consts: &Interner,
-) -> String {
+pub fn write_program(tgds: &[Tgd], db: &Database, schema: &Schema, consts: &Interner) -> String {
     let mut out = write_tgds(tgds, schema, consts);
     out.push_str(&write_facts(db, schema, consts));
     out

@@ -18,7 +18,7 @@
 use crate::query::{self, ColumnCondition};
 use crate::shape_catalog::ShapeCatalog;
 use crate::table::Table;
-use soct_model::{Instance, PredId, Term};
+use soct_model::{Instance, PredId, Term, MAX_ARITY};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Row-level access used by the termination checkers and generators.
@@ -86,7 +86,9 @@ impl StorageEngine {
     /// Inserts one tuple of terms. The table must exist.
     pub fn insert(&mut self, pred: PredId, terms: &[Term]) {
         if self.shape_catalog.is_some() {
-            let mut row = [0u64; 64];
+            // Safe by the MAX_ARITY contract `Schema::add_predicate`
+            // enforces at declaration time.
+            let mut row = [0u64; MAX_ARITY];
             for (i, t) in terms.iter().enumerate() {
                 row[i] = t.pack();
             }
@@ -204,7 +206,8 @@ impl TupleSource for InstanceSource<'_> {
     }
 
     fn scan(&self, pred: PredId, f: &mut dyn FnMut(&[u64]) -> bool) -> bool {
-        let mut row = [0u64; 64];
+        // Safe by the MAX_ARITY contract `Schema::add_predicate` enforces.
+        let mut row = [0u64; MAX_ARITY];
         for &idx in self.instance.atoms_of(pred) {
             let atom = self.instance.atom(idx);
             for (i, t) in atom.terms.iter().enumerate() {

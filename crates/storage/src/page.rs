@@ -24,7 +24,10 @@ impl Page {
     /// Creates an empty page for rows of `arity` columns.
     pub fn new(arity: usize) -> Self {
         let row_width = arity * 8;
-        assert!(row_width > 0 && row_width <= PAGE_SIZE, "arity out of range");
+        assert!(
+            row_width > 0 && row_width <= PAGE_SIZE,
+            "arity out of range"
+        );
         Page {
             buf: BytesMut::with_capacity(PAGE_SIZE - PAGE_SIZE % row_width),
             rows: 0,

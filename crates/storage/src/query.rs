@@ -134,10 +134,7 @@ mod tests {
         // Shape (1,2,1): no witness.
         assert!(!exists(
             &t,
-            &[
-                ColumnCondition::Ne(0, 1),
-                ColumnCondition::Eq(0, 2),
-            ],
+            &[ColumnCondition::Ne(0, 1), ColumnCondition::Eq(0, 2),],
             u64::MAX
         ));
     }
@@ -161,10 +158,7 @@ mod tests {
     #[test]
     fn sql_rendering_matches_paper_example() {
         let t = table();
-        let sql = render_exists_sql(
-            &t,
-            &[ColumnCondition::Eq(0, 1), ColumnCondition::Ne(1, 2)],
-        );
+        let sql = render_exists_sql(&t, &[ColumnCondition::Eq(0, 1), ColumnCondition::Ne(1, 2)]);
         assert_eq!(
             sql,
             "SELECT CASE WHEN EXISTS (SELECT * FROM R WHERE a1=a2 AND a2!=a3) THEN 1 ELSE 0 END"

@@ -46,7 +46,12 @@ impl ShapeCatalog {
     #[inline]
     pub fn on_insert(&mut self, pred: PredId, row: &[u64]) {
         let rgs = Rgs::of(row);
-        *self.per_pred.entry(pred).or_default().entry(rgs).or_insert(0) += 1;
+        *self
+            .per_pred
+            .entry(pred)
+            .or_default()
+            .entry(rgs)
+            .or_insert(0) += 1;
         self.tuples_seen += 1;
     }
 

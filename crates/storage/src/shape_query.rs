@@ -53,10 +53,7 @@ pub struct ShapeQueryStats {
 /// In-database shape discovery for one relation with Apriori pruning:
 /// breadth-first over the partition lattice from the identity partition,
 /// expanding a node only when its relaxed query succeeds.
-pub fn find_shapes_apriori(
-    src: &dyn TupleSource,
-    pred: PredId,
-) -> (Vec<Rgs>, ShapeQueryStats) {
+pub fn find_shapes_apriori(src: &dyn TupleSource, pred: PredId) -> (Vec<Rgs>, ShapeQueryStats) {
     let arity = src.arity_of(pred);
     let mut stats = ShapeQueryStats::default();
     let mut found = Vec::new();
@@ -99,10 +96,7 @@ fn count_unvisited_coarsenings(p: &Rgs, visited: &soct_model::FxHashSet<Rgs>) ->
 /// Exhaustive in-database shape discovery: one exact query per partition of
 /// the arity, no pruning. The `abl-apriori` strawman; exponential in the
 /// arity (`Bell(n)` queries).
-pub fn find_shapes_exhaustive(
-    src: &dyn TupleSource,
-    pred: PredId,
-) -> (Vec<Rgs>, ShapeQueryStats) {
+pub fn find_shapes_exhaustive(src: &dyn TupleSource, pred: PredId) -> (Vec<Rgs>, ShapeQueryStats) {
     let arity = src.arity_of(pred);
     let mut stats = ShapeQueryStats::default();
     let mut found = Vec::new();
@@ -174,12 +168,7 @@ mod tests {
 
     #[test]
     fn apriori_agrees_with_exhaustive() {
-        let (e, p) = engine_with(&[
-            &[1, 2, 1, 3],
-            &[4, 4, 4, 4],
-            &[5, 6, 6, 7],
-            &[8, 9, 10, 8],
-        ]);
+        let (e, p) = engine_with(&[&[1, 2, 1, 3], &[4, 4, 4, 4], &[5, 6, 6, 7], &[8, 9, 10, 8]]);
         let (a, _) = find_shapes_apriori(&e, p);
         let (b, _) = find_shapes_exhaustive(&e, p);
         assert_eq!(a, b);

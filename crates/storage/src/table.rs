@@ -1,7 +1,7 @@
 //! Tables: paged sequences of fixed-width rows for one predicate.
 
 use crate::page::Page;
-use soct_model::Term;
+use soct_model::{Term, MAX_ARITY};
 
 /// A table of packed-term rows.
 #[derive(Debug, Clone)]
@@ -14,7 +14,16 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
+    ///
+    /// Panics if `arity` exceeds [`MAX_ARITY`] — predicates admitted by
+    /// `Schema::add_predicate` never do; this guards direct constructions
+    /// that bypass a schema.
     pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        assert!(
+            arity <= MAX_ARITY,
+            "arity {arity} exceeds MAX_ARITY ({MAX_ARITY}); \
+             Schema::add_predicate enforces this limit"
+        );
         Table {
             name: name.into(),
             arity,
@@ -62,9 +71,10 @@ impl Table {
 
     /// Appends a row of terms.
     pub fn insert_terms(&mut self, terms: &[Term]) {
+        // The buffer is safe by the MAX_ARITY contract checked in
+        // `Table::new` (and, upstream, in `Schema::add_predicate`).
         debug_assert_eq!(terms.len(), self.arity);
-        let mut row = [0u64; 64];
-        assert!(terms.len() <= 64, "arity beyond storage row buffer");
+        let mut row = [0u64; MAX_ARITY];
         for (i, t) in terms.iter().enumerate() {
             row[i] = t.pack();
         }

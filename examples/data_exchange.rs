@@ -65,7 +65,10 @@ fn main() {
     // 3. Certain-answer flavoured query over the materialised target:
     //    "which employees are members of some department entity?"
     //    member(D2, I) — answers are the I bindings that are constants.
-    let member = program.schema.pred_by_name("member").expect("member exists");
+    let member = program
+        .schema
+        .pred_by_name("member")
+        .expect("member exists");
     let i = soct::model::VarId(0);
     let d = soct::model::VarId(1);
     let query = Atom::new_unchecked(member, vec![Term::Var(d), Term::Var(i)]);
@@ -89,7 +92,10 @@ fn main() {
     //    under the semi-oblivious chase? No — per employee tuple (the
     //    frontier is (I, N, D)), so eng gets two entities; the restricted
     //    chase is free to reuse. That size gap is the §1.2 trade-off:
-    let so_depts = so.instance.atoms_of(program.schema.pred_by_name("dept").unwrap()).len();
+    let so_depts = so
+        .instance
+        .atoms_of(program.schema.pred_by_name("dept").unwrap())
+        .len();
     let r_depts = restricted
         .instance
         .atoms_of(program.schema.pred_by_name("dept").unwrap())

@@ -43,10 +43,23 @@ fn main() {
     let t_mat = t3.elapsed();
     assert_eq!(mat.shapes, mem.shapes);
 
-    println!("FindShapes strategies over {} tuples:", scenario.engine.total_rows());
-    println!("  in-memory     : {:>10.3} ms  (scans every tuple)", ms(t_mem));
-    println!("  in-database   : {:>10.3} ms  (Apriori EXISTS queries)", ms(t_db));
-    println!("  materialized  : {:>10.3} ms  (catalog read; one-off build {:.3} ms)", ms(t_mat), ms(t_build));
+    println!(
+        "FindShapes strategies over {} tuples:",
+        scenario.engine.total_rows()
+    );
+    println!(
+        "  in-memory     : {:>10.3} ms  (scans every tuple)",
+        ms(t_mem)
+    );
+    println!(
+        "  in-database   : {:>10.3} ms  (Apriori EXISTS queries)",
+        ms(t_db)
+    );
+    println!(
+        "  materialized  : {:>10.3} ms  (catalog read; one-off build {:.3} ms)",
+        ms(t_mat),
+        ms(t_build)
+    );
 
     // The catalog stays current as the database grows — say, appending the
     // chase result of a data-integration batch.
@@ -79,7 +92,8 @@ fn main() {
     // End-to-end: the termination check with a materialised db-dependent
     // component.
     let t4 = Instant::now();
-    let rep = soct::core::check_l_with_shapes(&scenario.schema, &scenario.tgds, &after_catalog.shapes);
+    let rep =
+        soct::core::check_l_with_shapes(&scenario.schema, &scenario.tgds, &after_catalog.shapes);
     let t_check = t4.elapsed();
     println!(
         "IsChaseFinite[L] with materialised shapes: finite = {} in {:.3} ms \

@@ -98,7 +98,10 @@ fn main() {
     // Q3(x) ← teaches(x, y): only turing *teaches* something asserted;
     // hopper's invented obligations are worksFor, not teaches.
     let teaches = program.schema.pred_by_name("teaches").unwrap();
-    let q3 = [Atom::new_unchecked(teaches, vec![Term::Var(x), Term::Var(y)])];
+    let q3 = [Atom::new_unchecked(
+        teaches,
+        vec![Term::Var(x), Term::Var(y)],
+    )];
     let teachers = certain_constants(&q3, x, &chase.instance, &program);
     println!("teachers: {teachers:?}");
     assert_eq!(teachers, vec!["turing"]);
@@ -112,13 +115,14 @@ fn certain_constants(
     instance: &Instance,
     program: &Program,
 ) -> Vec<String> {
-    let mut out: Vec<String> = homomorphism::all_homomorphisms(query, instance, &Substitution::new())
-        .into_iter()
-        .filter_map(|h| match h.get(var) {
-            Some(Term::Const(c)) => Some(program.consts.resolve(c.symbol()).to_string()),
-            _ => None,
-        })
-        .collect();
+    let mut out: Vec<String> =
+        homomorphism::all_homomorphisms(query, instance, &Substitution::new())
+            .into_iter()
+            .filter_map(|h| match h.get(var) {
+                Some(Term::Const(c)) => Some(program.consts.resolve(c.symbol()).to_string()),
+                _ => None,
+            })
+            .collect();
     out.sort();
     out.dedup();
     out

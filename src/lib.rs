@@ -12,8 +12,9 @@
 //! - [`storage`] — the embedded relational engine (catalog, shape queries,
 //!   views, persistence);
 //! - [`graph`] — dependency graphs, special SCCs, supportedness;
-//! - [`chase`] — oblivious / semi-oblivious / restricted chase engines,
-//!   size bounds, the materialization-based checker;
+//! - [`chase`] — oblivious / semi-oblivious / restricted chase engines
+//!   over the packed columnar [`chase::ChaseStore`] layer (in-memory and
+//!   storage-backed), size bounds, the materialization-based checker;
 //! - [`core`] — `IsChaseFinite[SL]`, `IsChaseFinite[L]`, `FindShapes`,
 //!   `DynSimplification`;
 //! - [`gen`] — data/TGD generators, experiment profiles, scenarios.
@@ -49,7 +50,8 @@ pub use soct_storage as storage;
 /// The most common imports in one place.
 pub mod prelude {
     pub use soct_chase::{
-        run_chase, ChaseConfig, ChaseOutcome, ChaseVariant, MaterializationVerdict,
+        run_chase, run_chase_columnar, run_chase_on_engine, ChaseConfig, ChaseOutcome, ChaseStore,
+        ChaseVariant, ColumnarStore, MaterializationVerdict,
     };
     pub use soct_core::{
         check_termination, find_shapes, is_chase_finite_l, is_chase_finite_sl,

@@ -215,7 +215,11 @@ fn hostile_corpus_rejects_without_panicking() {
 #[test]
 fn four_kib_identifier_and_deep_whitespace() {
     let long = "p".repeat(4096);
-    let src = format!("{}({}).", long, "\n\t ".repeat(2000) + "a" + &" ".repeat(2000));
+    let src = format!(
+        "{}({}).",
+        long,
+        "\n\t ".repeat(2000) + "a" + &" ".repeat(2000)
+    );
     let mut schema = Schema::new();
     let mut consts = Interner::new();
     let db = parse_facts(&src, &mut schema, &mut consts).expect("long fact parses");

@@ -75,12 +75,7 @@ fn paper_running_examples_end_to_end() {
     // Example 1.1: restricted terminates immediately, semi-oblivious
     // diverges; the checker must say Infinite (it decides the SO chase).
     let p = Program::parse("r(X, Y) -> r(Z, X).\nr(a, a).").unwrap();
-    let v = check_termination(
-        &p.schema,
-        &p.tgds,
-        &p.database,
-        FindShapesMode::InMemory,
-    );
+    let v = check_termination(&p.schema, &p.tgds, &p.database, FindShapesMode::InMemory);
     assert_eq!(v.verdict, Verdict::Infinite);
     let restricted = run_chase(
         &p.database,
@@ -91,12 +86,7 @@ fn paper_running_examples_end_to_end() {
 
     // Example 3.4: linear, not D-weakly-acyclic, but finite.
     let p2 = Program::parse("r(X, X) -> r(Z, X).\nr(a, b).").unwrap();
-    let v2 = check_termination(
-        &p2.schema,
-        &p2.tgds,
-        &p2.database,
-        FindShapesMode::InMemory,
-    );
+    let v2 = check_termination(&p2.schema, &p2.tgds, &p2.database, FindShapesMode::InMemory);
     assert_eq!(v2.class, TgdClass::Linear);
     assert_eq!(v2.verdict, Verdict::Finite);
     // Direct confirmation by running the chase.

@@ -32,18 +32,10 @@ fn scenario_engines_persist_and_reload() {
     let reloaded = soct::storage::persist::from_bytes(&bytes).unwrap();
     assert_eq!(reloaded.total_rows(), s.engine.total_rows());
     // The reloaded engine yields the same verdict and shape count.
-    let a = soct::core::is_chase_finite_l(
-        &s.schema,
-        &s.tgds,
-        &s.engine,
-        FindShapesMode::InDatabase,
-    );
-    let b = soct::core::is_chase_finite_l(
-        &s.schema,
-        &s.tgds,
-        &reloaded,
-        FindShapesMode::InDatabase,
-    );
+    let a =
+        soct::core::is_chase_finite_l(&s.schema, &s.tgds, &s.engine, FindShapesMode::InDatabase);
+    let b =
+        soct::core::is_chase_finite_l(&s.schema, &s.tgds, &reloaded, FindShapesMode::InDatabase);
     assert_eq!(a.finite, b.finite);
     assert_eq!(a.n_db_shapes, b.n_db_shapes);
 }

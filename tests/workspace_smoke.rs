@@ -57,11 +57,7 @@ fn finite_program_terminates_under_all_variants() {
         ChaseVariant::SemiOblivious,
         ChaseVariant::Restricted,
     ] {
-        let result = run_chase(
-            &fin.database,
-            &fin.tgds,
-            &ChaseConfig::unbounded(variant),
-        );
+        let result = run_chase(&fin.database, &fin.tgds, &ChaseConfig::unbounded(variant));
         assert_eq!(
             result.outcome,
             ChaseOutcome::Terminated,
