@@ -11,6 +11,13 @@
 //! - **divergent linear** — `R(x,y) → ∃z R(y,z)` under an atom budget:
 //!   the §3 running example, stressing null minting and witness interning
 //!   (one trigger per round, long round chains).
+//!
+//! The unsuffixed ids pin `threads = 1` (the sequential engine, comparable
+//! with the PR 2 baselines); the `tN`-suffixed ids run the same workloads
+//! on the parallel execution layer with N worker threads. The divergent
+//! workload's single-trigger rounds sit below the engine's parallel work
+//! threshold, so a wide variant (`divergent-wide`, 700 initial edges per
+//! round) is used for thread scaling instead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use soct_chase::{
@@ -61,13 +68,33 @@ fn divergent_linear() -> (Schema, Instance, Vec<Tgd>) {
     (s, db, vec![tgd])
 }
 
+/// Divergent linear rule seeded wide: `edges` disjoint starting edges, so
+/// every round's frontier holds `edges` triggers and the parallel layer
+/// has something to shard (the classic one-edge seed enumerates a single
+/// trigger per round).
+fn divergent_linear_wide(edges: u32) -> (Schema, Instance, Vec<Tgd>) {
+    let mut s = Schema::new();
+    let r = s.add_predicate("R", 2).unwrap();
+    let tgd = Tgd::new(
+        vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+        vec![Atom::new(&s, r, vec![v(1), v(2)]).unwrap()],
+    )
+    .unwrap();
+    let mut db = Instance::new();
+    for i in 0..edges {
+        db.insert(Atom::new(&s, r, vec![c(i), c(i + edges)]).unwrap());
+    }
+    (s, db, vec![tgd])
+}
+
 fn bench(cr: &mut Criterion) {
     let mut group = cr.benchmark_group("chase_throughput");
 
-    // Transitive closure: n edges chase to n(n+1)/2 atoms.
+    // Transitive closure: n edges chase to n(n+1)/2 atoms. Sequential
+    // baseline (threads pinned to 1, comparable with PR 2).
     for n in [64u32, 128] {
         let (schema, db, tgds) = transitive_closure(n);
-        let cfg = ChaseConfig::unbounded(ChaseVariant::SemiOblivious);
+        let cfg = ChaseConfig::unbounded(ChaseVariant::SemiOblivious).with_threads(1);
         let atoms = (n as u64) * (n as u64 + 1) / 2;
         group.throughput(Throughput::Elements(atoms));
         group.bench_with_input(BenchmarkId::new("tc/memory", n), &db, |b, db| {
@@ -89,10 +116,47 @@ fn bench(cr: &mut Criterion) {
         });
     }
 
+    // Thread scaling on the n=128 closure: 2 and 4 workers against the
+    // 1-thread baseline above (same workload, bit-identical output).
+    {
+        let n = 128u32;
+        let (schema, db, tgds) = transitive_closure(n);
+        let atoms = (n as u64) * (n as u64 + 1) / 2;
+        group.throughput(Throughput::Elements(atoms));
+        for threads in [2usize, 4] {
+            let cfg = ChaseConfig::unbounded(ChaseVariant::SemiOblivious).with_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("tc/memory/t{threads}"), n),
+                &db,
+                |b, db| {
+                    b.iter(|| {
+                        let res = run_chase_columnar(criterion::black_box(db), &tgds, &cfg);
+                        assert_eq!(res.outcome, ChaseOutcome::Terminated);
+                        res.store.len()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("tc/storage/t{threads}"), n),
+                &db,
+                |b, db| {
+                    b.iter(|| {
+                        let mut engine = StorageEngine::new();
+                        engine.load_instance(&schema, db);
+                        let res = run_chase_on_engine(&schema, &mut engine, &tgds, &cfg);
+                        assert_eq!(res.outcome, ChaseOutcome::Terminated);
+                        res.store.len()
+                    })
+                },
+            );
+        }
+    }
+
     // Divergent linear rule under an atom budget: nulls + witness churn.
+    // Sequential baseline (one trigger per round — nothing to shard).
     for budget in [2_000usize, 8_000] {
         let (schema, db, tgds) = divergent_linear();
-        let cfg = ChaseConfig::with_max_atoms(ChaseVariant::SemiOblivious, budget);
+        let cfg = ChaseConfig::with_max_atoms(ChaseVariant::SemiOblivious, budget).with_threads(1);
         group.throughput(Throughput::Elements(budget as u64));
         group.bench_with_input(
             BenchmarkId::new("divergent/memory", budget),
@@ -118,6 +182,42 @@ fn bench(cr: &mut Criterion) {
                 })
             },
         );
+    }
+
+    // Thread scaling on the wide divergent workload (700 triggers per
+    // round: null minting under sharded enumeration).
+    {
+        let (schema, db, tgds) = divergent_linear_wide(700);
+        let budget = 8_000usize;
+        group.throughput(Throughput::Elements(budget as u64));
+        for threads in [1usize, 2, 4] {
+            let cfg = ChaseConfig::with_max_atoms(ChaseVariant::SemiOblivious, budget)
+                .with_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("divergent-wide/memory/t{threads}"), budget),
+                &db,
+                |b, db| {
+                    b.iter(|| {
+                        let res = run_chase_columnar(criterion::black_box(db), &tgds, &cfg);
+                        assert_eq!(res.outcome, ChaseOutcome::AtomBudgetExceeded);
+                        res.store.len()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("divergent-wide/storage/t{threads}"), budget),
+                &db,
+                |b, db| {
+                    b.iter(|| {
+                        let mut engine = StorageEngine::new();
+                        engine.load_instance(&schema, db);
+                        let res = run_chase_on_engine(&schema, &mut engine, &tgds, &cfg);
+                        assert_eq!(res.outcome, ChaseOutcome::AtomBudgetExceeded);
+                        res.store.len()
+                    })
+                },
+            );
+        }
     }
 
     group.finish();

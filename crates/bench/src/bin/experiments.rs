@@ -3,15 +3,19 @@
 //!
 //! ```sh
 //! cargo run --release -p soct-bench --bin experiments -- [ids…]
-//!     [--scale quick|default|full] [--out results]
+//!     [--scale quick|default|full] [--out results] [--threads N]
 //! ```
+//!
+//! `--threads 0` (default) auto-sizes the FindShapes worker pool
+//! (`SOCT_THREADS` env, else available cores); results are identical for
+//! every thread count.
 //!
 //! Ids: fig1 sec8sep fig2 fig3 fig4 fig5 fig6 fig7 appedges table1 table2
 //!      ablsimpl ablmat ablscc ablapriori ablcatalog   (default: all)
 
 use soct_bench::report::{ols_slope, pearson, write_csv, Table};
 use soct_bench::workloads::{build_dstar, l_family, sl_family, Dstar, LSet};
-use soct_core::{check_l_with_shapes, find_shapes, ms, FindShapesMode};
+use soct_core::{check_l_with_shapes, find_shapes_parallel, ms, FindShapesMode};
 use soct_gen::profiles::Scale;
 use soct_gen::{deep_like, ibench_like, lubm_like, IBenchVariant, Scenario};
 use soct_model::{FxHashSet, PredId, Shape};
@@ -45,6 +49,8 @@ struct Harness {
     /// Scenario atom volume multiplier (1.0 = paper size).
     scenario_atoms: f64,
     lubm_scales: Vec<usize>,
+    /// FindShapes worker threads (0 = auto: `SOCT_THREADS`, else cores).
+    threads: usize,
     /// `D★` + the 45-set linear family, built lazily (several experiments
     /// share it).
     dstar: Option<(Dstar, Vec<LSet>)>,
@@ -55,6 +61,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut scale_name = "default".to_string();
     let mut out = PathBuf::from("results");
+    let mut threads = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -64,6 +71,13 @@ fn main() {
             }
             "--out" => {
                 out = PathBuf::from(args.get(i + 1).cloned().unwrap_or_default());
+                i += 2;
+            }
+            "--threads" => {
+                threads = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_default();
                 i += 2;
             }
             id => {
@@ -90,6 +104,7 @@ fn main() {
         out,
         scenario_atoms,
         lubm_scales,
+        threads,
         dstar: None,
     };
     println!(
@@ -193,7 +208,7 @@ fn profile_name(idx: usize) -> &'static str {
 
 // ------------------------------------------------------------------ fig1
 
-/// Figure 1: runtime of IsChaseFinite[SL] vs n-rules (t-total and its
+/// Figure 1: runtime of `IsChaseFinite[SL]` vs n-rules (t-total and its
 /// t-parse / t-graph / t-comp breakdown).
 fn fig1(h: &mut Harness) {
     println!("== fig1: IsChaseFinite[SL] runtime (paper Fig. 1) ==");
@@ -272,7 +287,7 @@ fn sec8_separation(h: &mut Harness) {
                 inner: &view,
                 allow: &allow,
             };
-            let shapes = find_shapes(&filtered, FindShapesMode::InMemory);
+            let shapes = find_shapes_parallel(&filtered, FindShapesMode::InMemory, h.threads);
             let rep = check_l_with_shapes(&d.schema, &set.tgds, &shapes.shapes);
             total += ms(rep.timings.t_graph + rep.timings.t_comp);
             n += 1;
@@ -309,7 +324,7 @@ fn fig2(h: &mut Harness) {
                     inner: &view,
                     allow: &allow,
                 };
-                total += find_shapes(&filtered, FindShapesMode::InMemory)
+                total += find_shapes_parallel(&filtered, FindShapesMode::InMemory, h.threads)
                     .shapes
                     .len();
                 n += 1;
@@ -359,7 +374,7 @@ fn fig3_fig4(h: &mut Harness, mode: FindShapesMode, id: &str) {
                     allow: &allow,
                 };
                 let t0 = Instant::now();
-                let _ = find_shapes(&filtered, mode);
+                let _ = find_shapes_parallel(&filtered, mode, h.threads);
                 total += ms(t0.elapsed());
                 n += 1;
             }
@@ -380,7 +395,7 @@ fn fig3_fig4(h: &mut Harness, mode: FindShapesMode, id: &str) {
 // --------------------------------------------------------------- fig5-7
 
 /// Figures 5/6/7: the db-independent component vs n-rules for one
-/// predicate profile ([400,600] / [5,200] / [200,400]).
+/// predicate profile (`[400,600]` / `[5,200]` / `[200,400]`).
 fn fig5_6_7(h: &mut Harness, pred_profile: usize, id: &str) {
     println!(
         "== {id}: db-independent component, predicate profile {} (paper Fig. {}) ==",
@@ -422,7 +437,7 @@ fn fig5_6_7(h: &mut Harness, pred_profile: usize, id: &str) {
                 inner: &view,
                 allow: &allow,
             };
-            let shapes = find_shapes(&filtered, FindShapesMode::InMemory);
+            let shapes = find_shapes_parallel(&filtered, FindShapesMode::InMemory, h.threads);
             let rep = check_l_with_shapes(&d.schema, &set.tgds, &shapes.shapes);
             let t_graph = rep.timings.t_graph;
             let t_comp = rep.timings.t_comp;
@@ -469,7 +484,7 @@ fn appendix_edges(h: &mut Harness) {
             inner: &view,
             allow: &allow,
         };
-        let shapes = find_shapes(&filtered, FindShapesMode::InMemory);
+        let shapes = find_shapes_parallel(&filtered, FindShapesMode::InMemory, h.threads);
         let rep = check_l_with_shapes(&d.schema, &set.tgds, &shapes.shapes);
         table.row(vec![
             profile_name(set.profile.pred_profile).to_string(),
@@ -529,7 +544,7 @@ fn table1(h: &mut Harness) {
 
 // ---------------------------------------------------------------- table2
 
-/// Table 2: IsChaseFinite[L] runtime breakdown per scenario, with both
+/// Table 2: `IsChaseFinite[L]` runtime breakdown per scenario, with both
 /// FindShapes implementations.
 fn table2(h: &mut Harness) {
     println!("== table2: IsChaseFinite[L] on the scenarios, ms (paper Table 2) ==");
@@ -555,10 +570,10 @@ fn table2(h: &mut Harness) {
         let t_parse = ms(t0.elapsed());
 
         let t1 = Instant::now();
-        let shapes_db = find_shapes(&s.engine, FindShapesMode::InDatabase);
+        let shapes_db = find_shapes_parallel(&s.engine, FindShapesMode::InDatabase, h.threads);
         let t_shapes_db = ms(t1.elapsed());
         let t2 = Instant::now();
-        let shapes_mem = find_shapes(&s.engine, FindShapesMode::InMemory);
+        let shapes_mem = find_shapes_parallel(&s.engine, FindShapesMode::InMemory, h.threads);
         let t_shapes_mem = ms(t2.elapsed());
         assert_eq!(
             shapes_db.shapes, shapes_mem.shapes,
@@ -660,7 +675,7 @@ fn ablation_simplification(h: &mut Harness) {
         ]);
     };
     for s in scenarios(h) {
-        let shapes = find_shapes(&s.engine, FindShapesMode::InMemory).shapes;
+        let shapes = find_shapes_parallel(&s.engine, FindShapesMode::InMemory, h.threads).shapes;
         measure(
             &s.name,
             &s.schema,
@@ -696,7 +711,8 @@ fn ablation_simplification(h: &mut Harness) {
             inner: &view,
             allow: &allow,
         };
-        let shapes: Vec<Shape> = find_shapes(&filtered, FindShapesMode::InMemory).shapes;
+        let shapes: Vec<Shape> =
+            find_shapes_parallel(&filtered, FindShapesMode::InMemory, h.threads).shapes;
         measure(
             "uniform-random",
             &d.schema,
@@ -899,10 +915,10 @@ fn ablation_catalog(h: &mut Harness) {
     ]);
     for mut s in scenarios(h) {
         let t0 = Instant::now();
-        let mem = find_shapes(&s.engine, FindShapesMode::InMemory);
+        let mem = find_shapes_parallel(&s.engine, FindShapesMode::InMemory, h.threads);
         let t_mem = ms(t0.elapsed());
         let t1 = Instant::now();
-        let db = find_shapes(&s.engine, FindShapesMode::InDatabase);
+        let db = find_shapes_parallel(&s.engine, FindShapesMode::InDatabase, h.threads);
         let t_db = ms(t1.elapsed());
         let t2 = Instant::now();
         s.engine.enable_shape_tracking();

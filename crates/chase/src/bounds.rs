@@ -6,7 +6,7 @@
 //!
 //! We use the classic rank-stratification argument behind weak acyclicity
 //! (Fagin et al., *Data exchange: semantics and query answering*, TCS 2005;
-//! sharpened for linear TGDs in [9] = Calautti–Gottlob–Pieris, PODS 2022):
+//! sharpened for linear TGDs in \[9\] = Calautti–Gottlob–Pieris, PODS 2022):
 //!
 //! - The *rank* of a position π is the supremum of the number of special
 //!   edges over paths of `dg(Σ)` ending in π, **restricted to the

@@ -27,16 +27,21 @@
 //! PostgreSQL setup (§5.3/§5.4).
 
 use crate::null_gen::PackedNullFactory;
+use crate::parallel::{build_tasks, resolve_threads, SharedState, WorkerPool, PAR_MIN_ROUND_WORK};
 use crate::store::{ChaseStore, ColumnarStore, EngineBackedStore, RowId, UNBOUND};
 use crate::trigger::{CompiledAtom, CompiledTgd, NullPolicy, WitnessTable};
 use soct_model::{Instance, Schema, Term, Tgd, MAX_ARITY};
 use soct_storage::StorageEngine;
+use std::sync::RwLock;
 
 /// Which chase to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ChaseVariant {
+    /// Apply once per full body homomorphism (§1.1).
     Oblivious,
+    /// Apply once per frontier restriction — the paper's main object.
     SemiOblivious,
+    /// Apply only when the head is not already satisfied (fresh nulls).
     Restricted,
 }
 
@@ -54,11 +59,19 @@ impl ChaseVariant {
 /// run terminate with an honest outcome.
 #[derive(Clone, Copy, Debug)]
 pub struct ChaseConfig {
+    /// Which chase variant to run.
     pub variant: ChaseVariant,
     /// Stop once the instance holds this many atoms.
     pub max_atoms: usize,
     /// Stop after this many rounds (`chase_i` levels).
     pub max_rounds: usize,
+    /// Worker threads for trigger enumeration. `0` means *auto* (the
+    /// `SOCT_THREADS` environment variable, else the machine's available
+    /// parallelism — see [`crate::resolve_threads`]); `1` forces the
+    /// sequential engine. Any setting yields bit-identical results: rounds
+    /// are sharded against a read-only snapshot and merged by a
+    /// deterministic single writer (see `crate::parallel`).
+    pub threads: usize,
 }
 
 impl ChaseConfig {
@@ -69,6 +82,7 @@ impl ChaseConfig {
             variant,
             max_atoms: usize::MAX,
             max_rounds: usize::MAX,
+            threads: 0,
         }
     }
 
@@ -78,7 +92,20 @@ impl ChaseConfig {
             variant,
             max_atoms,
             max_rounds: usize::MAX,
+            threads: 0,
         }
+    }
+
+    /// Sets the worker-thread count (builder style).
+    ///
+    /// ```
+    /// use soct_chase::{ChaseConfig, ChaseVariant};
+    /// let cfg = ChaseConfig::unbounded(ChaseVariant::SemiOblivious).with_threads(4);
+    /// assert_eq!(cfg.threads, 4);
+    /// ```
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -96,6 +123,7 @@ pub enum ChaseOutcome {
 /// Counters of a chase run, independent of where the tuples live.
 #[derive(Clone, Copy, Debug)]
 pub struct ChaseStats {
+    /// How the run ended.
     pub outcome: ChaseOutcome,
     /// Number of completed rounds (`i` such that the result is `chase_i`).
     pub rounds: usize,
@@ -103,6 +131,9 @@ pub struct ChaseStats {
     pub triggers_applied: usize,
     /// Nulls minted.
     pub nulls_created: usize,
+    /// Rounds whose trigger enumeration ran on the parallel worker pool
+    /// (small rounds run inline regardless of the thread setting).
+    pub parallel_rounds: usize,
 }
 
 /// The output of a chase run over the packed columnar backend: the chased
@@ -111,11 +142,18 @@ pub struct ChaseStats {
 /// checkers without a copy-out conversion).
 #[derive(Debug)]
 pub struct StoreChaseResult {
+    /// The chased instance, still packed.
     pub store: ColumnarStore,
+    /// How the run ended.
     pub outcome: ChaseOutcome,
+    /// Number of completed rounds.
     pub rounds: usize,
+    /// Triggers applied (atoms may be fewer: set semantics).
     pub triggers_applied: usize,
+    /// Nulls minted.
     pub nulls_created: usize,
+    /// Rounds enumerated on the parallel worker pool.
+    pub parallel_rounds: usize,
 }
 
 impl StoreChaseResult {
@@ -126,6 +164,7 @@ impl StoreChaseResult {
             rounds: stats.rounds,
             triggers_applied: stats.triggers_applied,
             nulls_created: stats.nulls_created,
+            parallel_rounds: stats.parallel_rounds,
         }
     }
 
@@ -139,7 +178,9 @@ impl StoreChaseResult {
 /// (compatibility shape; see [`StoreChaseResult`] for the packed one).
 #[derive(Debug)]
 pub struct ChaseResult {
+    /// The chased instance, decoded to boxed atoms.
     pub instance: Instance,
+    /// How the run ended.
     pub outcome: ChaseOutcome,
     /// Number of completed rounds (`i` such that the result is `chase_i`).
     pub rounds: usize,
@@ -147,6 +188,8 @@ pub struct ChaseResult {
     pub triggers_applied: usize,
     /// Nulls minted.
     pub nulls_created: usize,
+    /// Rounds enumerated on the parallel worker pool.
+    pub parallel_rounds: usize,
 }
 
 impl ChaseResult {
@@ -169,6 +212,7 @@ pub fn run_chase(db: &Instance, tgds: &[Tgd], config: &ChaseConfig) -> ChaseResu
         rounds: res.rounds,
         triggers_applied: res.triggers_applied,
         nulls_created: res.nulls_created,
+        parallel_rounds: res.parallel_rounds,
     }
 }
 
@@ -206,6 +250,7 @@ pub fn run_chase_on_store<S: ChaseStore>(
     config: &ChaseConfig,
 ) -> ChaseStats {
     let policy = config.variant.null_policy();
+    let threads = resolve_threads(config.threads);
     let compiled: Vec<CompiledTgd> = tgds.iter().map(CompiledTgd::compile).collect();
     let max_slots = compiled.iter().map(|c| c.n_slots).max().unwrap_or(0);
     let max_body = compiled
@@ -220,119 +265,183 @@ pub fn run_chase_on_store<S: ChaseStore>(
     let mut hi: Vec<RowId> = Vec::with_capacity(max_body);
     let mut wit_scratch: Vec<u64> = Vec::with_capacity(max_slots);
     let mut row_scratch = [0u64; MAX_ARITY];
-    // Witness interning doubles as the applied-trigger dedup set. For the
-    // restricted chase the key is the full body witness: each homomorphism
-    // is *checked* once (satisfaction is monotone, so a skipped trigger
-    // stays inapplicable).
-    let mut witnesses = WitnessTable::default();
     let mut nulls = PackedNullFactory::default();
     let mut new_triggers: Vec<(u32, u32)> = Vec::new();
     let mut triggers_applied = 0usize;
     let mut rounds = 0usize;
+    let mut parallel_rounds = 0usize;
     let mut delta_start: RowId = 0;
     let mut outcome = ChaseOutcome::Terminated;
 
-    'rounds: loop {
-        let delta_end = store.len() as RowId;
-        if delta_start == delta_end {
-            break; // fixpoint
-        }
-        if rounds >= config.max_rounds {
-            outcome = ChaseOutcome::RoundBudgetExceeded;
-            break;
-        }
-        rounds += 1;
-        // Phase 1: enumerate the round's new triggers. The matcher borrows
-        // the store immutably, so application is deferred to phase 2.
-        new_triggers.clear();
-        for (ti, ctgd) in compiled.iter().enumerate() {
-            let body_len = ctgd.body.len();
-            let wit_slots = ctgd.witness_slots(policy);
-            for j in 0..body_len {
-                // Semi-naive ranges: body[j] in the delta, body[<j] strictly
-                // older, body[>j] anywhere up to delta_end.
-                lo.clear();
-                lo.resize(body_len, 0);
-                hi.clear();
-                hi.resize(body_len, delta_end);
-                lo[j] = delta_start;
-                for h in hi.iter_mut().take(j) {
-                    *h = delta_start;
+    // The store and the global witness table sit behind one RwLock so the
+    // worker pool can read the round snapshot (and pre-filter against the
+    // frozen witness table) while the engine thread keeps exclusive access
+    // for the merge/apply phase. Witness interning doubles as the
+    // applied-trigger dedup set; for the restricted chase the key is the
+    // full body witness — each homomorphism is *checked* once
+    // (satisfaction is monotone, so a skipped trigger stays inapplicable).
+    // Every lock below is uncontended by construction (workers only hold
+    // read locks while a round signal is in flight), so the sequential
+    // path pays only an atomic per round.
+    let shared = RwLock::new(SharedState {
+        store,
+        witnesses: WitnessTable::default(),
+    });
+    std::thread::scope(|scope| {
+        // Spawned lazily at the first round worth sharding, then parked on
+        // its channel between rounds; dropping it at the end of the scope
+        // closure closes the channels and lets the scope join the workers.
+        let mut pool: Option<WorkerPool> = None;
+        'rounds: loop {
+            let mut guard = shared.write().unwrap();
+            let delta_end = guard.store.len() as RowId;
+            if delta_start == delta_end {
+                break; // fixpoint
+            }
+            if rounds >= config.max_rounds {
+                outcome = ChaseOutcome::RoundBudgetExceeded;
+                break;
+            }
+            rounds += 1;
+            // Phase 1: enumerate the round's new triggers. The matcher
+            // borrows the store immutably, so application is deferred to
+            // phase 2 — which is also what makes the round shardable:
+            // workers enumerate against the same read-only snapshot, and
+            // the merge below interns their candidates in task order,
+            // reproducing the sequential new-trigger sequence exactly (see
+            // `crate::parallel`).
+            new_triggers.clear();
+            let mut fanned = None;
+            if threads > 1 {
+                let (tasks, est_work) =
+                    build_tasks(&compiled, &*guard.store, delta_start, delta_end, threads);
+                if est_work >= PAR_MIN_ROUND_WORK && tasks.len() > 1 {
+                    drop(guard); // workers take read locks for the round
+                    let pool = pool.get_or_insert_with(|| {
+                        WorkerPool::spawn(scope, &shared, &compiled, policy, threads)
+                    });
+                    fanned = Some(pool.run_round(tasks, delta_start, delta_end));
+                    guard = shared.write().unwrap();
                 }
+            }
+            let SharedState { store, witnesses } = &mut *guard;
+            let live: &mut S = store;
+            match fanned {
+                Some(outs) => {
+                    // Merge phase: fold the per-task candidate lists into
+                    // the global witness table in task order. Workers
+                    // already dropped earlier rounds' witnesses and hashed
+                    // the survivors, so this loop touches each genuinely
+                    // new candidate once.
+                    parallel_rounds += 1;
+                    for out in &outs {
+                        for k in 0..out.table.len() as u32 {
+                            let (wit, is_new) = witnesses.intern_prehashed(
+                                out.tgd,
+                                out.table.tuple(k),
+                                out.table.entry_hash(k),
+                            );
+                            if is_new {
+                                new_triggers.push((out.tgd, wit));
+                            }
+                        }
+                    }
+                }
+                None => {
+                    for (ti, ctgd) in compiled.iter().enumerate() {
+                        let body_len = ctgd.body.len();
+                        let wit_slots = ctgd.witness_slots(policy);
+                        for j in 0..body_len {
+                            // Semi-naive ranges: body[j] in the delta,
+                            // body[<j] strictly older, body[>j] anywhere up
+                            // to delta_end.
+                            lo.clear();
+                            lo.resize(body_len, 0);
+                            hi.clear();
+                            hi.resize(body_len, delta_end);
+                            lo[j] = delta_start;
+                            for h in hi.iter_mut().take(j) {
+                                *h = delta_start;
+                            }
+                            for s in binding.iter_mut().take(ctgd.n_slots) {
+                                *s = UNBOUND;
+                            }
+                            match_ranged(&ctgd.body, &*live, &lo, &hi, &mut binding, &mut |b| {
+                                wit_scratch.clear();
+                                wit_scratch.extend(wit_slots.iter().map(|&s| b[s as usize]));
+                                let (wit, is_new) = witnesses.intern(ti as u32, &wit_scratch);
+                                if is_new {
+                                    new_triggers.push((ti as u32, wit));
+                                }
+                                true
+                            });
+                        }
+                    }
+                }
+            }
+            // Phase 2: apply. The (semi-)oblivious variants realise the
+            // parallel `chase_i` semantics (results are key-determined, so
+            // application order is irrelevant); the restricted variant
+            // applies sequentially, re-checking head satisfaction against
+            // the live store. Rows inserted here sit beyond `delta_end`
+            // and feed the next round's delta. The engine thread still
+            // holds the write lock; the pool is parked.
+            for &(ti, wit) in &new_triggers {
+                let ctgd = &compiled[ti as usize];
                 for s in binding.iter_mut().take(ctgd.n_slots) {
                     *s = UNBOUND;
                 }
-                match_ranged(&ctgd.body, &*store, &lo, &hi, &mut binding, &mut |b| {
-                    wit_scratch.clear();
-                    wit_scratch.extend(wit_slots.iter().map(|&s| b[s as usize]));
-                    let (wit, is_new) = witnesses.intern(ti as u32, &wit_scratch);
-                    if is_new {
-                        new_triggers.push((ti as u32, wit));
+                {
+                    let wtuple = witnesses.tuple(wit);
+                    let fpos = ctgd.frontier_positions(policy);
+                    for (fi, &s) in ctgd.frontier.iter().enumerate() {
+                        binding[s as usize] = wtuple[fpos[fi] as usize];
                     }
-                    true
-                });
+                }
+                if config.variant == ChaseVariant::Restricted {
+                    // Applicable iff no extension of h|fr maps the head
+                    // into the current store.
+                    let head_len = ctgd.head.len();
+                    lo.clear();
+                    lo.resize(head_len, 0);
+                    hi.clear();
+                    hi.resize(head_len, live.len() as RowId);
+                    let satisfied =
+                        !match_ranged(&ctgd.head, &*live, &lo, &hi, &mut binding, &mut |_| false);
+                    if satisfied {
+                        continue;
+                    }
+                }
+                triggers_applied += 1;
+                for &es in ctgd.existential.iter() {
+                    let null = match policy {
+                        NullPolicy::Fresh => nulls.fresh(),
+                        NullPolicy::ByFrontier | NullPolicy::ByFullBody => nulls.canonical(wit, es),
+                    };
+                    binding[es as usize] = Term::Null(null).pack();
+                }
+                for ha in &ctgd.head {
+                    for (i, &s) in ha.slots.iter().enumerate() {
+                        debug_assert_ne!(binding[s as usize], UNBOUND, "head var outside fr ∪ ∃");
+                        row_scratch[i] = binding[s as usize];
+                    }
+                    live.insert(ha.pred, &row_scratch[..ha.slots.len()]);
+                }
+                if live.len() > config.max_atoms {
+                    outcome = ChaseOutcome::AtomBudgetExceeded;
+                    break 'rounds;
+                }
             }
+            delta_start = delta_end;
         }
-        // Phase 2: apply. The (semi-)oblivious variants realise the
-        // parallel `chase_i` semantics (results are key-determined, so
-        // application order is irrelevant); the restricted variant applies
-        // sequentially, re-checking head satisfaction against the live
-        // store. Rows inserted here sit beyond `delta_end` and feed the
-        // next round's delta.
-        for &(ti, wit) in &new_triggers {
-            let ctgd = &compiled[ti as usize];
-            for s in binding.iter_mut().take(ctgd.n_slots) {
-                *s = UNBOUND;
-            }
-            {
-                let wtuple = witnesses.tuple(wit);
-                let fpos = ctgd.frontier_positions(policy);
-                for (fi, &s) in ctgd.frontier.iter().enumerate() {
-                    binding[s as usize] = wtuple[fpos[fi] as usize];
-                }
-            }
-            if config.variant == ChaseVariant::Restricted {
-                // Applicable iff no extension of h|fr maps the head into
-                // the current store.
-                let head_len = ctgd.head.len();
-                lo.clear();
-                lo.resize(head_len, 0);
-                hi.clear();
-                hi.resize(head_len, store.len() as RowId);
-                let satisfied =
-                    !match_ranged(&ctgd.head, &*store, &lo, &hi, &mut binding, &mut |_| false);
-                if satisfied {
-                    continue;
-                }
-            }
-            triggers_applied += 1;
-            for &es in ctgd.existential.iter() {
-                let null = match policy {
-                    NullPolicy::Fresh => nulls.fresh(),
-                    NullPolicy::ByFrontier | NullPolicy::ByFullBody => nulls.canonical(wit, es),
-                };
-                binding[es as usize] = Term::Null(null).pack();
-            }
-            for ha in &ctgd.head {
-                for (i, &s) in ha.slots.iter().enumerate() {
-                    debug_assert_ne!(binding[s as usize], UNBOUND, "head var outside fr ∪ ∃");
-                    row_scratch[i] = binding[s as usize];
-                }
-                store.insert(ha.pred, &row_scratch[..ha.slots.len()]);
-            }
-            if store.len() > config.max_atoms {
-                outcome = ChaseOutcome::AtomBudgetExceeded;
-                break 'rounds;
-            }
-        }
-        delta_start = delta_end;
-    }
+    });
 
     ChaseStats {
         outcome,
         rounds,
         triggers_applied,
         nulls_created: nulls.count(),
+        parallel_rounds,
     }
 }
 
@@ -344,7 +453,7 @@ pub fn run_chase_on_store<S: ChaseStore>(
 /// bindings made while descending are unwound on backtrack, so the array
 /// returns to its entry state. Returns `false` iff `visit` stopped the
 /// enumeration.
-fn match_ranged<S, F>(
+pub(crate) fn match_ranged<S, F>(
     body: &[CompiledAtom],
     store: &S,
     lo: &[RowId],
@@ -663,6 +772,7 @@ mod tests {
                 variant: ChaseVariant::SemiOblivious,
                 max_atoms: usize::MAX,
                 max_rounds: 3,
+                threads: 0,
             },
         );
         assert_eq!(res.outcome, ChaseOutcome::RoundBudgetExceeded);

@@ -26,11 +26,55 @@
 //! wrapper; [`run_chase_columnar`] returns the packed result, which
 //! implements `soct_storage::TupleSource` and therefore feeds `FindShapes`
 //! and the termination checkers without a copy-out conversion.
+//!
+//! ## Parallel rounds
+//!
+//! Trigger enumeration is sharded across scoped worker threads whenever
+//! [`ChaseConfig::threads`] resolves to more than one ([`resolve_threads`])
+//! and the round is large enough to amortise the fan-out. Results are
+//! **bit-identical** to the sequential engine — same atoms, null names,
+//! rounds, and trigger counts — because application stays a deterministic
+//! single-writer merge phase (see the [`parallel`] module and
+//! `docs/ARCHITECTURE.md`).
+//!
+//! ```
+//! use soct_chase::{run_chase, ChaseConfig, ChaseOutcome, ChaseVariant};
+//! use soct_model::{Atom, ConstId, Instance, Schema, Term, Tgd, VarId};
+//!
+//! // e(x,y), e(y,z) → e(x,z) over a 64-edge path, on four worker threads.
+//! let mut schema = Schema::new();
+//! let e = schema.add_predicate("e", 2).unwrap();
+//! let v = |i| Term::Var(VarId(i));
+//! let tgd = Tgd::new(
+//!     vec![
+//!         Atom::new(&schema, e, vec![v(0), v(1)]).unwrap(),
+//!         Atom::new(&schema, e, vec![v(1), v(2)]).unwrap(),
+//!     ],
+//!     vec![Atom::new(&schema, e, vec![v(0), v(2)]).unwrap()],
+//! )
+//! .unwrap();
+//! let mut db = Instance::new();
+//! for i in 0..64 {
+//!     let c = |i| Term::Const(ConstId(i));
+//!     db.insert(Atom::new(&schema, e, vec![c(i), c(i + 1)]).unwrap());
+//! }
+//! let cfg = ChaseConfig::unbounded(ChaseVariant::SemiOblivious).with_threads(4);
+//! let par = run_chase(&db, std::slice::from_ref(&tgd), &cfg);
+//! assert_eq!(par.outcome, ChaseOutcome::Terminated);
+//! assert_eq!(par.instance.len(), 64 * 65 / 2); // the transitive closure
+//!
+//! // Bit-identical to the sequential engine.
+//! let seq = run_chase(&db, &[tgd], &cfg.with_threads(1));
+//! assert_eq!(par.instance.atoms(), seq.instance.atoms());
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod bounds;
 pub mod engine;
 pub mod materialization;
 pub mod null_gen;
+pub mod parallel;
 pub mod store;
 pub mod trigger;
 
@@ -43,5 +87,6 @@ pub use materialization::{
     is_chase_finite_materialization, MaterializationReport, MaterializationVerdict,
 };
 pub use null_gen::NullFactory;
+pub use parallel::resolve_threads;
 pub use store::{ChaseStore, ColumnarStore, EngineBackedStore, RowId};
 pub use trigger::{result_atoms, witness, NullPolicy};

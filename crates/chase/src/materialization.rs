@@ -35,6 +35,7 @@ pub enum MaterializationVerdict {
 /// Statistics of a materialization-based run.
 #[derive(Clone, Copy, Debug)]
 pub struct MaterializationReport {
+    /// The verdict reached.
     pub verdict: MaterializationVerdict,
     /// The worst-case bound `k_{D,Σ}` used (saturating).
     pub bound: u128,

@@ -1,0 +1,466 @@
+//! The round-snapshot parallel execution layer of the chase engine.
+//!
+//! Trigger enumeration dominates chase runtime and is embarrassingly
+//! parallel within a round: phase 1 of every round only *reads* the store,
+//! so the round's frontier can be sharded across worker threads running
+//! against an immutable snapshot — the store exactly as phase 2 of the
+//! previous round left it. Application stays a deterministic single-writer
+//! merge phase, which is what keeps parallel runs bit-identical to
+//! sequential ones (null names, insertion order, rounds, and trigger
+//! counts included). See `docs/ARCHITECTURE.md` for the full argument.
+//!
+//! ## Sharding
+//!
+//! The unit of work is an `EnumTask`: one `(TGD, delta position)` pair of
+//! the semi-naive decomposition, optionally split further by row-range of
+//! the body's first atom. Splitting on the *first* body atom is what makes
+//! the merge deterministic: the backtracking matcher enumerates depth-0
+//! candidates in ascending row order, so concatenating chunk results in
+//! chunk order reproduces the sequential enumeration order exactly.
+//!
+//! ## Merge
+//!
+//! Workers never *mutate* the shared witness table, but they do read it:
+//! the global table is frozen during phase 1, so workers drop candidates
+//! that were interned in earlier rounds with one non-mutating probe
+//! (`WitnessTable::contains_prehashed`) — in re-discovery-heavy
+//! workloads (transitive closure re-derives most witness pairs every
+//! round) this eliminates almost the entire merge. Surviving candidates
+//! are interned into a task-local `WitnessTable` (deduplicating within
+//! the task, recording each tuple's hash, preserving first-occurrence
+//! order), and the engine then folds the task outputs into the global
+//! table *in task order* without re-hashing. Because global interning
+//! deduplicates across tasks and rounds, the resulting new-trigger
+//! sequence — and therefore witness ids, null names, and insertion order —
+//! is identical to the sequential engine's.
+//!
+//! ## The worker pool
+//!
+//! Workers are spawned once per chase run (lazily, at the first round
+//! worth sharding) on a [`std::thread::scope`] and then parked on a
+//! channel between rounds; the store lives behind an `RwLock` that hands
+//! workers the read-only round snapshot and the single-writer merge phase
+//! its exclusive access. Rounds with little work run inline on the
+//! engine thread: waking the pool costs more than enumerating a few
+//! hundred candidate rows, and one-trigger-per-round chases (the divergent
+//! linear family) would otherwise pay that wake-up every round.
+
+use crate::engine::match_ranged;
+use crate::store::{ChaseStore, RowId, UNBOUND};
+use crate::trigger::{CompiledTgd, NullPolicy, WitnessTable};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, RwLock};
+use std::thread::Scope;
+
+/// Rounds whose estimated frontier (total depth-0 candidate rows across
+/// all tasks) is below this run inline — waking the worker pool would
+/// exceed the enumeration work.
+pub(crate) const PAR_MIN_ROUND_WORK: usize = 512;
+
+/// Target depth-0 candidate rows per task chunk when splitting a hot
+/// `(TGD, delta position)` pair.
+const CHUNK_TARGET_ROWS: usize = 256;
+
+/// Upper bound on the thread count `resolve_threads` infers automatically;
+/// explicit requests (flag, env) may exceed it up to [`MAX_THREADS`].
+const AUTO_THREAD_CAP: usize = 8;
+
+/// Hard ceiling on any worker-pool size. An absurd `--threads`/
+/// `SOCT_THREADS` value would otherwise ask the scope for that many OS
+/// threads and abort the process on resource exhaustion.
+const MAX_THREADS: usize = 256;
+
+/// Resolves a requested worker-thread count.
+///
+/// - `requested > 0` is honoured, clamped to a hard ceiling of 256;
+/// - `requested == 0` means *auto*: the `SOCT_THREADS` environment
+///   variable if it parses to a positive integer (same ceiling),
+///   otherwise [`std::thread::available_parallelism`] capped at 8.
+///
+/// ```
+/// assert_eq!(soct_chase::resolve_threads(3), 3);
+/// assert_eq!(soct_chase::resolve_threads(1_000_000), 256);
+/// assert!(soct_chase::resolve_threads(0) >= 1);
+/// ```
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested.min(MAX_THREADS);
+    }
+    if let Ok(v) = std::env::var("SOCT_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n.min(MAX_THREADS);
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(AUTO_THREAD_CAP))
+}
+
+/// One shard of a round's trigger frontier: the matches of TGD `tgd` whose
+/// `delta_pos`-th body atom lies in the round delta and whose *first* body
+/// atom matches a row with id in `[lo0, hi0)`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EnumTask {
+    pub tgd: u32,
+    pub delta_pos: usize,
+    pub lo0: RowId,
+    pub hi0: RowId,
+}
+
+/// The deduplicated matches of one task, in first-occurrence order. The
+/// task-local witness table doubles as the ordered output buffer (tuples
+/// *and* their hashes, so the merge never re-hashes).
+pub(crate) struct TaskCandidates {
+    pub tgd: u32,
+    pub table: WitnessTable,
+}
+
+/// The state a parallel round shares between the engine thread and the
+/// pool: the store (the round snapshot / single-writer target) and the
+/// global witness table (read-only for workers during phase 1, the merge
+/// target afterwards). Lives behind the engine's `RwLock`.
+pub(crate) struct SharedState<'a, S: ChaseStore + ?Sized> {
+    pub store: &'a mut S,
+    pub witnesses: WitnessTable,
+}
+
+/// One round's worth of work, shared with the pool: the task list plus the
+/// claim cursor workers pop tasks from.
+pub(crate) struct RoundCtl {
+    tasks: Vec<EnumTask>,
+    delta_start: RowId,
+    delta_end: RowId,
+    cursor: AtomicUsize,
+}
+
+/// Builds the round's task list and returns it with the total estimated
+/// work (depth-0 candidate rows across tasks). Hot `(TGD, delta position)`
+/// pairs are split into row-range chunks of roughly [`CHUNK_TARGET_ROWS`]
+/// candidates — capped at one chunk per worker, since finer splits only
+/// multiply the cross-chunk duplicates the merge has to re-deduplicate.
+pub(crate) fn build_tasks<S: ChaseStore + ?Sized>(
+    compiled: &[CompiledTgd],
+    store: &S,
+    delta_start: RowId,
+    delta_end: RowId,
+    threads: usize,
+) -> (Vec<EnumTask>, usize) {
+    let mut tasks = Vec::new();
+    let mut est_work = 0usize;
+    for (ti, ctgd) in compiled.iter().enumerate() {
+        let body_len = ctgd.body.len();
+        for j in 0..body_len {
+            // Range of body atom 0 under the semi-naive split for delta
+            // position j (see the sequential engine's phase 1).
+            let (lo0, hi0) = if j == 0 {
+                (delta_start, delta_end)
+            } else {
+                (0, delta_start)
+            };
+            if lo0 >= hi0 {
+                continue;
+            }
+            // No match can exist unless the delta position's predicate has
+            // rows inside the delta itself.
+            if j > 0 {
+                let drows = store.rows_of(ctgd.body[j].pred);
+                let ds = drows.partition_point(|&r| r < delta_start);
+                let de = drows.partition_point(|&r| r < delta_end);
+                if ds == de {
+                    continue;
+                }
+            }
+            // Depth-0 candidates are the rows of atom 0's predicate within
+            // [lo0, hi0); posting lists are ascending, so binary search.
+            let rows = store.rows_of(ctgd.body[0].pred);
+            let s = rows.partition_point(|&r| r < lo0);
+            let e = rows.partition_point(|&r| r < hi0);
+            let count = e - s;
+            if count == 0 {
+                continue;
+            }
+            est_work += count;
+            let chunks = (count / CHUNK_TARGET_ROWS).clamp(1, threads.max(1));
+            let per = count.div_ceil(chunks);
+            let mut c = s;
+            while c < e {
+                let chunk_end = (c + per).min(e);
+                tasks.push(EnumTask {
+                    tgd: ti as u32,
+                    delta_pos: j,
+                    // Tight row-id bounds of this candidate sub-slice.
+                    lo0: rows[c],
+                    hi0: rows[chunk_end - 1] + 1,
+                });
+                c = chunk_end;
+            }
+        }
+    }
+    (tasks, est_work)
+}
+
+/// Runs one task against the round snapshot, returning its locally
+/// deduplicated witness candidates in enumeration order.
+fn run_task<S: ChaseStore + ?Sized>(
+    task: &EnumTask,
+    compiled: &[CompiledTgd],
+    policy: NullPolicy,
+    store: &S,
+    global: &WitnessTable,
+    delta_start: RowId,
+    delta_end: RowId,
+) -> TaskCandidates {
+    let ctgd = &compiled[task.tgd as usize];
+    let body_len = ctgd.body.len();
+    let j = task.delta_pos;
+    let mut lo = vec![0 as RowId; body_len];
+    let mut hi = vec![delta_end; body_len];
+    lo[j] = delta_start;
+    for h in hi.iter_mut().take(j) {
+        *h = delta_start;
+    }
+    // Narrow atom 0 to this task's chunk (a sub-range of whatever the
+    // semi-naive split already allowed, so correctness is unaffected).
+    lo[0] = lo[0].max(task.lo0);
+    hi[0] = hi[0].min(task.hi0);
+    let mut binding = vec![UNBOUND; ctgd.n_slots];
+    let wit_slots = ctgd.witness_slots(policy);
+    let mut wit_scratch: Vec<u64> = Vec::with_capacity(wit_slots.len());
+    let mut table = WitnessTable::default();
+    match_ranged(&ctgd.body, store, &lo, &hi, &mut binding, &mut |b| {
+        wit_scratch.clear();
+        wit_scratch.extend(wit_slots.iter().map(|&s| b[s as usize]));
+        let hash = WitnessTable::hash(task.tgd, &wit_scratch);
+        // Witnesses interned in earlier rounds can never be new again:
+        // drop them here (the global table is frozen during phase 1), so
+        // the sequential merge only sees this round's candidates.
+        if !global.contains_prehashed(task.tgd, &wit_scratch, hash) {
+            table.intern_prehashed(task.tgd, &wit_scratch, hash);
+        }
+        true
+    });
+    TaskCandidates {
+        tgd: task.tgd,
+        table,
+    }
+}
+
+/// The engine's persistent worker pool: spawned once per chase run on the
+/// engine's thread scope, parked on a channel between rounds, torn down
+/// when dropped (closing the channels joins the workers via the scope).
+pub(crate) struct WorkerPool {
+    txs: Vec<mpsc::Sender<Arc<RoundCtl>>>,
+    /// One result channel per worker (not a shared one): if a worker
+    /// panics mid-round, its sender drops and the engine's `recv` fails
+    /// loudly instead of waiting forever for a message that never comes.
+    done_rxs: Vec<mpsc::Receiver<Vec<(usize, TaskCandidates)>>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads on `scope`. Each worker waits for a round
+    /// signal, takes a read lock on the store (the round snapshot), claims
+    /// tasks off the shared cursor until the round is drained, and ships
+    /// its `(task index, candidates)` pairs back.
+    pub fn spawn<'scope, S>(
+        scope: &'scope Scope<'scope, '_>,
+        shared: &'scope RwLock<SharedState<'_, S>>,
+        compiled: &'scope [CompiledTgd],
+        policy: NullPolicy,
+        workers: usize,
+    ) -> Self
+    where
+        S: ChaseStore + Send + ?Sized,
+    {
+        let mut txs = Vec::with_capacity(workers);
+        let mut done_rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<Arc<RoundCtl>>();
+            txs.push(tx);
+            let (done_tx, done_rx) = mpsc::channel();
+            done_rxs.push(done_rx);
+            scope.spawn(move || {
+                while let Ok(ctl) = rx.recv() {
+                    let guard = shared.read().expect("no worker panicked holding the store");
+                    let snapshot: &S = &*guard.store;
+                    let global = &guard.witnesses;
+                    let mut outs: Vec<(usize, TaskCandidates)> = Vec::new();
+                    loop {
+                        let i = ctl.cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = ctl.tasks.get(i) else { break };
+                        outs.push((
+                            i,
+                            run_task(
+                                task,
+                                compiled,
+                                policy,
+                                snapshot,
+                                global,
+                                ctl.delta_start,
+                                ctl.delta_end,
+                            ),
+                        ));
+                    }
+                    drop(guard);
+                    if done_tx.send(outs).is_err() {
+                        break; // engine gone — shut down
+                    }
+                }
+            });
+        }
+        WorkerPool { txs, done_rxs }
+    }
+
+    /// Fans one round's tasks out and blocks until every worker has
+    /// drained the cursor. The result is **indexed by task** — callers
+    /// merge in task order to reproduce the sequential enumeration order.
+    ///
+    /// The caller must not hold the store lock: workers take read locks.
+    pub fn run_round(
+        &self,
+        tasks: Vec<EnumTask>,
+        delta_start: RowId,
+        delta_end: RowId,
+    ) -> Vec<TaskCandidates> {
+        let n = tasks.len();
+        let ctl = Arc::new(RoundCtl {
+            tasks,
+            delta_start,
+            delta_end,
+            cursor: AtomicUsize::new(0),
+        });
+        for tx in &self.txs {
+            tx.send(ctl.clone()).expect("workers outlive the round");
+        }
+        let mut slots: Vec<Option<TaskCandidates>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        for rx in &self.done_rxs {
+            let outs = rx.recv().expect("a chase worker panicked mid-round");
+            for (i, out) in outs {
+                slots[i] = Some(out);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task was claimed by some worker"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ColumnarStore;
+    use soct_model::{Atom, ConstId, Schema, Term, Tgd, VarId};
+
+    fn c(i: u32) -> u64 {
+        Term::Const(ConstId(i)).pack()
+    }
+
+    fn tc_setup() -> (Vec<CompiledTgd>, ColumnarStore) {
+        let mut s = Schema::new();
+        let e = s.add_predicate("e", 2).unwrap();
+        let v = |i: u32| Term::Var(VarId(i));
+        let tgd = Tgd::new(
+            vec![
+                Atom::new(&s, e, vec![v(0), v(1)]).unwrap(),
+                Atom::new(&s, e, vec![v(1), v(2)]).unwrap(),
+            ],
+            vec![Atom::new(&s, e, vec![v(0), v(2)]).unwrap()],
+        )
+        .unwrap();
+        let mut store = ColumnarStore::new();
+        for i in 0..40u32 {
+            store.insert(soct_model::PredId(0), &[c(i), c(i + 1)]);
+        }
+        (vec![CompiledTgd::compile(&tgd)], store)
+    }
+
+    #[test]
+    fn explicit_thread_requests_win() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn tasks_cover_the_delta_exactly_once() {
+        let (compiled, store) = tc_setup();
+        let n = store.len() as RowId;
+        // Whole store is the delta (round 1): j=0 scans every row, j=1's
+        // "strictly older" range is empty; chunk bounds tile the candidate
+        // rows without overlap.
+        let (tasks, est) = build_tasks(&compiled, &store, 0, n, 4);
+        assert_eq!(est, store.len(), "delta position 0 scans all rows");
+        for pair in tasks.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a.tgd == b.tgd && a.delta_pos == b.delta_pos {
+                assert!(a.hi0 <= b.lo0, "chunks are disjoint and ordered");
+            }
+        }
+        // A mid-run delta activates both positions.
+        let mid = n / 2;
+        let (_, est_mid) = build_tasks(&compiled, &store, mid, n, 4);
+        assert_eq!(est_mid, store.len(), "delta + older ranges tile the store");
+        // An empty delta yields no tasks at all.
+        let (empty, est0) = build_tasks(&compiled, &store, n, n, 4);
+        assert!(empty.is_empty());
+        assert_eq!(est0, 0);
+    }
+
+    #[test]
+    fn pool_rounds_match_sequential_interning() {
+        let (compiled, mut store) = tc_setup();
+        let n = store.len() as RowId;
+        let policy = NullPolicy::ByFrontier;
+        // Sequential reference: one global table, task-major order.
+        let (tasks, _) = build_tasks(&compiled, &store, 0, n, 4);
+        let empty = WitnessTable::default();
+        let mut reference = WitnessTable::default();
+        for t in &tasks {
+            let out = run_task(t, &compiled, policy, &store, &empty, 0, n);
+            for k in 0..out.table.len() as u32 {
+                reference.intern_prehashed(out.tgd, out.table.tuple(k), out.table.entry_hash(k));
+            }
+        }
+        // The pool: same tasks fanned out over 4 workers, merged in task
+        // order — twice over, to exercise the park/wake cycle AND the
+        // global pre-filter (round 2 sees round 1's table and must
+        // produce nothing new).
+        let lock = RwLock::new(SharedState {
+            store: &mut store,
+            witnesses: WitnessTable::default(),
+        });
+        std::thread::scope(|scope| {
+            let pool = WorkerPool::spawn(scope, &lock, &compiled, policy, 4);
+            for round in 0..2 {
+                let (tasks, _) = {
+                    let guard = lock.read().unwrap();
+                    build_tasks(&compiled, &*guard.store, 0, n, 4)
+                };
+                let outs = pool.run_round(tasks, 0, n);
+                let mut guard = lock.write().unwrap();
+                let mut fresh = 0;
+                for out in &outs {
+                    for k in 0..out.table.len() as u32 {
+                        let (_, is_new) = guard.witnesses.intern_prehashed(
+                            out.tgd,
+                            out.table.tuple(k),
+                            out.table.entry_hash(k),
+                        );
+                        fresh += usize::from(is_new);
+                    }
+                }
+                if round == 0 {
+                    assert_eq!(fresh, reference.len(), "round 1 finds everything");
+                } else {
+                    assert_eq!(fresh, 0, "round 2 is pre-filtered to nothing");
+                }
+            }
+        });
+        let guard = lock.read().unwrap();
+        assert_eq!(guard.witnesses.len(), reference.len());
+        for id in 0..reference.len() as u32 {
+            assert_eq!(guard.witnesses.tuple(id), reference.tuple(id));
+        }
+    }
+}

@@ -50,7 +50,28 @@ pub(crate) const UNBOUND: u64 = u64::MAX;
 ///
 /// The chase engine is generic over this trait; [`ColumnarStore`] and
 /// [`EngineBackedStore`] are the two shipped implementations.
-pub trait ChaseStore {
+///
+/// `Send + Sync` are supertraits because the engine's parallel rounds
+/// shard trigger enumeration across scoped worker threads: each worker
+/// holds a shared reference to the store as a read-only round snapshot
+/// (behind the engine's `RwLock`, which needs `Send`), and all mutation
+/// happens in the single-writer merge phase between rounds.
+///
+/// ```
+/// use soct_chase::{ChaseStore, ColumnarStore};
+/// use soct_model::{ConstId, PredId, Term};
+///
+/// let mut store = ColumnarStore::new();
+/// let p = PredId(0);
+/// let c = |i| Term::Const(ConstId(i)).pack();
+/// assert_eq!(store.insert(p, &[c(0), c(1)]), Some(0));
+/// assert_eq!(store.insert(p, &[c(0), c(1)]), None); // set semantics
+/// assert_eq!(store.insert(p, &[c(1), c(1)]), Some(1));
+/// assert_eq!(store.rows_of(p), &[0, 1]);           // insertion order
+/// assert_eq!(store.rows_with(p, 1, c(1)), &[0, 1]); // position index
+/// assert_eq!(store.row(1), &[c(1), c(1)]);
+/// ```
+pub trait ChaseStore: Send + Sync {
     /// Total rows, across all predicates.
     fn len(&self) -> usize;
 

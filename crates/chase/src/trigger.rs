@@ -175,12 +175,17 @@ pub(crate) struct WitnessTable {
     data: Vec<u64>,
     /// Per witness id: owning TGD and tuple range in `data`.
     entries: Vec<(u32, u32, u32)>,
+    /// Per witness id: its `hash(tgd, tuple)` — kept so parallel rounds
+    /// can merge worker-local tables into the global one without
+    /// re-hashing every tuple.
+    hashes: Vec<u64>,
     /// `hash(tgd, tuple) → witness ids` (collision chains).
     map: FxHashMap<u64, Vec<u32>>,
 }
 
 impl WitnessTable {
-    fn hash(tgd: u32, tuple: &[u64]) -> u64 {
+    /// The dedup hash of a `(TGD, witness tuple)` pair.
+    pub fn hash(tgd: u32, tuple: &[u64]) -> u64 {
         let mut h = FxHasher::default();
         h.write_u32(tgd);
         for &v in tuple {
@@ -192,7 +197,13 @@ impl WitnessTable {
     /// Returns the id of `(tgd, tuple)`, interning it if new; the flag is
     /// `true` exactly when this call interned it.
     pub fn intern(&mut self, tgd: u32, tuple: &[u64]) -> (u32, bool) {
-        let hash = Self::hash(tgd, tuple);
+        self.intern_prehashed(tgd, tuple, Self::hash(tgd, tuple))
+    }
+
+    /// [`WitnessTable::intern`] with the tuple's hash already known (the
+    /// parallel merge path: workers hashed while deduplicating locally).
+    pub fn intern_prehashed(&mut self, tgd: u32, tuple: &[u64], hash: u64) -> (u32, bool) {
+        debug_assert_eq!(hash, Self::hash(tgd, tuple));
         if let Some(ids) = self.map.get(&hash) {
             for &id in ids {
                 let (t, start, end) = self.entries[id as usize];
@@ -205,8 +216,30 @@ impl WitnessTable {
         let start = self.data.len() as u32;
         self.data.extend_from_slice(tuple);
         self.entries.push((tgd, start, self.data.len() as u32));
+        self.hashes.push(hash);
         self.map.entry(hash).or_default().push(id);
         (id, true)
+    }
+
+    /// The stored hash of witness `id`.
+    pub fn entry_hash(&self, id: u32) -> u64 {
+        self.hashes[id as usize]
+    }
+
+    /// True when `(tgd, tuple)` is already interned. A non-mutating probe:
+    /// parallel workers use it to drop candidates that were interned in
+    /// earlier rounds before they ever reach the merge phase.
+    pub fn contains_prehashed(&self, tgd: u32, tuple: &[u64], hash: u64) -> bool {
+        debug_assert_eq!(hash, Self::hash(tgd, tuple));
+        if let Some(ids) = self.map.get(&hash) {
+            for &id in ids {
+                let (t, start, end) = self.entries[id as usize];
+                if t == tgd && &self.data[start as usize..end as usize] == tuple {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// The witness tuple of `id`.
@@ -216,9 +249,14 @@ impl WitnessTable {
     }
 
     /// Number of interned witnesses.
-    #[cfg(test)]
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// True when nothing has been interned yet.
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 

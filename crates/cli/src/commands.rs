@@ -1,7 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
-use soct_core::{check_termination, ms, FindShapesMode, Verdict};
+use soct_core::{check_termination_threads, ms, FindShapesMode, Verdict};
 use soct_model::{Database, Instance, Interner, Schema, TgdClass};
 use soct_storage::InstanceSource;
 use std::time::Instant;
@@ -62,13 +62,21 @@ fn load_program(args: &Args) -> Result<(Schema, Interner, Vec<soct_model::Tgd>, 
     Ok((schema, consts, tgds, db))
 }
 
+/// Worker-thread count: `--threads N`, default `0` = auto (the
+/// `SOCT_THREADS` environment variable, else the machine's available
+/// parallelism).
+fn threads_of(args: &Args) -> Result<usize, String> {
+    args.get_usize("threads", 0)
+}
+
 /// `soct check`.
 pub fn check(args: &Args) -> Result<(), String> {
     let (schema, _consts, tgds, db) = load_program(args)?;
     let mode = mode_of(args)?;
+    let threads = threads_of(args)?;
     let class = soct_model::tgd::classify(&tgds);
     let t0 = Instant::now();
-    let report = check_termination(&schema, &tgds, &db, mode);
+    let report = check_termination_threads(&schema, &tgds, &db, mode, threads);
     let elapsed = t0.elapsed();
     println!(
         "class: {class}  rules: {}  db-atoms: {}",
@@ -107,7 +115,7 @@ pub fn check(args: &Args) -> Result<(), String> {
         }
         TgdClass::Linear => {
             let src = InstanceSource::new(&schema, &db);
-            let rep = soct_core::is_chase_finite_l(&schema, &tgds, &src, mode);
+            let rep = soct_core::is_chase_finite_l_parallel(&schema, &tgds, &src, mode, threads);
             println!(
                 "breakdown: t-shapes {:.3} ms | t-graph {:.3} ms | t-comp {:.3} ms \
                  | db-shapes {} | derived shapes {} | simplified rules {}",
@@ -141,6 +149,7 @@ pub fn chase(args: &Args) -> Result<(), String> {
         variant,
         max_atoms: args.get_usize("max-atoms", 1_000_000)?,
         max_rounds: args.get_usize("max-rounds", usize::MAX)?,
+        threads: threads_of(args)?,
     };
     // `--backend memory` chases over the in-memory columnar store;
     // `--backend storage` loads the database into the embedded storage
@@ -161,9 +170,10 @@ pub fn chase(args: &Args) -> Result<(), String> {
     };
     let elapsed = t0.elapsed();
     println!(
-        "outcome: {:?}  rounds: {}  atoms: {} ({} derived)  triggers: {}  nulls: {}  time: {:.3} ms",
+        "outcome: {:?}  rounds: {} ({} parallel)  atoms: {} ({} derived)  triggers: {}  nulls: {}  time: {:.3} ms",
         res.outcome,
         res.rounds,
+        res.parallel_rounds,
         res.store.len(),
         res.derived_atoms(db.len()),
         res.triggers_applied,
@@ -190,7 +200,7 @@ pub fn shapes(args: &Args) -> Result<(), String> {
     let mode = mode_of(args)?;
     let src = InstanceSource::new(&schema, &db);
     let t0 = Instant::now();
-    let rep = soct_core::find_shapes(&src, mode);
+    let rep = soct_core::find_shapes_parallel(&src, mode, threads_of(args)?);
     let elapsed = t0.elapsed();
     println!(
         "{} shapes in {} atoms ({:.3} ms, mode {:?})",

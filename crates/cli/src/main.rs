@@ -1,15 +1,19 @@
 //! `soct` — semi-oblivious chase termination toolkit.
 //!
 //! ```text
-//! soct check          --rules FILE [--db FILE] [--mode memory|db]
+//! soct check          --rules FILE [--db FILE] [--mode memory|db] [--threads N]
 //! soct chase          --rules FILE --db FILE [--variant so|oblivious|restricted]
-//!                     [--max-atoms N] [--out FILE]
-//! soct shapes         --db FILE [--mode memory|db]
+//!                     [--max-atoms N] [--threads N] [--out FILE]
+//! soct shapes         --db FILE [--mode memory|db] [--threads N]
 //! soct stats          --rules FILE
 //! soct generate-tgds  --ssize N --tsize N [--class sl|l] [--seed N] [--out FILE]
 //! soct generate-data  [--preds N] [--min N] [--max N] [--dsize N] [--rsize N]
 //!                     [--seed N] [--out FILE]
 //! ```
+//!
+//! `--threads 0` (the default) auto-sizes the worker pool from the
+//! `SOCT_THREADS` environment variable or the machine's available
+//! parallelism; results never depend on the thread count.
 
 mod args;
 mod commands;
@@ -54,12 +58,12 @@ fn print_usage() {
         "soct — semi-oblivious chase termination for linear existential rules
 
 USAGE:
-  soct check          --rules FILE [--db FILE] [--mode memory|db]
+  soct check          --rules FILE [--db FILE] [--mode memory|db] [--threads N]
                       decide whether chase(D, Σ) is finite
   soct chase          --rules FILE --db FILE [--variant so|oblivious|restricted]
-                      [--max-atoms N] [--max-rounds N] [--out FILE]
+                      [--max-atoms N] [--max-rounds N] [--threads N] [--out FILE]
                       materialise the chase
-  soct shapes         --db FILE [--mode memory|db]
+  soct shapes         --db FILE [--mode memory|db] [--threads N]
                       list the database shapes
   soct stats          --rules FILE
                       rule-set statistics and dependency-graph profile
@@ -69,6 +73,8 @@ USAGE:
                       [--seed N] [--out FILE]
 
 Rule files use `body -> head.` / `head :- body.` syntax with implicit
-existentials; fact files hold `r(a,b).` lines."
+existentials; fact files hold `r(a,b).` lines. `--threads 0` (default)
+auto-sizes the worker pool (SOCT_THREADS env, else available cores);
+results never depend on the thread count."
     );
 }

@@ -23,6 +23,7 @@ use std::time::Instant;
 pub struct LCheckReport {
     /// `true` iff `chase(D, Σ)` is finite.
     pub finite: bool,
+    /// Per-phase wall-clock breakdown (§8's reported quantities).
     pub timings: LTimings,
     /// `|shape(D)|` (the `n-shapes` statistic of Table 1).
     pub n_db_shapes: usize,
@@ -30,13 +31,17 @@ pub struct LCheckReport {
     pub shapes_derived: usize,
     /// `|simple_D(Σ)|`.
     pub n_simplified_tgds: usize,
-    /// Dependency graph of the simplified set.
+    /// Nodes in the dependency graph of the simplified set.
     pub graph_nodes: usize,
+    /// Edges in the dependency graph of the simplified set.
     pub graph_edges: usize,
+    /// Special (null-propagating) edges among them.
     pub special_edges: usize,
+    /// Special SCCs found (any ⇒ infinite).
     pub num_special_sccs: usize,
     /// FindShapes work counters (queries or tuples, by mode).
     pub shape_stats: ShapeQueryStats,
+    /// Tuples scanned by the in-memory FindShapes (zero in-database).
     pub tuples_scanned: u64,
 }
 
@@ -49,6 +54,27 @@ pub fn is_chase_finite_l(
 ) -> LCheckReport {
     let t0 = Instant::now();
     let shapes = find_shapes(src, mode);
+    let t_shapes = t0.elapsed();
+    let mut report = check_l_with_shapes(schema, tgds, &shapes.shapes);
+    report.timings.t_shapes = t_shapes;
+    report.shape_stats = shapes.stats;
+    report.tuples_scanned = shapes.tuples_scanned;
+    report
+}
+
+/// Algorithm 3 with the `FindShapes` phase fanned out over worker threads
+/// (`threads` as in [`soct_chase::resolve_threads`]; `0` = auto). The
+/// verdict and every statistic match [`is_chase_finite_l`] exactly — only
+/// `t_shapes` wall-clock changes.
+pub fn is_chase_finite_l_parallel(
+    schema: &Schema,
+    tgds: &[Tgd],
+    src: &(dyn TupleSource + Sync),
+    mode: FindShapesMode,
+    threads: usize,
+) -> LCheckReport {
+    let t0 = Instant::now();
+    let shapes = crate::find_shapes::find_shapes_parallel(src, mode, threads);
     let t_shapes = t0.elapsed();
     let mut report = check_l_with_shapes(schema, tgds, &shapes.shapes);
     report.timings.t_shapes = t_shapes;

@@ -27,10 +27,13 @@ use std::time::Instant;
 pub struct SlCheckReport {
     /// `true` iff `chase(D, Σ)` is finite.
     pub finite: bool,
+    /// Per-phase wall-clock breakdown (§7's reported quantities).
     pub timings: SlTimings,
-    /// Dependency-graph statistics (`n-edges` of the Appendix plot).
+    /// Nodes in the dependency graph.
     pub graph_nodes: usize,
+    /// Edges in the dependency graph (`n-edges` of the Appendix plot).
     pub graph_edges: usize,
+    /// Special (null-propagating) edges among them.
     pub special_edges: usize,
     /// Number of special SCCs found (line 2 of Algorithm 1).
     pub num_special_sccs: usize,

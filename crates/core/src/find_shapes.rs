@@ -17,14 +17,23 @@
 //! store) chase output directly: a `soct_chase::ColumnarStore` is a
 //! `TupleSource`, so `find_shapes(&chase_result.store, …)` runs with no
 //! copy-out conversion to boxed atoms in between.
+//!
+//! Per-relation work is independent in both modes, so
+//! [`find_shapes_parallel`] fans relations out over scoped worker threads
+//! (the in-database mode batches its per-table query runs per worker); the
+//! final shape set is sorted, so the result is identical to the sequential
+//! functions regardless of the thread count.
 
 use soct_model::{FxHashSet, PredId, Rgs, Shape};
 use soct_storage::{find_shapes_apriori, ShapeQueryStats, StorageEngine, TupleSource};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Which `FindShapes` implementation to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FindShapesMode {
+    /// §5.4's in-memory flavour: stream and hash every tuple.
     InMemory,
+    /// §5.4's in-database flavour: Apriori-pruned Boolean EXISTS queries.
     InDatabase,
 }
 
@@ -47,6 +56,95 @@ pub fn find_shapes(src: &dyn TupleSource, mode: FindShapesMode) -> ShapesReport 
     }
 }
 
+/// `FindShapes(D)` with relations fanned out over worker threads.
+///
+/// `threads` follows the engine-wide convention (`0` = auto, see
+/// [`soct_chase::resolve_threads`]); the source must be `Sync` because
+/// workers share it read-only. The report is identical to [`find_shapes`]
+/// for every thread count — shape sets are sorted and the work counters
+/// are order-independent sums.
+pub fn find_shapes_parallel(
+    src: &(dyn TupleSource + Sync),
+    mode: FindShapesMode,
+    threads: usize,
+) -> ShapesReport {
+    let threads = soct_chase::resolve_threads(threads);
+    let preds = src.non_empty_predicates();
+    // Scale the fan-out to the work: one worker per PAR_MIN_ROWS tuples,
+    // at most one per relation. Small inputs run sequentially — spawning
+    // and joining threads costs more than scanning a few thousand tuples,
+    // and unlike the chase engine's per-run pool, this fan-out is paid on
+    // every call.
+    const PAR_MIN_ROWS: u64 = 4096;
+    let workers = threads
+        .min(preds.len())
+        .min((src.total_rows() / PAR_MIN_ROWS) as usize);
+    if workers <= 1 {
+        return find_shapes(src, mode);
+    }
+    // Workers claim contiguous batches of relations: one atomic fetch per
+    // batch, and the in-database mode issues its per-table query runs in
+    // these batches too.
+    let batch = preds.len().div_ceil(workers * 4).max(1);
+    let cursor = AtomicUsize::new(0);
+    let parts: Vec<(Vec<Shape>, ShapeQueryStats, u64)> = std::thread::scope(|scope| {
+        let preds = &preds;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut shapes: Vec<Shape> = Vec::new();
+                    let mut stats = ShapeQueryStats::default();
+                    let mut tuples_scanned = 0u64;
+                    loop {
+                        let start = cursor.fetch_add(batch, Ordering::Relaxed);
+                        if start >= preds.len() {
+                            break;
+                        }
+                        for &pred in &preds[start..(start + batch).min(preds.len())] {
+                            match mode {
+                                FindShapesMode::InMemory => {
+                                    let (seen, scanned) = relation_shapes_in_memory(src, pred);
+                                    tuples_scanned += scanned;
+                                    shapes.extend(seen.into_iter().map(|rgs| Shape { pred, rgs }));
+                                }
+                                FindShapesMode::InDatabase => {
+                                    let (rgss, s) = find_shapes_apriori(src, pred);
+                                    stats.relaxed_queries += s.relaxed_queries;
+                                    stats.exact_queries += s.exact_queries;
+                                    stats.pruned_nodes += s.pruned_nodes;
+                                    shapes.extend(rgss.into_iter().map(|rgs| Shape { pred, rgs }));
+                                }
+                            }
+                        }
+                    }
+                    (shapes, stats, tuples_scanned)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("FindShapes workers do not panic"))
+            .collect()
+    });
+    let mut shapes = Vec::new();
+    let mut stats = ShapeQueryStats::default();
+    let mut tuples_scanned = 0u64;
+    for (s, st, t) in parts {
+        shapes.extend(s);
+        stats.relaxed_queries += st.relaxed_queries;
+        stats.exact_queries += st.exact_queries;
+        stats.pruned_nodes += st.pruned_nodes;
+        tuples_scanned += t;
+    }
+    shapes.sort_unstable();
+    ShapesReport {
+        shapes,
+        stats,
+        tuples_scanned,
+    }
+}
+
 /// Rows loaded per chunk by the in-memory implementation ("for relations
 /// that cannot be entirely loaded into the main memory, we split them into
 /// smaller relations processed separately", §5.4).
@@ -61,25 +159,8 @@ pub fn find_shapes_in_memory(src: &dyn TupleSource) -> ShapesReport {
     let mut shapes: Vec<Shape> = Vec::new();
     let mut tuples_scanned = 0u64;
     for pred in src.non_empty_predicates() {
-        let arity = src.arity_of(pred).max(1);
-        let mut seen: FxHashSet<Rgs> = FxHashSet::default();
-        // Load phase: materialise the relation chunk by chunk.
-        let mut chunk: Vec<u64> = Vec::with_capacity(IN_MEMORY_CHUNK_ROWS * arity);
-        let flush = |chunk: &mut Vec<u64>, seen: &mut FxHashSet<Rgs>| {
-            for row in chunk.chunks_exact(arity) {
-                seen.insert(Rgs::of(row));
-            }
-            chunk.clear();
-        };
-        src.scan(pred, &mut |row| {
-            tuples_scanned += 1;
-            chunk.extend_from_slice(row);
-            if chunk.len() >= IN_MEMORY_CHUNK_ROWS * arity {
-                flush(&mut chunk, &mut seen);
-            }
-            true
-        });
-        flush(&mut chunk, &mut seen);
+        let (seen, scanned) = relation_shapes_in_memory(src, pred);
+        tuples_scanned += scanned;
         shapes.extend(seen.into_iter().map(|rgs| Shape { pred, rgs }));
     }
     shapes.sort_unstable();
@@ -88,6 +169,32 @@ pub fn find_shapes_in_memory(src: &dyn TupleSource) -> ShapesReport {
         stats: ShapeQueryStats::default(),
         tuples_scanned,
     }
+}
+
+/// One relation's in-memory shape pass: load chunk by chunk, hash every
+/// tuple. The unit of work [`find_shapes_parallel`] distributes.
+fn relation_shapes_in_memory(src: &dyn TupleSource, pred: PredId) -> (FxHashSet<Rgs>, u64) {
+    let arity = src.arity_of(pred).max(1);
+    let mut tuples_scanned = 0u64;
+    let mut seen: FxHashSet<Rgs> = FxHashSet::default();
+    // Load phase: materialise the relation chunk by chunk.
+    let mut chunk: Vec<u64> = Vec::with_capacity(IN_MEMORY_CHUNK_ROWS * arity);
+    let flush = |chunk: &mut Vec<u64>, seen: &mut FxHashSet<Rgs>| {
+        for row in chunk.chunks_exact(arity) {
+            seen.insert(Rgs::of(row));
+        }
+        chunk.clear();
+    };
+    src.scan(pred, &mut |row| {
+        tuples_scanned += 1;
+        chunk.extend_from_slice(row);
+        if chunk.len() >= IN_MEMORY_CHUNK_ROWS * arity {
+            flush(&mut chunk, &mut seen);
+        }
+        true
+    });
+    flush(&mut chunk, &mut seen);
+    (seen, tuples_scanned)
 }
 
 /// In-database implementation: Apriori-pruned EXISTS queries per relation.

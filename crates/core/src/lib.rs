@@ -6,6 +6,13 @@
 //! in-memory and in-database incarnations, `DynSimplification`
 //! (Algorithm 2), the timing instrumentation behind every figure of §7–§9,
 //! and the materialization-based oracle used for cross-validation.
+//!
+//! `FindShapes` and the linear checker's shape phase can fan their
+//! per-relation work out over worker threads ([`find_shapes_parallel`],
+//! [`is_chase_finite_l_parallel`], [`check_termination_threads`]); results
+//! are identical to the sequential entry points for every thread count.
+
+#![warn(missing_docs)]
 
 pub mod check_l;
 pub mod check_sl;
@@ -14,7 +21,10 @@ pub mod find_shapes;
 pub mod oracle;
 pub mod timings;
 
-pub use check_l::{check_l_with_shapes, is_chase_finite_l, is_chase_finite_l_text, LCheckReport};
+pub use check_l::{
+    check_l_with_shapes, is_chase_finite_l, is_chase_finite_l_parallel, is_chase_finite_l_text,
+    LCheckReport,
+};
 pub use check_sl::{
     derivable_predicates, is_chase_finite_sl, is_chase_finite_sl_source, is_chase_finite_sl_text,
     SlCheckReport,
@@ -22,7 +32,9 @@ pub use check_sl::{
 pub use dynsimpl::{dyn_simplification, DynSimplification};
 pub use find_shapes::{
     find_shapes, find_shapes_in_database, find_shapes_in_memory, find_shapes_materialized,
-    FindShapesMode, ShapesReport,
+    find_shapes_parallel, FindShapesMode, ShapesReport,
 };
-pub use oracle::{check_termination, materialization_check, TerminationReport, Verdict};
+pub use oracle::{
+    check_termination, check_termination_threads, materialization_check, TerminationReport, Verdict,
+};
 pub use timings::{ms, LTimings, SlTimings};

@@ -2,7 +2,6 @@
 //! linear TGDs (simplify first, then bound — see `soct-chase::bounds`), and
 //! an auto-dispatching front door over the three TGD classes.
 
-use crate::check_l::is_chase_finite_l;
 use crate::check_sl::{derivable_predicates, is_chase_finite_sl};
 use crate::dynsimpl::dyn_simplification;
 use crate::find_shapes::FindShapesMode;
@@ -52,7 +51,9 @@ pub fn materialization_check(
 /// Tri-state verdict of [`check_termination`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Verdict {
+    /// `chase(D, Σ)` is finite.
     Finite,
+    /// `chase(D, Σ)` is infinite.
     Infinite,
     /// Only possible for general TGDs, where the problem is undecidable and
     /// D-weak-acyclicity is merely a sufficient condition.
@@ -62,6 +63,7 @@ pub enum Verdict {
 /// Combined report of the auto-dispatching checker.
 #[derive(Clone, Debug)]
 pub struct TerminationReport {
+    /// The verdict reached.
     pub verdict: Verdict,
     /// The class the input was dispatched on.
     pub class: TgdClass,
@@ -72,11 +74,52 @@ pub struct TerminationReport {
 /// sets, and the sound D-weak-acyclicity test for general sets (returning
 /// [`Verdict::Unknown`] when it fails — the general problem is undecidable,
 /// §1.3).
+///
+/// ```
+/// use soct_core::{check_termination, FindShapesMode, Verdict};
+/// use soct_model::{Atom, ConstId, Instance, Schema, Term, Tgd, VarId};
+///
+/// // person(x) → ∃y hasAdvisor(x,y);  hasAdvisor(x,y) → person(y).
+/// let mut schema = Schema::new();
+/// let person = schema.add_predicate("person", 1).unwrap();
+/// let advisor = schema.add_predicate("hasAdvisor", 2).unwrap();
+/// let (x, y) = (Term::Var(VarId(0)), Term::Var(VarId(1)));
+/// let tgds = vec![
+///     Tgd::new(
+///         vec![Atom::new(&schema, person, vec![x]).unwrap()],
+///         vec![Atom::new(&schema, advisor, vec![x, y]).unwrap()],
+///     )
+///     .unwrap(),
+///     Tgd::new(
+///         vec![Atom::new(&schema, advisor, vec![x, y]).unwrap()],
+///         vec![Atom::new(&schema, person, vec![y]).unwrap()],
+///     )
+///     .unwrap(),
+/// ];
+/// let mut db = Instance::new();
+/// db.insert(Atom::new(&schema, person, vec![Term::Const(ConstId(0))]).unwrap());
+/// let report = check_termination(&schema, &tgds, &db, FindShapesMode::InMemory);
+/// assert_eq!(report.verdict, Verdict::Infinite); // advisors all the way up
+/// ```
 pub fn check_termination(
     schema: &Schema,
     tgds: &[Tgd],
     db: &Instance,
     mode: FindShapesMode,
+) -> TerminationReport {
+    check_termination_threads(schema, tgds, db, mode, 0)
+}
+
+/// [`check_termination`] with the `FindShapes` phase of the linear checker
+/// fanned out over worker threads (`threads` as in
+/// [`soct_chase::resolve_threads`]; `0` = auto). The verdict is identical
+/// for every thread count.
+pub fn check_termination_threads(
+    schema: &Schema,
+    tgds: &[Tgd],
+    db: &Instance,
+    mode: FindShapesMode,
+    threads: usize,
 ) -> TerminationReport {
     let class = soct_model::tgd::classify(tgds);
     let verdict = match class {
@@ -90,7 +133,8 @@ pub fn check_termination(
         }
         TgdClass::Linear => {
             let src = InstanceSource::new(schema, db);
-            if is_chase_finite_l(schema, tgds, &src, mode).finite {
+            if crate::check_l::is_chase_finite_l_parallel(schema, tgds, &src, mode, threads).finite
+            {
                 Verdict::Finite
             } else {
                 Verdict::Infinite

@@ -1,6 +1,6 @@
 //! Synthetic stand-ins for the §9 validation scenarios.
 //!
-//! The original artefacts (Deep [8], LUBM [16], iBench STB-128/ONT-256 [5])
+//! The original artefacts (Deep \[8\], LUBM \[16\], iBench STB-128/ONT-256 \[5\])
 //! are not redistributable here, so each family is *re-synthesised to its
 //! published Table 1 statistics* — number of predicates, arity range,
 //! number of atoms, number of database shapes, number of rules — which are
@@ -335,9 +335,9 @@ pub fn lubm_like(scale: usize, atom_scale: f64, seed: u64) -> Scenario {
 /// Which iBench-like scenario to build.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum IBenchVariant {
-    /// 287 predicates, arity [1,10], 231 rules, 129 shapes, ~1.1M atoms.
+    /// 287 predicates, arity `[1,10]`, 231 rules, 129 shapes, ~1.1M atoms.
     Stb128,
-    /// 662 predicates, arity [1,11], 785 rules, 245 shapes, ~2.1M atoms.
+    /// 662 predicates, arity `[1,11]`, 785 rules, 245 shapes, ~2.1M atoms.
     Ont256,
 }
 

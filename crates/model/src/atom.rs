@@ -8,7 +8,9 @@ use std::fmt;
 /// An atom `R(t₁, …, tₙ)`: a predicate applied to a tuple of terms.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct Atom {
+    /// The predicate `R`.
     pub pred: PredId,
+    /// The argument tuple `t₁, …, tₙ`.
     pub terms: Box<[Term]>,
 }
 

@@ -6,20 +6,34 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ModelError {
     /// A predicate was declared with arity 0; the paper assumes `ar(R) > 0`.
-    ZeroArity { predicate: String },
+    ZeroArity {
+        /// The offending predicate's name.
+        predicate: String,
+    },
     /// A predicate name was used with two different arities.
     ArityMismatch {
+        /// The offending predicate's name.
         predicate: String,
+        /// The arity it was first declared with.
         expected: usize,
+        /// The conflicting arity.
         found: usize,
     },
     /// Arity exceeds [`crate::schema::MAX_ARITY`], the fixed row-buffer
     /// width shared by the storage and chase layers.
-    ArityTooLarge { predicate: String, arity: usize },
+    ArityTooLarge {
+        /// The offending predicate's name.
+        predicate: String,
+        /// The declared arity.
+        arity: usize,
+    },
     /// An atom was built with the wrong number of arguments.
     WrongArgumentCount {
+        /// The predicate the atom was built over.
         predicate: String,
+        /// The predicate's declared arity.
         expected: usize,
+        /// The number of arguments supplied.
         found: usize,
     },
     /// A TGD contained a constant; TGDs are constant-free sentences (§2).
@@ -29,9 +43,15 @@ pub enum ModelError {
     /// A fact (database atom) contained a variable.
     VariableInFact,
     /// A TGD body or head was empty; both must be non-empty conjunctions.
-    EmptyConjunction { part: &'static str },
+    EmptyConjunction {
+        /// Which side was empty (`"body"` or `"head"`).
+        part: &'static str,
+    },
     /// A TGD reused an existential variable in its body.
-    ExistentialInBody { var: u32 },
+    ExistentialInBody {
+        /// The raw id of the offending variable.
+        var: u32,
+    },
 }
 
 impl fmt::Display for ModelError {

@@ -11,6 +11,8 @@
 //! builds on the types defined here. Strings are interned at the boundary;
 //! the algorithms operate on dense `u32` ids throughout.
 
+#![warn(missing_docs)]
+
 pub mod atom;
 pub mod error;
 pub mod fxhash;

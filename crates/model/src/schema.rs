@@ -12,6 +12,7 @@ use std::fmt;
 pub struct PredId(pub u32);
 
 impl PredId {
+    /// The id as a dense `usize` index.
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
@@ -22,11 +23,14 @@ impl PredId {
 /// 1-based `[n]`; we index from 0 internally and print 1-based).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct Position {
+    /// The predicate `R`.
     pub pred: PredId,
+    /// The zero-based argument index `i`.
     pub index: u16,
 }
 
 impl Position {
+    /// The position `(pred, index)`.
     #[inline]
     pub fn new(pred: PredId, index: usize) -> Self {
         Position {
@@ -51,7 +55,7 @@ struct PredInfo {
 /// Maximum supported predicate arity.
 ///
 /// This is the single arity contract of the whole workspace: the storage
-/// layer ([`soct_storage`]'s tables, the `InstanceSource` scan path) and the
+/// layer (`soct_storage`'s tables, the `InstanceSource` scan path) and the
 /// chase's packed tuple stores size their fixed row buffers as
 /// `[u64; MAX_ARITY]`, so a predicate admitted here can never overflow a row
 /// buffer downstream. [`Schema::add_predicate`] rejects larger arities with

@@ -222,7 +222,9 @@ pub fn bell(n: usize) -> u128 {
 /// A shape `R_{id(t̄)}`: a predicate together with an RGS of its arity.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct Shape {
+    /// The predicate `R`.
     pub pred: PredId,
+    /// The repeated-generic-structure id of the argument tuple.
     pub rgs: Rgs,
 }
 

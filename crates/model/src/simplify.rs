@@ -160,7 +160,7 @@ impl Specialization {
 }
 
 /// The *h-specialization* (§4.2): given the body tuple of a linear TGD and a
-/// target shape `R_{ī}` ∈ DB[S], there is at most one homomorphism `h` from
+/// target shape `R_{ī}` ∈ `DB[S]`, there is at most one homomorphism `h` from
 /// `{R(x̄)}` to `{R(ī)}` — the positional one — and it exists iff equal body
 /// variables sit at positions with equal ids (the shape's partition coarsens
 /// the body's repetition pattern). Returns the induced specialization

@@ -38,6 +38,7 @@ impl ConstId {
 }
 
 impl VarId {
+    /// The id as a dense `usize` index.
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
@@ -45,6 +46,7 @@ impl VarId {
 }
 
 impl NullId {
+    /// The id as a dense `usize` index.
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize

@@ -50,16 +50,18 @@ pub use soct_storage as storage;
 /// The most common imports in one place.
 pub mod prelude {
     pub use soct_chase::{
-        run_chase, run_chase_columnar, run_chase_on_engine, ChaseConfig, ChaseOutcome, ChaseStore,
-        ChaseVariant, ColumnarStore, MaterializationVerdict,
+        resolve_threads, run_chase, run_chase_columnar, run_chase_on_engine, ChaseConfig,
+        ChaseOutcome, ChaseResult, ChaseStore, ChaseVariant, ColumnarStore, MaterializationVerdict,
     };
     pub use soct_core::{
-        check_termination, find_shapes, is_chase_finite_l, is_chase_finite_sl,
-        materialization_check, FindShapesMode, Verdict,
+        check_termination, check_termination_threads, find_shapes, find_shapes_parallel,
+        is_chase_finite_l, is_chase_finite_l_parallel, is_chase_finite_sl, materialization_check,
+        FindShapesMode, Verdict,
     };
     pub use soct_graph::{find_special_sccs, DependencyGraph};
     pub use soct_model::{
-        Atom, Database, Instance, Interner, Rgs, Schema, Shape, Term, Tgd, TgdClass,
+        Atom, ConstId, Database, Instance, Interner, NullId, Rgs, Schema, Shape, Term, Tgd,
+        TgdClass, VarId,
     };
     pub use soct_parser::{parse_facts, parse_tgds, write_program, Program};
     pub use soct_storage::{InstanceSource, LimitView, StorageEngine, TupleSource};

@@ -1,0 +1,191 @@
+//! Differential property tests for the parallel execution layer: a chase
+//! run on N worker threads must be *bit-identical* to the sequential run —
+//! outcome, atom sequence (null names included), rounds, triggers, nulls —
+//! on all three chase variants and both store backends.
+//!
+//! This is the contract `crates/chase/src/parallel.rs` is built around:
+//! trigger enumeration is sharded against a read-only round snapshot and
+//! merged in task order, so the new-trigger sequence (and therefore null
+//! naming and insertion order) never depends on the thread count. The
+//! databases here are sized so that rounds actually cross the engine's
+//! inline/parallel work threshold.
+
+use proptest::prelude::*;
+use soct::chase::run_chase_on_engine;
+use soct::gen::{DataGenConfig, TgdGenConfig};
+use soct::prelude::*;
+
+/// A random linear program over a database big enough that early rounds
+/// exceed the engine's parallel work threshold.
+fn random_linear_program(seed: u64) -> (Schema, Database, Vec<Tgd>) {
+    let mut schema = Schema::new();
+    let (preds, db) = soct::gen::generate_instance(
+        &DataGenConfig {
+            preds: 4,
+            min_arity: 1,
+            max_arity: 3,
+            dsize: 600,
+            rsize: 200,
+            seed,
+        },
+        &mut schema,
+    );
+    let tgds = soct::gen::generate_tgds(
+        &TgdGenConfig {
+            ssize: 4,
+            min_arity: 1,
+            max_arity: 3,
+            tsize: 6,
+            tclass: TgdClass::Linear,
+            existential_prob: 0.25,
+            seed: seed ^ 0x51ab,
+        },
+        &schema,
+        &preds,
+    );
+    (schema, db, tgds)
+}
+
+/// Asserts that two chase results over the in-memory backend are
+/// bit-identical (atom-by-atom, null names included).
+fn assert_identical(seq: &ChaseResult, par: &ChaseResult, ctx: &str) {
+    assert_eq!(seq.outcome, par.outcome, "outcome ({ctx})");
+    assert_eq!(seq.rounds, par.rounds, "rounds ({ctx})");
+    assert_eq!(
+        seq.triggers_applied, par.triggers_applied,
+        "triggers ({ctx})"
+    );
+    assert_eq!(seq.nulls_created, par.nulls_created, "nulls ({ctx})");
+    assert_eq!(seq.instance.len(), par.instance.len(), "atom count ({ctx})");
+    for (a, b) in seq.instance.atoms().iter().zip(par.instance.atoms()) {
+        assert_eq!(a, b, "atom mismatch ({ctx})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_equals_sequential_on_both_backends(seed in 0u64..5_000) {
+        let (schema, db, tgds) = random_linear_program(seed);
+        for variant in [
+            ChaseVariant::Oblivious,
+            ChaseVariant::SemiOblivious,
+            ChaseVariant::Restricted,
+        ] {
+            let base = ChaseConfig::with_max_atoms(variant, 4_000);
+            // In-memory backend: 1 thread vs 4 threads.
+            let seq = run_chase(&db, &tgds, &base.with_threads(1));
+            let par = run_chase(&db, &tgds, &base.with_threads(4));
+            assert_identical(&seq, &par, &format!("memory, seed {seed}, {variant:?}"));
+
+            // Storage backend: fresh engines (runs write derived atoms
+            // back), 1 thread vs 4 threads.
+            let mut eng_seq = StorageEngine::new();
+            eng_seq.load_instance(&schema, &db);
+            let res_seq = run_chase_on_engine(&schema, &mut eng_seq, &tgds, &base.with_threads(1));
+            let mut eng_par = StorageEngine::new();
+            eng_par.load_instance(&schema, &db);
+            let res_par = run_chase_on_engine(&schema, &mut eng_par, &tgds, &base.with_threads(4));
+            prop_assert_eq!(res_seq.outcome, res_par.outcome, "engine outcome (seed {})", seed);
+            prop_assert_eq!(res_seq.rounds, res_par.rounds, "engine rounds (seed {})", seed);
+            prop_assert_eq!(
+                res_seq.triggers_applied, res_par.triggers_applied,
+                "engine triggers (seed {})", seed
+            );
+            prop_assert_eq!(
+                res_seq.nulls_created, res_par.nulls_created,
+                "engine nulls (seed {})", seed
+            );
+            prop_assert_eq!(
+                res_seq.store.len(), res_par.store.len(),
+                "engine atom count (seed {})", seed
+            );
+            let i_seq = res_seq.store.to_instance();
+            let i_par = res_par.store.to_instance();
+            for (a, b) in i_seq.atoms().iter().zip(i_par.atoms()) {
+                prop_assert_eq!(a, b, "engine atom mismatch (seed {}, {:?})", seed, variant);
+            }
+            prop_assert_eq!(
+                eng_seq.total_rows(), eng_par.total_rows(),
+                "write-through row counts (seed {})", seed
+            );
+        }
+    }
+}
+
+/// Builds the divergent-linear workload `R(x,y) → ∃z R(y,z)` seeded with
+/// enough initial edges that every round's frontier crosses the parallel
+/// threshold — the hardest case for deterministic null naming, since each
+/// round mints a null per frontier value and chains them forward.
+fn divergent_linear_wide(edges: u32) -> (Schema, Instance, Vec<Tgd>) {
+    let mut schema = Schema::new();
+    let r = schema.add_predicate("R", 2).unwrap();
+    let v = |i: u32| Term::Var(VarId(i));
+    let c = |i: u32| Term::Const(ConstId(i));
+    let tgd = Tgd::new(
+        vec![soct::model::Atom::new(&schema, r, vec![v(0), v(1)]).unwrap()],
+        vec![soct::model::Atom::new(&schema, r, vec![v(1), v(2)]).unwrap()],
+    )
+    .unwrap();
+    let mut db = Instance::new();
+    for i in 0..edges {
+        db.insert(soct::model::Atom::new(&schema, r, vec![c(i), c(i + edges)]).unwrap());
+    }
+    (schema, db, vec![tgd])
+}
+
+/// Fixed-seed regression: the divergent-linear workload on ≥4 threads must
+/// match the sequential run exactly, and must actually exercise the
+/// parallel enumeration path.
+#[test]
+fn divergent_linear_parallel_regression() {
+    let (_schema, db, tgds) = divergent_linear_wide(700);
+    let base = ChaseConfig::with_max_atoms(ChaseVariant::SemiOblivious, 3_500);
+    let seq = run_chase(&db, &tgds, &base.with_threads(1));
+    let par = run_chase(&db, &tgds, &base.with_threads(4));
+    assert_eq!(seq.parallel_rounds, 0, "1 thread never fans out");
+    assert!(
+        par.parallel_rounds > 0,
+        "the 4-thread run must take the parallel path"
+    );
+    assert_eq!(seq.outcome, ChaseOutcome::AtomBudgetExceeded);
+    assert_identical(&seq, &par, "divergent-linear, 4 threads");
+    // The oblivious and restricted variants chain nulls differently but
+    // must be just as deterministic.
+    for variant in [ChaseVariant::Oblivious, ChaseVariant::Restricted] {
+        let base = ChaseConfig::with_max_atoms(variant, 3_500);
+        let seq = run_chase(&db, &tgds, &base.with_threads(1));
+        let par = run_chase(&db, &tgds, &base.with_threads(4));
+        assert!(par.parallel_rounds > 0, "{variant:?} fans out");
+        assert_identical(&seq, &par, &format!("divergent-linear, {variant:?}"));
+    }
+}
+
+/// Fixed-seed regression: a multi-atom join (transitive closure) where the
+/// depth-0 chunking and per-task dedup carry most of the load.
+#[test]
+fn transitive_closure_parallel_regression() {
+    let mut schema = Schema::new();
+    let e = schema.add_predicate("e", 2).unwrap();
+    let v = |i: u32| Term::Var(VarId(i));
+    let c = |i: u32| Term::Const(ConstId(i));
+    let tgd = Tgd::new(
+        vec![
+            soct::model::Atom::new(&schema, e, vec![v(0), v(1)]).unwrap(),
+            soct::model::Atom::new(&schema, e, vec![v(1), v(2)]).unwrap(),
+        ],
+        vec![soct::model::Atom::new(&schema, e, vec![v(0), v(2)]).unwrap()],
+    )
+    .unwrap();
+    let mut db = Instance::new();
+    for i in 0..96 {
+        db.insert(soct::model::Atom::new(&schema, e, vec![c(i), c(i + 1)]).unwrap());
+    }
+    let cfg = ChaseConfig::unbounded(ChaseVariant::SemiOblivious);
+    let seq = run_chase(&db, std::slice::from_ref(&tgd), &cfg.with_threads(1));
+    let par = run_chase(&db, &[tgd], &cfg.with_threads(4));
+    assert!(par.parallel_rounds > 0);
+    assert_eq!(seq.instance.len(), 96 * 97 / 2);
+    assert_identical(&seq, &par, "transitive closure");
+}
