@@ -1,0 +1,130 @@
+//! `serve_throughput`: cold vs cached `POST /check` latency through the
+//! in-process service API (`TerminationService::handle` — the full
+//! request path minus sockets).
+//!
+//! - **check-cold** — a fresh service per iteration: parse + fingerprint
+//!   + full checker run (the one-shot CLI cost, service-shaped);
+//! - **check-cached** — one warm service: parse + fingerprint + verdict
+//!   cache lookup, the steady-state cost of repeated checks on a known
+//!   ruleset (the entire point of ISSUE 4);
+//! - **check-cached-permuted** — the warm lookup when the request is a
+//!   *renamed permutation* of the cached ruleset, showing the canonical
+//!   fingerprint (not the request bytes) is what hits.
+//!
+//! Baselines live in `crates/bench/BASELINES.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soct_gen::TgdGenConfig;
+use soct_model::{Interner, Schema, TgdClass};
+use soct_serve::{get_field, ServiceConfig, TerminationService};
+use std::time::Duration;
+
+/// A generated ruleset rendered to request-body text, plus a permuted
+/// line order variant of the same ruleset (same fingerprint).
+fn ruleset_text(tsize: usize, sl: bool) -> (String, String) {
+    let mut schema = Schema::new();
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let pool = soct_gen::datagen::make_predicates(&mut schema, "p", 24, 1, 4, &mut rng);
+    let cfg = TgdGenConfig {
+        ssize: 12,
+        min_arity: 1,
+        max_arity: 4,
+        tsize,
+        tclass: if sl {
+            TgdClass::SimpleLinear
+        } else {
+            TgdClass::Linear
+        },
+        existential_prob: 0.1,
+        seed: 0x5EED,
+    };
+    let tgds = soct_gen::generate_tgds(&cfg, &schema, &pool);
+    let consts = Interner::new();
+    let text = soct_parser::write_tgds(&tgds, &schema, &consts);
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines.reverse();
+    let permuted = format!("{}\n", lines.join("\n"));
+    (text, permuted)
+}
+
+fn expect_cached(body: &str, expected: &str) {
+    assert_eq!(
+        get_field(body, "cached"),
+        Some(expected),
+        "unexpected cache state: {body}"
+    );
+}
+
+fn bench(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("serve_throughput");
+
+    for (label, sl) in [("sl", true), ("l", false)] {
+        for tsize in [100usize, 1000] {
+            let (body, permuted) = ruleset_text(tsize, sl);
+            group.throughput(Throughput::Elements(tsize as u64));
+
+            // Cold: a fresh service (empty cache) per iteration.
+            group.bench_with_input(
+                BenchmarkId::new(format!("check-cold/{label}"), tsize),
+                &body,
+                |b, body| {
+                    b.iter(|| {
+                        let svc = TerminationService::new(ServiceConfig::default()).unwrap();
+                        let (status, resp) =
+                            svc.handle("POST", "/check", criterion::black_box(body));
+                        assert_eq!(status, 200, "{resp}");
+                        expect_cached(&resp, "false");
+                        resp.len()
+                    })
+                },
+            );
+
+            // Cached: one warm service; every iteration is a hit.
+            let warm = TerminationService::new(ServiceConfig::default()).unwrap();
+            let (status, resp) = warm.handle("POST", "/check", &body);
+            assert_eq!(status, 200, "{resp}");
+            group.bench_with_input(
+                BenchmarkId::new(format!("check-cached/{label}"), tsize),
+                &body,
+                |b, body| {
+                    b.iter(|| {
+                        let (status, resp) =
+                            warm.handle("POST", "/check", criterion::black_box(body));
+                        assert_eq!(status, 200);
+                        expect_cached(&resp, "true");
+                        resp.len()
+                    })
+                },
+            );
+
+            // Cached, but the request permutes the rules: the canonical
+            // fingerprint still hits the same entry.
+            group.bench_with_input(
+                BenchmarkId::new(format!("check-cached-permuted/{label}"), tsize),
+                &permuted,
+                |b, permuted| {
+                    b.iter(|| {
+                        let (status, resp) =
+                            warm.handle("POST", "/check", criterion::black_box(permuted));
+                        assert_eq!(status, 200);
+                        expect_cached(&resp, "true");
+                        resp.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

@@ -45,6 +45,24 @@ pub enum ChaseVariant {
     Restricted,
 }
 
+impl std::str::FromStr for ChaseVariant {
+    type Err = String;
+
+    /// Parses the CLI/wire spellings — `so`/`semi-oblivious`,
+    /// `oblivious`, `restricted`/`standard` — the one alias table shared
+    /// by `soct chase`, `soct client chase`, and `POST /chase`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "so" | "semi-oblivious" => Ok(ChaseVariant::SemiOblivious),
+            "oblivious" => Ok(ChaseVariant::Oblivious),
+            "restricted" | "standard" => Ok(ChaseVariant::Restricted),
+            other => Err(format!(
+                "variant must be so|oblivious|restricted, got `{other}`"
+            )),
+        }
+    }
+}
+
 impl ChaseVariant {
     fn null_policy(self) -> NullPolicy {
         match self {

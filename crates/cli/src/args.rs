@@ -67,6 +67,23 @@ impl Args {
     pub fn get_bool(&self, key: &str) -> bool {
         matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
     }
+
+    /// Rejects any parsed flag not in `allowed` — a typo like
+    /// `--thread 4` must fail loudly instead of silently running
+    /// single-threaded. `cmd` names the subcommand for the error message.
+    pub fn reject_unknown(&self, cmd: &str, allowed: &[&str]) -> Result<(), String> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                let mut valid: Vec<String> = allowed.iter().map(|f| format!("--{f}")).collect();
+                valid.sort_unstable();
+                return Err(format!(
+                    "unknown flag --{key} for `soct {cmd}` (valid flags: {})",
+                    valid.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -101,5 +118,50 @@ mod tests {
     fn require_reports_the_flag_name() {
         let a = Args::parse(&[]).unwrap();
         assert_eq!(a.require("rules").unwrap_err(), "missing --rules");
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_the_valid_set() {
+        let a = Args::parse(&strs(&["--rules", "x.dlog", "--thread", "4"])).unwrap();
+        let err = a
+            .reject_unknown("check", &["rules", "db", "threads"])
+            .unwrap_err();
+        assert!(err.contains("--thread"), "{err}");
+        assert!(err.contains("soct check"), "{err}");
+        assert!(err.contains("--threads"), "{err}");
+        assert!(err.contains("--db"), "{err}");
+    }
+
+    #[test]
+    fn known_flags_pass_the_rejection_check() {
+        let a = Args::parse(&strs(&["--rules", "x.dlog", "--threads", "4"])).unwrap();
+        assert!(a.reject_unknown("check", &["rules", "threads"]).is_ok());
+        assert!(Args::parse(&[])
+            .unwrap()
+            .reject_unknown("stats", &[])
+            .is_ok());
+    }
+
+    #[test]
+    fn get_bool_edge_cases() {
+        // Bare switch stores "true".
+        let a = Args::parse(&strs(&["--quiet"])).unwrap();
+        assert!(a.get_bool("quiet"));
+        // Accepted truthy spellings.
+        for v in ["true", "1", "yes"] {
+            let a = Args::parse(&strs(&["--quiet", v])).unwrap();
+            assert!(a.get_bool("quiet"), "--quiet {v} should be true");
+        }
+        // Anything else — including falsy spellings and typos — is false.
+        for v in ["false", "0", "no", "TRUE", "on", "y"] {
+            let a = Args::parse(&strs(&["--quiet", v])).unwrap();
+            assert!(!a.get_bool("quiet"), "--quiet {v} should be false");
+        }
+        // Absent flag is false.
+        assert!(!Args::parse(&[]).unwrap().get_bool("quiet"));
+        // A bare switch followed by another flag still reads as true.
+        let a = Args::parse(&strs(&["--quiet", "--rules", "x"])).unwrap();
+        assert!(a.get_bool("quiet"));
+        assert_eq!(a.get("rules"), Some("x"));
     }
 }

@@ -25,11 +25,9 @@ fn write_out(args: &Args, content: &str) -> Result<(), String> {
 }
 
 fn mode_of(args: &Args) -> Result<FindShapesMode, String> {
-    match args.get_or("mode", "memory") {
-        "memory" | "mem" => Ok(FindShapesMode::InMemory),
-        "db" | "database" => Ok(FindShapesMode::InDatabase),
-        other => Err(format!("--mode must be memory|db, got `{other}`")),
-    }
+    args.get_or("mode", "memory")
+        .parse()
+        .map_err(|e| format!("--{e}"))
 }
 
 /// Loads rules and (optionally) a fact file over one shared vocabulary.
@@ -42,22 +40,8 @@ fn load_program(args: &Args) -> Result<(Schema, Interner, Vec<soct_model::Tgd>, 
     let db = match args.get("db") {
         Some(db_path) => soct_parser::parse_facts(&read(db_path)?, &mut schema, &mut consts)
             .map_err(|e| format!("{db_path}: {e}"))?,
-        None => {
-            // D_Σ (Remark 1): one atom per predicate, distinct constants.
-            let mut db = Database::new();
-            let mut next = consts.len() as u32;
-            for p in soct_model::tgd::predicates_of(&tgds) {
-                let terms: Vec<soct_model::Term> = (0..schema.arity(p))
-                    .map(|_| {
-                        let c = soct_model::ConstId(next);
-                        next += 1;
-                        soct_model::Term::Const(c)
-                    })
-                    .collect();
-                db.insert(soct_model::Atom::new(&schema, p, terms).expect("arity matches"));
-            }
-            db
-        }
+        // D_Σ (Remark 1): one atom per predicate, distinct constants.
+        None => soct_serve::critical_instance(&schema, &tgds, &mut consts),
     };
     Ok((schema, consts, tgds, db))
 }
@@ -135,16 +119,10 @@ pub fn check(args: &Args) -> Result<(), String> {
 /// `soct chase`.
 pub fn chase(args: &Args) -> Result<(), String> {
     let (schema, consts, tgds, db) = load_program(args)?;
-    let variant = match args.get_or("variant", "so") {
-        "so" | "semi-oblivious" => soct_chase::ChaseVariant::SemiOblivious,
-        "oblivious" => soct_chase::ChaseVariant::Oblivious,
-        "restricted" | "standard" => soct_chase::ChaseVariant::Restricted,
-        other => {
-            return Err(format!(
-                "--variant must be so|oblivious|restricted, got `{other}`"
-            ))
-        }
-    };
+    let variant: soct_chase::ChaseVariant = args
+        .get_or("variant", "so")
+        .parse()
+        .map_err(|e| format!("--{e}"))?;
     let cfg = soct_chase::ChaseConfig {
         variant,
         max_atoms: args.get_usize("max-atoms", 1_000_000)?,
@@ -300,6 +278,109 @@ pub fn generate_data(args: &Args) -> Result<(), String> {
     let (_preds, inst) = soct_gen::generate_instance(&cfg, &mut schema);
     let rendered = render_generated_facts(&schema, &inst);
     write_out(args, &rendered)
+}
+
+/// `soct serve`: run the termination-checking service until killed.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let host = args.get_or("host", "127.0.0.1");
+    let port = args.get_usize("port", 7171)?;
+    let workers = soct_chase::resolve_threads(threads_of(args)?);
+    let cfg = soct_serve::ServiceConfig {
+        mode: mode_of(args)?,
+        check_threads: 1,
+        cache_capacity: args.get_usize("cache-cap", 1 << 16)?,
+        cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
+        max_chase_atoms: args.get_usize("max-atoms", 1_000_000)?,
+    };
+    let persisted = cfg.cache_dir.is_some();
+    let service = std::sync::Arc::new(
+        soct_serve::TerminationService::new(cfg)
+            .map_err(|e| format!("cannot initialise service: {e}"))?,
+    );
+    let warm = service.cache().len();
+    let server = soct_serve::Server::bind(format!("{host}:{port}"), service, workers)
+        .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "soct serve: listening on {addr} ({workers} worker threads, {} cache{})",
+        if persisted { "persistent" } else { "in-memory" },
+        if warm > 0 {
+            format!(", {warm} verdicts warm")
+        } else {
+            String::new()
+        }
+    );
+    let handle = server.start().map_err(|e| e.to_string())?;
+    handle.join();
+    Ok(())
+}
+
+/// `soct client <check|shapes|chase|stats>`: one request against a
+/// running service; prints the JSON response. `--expect VERDICT` and
+/// `--expect-cached` turn the invocation into an assertion (non-zero exit
+/// on mismatch) for CI and smoke tests.
+pub fn client(sub: &str, args: &Args) -> Result<(), String> {
+    let addr = args.get_or("addr", "127.0.0.1:7171");
+    let client = soct_serve::Client::new(addr);
+    let resp = match sub {
+        "check" => {
+            let mut path = "/check".to_string();
+            if let Some(mode) = args.get("mode") {
+                path.push_str(&format!("?mode={mode}"));
+            }
+            client.post(&path, &program_text(args)?)
+        }
+        "shapes" => {
+            let mut path = "/shapes".to_string();
+            if let Some(mode) = args.get("mode") {
+                path.push_str(&format!("?mode={mode}"));
+            }
+            let db_path = args.require("db")?;
+            client.post(&path, &read(db_path)?)
+        }
+        "chase" => {
+            let mut path = format!("/chase?variant={}", args.get_or("variant", "so"));
+            if let Some(n) = args.get("max-atoms") {
+                path.push_str(&format!("&max-atoms={n}"));
+            }
+            client.post(&path, &program_text(args)?)
+        }
+        "stats" => client.get("/stats"),
+        other => {
+            return Err(format!(
+                "unknown client subcommand `{other}` (try check|shapes|chase|stats)"
+            ))
+        }
+    }
+    .map_err(|e| format!("request to {addr} failed: {e}"))?;
+    println!("{}", resp.body);
+    if !resp.is_ok() {
+        return Err(format!("server answered status {}", resp.status));
+    }
+    if let Some(expected) = args.get("expect") {
+        let got = soct_serve::get_field(&resp.body, "verdict").unwrap_or("<none>");
+        if got != expected {
+            return Err(format!("expected verdict `{expected}`, got `{got}`"));
+        }
+    }
+    if args.get_bool("expect-cached") && soct_serve::get_field(&resp.body, "cached") != Some("true")
+    {
+        return Err("expected a cache hit, got a miss".to_string());
+    }
+    Ok(())
+}
+
+/// Request body for client check/chase: the rules file, with the facts
+/// file appended when given (the service parses one program text).
+fn program_text(args: &Args) -> Result<String, String> {
+    let mut text = read(args.require("rules")?)?;
+    if let Some(db_path) = args.get("db") {
+        if !text.ends_with('\n') {
+            text.push('\n');
+        }
+        text.push_str(&read(db_path)?);
+    }
+    Ok(text)
 }
 
 /// Renders generated facts with synthetic constant names `c{i}` (the

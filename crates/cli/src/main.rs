@@ -9,16 +9,51 @@
 //! soct generate-tgds  --ssize N --tsize N [--class sl|l] [--seed N] [--out FILE]
 //! soct generate-data  [--preds N] [--min N] [--max N] [--dsize N] [--rsize N]
 //!                     [--seed N] [--out FILE]
+//! soct serve          [--port N] [--host ADDR] [--threads N] [--cache-dir PATH]
+//!                     [--cache-cap N] [--mode memory|db] [--max-atoms N]
+//! soct client         <check|shapes|chase|stats> [--addr HOST:PORT] ...
 //! ```
 //!
 //! `--threads 0` (the default) auto-sizes the worker pool from the
 //! `SOCT_THREADS` environment variable or the machine's available
-//! parallelism; results never depend on the thread count.
+//! parallelism; results never depend on the thread count. Unknown flags
+//! are rejected with the valid set for the subcommand.
 
 mod args;
 mod commands;
 
 use args::Args;
+
+/// Valid flags per subcommand — `Args::reject_unknown` turns typos into
+/// errors instead of silently ignored settings.
+const CHECK_FLAGS: &[&str] = &["rules", "db", "mode", "threads", "quiet"];
+const CHASE_FLAGS: &[&str] = &[
+    "rules",
+    "db",
+    "variant",
+    "max-atoms",
+    "max-rounds",
+    "threads",
+    "out",
+    "backend",
+];
+const SHAPES_FLAGS: &[&str] = &["db", "mode", "threads"];
+const STATS_FLAGS: &[&str] = &["rules"];
+const GEN_TGDS_FLAGS: &[&str] = &["ssize", "tsize", "min", "max", "class", "seed", "out"];
+const GEN_DATA_FLAGS: &[&str] = &["preds", "min", "max", "dsize", "rsize", "seed", "out"];
+const SERVE_FLAGS: &[&str] = &[
+    "port",
+    "host",
+    "threads",
+    "cache-dir",
+    "cache-cap",
+    "mode",
+    "max-atoms",
+];
+const CLIENT_CHECK_FLAGS: &[&str] = &["addr", "rules", "db", "mode", "expect", "expect-cached"];
+const CLIENT_SHAPES_FLAGS: &[&str] = &["addr", "db", "mode"];
+const CLIENT_CHASE_FLAGS: &[&str] = &["addr", "rules", "db", "variant", "max-atoms"];
+const CLIENT_STATS_FLAGS: &[&str] = &["addr"];
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -37,14 +72,57 @@ fn run(argv: &[String]) -> Result<(), String> {
         print_usage();
         return Ok(());
     };
+    if cmd == "client" {
+        let Some(sub) = argv.get(1) else {
+            return Err(
+                "usage: soct client <check|shapes|chase|stats> [--addr HOST:PORT] ...".to_string(),
+            );
+        };
+        let args = Args::parse(&argv[2..])?;
+        let allowed = match sub.as_str() {
+            "check" => CLIENT_CHECK_FLAGS,
+            "shapes" => CLIENT_SHAPES_FLAGS,
+            "chase" => CLIENT_CHASE_FLAGS,
+            "stats" => CLIENT_STATS_FLAGS,
+            other => {
+                return Err(format!(
+                    "unknown client subcommand `{other}` (try check|shapes|chase|stats)"
+                ))
+            }
+        };
+        args.reject_unknown(&format!("client {sub}"), allowed)?;
+        return commands::client(sub, &args);
+    }
     let args = Args::parse(&argv[1..])?;
     match cmd.as_str() {
-        "check" => commands::check(&args),
-        "chase" => commands::chase(&args),
-        "shapes" => commands::shapes(&args),
-        "stats" => commands::stats(&args),
-        "generate-tgds" => commands::generate_tgds(&args),
-        "generate-data" => commands::generate_data(&args),
+        "check" => {
+            args.reject_unknown("check", CHECK_FLAGS)?;
+            commands::check(&args)
+        }
+        "chase" => {
+            args.reject_unknown("chase", CHASE_FLAGS)?;
+            commands::chase(&args)
+        }
+        "shapes" => {
+            args.reject_unknown("shapes", SHAPES_FLAGS)?;
+            commands::shapes(&args)
+        }
+        "stats" => {
+            args.reject_unknown("stats", STATS_FLAGS)?;
+            commands::stats(&args)
+        }
+        "generate-tgds" => {
+            args.reject_unknown("generate-tgds", GEN_TGDS_FLAGS)?;
+            commands::generate_tgds(&args)
+        }
+        "generate-data" => {
+            args.reject_unknown("generate-data", GEN_DATA_FLAGS)?;
+            commands::generate_data(&args)
+        }
+        "serve" => {
+            args.reject_unknown("serve", SERVE_FLAGS)?;
+            commands::serve(&args)
+        }
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -71,6 +149,14 @@ USAGE:
                       [--seed N] [--out FILE]
   soct generate-data  [--preds N] [--min N] [--max N] [--dsize N] [--rsize N]
                       [--seed N] [--out FILE]
+  soct serve          [--port N] [--host ADDR] [--threads N] [--cache-dir PATH]
+                      [--cache-cap N] [--mode memory|db] [--max-atoms N]
+                      run the termination-checking service (POST /check,
+                      POST /shapes, POST /chase, GET /stats); verdicts are
+                      cached by canonical ruleset/shape fingerprints
+  soct client         <check|shapes|chase|stats> [--addr HOST:PORT]
+                      [--rules FILE] [--db FILE] [--expect VERDICT]
+                      [--expect-cached] — exercise a running service
 
 Rule files use `body -> head.` / `head :- body.` syntax with implicit
 existentials; fact files hold `r(a,b).` lines. `--threads 0` (default)

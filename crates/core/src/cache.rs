@@ -1,0 +1,549 @@
+//! A sharded, LRU-bounded, persistable verdict cache over the fingerprint
+//! layer of `soct_model::fingerprint`.
+//!
+//! The paper factors termination checking into a database-independent
+//! phase over the ruleset and a database-dependent phase over the shapes
+//! (`LTimings::db_independent`), which makes verdicts reusable across any
+//! two requests whose ruleset and shape fingerprints agree. The cache
+//! keys on exactly that pair:
+//!
+//! - the **ruleset key** is [`fingerprint_ruleset`] — order-, renaming-,
+//!   and interning-invariant;
+//! - the **database key** depends on the TGD class: linear sets key on
+//!   `shape(D)` ([`fingerprint_instance_shapes`]), simple-linear and
+//!   general sets key only on the non-empty predicates
+//!   ([`fingerprint_predicates`]) — the verdict provably depends on
+//!   nothing else (§4, Remark 1).
+//!
+//! Entries are spread over a fixed number of shards, each behind its own
+//! mutex, so a serving layer can probe concurrently; every shard enforces
+//! its slice of the LRU bound with timestamp eviction. The whole cache
+//! serialises to a small binary blob (`SOCTVC1\0` framing, in the style
+//! of `soct_storage::persist`) so a service restart starts warm.
+
+use crate::find_shapes::FindShapesMode;
+use crate::oracle::{check_termination_threads, TerminationReport, Verdict};
+use crate::timings::CacheTimings;
+use bytes::{Buf, BufMut, BytesMut};
+use soct_model::fingerprint::{
+    fingerprint_instance_shapes, fingerprint_predicates, fingerprint_ruleset, Fingerprint,
+};
+use soct_model::{FxHashMap, Instance, Schema, Tgd, TgdClass};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The pair of fingerprints a verdict is keyed by.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct CacheKey {
+    /// Canonical ruleset fingerprint.
+    pub rules: Fingerprint,
+    /// Class-dependent database fingerprint (shapes for L, non-empty
+    /// predicates for SL/general).
+    pub db: Fingerprint,
+}
+
+/// Computes the cache key for a check request, together with the class the
+/// dispatcher will use. The database half is chosen per class so that the
+/// key never over-discriminates: any two databases mapping to the same key
+/// are guaranteed the same verdict under `check_termination`.
+pub fn cache_key(schema: &Schema, tgds: &[Tgd], db: &Instance) -> (CacheKey, TgdClass) {
+    let class = soct_model::tgd::classify(tgds);
+    let rules = fingerprint_ruleset(schema, tgds);
+    let db_fp = match class {
+        TgdClass::Linear => fingerprint_instance_shapes(schema, db),
+        TgdClass::SimpleLinear | TgdClass::General => {
+            fingerprint_predicates(schema, &db.non_empty_predicates())
+        }
+    };
+    (CacheKey { rules, db: db_fp }, class)
+}
+
+/// One cached verdict.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    verdict: Verdict,
+    class: TgdClass,
+    last_used: u64,
+}
+
+/// Monotonic counters exposed by [`VerdictCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+}
+
+const SHARD_COUNT: usize = 16;
+const MAGIC: &[u8; 8] = b"SOCTVC1\0";
+
+/// A sharded in-memory verdict cache with an LRU bound.
+#[derive(Debug)]
+pub struct VerdictCache {
+    shards: Vec<Mutex<FxHashMap<CacheKey, Entry>>>,
+    per_shard_capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl VerdictCache {
+    /// Creates a cache bounded to roughly `capacity` entries (spread over
+    /// the shards; each shard enforces its own slice of the bound). A zero
+    /// capacity is bumped to one entry per shard.
+    pub fn new(capacity: usize) -> Self {
+        VerdictCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            per_shard_capacity: capacity.div_ceil(SHARD_COUNT).max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Total entry bound.
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * SHARD_COUNT
+    }
+
+    /// Current number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no verdict is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<FxHashMap<CacheKey, Entry>> {
+        let folded = key.rules.0 ^ key.db.0.rotate_left(64);
+        let h = (folded as u64) ^ ((folded >> 64) as u64);
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Looks up a verdict, refreshing its LRU stamp on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<(Verdict, TgdClass)> {
+        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        match shard.get_mut(key) {
+            Some(e) => {
+                e.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((e.verdict, e.class))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a verdict, evicting the least-recently-used
+    /// entry of the target shard when it is full.
+    pub fn insert(&self, key: CacheKey, verdict: Verdict, class: TgdClass) {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(&key).lock().expect("cache shard poisoned");
+        if shard.len() >= self.per_shard_capacity && !shard.contains_key(&key) {
+            // O(shard) scan per eviction: shards are small (capacity /
+            // 16) and evictions only happen once a shard is full.
+            if let Some(oldest) = shard
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                shard.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.insert(
+            key,
+            Entry {
+                verdict,
+                class,
+                last_used: stamp,
+            },
+        );
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Serialises all entries (`SOCTVC1\0` magic, little-endian u32 count,
+    /// then 34-byte records: rules fp, db fp, verdict, class). Entries are
+    /// sorted by key, so equal caches serialise to equal bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut entries: Vec<(CacheKey, Entry)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .iter()
+                    .map(|(k, e)| (*k, *e))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        let mut out = BytesMut::with_capacity(12 + entries.len() * 34);
+        out.put_slice(MAGIC);
+        out.put_u32_le(entries.len() as u32);
+        for (k, e) in entries {
+            out.put_slice(&k.rules.to_le_bytes());
+            out.put_slice(&k.db.to_le_bytes());
+            out.put_u8(verdict_code(e.verdict));
+            out.put_u8(class_code(e.class));
+        }
+        out.to_vec()
+    }
+
+    /// Loads entries serialised by [`VerdictCache::to_bytes`] into this
+    /// cache (on top of whatever it already holds).
+    pub fn load_bytes(&self, mut data: &[u8]) -> io::Result<()> {
+        let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        if data.len() < 12 || &data[..8] != MAGIC {
+            return Err(err("bad verdict-cache magic"));
+        }
+        data.advance(8);
+        let count = data.get_u32_le() as usize;
+        if data.remaining() < count * 34 {
+            return Err(err("truncated verdict-cache entries"));
+        }
+        for _ in 0..count {
+            let mut fp = [0u8; 16];
+            fp.copy_from_slice(&data[..16]);
+            data.advance(16);
+            let rules = Fingerprint::from_le_bytes(fp);
+            fp.copy_from_slice(&data[..16]);
+            data.advance(16);
+            let db = Fingerprint::from_le_bytes(fp);
+            let verdict = decode_verdict(data.get_u8()).ok_or_else(|| err("bad verdict code"))?;
+            let class = decode_class(data.get_u8()).ok_or_else(|| err("bad class code"))?;
+            self.insert(CacheKey { rules, db }, verdict, class);
+        }
+        Ok(())
+    }
+
+    /// Writes the cache to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a file written by [`VerdictCache::save`] into this cache.
+    pub fn load(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        self.load_bytes(&std::fs::read(path)?)
+    }
+}
+
+fn verdict_code(v: Verdict) -> u8 {
+    match v {
+        Verdict::Finite => 0,
+        Verdict::Infinite => 1,
+        Verdict::Unknown => 2,
+    }
+}
+
+fn decode_verdict(b: u8) -> Option<Verdict> {
+    match b {
+        0 => Some(Verdict::Finite),
+        1 => Some(Verdict::Infinite),
+        2 => Some(Verdict::Unknown),
+        _ => None,
+    }
+}
+
+fn class_code(c: TgdClass) -> u8 {
+    match c {
+        TgdClass::SimpleLinear => 0,
+        TgdClass::Linear => 1,
+        TgdClass::General => 2,
+    }
+}
+
+fn decode_class(b: u8) -> Option<TgdClass> {
+    match b {
+        0 => Some(TgdClass::SimpleLinear),
+        1 => Some(TgdClass::Linear),
+        2 => Some(TgdClass::General),
+        _ => None,
+    }
+}
+
+/// The result of a cache-aware termination check.
+#[derive(Clone, Debug)]
+pub struct CachedCheck {
+    /// The verdict and dispatch class (identical to what the uncached
+    /// [`crate::check_termination`] would return).
+    pub report: TerminationReport,
+    /// True when the verdict came from the cache.
+    pub hit: bool,
+    /// The ruleset half of the key.
+    pub rules_fp: Fingerprint,
+    /// The database half of the key.
+    pub db_fp: Fingerprint,
+    /// Where the time went (fingerprinting / lookup / checking).
+    pub timings: CacheTimings,
+}
+
+/// [`crate::check_termination_threads`] with a verdict cache in front: the
+/// key is computed from the canonical fingerprints, a hit returns in
+/// O(fingerprint + lookup), and a miss runs the checker and populates the
+/// cache. Cached verdicts are exact, never approximate — the key
+/// construction ([`cache_key`]) only equates requests whose verdicts
+/// provably agree.
+pub fn check_termination_cached(
+    schema: &Schema,
+    tgds: &[Tgd],
+    db: &Instance,
+    mode: FindShapesMode,
+    threads: usize,
+    cache: &VerdictCache,
+) -> CachedCheck {
+    let t0 = Instant::now();
+    let (key, class) = cache_key(schema, tgds, db);
+    let t_fingerprint = t0.elapsed();
+
+    let t1 = Instant::now();
+    let cached = cache.get(&key);
+    let t_lookup = t1.elapsed();
+
+    if let Some((verdict, cached_class)) = cached {
+        debug_assert_eq!(cached_class, class, "class is a function of the ruleset");
+        return CachedCheck {
+            report: TerminationReport {
+                verdict,
+                class: cached_class,
+            },
+            hit: true,
+            rules_fp: key.rules,
+            db_fp: key.db,
+            timings: CacheTimings {
+                t_fingerprint,
+                t_lookup,
+                t_check: Default::default(),
+            },
+        };
+    }
+
+    let t2 = Instant::now();
+    let report = check_termination_threads(schema, tgds, db, mode, threads);
+    let t_check = t2.elapsed();
+    cache.insert(key, report.verdict, report.class);
+    CachedCheck {
+        report,
+        hit: false,
+        rules_fp: key.rules,
+        db_fp: key.db,
+        timings: CacheTimings {
+            t_fingerprint,
+            t_lookup,
+            t_check,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soct_model::{Atom, ConstId, Term, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+
+    /// person(x) → ∃y adv(x,y); adv(x,y) → person(y): infinite.
+    fn infinite_sl() -> (Schema, Vec<Tgd>, Instance) {
+        let mut s = Schema::new();
+        let person = s.add_predicate("person", 1).unwrap();
+        let adv = s.add_predicate("adv", 2).unwrap();
+        let tgds = vec![
+            Tgd::new(
+                vec![Atom::new(&s, person, vec![v(0)]).unwrap()],
+                vec![Atom::new(&s, adv, vec![v(0), v(1)]).unwrap()],
+            )
+            .unwrap(),
+            Tgd::new(
+                vec![Atom::new(&s, adv, vec![v(0), v(1)]).unwrap()],
+                vec![Atom::new(&s, person, vec![v(1)]).unwrap()],
+            )
+            .unwrap(),
+        ];
+        let mut db = Instance::new();
+        db.insert(Atom::new(&s, person, vec![c(0)]).unwrap());
+        (s, tgds, db)
+    }
+
+    #[test]
+    fn miss_then_hit_same_verdict() {
+        let (s, tgds, db) = infinite_sl();
+        let cache = VerdictCache::new(64);
+        let first = check_termination_cached(&s, &tgds, &db, FindShapesMode::InMemory, 1, &cache);
+        assert!(!first.hit);
+        assert_eq!(first.report.verdict, Verdict::Infinite);
+        let second = check_termination_cached(&s, &tgds, &db, FindShapesMode::InMemory, 1, &cache);
+        assert!(second.hit);
+        assert_eq!(second.report.verdict, Verdict::Infinite);
+        assert_eq!(second.report.class, first.report.class);
+        assert_eq!(second.rules_fp, first.rules_fp);
+        assert_eq!(second.db_fp, first.db_fp);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn permuted_ruleset_hits() {
+        let (s, tgds, db) = infinite_sl();
+        let cache = VerdictCache::new(64);
+        check_termination_cached(&s, &tgds, &db, FindShapesMode::InMemory, 1, &cache);
+        let rev: Vec<Tgd> = tgds.iter().rev().cloned().collect();
+        let second = check_termination_cached(&s, &rev, &db, FindShapesMode::InMemory, 1, &cache);
+        assert!(second.hit);
+    }
+
+    #[test]
+    fn different_tuples_same_shapes_hit_for_sl() {
+        let (s, tgds, _) = infinite_sl();
+        let person = s.pred_by_name("person").unwrap();
+        let cache = VerdictCache::new(64);
+        let mut d1 = Instance::new();
+        d1.insert(Atom::new(&s, person, vec![c(0)]).unwrap());
+        let mut d2 = Instance::new();
+        d2.insert(Atom::new(&s, person, vec![c(41)]).unwrap());
+        d2.insert(Atom::new(&s, person, vec![c(42)]).unwrap());
+        check_termination_cached(&s, &tgds, &d1, FindShapesMode::InMemory, 1, &cache);
+        let second = check_termination_cached(&s, &tgds, &d2, FindShapesMode::InMemory, 1, &cache);
+        assert!(second.hit, "same non-empty predicates must share the key");
+    }
+
+    #[test]
+    fn lru_bound_evicts() {
+        let cache = VerdictCache::new(0); // 1 entry per shard
+        let mk = |i: u128| CacheKey {
+            rules: Fingerprint(i),
+            db: Fingerprint(0),
+        };
+        // Insert many keys; capacity is SHARD_COUNT, so evictions must
+        // kick in and the size stays bounded.
+        for i in 0..200 {
+            cache.insert(mk(i), Verdict::Finite, TgdClass::SimpleLinear);
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn lru_prefers_recent_entries() {
+        let cache = VerdictCache::new(0);
+        // Two keys landing in the same shard (db fp equal, rules fps
+        // chosen congruent modulo the shard count).
+        let k1 = CacheKey {
+            rules: Fingerprint(16),
+            db: Fingerprint(0),
+        };
+        let k2 = CacheKey {
+            rules: Fingerprint(32),
+            db: Fingerprint(0),
+        };
+        cache.insert(k1, Verdict::Finite, TgdClass::SimpleLinear);
+        cache.insert(k2, Verdict::Infinite, TgdClass::SimpleLinear);
+        // Shard holds one entry: k2 must have evicted k1.
+        assert!(cache.get(&k2).is_some());
+        assert!(cache.get(&k1).is_none());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let (s, tgds, db) = infinite_sl();
+        let cache = VerdictCache::new(64);
+        check_termination_cached(&s, &tgds, &db, FindShapesMode::InMemory, 1, &cache);
+        let bytes = cache.to_bytes();
+        let restored = VerdictCache::new(64);
+        restored.load_bytes(&bytes).unwrap();
+        assert_eq!(restored.len(), cache.len());
+        assert_eq!(restored.to_bytes(), bytes);
+        // The restored cache serves the hit directly.
+        let r = check_termination_cached(&s, &tgds, &db, FindShapesMode::InMemory, 1, &restored);
+        assert!(r.hit);
+        assert_eq!(r.report.verdict, Verdict::Infinite);
+    }
+
+    #[test]
+    fn corrupt_cache_bytes_rejected() {
+        let cache = VerdictCache::new(8);
+        assert!(cache.load_bytes(b"garbage").is_err());
+        cache.insert(
+            CacheKey {
+                rules: Fingerprint(1),
+                db: Fingerprint(2),
+            },
+            Verdict::Finite,
+            TgdClass::Linear,
+        );
+        let mut bytes = cache.to_bytes();
+        bytes[2] = b'X'; // magic
+        assert!(VerdictCache::new(8).load_bytes(&bytes).is_err());
+        let good = cache.to_bytes();
+        assert!(VerdictCache::new(8)
+            .load_bytes(&good[..good.len() - 1])
+            .is_err());
+        let mut bad_code = cache.to_bytes();
+        let last = bad_code.len() - 1;
+        bad_code[last] = 9; // class code out of range
+        assert!(VerdictCache::new(8).load_bytes(&bad_code).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("soct_verdict_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("verdicts.soctvc");
+        let cache = VerdictCache::new(8);
+        cache.insert(
+            CacheKey {
+                rules: Fingerprint(7),
+                db: Fingerprint(8),
+            },
+            Verdict::Unknown,
+            TgdClass::General,
+        );
+        cache.save(&path).unwrap();
+        let restored = VerdictCache::new(8);
+        restored.load(&path).unwrap();
+        assert_eq!(
+            restored.get(&CacheKey {
+                rules: Fingerprint(7),
+                db: Fingerprint(8),
+            }),
+            Some((Verdict::Unknown, TgdClass::General))
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -37,6 +37,21 @@ pub enum FindShapesMode {
     InDatabase,
 }
 
+impl std::str::FromStr for FindShapesMode {
+    type Err = String;
+
+    /// Parses the CLI/wire spellings `memory`/`mem` and `db`/`database` —
+    /// the one alias table shared by the CLI flags and `?mode=` query
+    /// parameters.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "memory" | "mem" => Ok(FindShapesMode::InMemory),
+            "db" | "database" => Ok(FindShapesMode::InDatabase),
+            other => Err(format!("mode must be memory|db, got `{other}`")),
+        }
+    }
+}
+
 /// The outcome of `FindShapes`.
 #[derive(Clone, Debug)]
 pub struct ShapesReport {

@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod check_l;
 pub mod check_sl;
 pub mod dynsimpl;
@@ -21,6 +22,9 @@ pub mod find_shapes;
 pub mod oracle;
 pub mod timings;
 
+pub use cache::{
+    cache_key, check_termination_cached, CacheKey, CacheStats, CachedCheck, VerdictCache,
+};
 pub use check_l::{
     check_l_with_shapes, is_chase_finite_l, is_chase_finite_l_parallel, is_chase_finite_l_text,
     LCheckReport,
@@ -37,4 +41,4 @@ pub use find_shapes::{
 pub use oracle::{
     check_termination, check_termination_threads, materialization_check, TerminationReport, Verdict,
 };
-pub use timings::{ms, LTimings, SlTimings};
+pub use timings::{ms, CacheTimings, LTimings, SlTimings};

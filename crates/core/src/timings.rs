@@ -54,6 +54,28 @@ impl LTimings {
     }
 }
 
+/// Timing breakdown of a cache-aware check
+/// ([`crate::check_termination_cached`]): the request-side counterpart of
+/// the paper's phase split — fingerprinting replaces the db-dependent
+/// phase on a hit, and `t_check` is zero exactly when the verdict came
+/// from the cache.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheTimings {
+    /// Time to compute the canonical ruleset/database fingerprints.
+    pub t_fingerprint: Duration,
+    /// Time spent probing the verdict cache.
+    pub t_lookup: Duration,
+    /// Time spent running the actual checker (zero on a cache hit).
+    pub t_check: Duration,
+}
+
+impl CacheTimings {
+    /// End-to-end time of the cached check.
+    pub fn total(&self) -> Duration {
+        self.t_fingerprint + self.t_lookup + self.t_check
+    }
+}
+
 /// Milliseconds with fractional part, the unit of Table 2.
 pub fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
@@ -81,6 +103,16 @@ mod tests {
         };
         assert_eq!(l.db_independent(), Duration::from_millis(10));
         assert_eq!(l.total(), Duration::from_millis(110));
+    }
+
+    #[test]
+    fn cache_timings_total() {
+        let c = CacheTimings {
+            t_fingerprint: Duration::from_millis(2),
+            t_lookup: Duration::from_micros(10),
+            t_check: Duration::ZERO,
+        };
+        assert_eq!(c.total(), Duration::from_micros(2010));
     }
 
     #[test]

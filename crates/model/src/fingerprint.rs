@@ -1,0 +1,422 @@
+//! Content-addressed fingerprints for rulesets and shape sets.
+//!
+//! The termination verdict of `check_termination` is a pure function of
+//! (a) the ruleset up to TGD order and per-TGD variable renaming, and
+//! (b) the database *shapes* (for linear sets) or merely its non-empty
+//! predicates (for simple-linear and general sets) — never the concrete
+//! tuples. Fingerprinting both components therefore yields a sound cache
+//! key for verdicts: two requests with equal fingerprints are guaranteed
+//! the same verdict (see `docs/ARCHITECTURE.md`, "Service layer").
+//!
+//! The fingerprints here are 128-bit, deterministic across processes (no
+//! random seeding — they are persisted to disk by the verdict cache), and
+//! canonicalising:
+//!
+//! - **order-invariant**: per-TGD (or per-shape) hashes are sorted before
+//!   being combined, so permuting the ruleset does not change its
+//!   fingerprint;
+//! - **renaming-invariant**: variables are renumbered in first-occurrence
+//!   order (body before head) before hashing, the same canonical order the
+//!   text writer uses — so a written-and-reparsed ruleset fingerprints
+//!   identically;
+//! - **interning-invariant**: predicates are hashed by *name* (and arity),
+//!   not by [`PredId`], so the fingerprint does not depend on the order in
+//!   which a parser happened to intern the vocabulary.
+//!
+//! Fingerprints are *not* cryptographic: inputs come from trusted parsers
+//! and generators, and a collision merely yields a stale cached verdict
+//! for an adversarially crafted ruleset — an accepted trade for hashing at
+//! memory bandwidth with zero dependencies.
+
+use crate::fxhash::FxHashMap;
+use crate::instance::Instance;
+use crate::schema::{PredId, Schema};
+use crate::shape::{shapes_of_instance, Shape};
+use crate::term::Term;
+use crate::tgd::Tgd;
+use std::fmt;
+
+/// A deterministic 128-bit content fingerprint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// Little-endian byte encoding (the on-disk form of the verdict cache).
+    #[inline]
+    pub fn to_le_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    /// Inverse of [`Fingerprint::to_le_bytes`].
+    #[inline]
+    pub fn from_le_bytes(b: [u8; 16]) -> Self {
+        Fingerprint(u128::from_le_bytes(b))
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    /// Renders as 32 lowercase hex digits (the wire form of the service).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// SplitMix64 finaliser: full-avalanche 64-bit mixing.
+#[inline]
+fn fmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Two-lane multiply-rotate-xor accumulator producing a `u128`. The lanes
+/// use distinct odd multipliers and rotations so they decorrelate, and the
+/// finaliser cross-feeds them through [`fmix64`]. Word count is folded in
+/// at the end, so `[a]` and `[a, 0]` hash differently.
+#[derive(Clone, Copy)]
+struct Mix128 {
+    lo: u64,
+    hi: u64,
+    words: u64,
+}
+
+impl Mix128 {
+    const K_LO: u64 = 0x9E37_79B9_7F4A_7C15;
+    const K_HI: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+    fn new(seed: u64) -> Self {
+        Mix128 {
+            lo: seed ^ 0x51_7c_c1_b7_27_22_0a_95,
+            hi: seed.wrapping_mul(Self::K_HI) ^ 0x2545_F491_4F6C_DD1D,
+            words: 0,
+        }
+    }
+
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.lo = (self.lo.rotate_left(5) ^ w).wrapping_mul(Self::K_LO);
+        self.hi = (self.hi.rotate_left(23) ^ w).wrapping_mul(Self::K_HI);
+        self.words = self.words.wrapping_add(1);
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.word(b.len() as u64);
+        let mut chunks = b.chunks_exact(8);
+        for c in &mut chunks {
+            self.word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.word(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn finish(self) -> u128 {
+        let a = fmix64(self.lo ^ fmix64(self.hi ^ self.words));
+        let b = fmix64(self.hi.wrapping_add(Self::K_LO) ^ a);
+        ((a as u128) << 64) | b as u128
+    }
+}
+
+/// Domain-separation seeds: each fingerprint kind hashes in its own domain
+/// so a ruleset and a shape set can never collide by construction.
+const SEED_TGD: u64 = 0x7067_4454;
+const SEED_RULESET: u64 = 0x7275_4c45;
+const SEED_SHAPE: u64 = 0x7348_4150;
+const SEED_SHAPESET: u64 = 0x7353_4554;
+const SEED_PREDSET: u64 = 0x7052_4544;
+
+/// Canonical hash of one TGD: predicate names + arities, with variables
+/// renumbered densely in first-occurrence order (body atoms before head
+/// atoms — the same order `soct_parser::writer` renders, so writing and
+/// re-parsing a TGD preserves its hash).
+fn canonical_tgd_hash(schema: &Schema, tgd: &Tgd) -> u128 {
+    let mut m = Mix128::new(SEED_TGD);
+    let mut vars: FxHashMap<u32, u64> = FxHashMap::default();
+    for (tag, atoms) in [(0xB0D1u64, tgd.body()), (0x4EADu64, tgd.head())] {
+        m.word(tag);
+        m.word(atoms.len() as u64);
+        for atom in atoms {
+            m.bytes(schema.name(atom.pred).as_bytes());
+            m.word(atom.arity() as u64);
+            for t in atom.terms.iter() {
+                // TGDs are constant- and null-free by `Tgd::new`.
+                let Term::Var(v) = *t else {
+                    unreachable!("TGD invariant: all terms are variables")
+                };
+                let next = vars.len() as u64;
+                m.word(*vars.entry(v.0).or_insert(next));
+            }
+        }
+    }
+    m.finish()
+}
+
+/// Combines pre-hashed elements order-invariantly: sort, then absorb. The
+/// sorted *multiset* is hashed, so duplicates still count.
+fn combine_sorted(seed: u64, mut hashes: Vec<u128>) -> Fingerprint {
+    hashes.sort_unstable();
+    let mut m = Mix128::new(seed);
+    m.word(hashes.len() as u64);
+    for h in hashes {
+        m.word(h as u64);
+        m.word((h >> 64) as u64);
+    }
+    Fingerprint(m.finish())
+}
+
+/// Order- and renaming-invariant fingerprint of a ruleset.
+///
+/// Permuting `tgds`, renaming variables within any TGD, or round-tripping
+/// the set through `soct_parser::writer` + a fresh parse never changes the
+/// result; structurally distinct rulesets get distinct fingerprints with
+/// overwhelming probability.
+///
+/// ```
+/// use soct_model::fingerprint::fingerprint_ruleset;
+/// use soct_model::{Atom, Schema, Term, Tgd, VarId};
+///
+/// let mut s = Schema::new();
+/// let r = s.add_predicate("r", 2).unwrap();
+/// let v = |i| Term::Var(VarId(i));
+/// let a = Tgd::new(
+///     vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+///     vec![Atom::new(&s, r, vec![v(1), v(2)]).unwrap()],
+/// )
+/// .unwrap();
+/// // Same rule under the renaming x0→x7, x1→x3, x2→x9.
+/// let b = Tgd::new(
+///     vec![Atom::new(&s, r, vec![v(7), v(3)]).unwrap()],
+///     vec![Atom::new(&s, r, vec![v(3), v(9)]).unwrap()],
+/// )
+/// .unwrap();
+/// assert_eq!(
+///     fingerprint_ruleset(&s, &[a.clone(), b.clone()]),
+///     fingerprint_ruleset(&s, &[b, a]),
+/// );
+/// ```
+pub fn fingerprint_ruleset(schema: &Schema, tgds: &[Tgd]) -> Fingerprint {
+    combine_sorted(
+        SEED_RULESET,
+        tgds.iter().map(|t| canonical_tgd_hash(schema, t)).collect(),
+    )
+}
+
+/// Canonical hash of one shape: predicate name + arity + RGS ids.
+fn shape_hash(schema: &Schema, shape: &Shape) -> u128 {
+    let mut m = Mix128::new(SEED_SHAPE);
+    m.bytes(schema.name(shape.pred).as_bytes());
+    m.word(shape.rgs.len() as u64);
+    for &id in shape.rgs.ids() {
+        m.word(id as u64);
+    }
+    m.finish()
+}
+
+/// Order-invariant fingerprint of a shape set, keyed by predicate names —
+/// the db-dependent half of the linear checker's cache key.
+pub fn fingerprint_shapes(schema: &Schema, shapes: &[Shape]) -> Fingerprint {
+    combine_sorted(
+        SEED_SHAPESET,
+        shapes.iter().map(|s| shape_hash(schema, s)).collect(),
+    )
+}
+
+/// Fingerprint of `shape(D)` for an in-memory instance: the full
+/// db-dependent cache key for linear rulesets.
+pub fn fingerprint_instance_shapes(schema: &Schema, db: &Instance) -> Fingerprint {
+    fingerprint_shapes(schema, &shapes_of_instance(db))
+}
+
+/// Order-invariant fingerprint of a predicate set by name — the
+/// db-dependent cache key for simple-linear and general rulesets, whose
+/// verdicts depend only on which relations are non-empty (§4, Remark 1).
+pub fn fingerprint_predicates(schema: &Schema, preds: &[PredId]) -> Fingerprint {
+    combine_sorted(
+        SEED_PREDSET,
+        preds
+            .iter()
+            .map(|&p| {
+                let mut m = Mix128::new(SEED_PREDSET);
+                m.bytes(schema.name(p).as_bytes());
+                m.word(schema.arity(p) as u64);
+                m.finish()
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::shape::Rgs;
+    use crate::term::{ConstId, VarId};
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    fn two_rules() -> (Schema, Vec<Tgd>) {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 2).unwrap();
+        let t1 = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(1), v(2)]).unwrap()],
+        )
+        .unwrap();
+        let t2 = Tgd::new(
+            vec![Atom::new(&s, p, vec![v(0), v(0)]).unwrap()],
+            vec![Atom::new(&s, r, vec![v(0), v(5)]).unwrap()],
+        )
+        .unwrap();
+        (s, vec![t1, t2])
+    }
+
+    #[test]
+    fn permutation_invariant() {
+        let (s, tgds) = two_rules();
+        let fwd = fingerprint_ruleset(&s, &tgds);
+        let rev: Vec<Tgd> = tgds.iter().rev().cloned().collect();
+        assert_eq!(fwd, fingerprint_ruleset(&s, &rev));
+    }
+
+    #[test]
+    fn renaming_invariant() {
+        let (s, tgds) = two_rules();
+        let r = s.pred_by_name("r").unwrap();
+        let p = s.pred_by_name("p").unwrap();
+        // t1 with variables renamed 0→40, 1→41, 2→2 (stays injective).
+        let renamed = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(40), v(41)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(41), v(2)]).unwrap()],
+        )
+        .unwrap();
+        let orig = fingerprint_ruleset(&s, std::slice::from_ref(&tgds[0]));
+        assert_eq!(orig, fingerprint_ruleset(&s, &[renamed]));
+    }
+
+    #[test]
+    fn interning_order_invariant() {
+        // The same two rules over a schema interned in the opposite order.
+        let (s1, tgds1) = two_rules();
+        let mut s2 = Schema::new();
+        let p = s2.add_predicate("p", 2).unwrap();
+        let r = s2.add_predicate("r", 2).unwrap();
+        let t1 = Tgd::new(
+            vec![Atom::new(&s2, r, vec![v(0), v(1)]).unwrap()],
+            vec![Atom::new(&s2, p, vec![v(1), v(2)]).unwrap()],
+        )
+        .unwrap();
+        let t2 = Tgd::new(
+            vec![Atom::new(&s2, p, vec![v(0), v(0)]).unwrap()],
+            vec![Atom::new(&s2, r, vec![v(0), v(5)]).unwrap()],
+        )
+        .unwrap();
+        assert_eq!(
+            fingerprint_ruleset(&s1, &tgds1),
+            fingerprint_ruleset(&s2, &[t1, t2])
+        );
+    }
+
+    #[test]
+    fn structure_changes_the_fingerprint() {
+        let (s, tgds) = two_rules();
+        let base = fingerprint_ruleset(&s, &tgds);
+        // Dropping a rule, duplicating a rule, and repeating a variable all
+        // produce different fingerprints.
+        assert_ne!(base, fingerprint_ruleset(&s, &tgds[..1]));
+        let dup = vec![tgds[0].clone(), tgds[0].clone(), tgds[1].clone()];
+        assert_ne!(base, fingerprint_ruleset(&s, &dup));
+        let r = s.pred_by_name("r").unwrap();
+        let p = s.pred_by_name("p").unwrap();
+        let squashed = Tgd::new(
+            vec![Atom::new(&s, r, vec![v(0), v(0)]).unwrap()],
+            vec![Atom::new(&s, p, vec![v(0), v(2)]).unwrap()],
+        )
+        .unwrap();
+        assert_ne!(
+            fingerprint_ruleset(&s, std::slice::from_ref(&tgds[0])),
+            fingerprint_ruleset(&s, &[squashed])
+        );
+    }
+
+    #[test]
+    fn empty_ruleset_and_empty_shape_set_are_stable() {
+        let s = Schema::new();
+        assert_eq!(fingerprint_ruleset(&s, &[]), fingerprint_ruleset(&s, &[]));
+        assert_ne!(fingerprint_ruleset(&s, &[]).0, 0);
+        assert_ne!(
+            fingerprint_ruleset(&s, &[]),
+            fingerprint_shapes(&s, &[]),
+            "domain separation keeps kinds apart"
+        );
+    }
+
+    #[test]
+    fn shape_fingerprint_tracks_shapes_not_tuples() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let c = |i| Term::Const(ConstId(i));
+        let mut d1 = Instance::new();
+        d1.insert(Atom::new(&s, r, vec![c(0), c(1)]).unwrap());
+        let mut d2 = Instance::new();
+        d2.insert(Atom::new(&s, r, vec![c(7), c(9)]).unwrap());
+        d2.insert(Atom::new(&s, r, vec![c(9), c(7)]).unwrap());
+        // Different tuples, same shape set {r_(1,2)}.
+        assert_eq!(
+            fingerprint_instance_shapes(&s, &d1),
+            fingerprint_instance_shapes(&s, &d2)
+        );
+        let mut d3 = Instance::new();
+        d3.insert(Atom::new(&s, r, vec![c(4), c(4)]).unwrap());
+        assert_ne!(
+            fingerprint_instance_shapes(&s, &d1),
+            fingerprint_instance_shapes(&s, &d3)
+        );
+    }
+
+    #[test]
+    fn shape_set_order_invariant() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 3).unwrap();
+        let a = Shape {
+            pred: r,
+            rgs: Rgs::identity(2),
+        };
+        let b = Shape {
+            pred: p,
+            rgs: Rgs::of(&[1u8, 1, 2]),
+        };
+        assert_eq!(
+            fingerprint_shapes(&s, &[a.clone(), b.clone()]),
+            fingerprint_shapes(&s, &[b, a])
+        );
+    }
+
+    #[test]
+    fn predicate_set_fingerprint() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 1).unwrap();
+        assert_eq!(
+            fingerprint_predicates(&s, &[r, p]),
+            fingerprint_predicates(&s, &[p, r])
+        );
+        assert_ne!(
+            fingerprint_predicates(&s, &[r, p]),
+            fingerprint_predicates(&s, &[r])
+        );
+    }
+
+    #[test]
+    fn display_and_bytes_round_trip() {
+        let fp = Fingerprint(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210);
+        assert_eq!(fp.to_string(), "0123456789abcdeffedcba9876543210");
+        assert_eq!(Fingerprint::from_le_bytes(fp.to_le_bytes()), fp);
+    }
+}

@@ -15,6 +15,7 @@
 
 pub mod atom;
 pub mod error;
+pub mod fingerprint;
 pub mod fxhash;
 pub mod homomorphism;
 pub mod instance;
@@ -27,6 +28,10 @@ pub mod tgd;
 
 pub use atom::Atom;
 pub use error::ModelError;
+pub use fingerprint::{
+    fingerprint_instance_shapes, fingerprint_predicates, fingerprint_ruleset, fingerprint_shapes,
+    Fingerprint,
+};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use homomorphism::{satisfies_all, satisfies_tgd, Substitution};
 pub use instance::{AtomIdx, Database, Instance};

@@ -1,0 +1,129 @@
+//! A minimal blocking client for the service's wire protocol, on a plain
+//! [`TcpStream`] — used by `soct client`, CI, and the end-to-end tests.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Per-request socket timeout.
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One parsed HTTP response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The status code of the status line.
+    pub status: u16,
+    /// The response body (the service always sends JSON).
+    pub body: String,
+}
+
+impl Response {
+    /// True for 2xx statuses.
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// A client bound to one server address.
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// Creates a client for `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client { addr: addr.into() }
+    }
+
+    /// Sends `GET path`.
+    pub fn get(&self, path: &str) -> io::Result<Response> {
+        request(&self.addr, "GET", path, "")
+    }
+
+    /// Sends `POST path` with `body`.
+    pub fn post(&self, path: &str, body: &str) -> io::Result<Response> {
+        request(&self.addr, "POST", path, body)
+    }
+}
+
+/// One-shot request against `addr`. Opens a fresh connection per request
+/// (the server speaks `Connection: close`).
+pub fn request(addr: &str, method: &str, path: &str, body: &str) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(TIMEOUT))?;
+    stream.set_write_timeout(Some(TIMEOUT))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<Response> {
+    let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let text = std::str::from_utf8(raw).map_err(|_| err("response is not UTF-8"))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .or_else(|| text.split_once("\n\n"))
+        .ok_or_else(|| err("no header/body separator in response"))?;
+    let status_line = head.lines().next().ok_or_else(|| err("empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err("bad status line"))?;
+    // `Connection: close` + read_to_end means the body is simply the rest;
+    // honour Content-Length when present in case of trailing bytes.
+    let body = match head
+        .lines()
+        .find_map(|l| {
+            l.split_once(':')
+                .filter(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
+        })
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+    {
+        Some(len) if len <= body.len() => &body[..len],
+        _ => body,
+    };
+    Ok(Response {
+        status,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 13\r\n\r\n{\"verdict\":1}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "{\"verdict\":1}");
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn content_length_truncates_trailing_bytes() {
+        let raw = b"HTTP/1.1 400 Bad Request\r\nContent-Length: 2\r\n\r\n{}garbage";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 400);
+        assert_eq!(r.body, "{}");
+        assert!(!r.is_ok());
+    }
+
+    #[test]
+    fn malformed_responses_error() {
+        assert!(parse_response(b"").is_err());
+        assert!(parse_response(b"HTTP/1.1 OK\r\n\r\n").is_err());
+        assert!(parse_response(b"no separator at all").is_err());
+    }
+}

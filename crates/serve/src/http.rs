@@ -1,0 +1,291 @@
+//! A dependency-free HTTP/1.1 front end over [`TerminationService`]:
+//! one acceptor thread feeding a fixed-size worker pool over an mpsc
+//! channel (the `resolve_threads` sizing conventions of
+//! `soct_chase::parallel` apply to the pool). Connections are handled
+//! one request at a time with `Connection: close` semantics — the
+//! protocol surface is four routes returning JSON, not a general web
+//! server.
+
+use crate::service::TerminationService;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bound on the header block of one request.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body (rulesets of a million TGDs fit well
+/// under this).
+const MAX_BODY_BYTES: usize = 256 * 1024 * 1024;
+/// Per-connection socket timeout: a stalled peer cannot pin a worker.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<TerminationService>,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `127.0.0.1:7171`; port `0` lets the OS pick)
+    /// with a pool of `workers` request threads (minimum 1).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<TerminationService>,
+        workers: usize,
+    ) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service,
+            workers: workers.max(1),
+        })
+    }
+
+    /// The bound address (the source of truth for the port when binding
+    /// to port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Spawns the acceptor and worker threads and returns a handle that
+    /// can stop them. The calling thread is *not* consumed; use
+    /// [`ServerHandle::join`] to block on the server (CLI) or keep the
+    /// handle and call [`ServerHandle::shutdown`] (tests).
+    pub fn start(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut threads = Vec::with_capacity(self.workers + 1);
+        for i in 0..self.workers {
+            let rx = Arc::clone(&rx);
+            let service = Arc::clone(&self.service);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("soct-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &service))?,
+            );
+        }
+        let listener = self.listener;
+        let stop_acceptor = Arc::clone(&stop);
+        threads.push(
+            std::thread::Builder::new()
+                .name("soct-serve-acceptor".to_string())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop_acceptor.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if let Ok(stream) = conn {
+                            // A send only fails when every worker is gone;
+                            // nothing useful remains to do then.
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                    // tx drops here; workers drain the queue and exit.
+                })?,
+        );
+        Ok(ServerHandle {
+            addr,
+            stop,
+            threads,
+        })
+    }
+}
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server stops (i.e. forever, absent a
+    /// [`ServerHandle::shutdown`] from another thread).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops accepting, drains in-flight requests, and joins all threads.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The acceptor is parked in accept(); one throwaway connection
+        // wakes it to observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<mpsc::Receiver<TcpStream>>, service: &TerminationService) {
+    loop {
+        let stream = match rx.lock().expect("worker queue poisoned").recv() {
+            Ok(s) => s,
+            Err(_) => return, // acceptor gone: shut down
+        };
+        // Errors on one connection (bad request framing, peer reset) are
+        // answered where possible and never take the worker down.
+        let _ = handle_connection(stream, service);
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: &TerminationService) -> io::Result<()> {
+    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let (status, body) = match read_request(&mut reader) {
+        Ok(req) => service.handle(&req.method, &req.target, &req.body),
+        Err(RequestError::Malformed(msg)) => (400, format!("{{\"error\":\"{msg}\"}}")),
+        Err(RequestError::TooLarge) => (413, "{\"error\":\"request too large\"}".to_string()),
+        Err(RequestError::LengthRequired) => {
+            (411, "{\"error\":\"Content-Length required\"}".to_string())
+        }
+        Err(RequestError::Io(e)) => return Err(e),
+    };
+    write_response(reader.get_mut(), status, &body)
+}
+
+struct Request {
+    method: String,
+    target: String,
+    body: String,
+}
+
+enum RequestError {
+    Malformed(&'static str),
+    TooLarge,
+    LengthRequired,
+    Io(io::Error),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, RequestError> {
+    let mut line = String::new();
+    take_line(reader, &mut line)?;
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(RequestError::Malformed("bad request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed("unsupported HTTP version"));
+    }
+    let method = method.to_string();
+    let target = target.to_string();
+
+    let mut content_length: Option<usize> = None;
+    let mut header_bytes = 0usize;
+    loop {
+        take_line(reader, &mut line)?;
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(RequestError::TooLarge);
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = Some(
+                    v.trim()
+                        .parse()
+                        .map_err(|_| RequestError::Malformed("bad Content-Length"))?,
+                );
+            }
+        }
+    }
+
+    let body = if method == "GET" || method == "HEAD" {
+        String::new()
+    } else {
+        let len = content_length.ok_or(RequestError::LengthRequired)?;
+        if len > MAX_BODY_BYTES {
+            return Err(RequestError::TooLarge);
+        }
+        let mut buf = vec![0u8; len];
+        reader.read_exact(&mut buf)?;
+        String::from_utf8(buf).map_err(|_| RequestError::Malformed("body is not UTF-8"))?
+    };
+    Ok(Request {
+        method,
+        target,
+        body,
+    })
+}
+
+/// Reads one CRLF- (or LF-) terminated line into `line`, trimmed. The
+/// length cap is enforced *while* reading — `read_line` would buffer a
+/// newline-free stream in its entirety before any post-hoc check, letting
+/// one hostile connection grow a line without bound.
+fn take_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> Result<(), RequestError> {
+    line.clear();
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            if buf.is_empty() {
+                return Err(RequestError::Malformed("connection closed mid-request"));
+            }
+            break; // EOF mid-line: surface what we have; parsing fails later
+        }
+        let (taken, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (chunk.len(), false),
+        };
+        buf.extend_from_slice(&chunk[..taken]);
+        reader.consume(taken);
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(RequestError::TooLarge);
+        }
+        if done {
+            break;
+        }
+    }
+    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+        buf.pop();
+    }
+    *line = String::from_utf8(buf).map_err(|_| RequestError::Malformed("header is not UTF-8"))?;
+    Ok(())
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

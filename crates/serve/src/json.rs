@@ -1,0 +1,184 @@
+//! A small hand-rolled JSON writer (and a matching flat-field reader) for
+//! the service's wire format — in the spirit of `soct_bench::report`:
+//! deterministic, dependency-free, and exactly as much JSON as the
+//! endpoints need. Field order is insertion order, numbers are emitted in
+//! Rust's default formatting, and strings are escaped per RFC 8259.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for use inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An incrementally-built JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) -> &mut String {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+        &mut self.buf
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str_field(&mut self, k: &str, v: &str) -> &mut Self {
+        let escaped = escape(v);
+        let buf = self.key(k);
+        let _ = write!(buf, "\"{escaped}\"");
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64_field(&mut self, k: &str, v: u64) -> &mut Self {
+        let buf = self.key(k);
+        let _ = write!(buf, "{v}");
+        self
+    }
+
+    /// Adds a float field (finite values only; non-finite renders `null`).
+    pub fn f64_field(&mut self, k: &str, v: f64) -> &mut Self {
+        let buf = self.key(k);
+        if v.is_finite() {
+            let _ = write!(buf, "{v}");
+        } else {
+            buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool_field(&mut self, k: &str, v: bool) -> &mut Self {
+        let buf = self.key(k);
+        buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (nested object or array) verbatim.
+    pub fn raw_field(&mut self, k: &str, json: &str) -> &mut Self {
+        let buf = self.key(k);
+        buf.push_str(json);
+        self
+    }
+
+    /// Adds an array of strings.
+    pub fn str_array_field(&mut self, k: &str, items: &[String]) -> &mut Self {
+        let rendered: Vec<String> = items.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+        self.raw_field(k, &format!("[{}]", rendered.join(",")))
+    }
+
+    /// Renders the object.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Extracts the raw value token of a top-level field from JSON produced by
+/// [`JsonObject`] — strings come back unquoted (but still escaped),
+/// numbers/booleans verbatim. This is a *flat* reader for the service's
+/// own output, not a general JSON parser: it scans for the first
+/// occurrence of the quoted key at nesting depth ≥ 1 and stops the value
+/// at the next unquoted `,`, `}` or `]`.
+pub fn get_field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{}\":", escape(key));
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    if let Some(quoted) = rest.strip_prefix('"') {
+        // String value: scan to the closing unescaped quote.
+        let mut escaped = false;
+        for (i, b) in quoted.bytes().enumerate() {
+            match b {
+                b'\\' if !escaped => escaped = true,
+                b'"' if !escaped => return Some(&quoted[..i]),
+                _ => escaped = false,
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_render_in_insertion_order() {
+        let mut o = JsonObject::new();
+        o.str_field("verdict", "finite")
+            .u64_field("rules", 3)
+            .bool_field("cached", false)
+            .f64_field("ms", 1.5);
+        assert_eq!(
+            o.finish(),
+            r#"{"verdict":"finite","rules":3,"cached":false,"ms":1.5}"#
+        );
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        let mut o = JsonObject::new();
+        o.str_field("error", "bad \"rule\"");
+        assert_eq!(o.finish(), r#"{"error":"bad \"rule\""}"#);
+    }
+
+    #[test]
+    fn arrays_and_raw() {
+        let mut o = JsonObject::new();
+        o.str_array_field("list", &["r_(1,2)".to_string(), "s_(1,1)".to_string()])
+            .raw_field("nested", r#"{"x":1}"#);
+        assert_eq!(
+            o.finish(),
+            r#"{"list":["r_(1,2)","s_(1,1)"],"nested":{"x":1}}"#
+        );
+    }
+
+    #[test]
+    fn get_field_reads_back() {
+        let mut o = JsonObject::new();
+        o.str_field("verdict", "finite")
+            .u64_field("rules", 12)
+            .bool_field("cached", true);
+        let json = o.finish();
+        assert_eq!(get_field(&json, "verdict"), Some("finite"));
+        assert_eq!(get_field(&json, "rules"), Some("12"));
+        assert_eq!(get_field(&json, "cached"), Some("true"));
+        assert_eq!(get_field(&json, "missing"), None);
+    }
+
+    #[test]
+    fn get_field_handles_escaped_strings() {
+        let mut o = JsonObject::new();
+        o.str_field("error", "a \"quoted\" thing");
+        let json = o.finish();
+        assert_eq!(get_field(&json, "error"), Some("a \\\"quoted\\\" thing"));
+    }
+}

@@ -1,0 +1,52 @@
+//! # soct-serve
+//!
+//! The termination checkers as a long-running service. The paper's key
+//! practical observation — checking factors into a database-independent
+//! phase over the ruleset and a database-dependent phase over the shapes
+//! — means verdicts are *reusable* across requests that share a ruleset
+//! and shape fingerprint. This crate exploits that with three layers:
+//!
+//! - [`TerminationService`] — the in-process request handler: parses
+//!   line-oriented ruleset bodies (`soct_parser` syntax), dispatches to
+//!   `soct_core`'s checkers / the chase / `FindShapes`, and fronts every
+//!   check with the fingerprint-keyed, LRU-bounded
+//!   [`soct_core::VerdictCache`] (optionally persisted across restarts).
+//! - [`Server`] — a dependency-free HTTP/1.1 front end on
+//!   [`std::net::TcpListener`] with a fixed-size acceptor/worker pool,
+//!   serving `POST /check`, `POST /shapes`, `POST /chase`, and
+//!   `GET /stats` with JSON responses.
+//! - [`Client`] — a plain-[`std::net::TcpStream`] client used by the
+//!   `soct client` subcommand, CI, and the end-to-end tests.
+//!
+//! Repeated checks of a known ruleset are O(fingerprint + lookup): the
+//! db-dependent phase re-runs only when the shape fingerprint changes.
+//!
+//! ```
+//! use soct_serve::{Client, Server, ServiceConfig, TerminationService};
+//! use std::sync::Arc;
+//!
+//! let service = Arc::new(TerminationService::new(ServiceConfig::default()).unwrap());
+//! let server = Server::bind("127.0.0.1:0", service, 2).unwrap();
+//! let handle = server.start().unwrap();
+//!
+//! let client = Client::new(handle.addr().to_string());
+//! let ruleset = "person(X) -> adv(X, Y).\nadv(X, Y) -> person(Y).\nperson(alice).\n";
+//! let first = client.post("/check", ruleset).unwrap();
+//! assert!(first.body.contains("\"verdict\":\"infinite\""));
+//! assert!(first.body.contains("\"cached\":false"));
+//! let second = client.post("/check", ruleset).unwrap();
+//! assert!(second.body.contains("\"cached\":true"));
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod service;
+
+pub use client::{request, Client, Response};
+pub use http::{Server, ServerHandle};
+pub use json::{escape, get_field, JsonObject};
+pub use service::{critical_instance, ServiceConfig, ServiceStats, TerminationService, CACHE_FILE};

@@ -1,0 +1,529 @@
+//! The in-process service: routing, request handling, and the verdict
+//! cache — everything the HTTP layer does *except* sockets, so tests and
+//! benchmarks can exercise the full request path without binding a port.
+
+use crate::json::JsonObject;
+use soct_chase::{run_chase_columnar, ChaseConfig, ChaseOutcome, ChaseVariant};
+use soct_core::{
+    check_termination_cached, find_shapes_parallel, FindShapesMode, Verdict, VerdictCache,
+};
+use soct_model::{Atom, ConstId, Database, FxHashMap, Interner, Schema, Term, Tgd, TgdClass};
+use soct_parser::Program;
+use soct_storage::InstanceSource;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// File name of the persisted verdict cache inside `cache_dir`.
+pub const CACHE_FILE: &str = "verdicts.soctvc";
+
+/// Below this many cached entries, every miss persists immediately (a
+/// small file write); above it, writes batch to bound the O(cache) cost.
+const PERSIST_IMMEDIATE_LIMIT: usize = 4096;
+
+/// Batch size for persistence once the cache is past
+/// [`PERSIST_IMMEDIATE_LIMIT`]: at most one full rewrite per this many
+/// newly computed verdicts. At worst the last `PERSIST_BATCH - 1`
+/// verdicts are lost on a crash — recomputable by definition.
+const PERSIST_BATCH: u64 = 64;
+
+/// Configuration of a [`TerminationService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// `FindShapes` mode used by the linear checker.
+    pub mode: FindShapesMode,
+    /// Worker threads for the db-dependent phase of one check (`0` =
+    /// auto, as in [`soct_chase::resolve_threads`]). The default of `1`
+    /// keeps each request single-threaded — concurrency comes from the
+    /// HTTP worker pool serving requests in parallel.
+    pub check_threads: usize,
+    /// LRU bound of the verdict cache (entries).
+    pub cache_capacity: usize,
+    /// When set, the verdict cache is loaded from
+    /// `cache_dir/verdicts.soctvc` at startup and re-written after newly
+    /// computed verdicts, so restarts start warm. Writes are immediate
+    /// while the cache is small and batched (one snapshot per 64 misses)
+    /// once it grows, bounding the per-miss serialisation cost.
+    pub cache_dir: Option<PathBuf>,
+    /// Hard ceiling on the atom budget a `/chase` request may ask for.
+    pub max_chase_atoms: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            mode: FindShapesMode::InMemory,
+            check_threads: 1,
+            cache_capacity: 1 << 16,
+            cache_dir: None,
+            max_chase_atoms: 1_000_000,
+        }
+    }
+}
+
+/// Per-endpoint request counters (monotonic).
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// `POST /check` requests served (any status).
+    pub checks: AtomicU64,
+    /// `POST /shapes` requests served.
+    pub shapes: AtomicU64,
+    /// `POST /chase` requests served.
+    pub chases: AtomicU64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: AtomicU64,
+    /// Cache persistence failures (best-effort writes that did not land).
+    pub persist_failures: AtomicU64,
+}
+
+/// The termination-checking service: parses line-oriented ruleset bodies,
+/// dispatches to the checkers/chase/`FindShapes`, and fronts everything
+/// with the fingerprint-keyed [`VerdictCache`].
+#[derive(Debug)]
+pub struct TerminationService {
+    cfg: ServiceConfig,
+    cache: VerdictCache,
+    stats: ServiceStats,
+    /// Serialises best-effort cache writes so concurrent misses do not
+    /// interleave partial files.
+    persist_lock: Mutex<()>,
+    /// Verdicts inserted since the last persisted snapshot.
+    dirty: AtomicU64,
+}
+
+impl TerminationService {
+    /// Builds the service, loading a persisted verdict cache when
+    /// `cache_dir` is configured and holds one. A corrupt cache file is an
+    /// error (delete it to start cold) — silently dropping it would mask
+    /// operational mistakes.
+    pub fn new(cfg: ServiceConfig) -> io::Result<Self> {
+        let cache = VerdictCache::new(cfg.cache_capacity);
+        if let Some(dir) = &cfg.cache_dir {
+            std::fs::create_dir_all(dir)?;
+            let file = dir.join(CACHE_FILE);
+            if file.exists() {
+                cache.load(&file)?;
+            }
+        }
+        Ok(TerminationService {
+            cfg,
+            cache,
+            stats: ServiceStats::default(),
+            persist_lock: Mutex::new(()),
+            dirty: AtomicU64::new(0),
+        })
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// The verdict cache (exposed for tests and warm-up).
+    pub fn cache(&self) -> &VerdictCache {
+        &self.cache
+    }
+
+    /// Routes one request. `target` is the request path with an optional
+    /// query string (`/check?mode=db`); returns `(status, JSON body)`.
+    pub fn handle(&self, method: &str, target: &str, body: &str) -> (u16, String) {
+        let (path, query) = split_target(target);
+        let response = match (method, path) {
+            ("POST", "/check") => {
+                self.stats.checks.fetch_add(1, Ordering::Relaxed);
+                self.check(body, &query)
+            }
+            ("POST", "/shapes") => {
+                self.stats.shapes.fetch_add(1, Ordering::Relaxed);
+                self.shapes(body, &query)
+            }
+            ("POST", "/chase") => {
+                self.stats.chases.fetch_add(1, Ordering::Relaxed);
+                self.chase(body, &query)
+            }
+            ("GET", "/stats") => Ok(self.stats_json()),
+            (_, "/check" | "/shapes" | "/chase" | "/stats") => Err((
+                405,
+                "method not allowed (POST /check, POST /shapes, POST /chase, GET /stats)"
+                    .to_string(),
+            )),
+            _ => Err((404, format!("no such endpoint: {path}"))),
+        };
+        match response {
+            Ok(body) => (200, body),
+            Err((status, msg)) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let mut o = JsonObject::new();
+                o.str_field("error", &msg);
+                (status, o.finish())
+            }
+        }
+    }
+
+    /// `POST /check`: decide termination for the ruleset (and optional
+    /// facts) in the body. Supports `?mode=memory|db`.
+    fn check(&self, body: &str, query: &FxHashMap<String, String>) -> ServiceResult {
+        let program = parse_program(body)?;
+        let mode = mode_from(query, self.cfg.mode)?;
+        let (schema, tgds, db) = (program.schema, program.tgds, program.db);
+        let checked = check_termination_cached(
+            &schema,
+            &tgds,
+            &db,
+            mode,
+            self.cfg.check_threads,
+            &self.cache,
+        );
+        if !checked.hit {
+            self.persist_best_effort();
+        }
+        let mut o = JsonObject::new();
+        o.str_field("verdict", verdict_str(checked.report.verdict))
+            .str_field("class", class_str(checked.report.class))
+            .u64_field("rules", tgds.len() as u64)
+            .u64_field("db_atoms", db.len() as u64)
+            .str_field("rule_fp", &checked.rules_fp.to_string())
+            .str_field("db_fp", &checked.db_fp.to_string())
+            .bool_field("cached", checked.hit);
+        Ok(o.finish())
+    }
+
+    /// `POST /shapes`: list the database shapes of the facts in the body.
+    /// Supports `?mode=memory|db`.
+    fn shapes(&self, body: &str, query: &FxHashMap<String, String>) -> ServiceResult {
+        let parsed = Program::parse(body).map_err(|e| (400, e.to_string()))?;
+        let mode = mode_from(query, self.cfg.mode)?;
+        let src = InstanceSource::new(&parsed.schema, &parsed.database);
+        let report = find_shapes_parallel(&src, mode, self.cfg.check_threads);
+        let list: Vec<String> = report
+            .shapes
+            .iter()
+            .map(|s| format!("{}_{}", parsed.schema.name(s.pred), s.rgs))
+            .collect();
+        let mut o = JsonObject::new();
+        o.u64_field("shapes", report.shapes.len() as u64)
+            .u64_field("atoms", parsed.database.len() as u64)
+            .str_field("mode", mode_str(mode))
+            .str_array_field("list", &list);
+        Ok(o.finish())
+    }
+
+    /// `POST /chase`: materialise the chase of the body's program.
+    /// Supports `?variant=so|oblivious|restricted&max-atoms=N`.
+    fn chase(&self, body: &str, query: &FxHashMap<String, String>) -> ServiceResult {
+        let program = parse_program(body)?;
+        let variant = match query.get("variant") {
+            None => ChaseVariant::SemiOblivious,
+            Some(v) => v.parse().map_err(|e: String| (400, e))?,
+        };
+        let max_atoms = match query.get("max-atoms") {
+            None => self.cfg.max_chase_atoms,
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| (400, format!("max-atoms expects an integer, got `{v}`")))?
+                .min(self.cfg.max_chase_atoms),
+        };
+        let cfg =
+            ChaseConfig::with_max_atoms(variant, max_atoms).with_threads(self.cfg.check_threads);
+        let res = run_chase_columnar(&program.db, &program.tgds, &cfg);
+        let mut o = JsonObject::new();
+        o.str_field("outcome", outcome_str(res.outcome))
+            .u64_field("atoms", res.store.len() as u64)
+            .u64_field("derived", res.derived_atoms(program.db.len()) as u64)
+            .u64_field("rounds", res.rounds as u64)
+            .u64_field("triggers", res.triggers_applied as u64)
+            .u64_field("nulls", res.nulls_created as u64);
+        Ok(o.finish())
+    }
+
+    /// `GET /stats`: request counters and cache counters.
+    pub fn stats_json(&self) -> String {
+        let cache_stats = self.cache.stats();
+        let mut requests = JsonObject::new();
+        requests
+            .u64_field("check", self.stats.checks.load(Ordering::Relaxed))
+            .u64_field("shapes", self.stats.shapes.load(Ordering::Relaxed))
+            .u64_field("chase", self.stats.chases.load(Ordering::Relaxed))
+            .u64_field("errors", self.stats.errors.load(Ordering::Relaxed))
+            .u64_field(
+                "persist_failures",
+                self.stats.persist_failures.load(Ordering::Relaxed),
+            );
+        let mut cache = JsonObject::new();
+        cache
+            .u64_field("entries", self.cache.len() as u64)
+            .u64_field("capacity", self.cache.capacity() as u64)
+            .u64_field("hits", cache_stats.hits)
+            .u64_field("misses", cache_stats.misses)
+            .u64_field("insertions", cache_stats.insertions)
+            .u64_field("evictions", cache_stats.evictions);
+        let mut o = JsonObject::new();
+        o.raw_field("requests", &requests.finish())
+            .raw_field("cache", &cache.finish());
+        o.finish()
+    }
+
+    /// Writes the verdict cache to `cache_dir`, if configured.
+    pub fn persist(&self) -> io::Result<()> {
+        let Some(dir) = &self.cfg.cache_dir else {
+            return Ok(());
+        };
+        let _guard = self.persist_lock.lock().expect("persist lock poisoned");
+        // Write-then-rename so a crash mid-write never leaves a corrupt
+        // cache for the next startup to choke on.
+        let tmp = dir.join(format!("{CACHE_FILE}.tmp"));
+        self.cache.save(&tmp)?;
+        std::fs::rename(&tmp, dir.join(CACHE_FILE))
+    }
+
+    /// Persists after a newly computed verdict: immediately while the
+    /// cache is small, every [`PERSIST_BATCH`] misses once it is large —
+    /// a full snapshot write is O(cache), which must not be a per-request
+    /// cost at scale.
+    fn persist_best_effort(&self) {
+        if self.cfg.cache_dir.is_none() {
+            return;
+        }
+        let dirty = self.dirty.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.cache.len() > PERSIST_IMMEDIATE_LIMIT && dirty < PERSIST_BATCH {
+            return;
+        }
+        self.dirty.store(0, Ordering::Relaxed);
+        if self.persist().is_err() {
+            self.stats.persist_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+type ServiceResult = Result<String, (u16, String)>;
+
+/// A parsed request body: vocabulary, rules, and the database actually
+/// checked (the body's facts, or the critical instance when none given).
+struct ParsedProgram {
+    schema: Schema,
+    tgds: Vec<Tgd>,
+    db: Database,
+}
+
+fn parse_program(body: &str) -> Result<ParsedProgram, (u16, String)> {
+    let parsed = Program::parse(body).map_err(|e| (400, e.to_string()))?;
+    let mut consts = parsed.consts;
+    let db = if parsed.database.is_empty() {
+        critical_instance(&parsed.schema, &parsed.tgds, &mut consts)
+    } else {
+        parsed.database
+    };
+    Ok(ParsedProgram {
+        schema: parsed.schema,
+        tgds: parsed.tgds,
+        db,
+    })
+}
+
+/// The critical instance `D_Σ` (Remark 1): one atom per predicate of the
+/// ruleset, every position filled with a distinct fresh constant. Used
+/// when a request (or CLI invocation) supplies rules but no database —
+/// the verdict then characterises termination on *all* databases.
+pub fn critical_instance(schema: &Schema, tgds: &[Tgd], consts: &mut Interner) -> Database {
+    let mut db = Database::new();
+    let mut i = 0usize;
+    for p in soct_model::tgd::predicates_of(tgds) {
+        let terms: Vec<Term> = (0..schema.arity(p))
+            .map(|_| {
+                let c = ConstId::from_symbol(consts.intern(&format!("crit{i}")));
+                i += 1;
+                Term::Const(c)
+            })
+            .collect();
+        db.insert(Atom::new(schema, p, terms).expect("arity matches"));
+    }
+    db
+}
+
+fn split_target(target: &str) -> (&str, FxHashMap<String, String>) {
+    match target.split_once('?') {
+        None => (target, FxHashMap::default()),
+        Some((path, query)) => {
+            let mut map = FxHashMap::default();
+            for pair in query.split('&').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').unwrap_or((pair, "true"));
+                map.insert(k.to_string(), v.to_string());
+            }
+            (path, map)
+        }
+    }
+}
+
+fn mode_from(
+    query: &FxHashMap<String, String>,
+    default: FindShapesMode,
+) -> Result<FindShapesMode, (u16, String)> {
+    match query.get("mode") {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e: String| (400, e)),
+    }
+}
+
+fn mode_str(mode: FindShapesMode) -> &'static str {
+    match mode {
+        FindShapesMode::InMemory => "memory",
+        FindShapesMode::InDatabase => "db",
+    }
+}
+
+fn verdict_str(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Finite => "finite",
+        Verdict::Infinite => "infinite",
+        Verdict::Unknown => "unknown",
+    }
+}
+
+fn class_str(c: TgdClass) -> &'static str {
+    match c {
+        TgdClass::SimpleLinear => "SL",
+        TgdClass::Linear => "L",
+        TgdClass::General => "TGD",
+    }
+}
+
+fn outcome_str(o: ChaseOutcome) -> &'static str {
+    match o {
+        ChaseOutcome::Terminated => "terminated",
+        ChaseOutcome::AtomBudgetExceeded => "atom-budget-exceeded",
+        ChaseOutcome::RoundBudgetExceeded => "round-budget-exceeded",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::get_field;
+
+    fn svc() -> TerminationService {
+        TerminationService::new(ServiceConfig::default()).unwrap()
+    }
+
+    const INFINITE_SL: &str = "person(X) -> adv(X, Y).\nadv(X, Y) -> person(Y).\nperson(alice).\n";
+    const FINITE_SL: &str = "r(X, Y) -> s(Y).\nr(a, b).\n";
+
+    #[test]
+    fn check_reports_verdict_and_cache_state() {
+        let s = svc();
+        let (status, body) = s.handle("POST", "/check", INFINITE_SL);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(get_field(&body, "verdict"), Some("infinite"));
+        assert_eq!(get_field(&body, "class"), Some("SL"));
+        assert_eq!(get_field(&body, "cached"), Some("false"));
+        let (status2, body2) = s.handle("POST", "/check", INFINITE_SL);
+        assert_eq!(status2, 200);
+        assert_eq!(get_field(&body2, "cached"), Some("true"));
+        // Byte-identical apart from the cached flag.
+        assert_eq!(body.replace("\"cached\":false", "\"cached\":true"), body2);
+    }
+
+    #[test]
+    fn rules_only_check_uses_the_critical_instance() {
+        let s = svc();
+        let (status, body) = s.handle("POST", "/check", "r(X, Y) -> s(Y).\n");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(get_field(&body, "verdict"), Some("finite"));
+        assert_eq!(get_field(&body, "db_atoms"), Some("2"));
+    }
+
+    #[test]
+    fn shapes_endpoint_lists_shapes() {
+        let s = svc();
+        let (status, body) = s.handle("POST", "/shapes", "r(a, a).\nr(a, b).\ns(c).\n");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(get_field(&body, "shapes"), Some("3"));
+        assert!(body.contains("\"r_(1,1)\""), "{body}");
+        assert!(body.contains("\"r_(1,2)\""), "{body}");
+        assert!(body.contains("\"s_(1)\""), "{body}");
+    }
+
+    #[test]
+    fn chase_endpoint_runs_variants() {
+        let s = svc();
+        let (status, body) = s.handle("POST", "/chase?variant=so&max-atoms=50", FINITE_SL);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(get_field(&body, "outcome"), Some("terminated"));
+        assert_eq!(get_field(&body, "atoms"), Some("2"));
+        let (status, body) = s.handle("POST", "/chase?variant=bogus", FINITE_SL);
+        assert_eq!(status, 400, "{body}");
+    }
+
+    #[test]
+    fn chase_budget_is_clamped_to_the_service_ceiling() {
+        let cfg = ServiceConfig {
+            max_chase_atoms: 100,
+            ..ServiceConfig::default()
+        };
+        let s = TerminationService::new(cfg).unwrap();
+        let diverging = "r(X, Y) -> r(Y, Z).\nr(a, b).\n";
+        let (status, body) = s.handle("POST", "/chase?max-atoms=999999999", diverging);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(get_field(&body, "outcome"), Some("atom-budget-exceeded"));
+        let atoms: u64 = get_field(&body, "atoms").unwrap().parse().unwrap();
+        assert!(atoms <= 110, "budget not clamped: {atoms}");
+    }
+
+    #[test]
+    fn errors_and_unknown_routes() {
+        let s = svc();
+        let (status, body) = s.handle("POST", "/check", "this is not a ruleset");
+        assert_eq!(status, 400);
+        assert!(get_field(&body, "error").is_some());
+        let (status, _) = s.handle("GET", "/nope", "");
+        assert_eq!(status, 404);
+        let (status, _) = s.handle("GET", "/check", "");
+        assert_eq!(status, 405);
+        let (status, _) = s.handle("POST", "/check?mode=bogus", FINITE_SL);
+        assert_eq!(status, 400);
+        let stats = s.stats_json();
+        // bad ruleset + 404 + 405 + bad mode
+        assert_eq!(get_field(&stats, "errors"), Some("4"));
+    }
+
+    #[test]
+    fn stats_counts_requests_and_cache() {
+        let s = svc();
+        s.handle("POST", "/check", FINITE_SL);
+        s.handle("POST", "/check", FINITE_SL);
+        let (status, body) = s.handle("GET", "/stats", "");
+        assert_eq!(status, 200);
+        assert_eq!(get_field(&body, "check"), Some("2"));
+        assert_eq!(get_field(&body, "hits"), Some("1"));
+        assert_eq!(get_field(&body, "misses"), Some("1"));
+    }
+
+    #[test]
+    fn persisted_cache_warms_a_new_service() {
+        let dir = std::env::temp_dir().join("soct_serve_cache_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = ServiceConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let first = TerminationService::new(cfg.clone()).unwrap();
+        let (_, body) = first.handle("POST", "/check", INFINITE_SL);
+        assert_eq!(get_field(&body, "cached"), Some("false"));
+        drop(first);
+        let second = TerminationService::new(cfg).unwrap();
+        let (_, body) = second.handle("POST", "/check", INFINITE_SL);
+        assert_eq!(get_field(&body, "cached"), Some("true"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn critical_instance_covers_every_rule_predicate() {
+        let p = Program::parse("r(X, Y) -> s(Y, Z).\ns(X, Y) -> t(X).\n").unwrap();
+        let mut consts = p.consts;
+        let db = critical_instance(&p.schema, &p.tgds, &mut consts);
+        assert_eq!(db.len(), 3); // r, s, t
+        assert!(db.atoms().iter().all(Atom::is_fact));
+        // All constants are distinct.
+        assert_eq!(db.active_domain().len(), 2 + 2 + 1);
+    }
+}

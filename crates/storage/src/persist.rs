@@ -21,6 +21,12 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"SOCTDB1\0";
 
+/// Highest predicate slot `from_bytes` accepts. Predicate ids are dense
+/// interner indices in practice; a corrupt header with a huge id would
+/// otherwise drive a `resize_with` allocation of that many table slots
+/// and abort the process instead of returning `Err`.
+const MAX_PRED_SLOT: usize = 1 << 22;
+
 /// Serialises the engine to bytes.
 pub fn to_bytes(engine: &StorageEngine) -> Vec<u8> {
     let tables: Vec<(PredId, &Table)> = engine.tables().collect();
@@ -50,9 +56,14 @@ pub fn from_bytes(mut data: &[u8]) -> io::Result<StorageEngine> {
     }
     data.advance(8);
     let table_count = data.get_u32_le() as usize;
+    // Every table needs ≥ 12 header bytes, so a count the remaining data
+    // cannot possibly hold is corruption — reject before trusting it.
+    if table_count > data.remaining() / 12 {
+        return Err(err("implausible table count"));
+    }
     let mut engine = StorageEngine::new();
     for _ in 0..table_count {
-        if data.remaining() < 4 {
+        if data.remaining() < 6 {
             return Err(err("truncated table header"));
         }
         let pred = PredId(data.get_u32_le());
@@ -64,11 +75,19 @@ pub fn from_bytes(mut data: &[u8]) -> io::Result<StorageEngine> {
             .map_err(|_| err("name not UTF-8"))?
             .to_string();
         data.advance(name_len);
+        if data.remaining() < 6 {
+            return Err(err("truncated table header"));
+        }
         let arity = data.get_u16_le() as usize;
         if arity == 0 {
             return Err(err("zero arity"));
         }
         let page_count = data.get_u32_le() as usize;
+        // Each page carries a 4-byte length header; don't size the vec
+        // from a count the data cannot back.
+        if page_count > data.remaining() / 4 {
+            return Err(err("implausible page count"));
+        }
         let mut pages = Vec::with_capacity(page_count);
         for _ in 0..page_count {
             if data.remaining() < 4 {
@@ -83,6 +102,9 @@ pub fn from_bytes(mut data: &[u8]) -> io::Result<StorageEngine> {
         }
         let table = Table::from_pages(name, arity, pages);
         let slot = pred.index();
+        if slot > MAX_PRED_SLOT {
+            return Err(err("implausible predicate id"));
+        }
         let tables = engine.tables_mut_for_load();
         if slot >= tables.len() {
             tables.resize_with(slot + 1, || None);
@@ -150,6 +172,129 @@ mod tests {
         // Truncation.
         let good = to_bytes(&sample());
         assert!(from_bytes(&good[..good.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected_not_panics() {
+        // Magic alone, or magic plus a count promising tables that never
+        // arrive: every truncation point must yield Err, never a panic.
+        assert!(from_bytes(MAGIC).is_err());
+        let mut claims_five = MAGIC.to_vec();
+        claims_five.extend_from_slice(&5u32.to_le_bytes());
+        assert!(from_bytes(&claims_five).is_err());
+        // A table header cut off inside the name, the arity, and the page
+        // length field respectively.
+        let good = to_bytes(&sample());
+        for cut in [13, 14, 15, 16, 17, 18, 19, 20, 21] {
+            assert!(from_bytes(&good[..cut]).is_err(), "cut at {cut} bytes");
+        }
+        // A name length pointing past the end of the buffer.
+        let mut bad_name_len = good.clone();
+        bad_name_len[16] = 0xFF;
+        bad_name_len[17] = 0xFF;
+        assert!(from_bytes(&bad_name_len).is_err());
+        // Counts and ids the data cannot back must be rejected before any
+        // allocation is sized from them (a flipped high byte would
+        // otherwise abort the process, not return Err).
+        let table = |pred: u32, pages: u32| {
+            let mut b = MAGIC.to_vec();
+            b.extend_from_slice(&1u32.to_le_bytes());
+            b.extend_from_slice(&pred.to_le_bytes());
+            b.extend_from_slice(&1u16.to_le_bytes());
+            b.push(b'r');
+            b.extend_from_slice(&1u16.to_le_bytes());
+            b.extend_from_slice(&pages.to_le_bytes());
+            b
+        };
+        assert!(from_bytes(&table(u32::MAX, 0)).is_err(), "huge pred id");
+        assert!(from_bytes(&table(0, u32::MAX)).is_err(), "huge page count");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(48))]
+
+        /// `to_bytes`/`from_bytes` round-trips an arbitrary engine
+        /// bit-identically: same serialised bytes, same tables (names,
+        /// arities, row data), and the same derived shape catalog.
+        #[test]
+        fn round_trip_is_bit_identical(seed in proptest::any::<u64>()) {
+            use rand::{RngExt, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut engine = StorageEngine::new();
+            let n_tables = rng.random_range(0usize..5);
+            for t in 0..n_tables {
+                // Sparse, unordered predicate ids exercise the slot map.
+                let pred = PredId((t * 3 + rng.random_range(0u32..3) as usize) as u32);
+                let arity = rng.random_range(1usize..=4);
+                let name_len = rng.random_range(1usize..8);
+                let name: String = (0..name_len)
+                    .map(|_| (b'a' + rng.random_range(0u8..26)) as char)
+                    .collect();
+                engine.create_table(pred, &name, arity);
+                // Enough rows to spill across pages sometimes.
+                for _ in 0..rng.random_range(0usize..600) {
+                    let row: Vec<Term> = (0..arity)
+                        .map(|_| c(rng.random_range(0u32..50)))
+                        .collect();
+                    engine.insert(pred, &row);
+                }
+            }
+
+            let bytes = to_bytes(&engine);
+            let mut restored = from_bytes(&bytes).expect("round trip must parse");
+            // Bit-identical re-serialisation.
+            proptest::prop_assert_eq!(to_bytes(&restored), bytes);
+            // Tables and data agree.
+            let orig: Vec<(PredId, String, usize, u64)> = engine
+                .tables()
+                .map(|(p, t)| (p, t.name().to_string(), t.arity(), t.row_count()))
+                .collect();
+            let back: Vec<(PredId, String, usize, u64)> = restored
+                .tables()
+                .map(|(p, t)| (p, t.name().to_string(), t.arity(), t.row_count()))
+                .collect();
+            proptest::prop_assert_eq!(&orig, &back);
+            for (pred, _, _, _) in &orig {
+                let mut rows_a = Vec::new();
+                engine.scan(*pred, &mut |r| { rows_a.push(r.to_vec()); true });
+                let mut rows_b = Vec::new();
+                restored.scan(*pred, &mut |r| { rows_b.push(r.to_vec()); true });
+                proptest::prop_assert_eq!(&rows_a, &rows_b);
+            }
+            // The shape catalog is derived state: building it on both
+            // sides from scratch must agree exactly.
+            engine.enable_shape_tracking();
+            restored.enable_shape_tracking();
+            proptest::prop_assert_eq!(
+                engine.shape_catalog().unwrap().shapes(),
+                restored.shape_catalog().unwrap().shapes()
+            );
+        }
+
+        /// Arbitrary mutations of a valid image either parse to the same
+        /// bytes or fail cleanly — `from_bytes` never panics.
+        #[test]
+        fn corrupted_bytes_never_panic(seed in proptest::any::<u64>()) {
+            use rand::{RngExt, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let good = to_bytes(&sample());
+            let mut bytes = good.clone();
+            match rng.random_range(0u8..3) {
+                // Truncate at a random point.
+                0 => bytes.truncate(rng.random_range(0usize..bytes.len())),
+                // Flip one random byte.
+                1 => {
+                    let i = rng.random_range(0usize..bytes.len());
+                    bytes[i] ^= 1 << rng.random_range(0u8..8);
+                }
+                // Append garbage (ignored by the current format).
+                _ => bytes.extend_from_slice(&[0xAB; 7]),
+            }
+            if let Ok(engine) = from_bytes(&bytes) {
+                // A surviving image must still round-trip cleanly.
+                proptest::prop_assert!(from_bytes(&to_bytes(&engine)).is_ok());
+            } // Err: clean rejection is the expected path.
+        }
     }
 
     #[test]

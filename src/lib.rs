@@ -17,7 +17,9 @@
 //!   storage-backed), size bounds, the materialization-based checker;
 //! - [`core`] — `IsChaseFinite[SL]`, `IsChaseFinite[L]`, `FindShapes`,
 //!   `DynSimplification`;
-//! - [`gen`] — data/TGD generators, experiment profiles, scenarios.
+//! - [`gen`] — data/TGD generators, experiment profiles, scenarios;
+//! - [`serve`] — the checkers as a long-running HTTP service with a
+//!   fingerprint-keyed verdict cache, plus the matching client.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@ pub use soct_gen as gen;
 pub use soct_graph as graph;
 pub use soct_model as model;
 pub use soct_parser as parser;
+pub use soct_serve as serve;
 pub use soct_storage as storage;
 
 /// The most common imports in one place.
@@ -54,14 +57,14 @@ pub mod prelude {
         ChaseOutcome, ChaseResult, ChaseStore, ChaseVariant, ColumnarStore, MaterializationVerdict,
     };
     pub use soct_core::{
-        check_termination, check_termination_threads, find_shapes, find_shapes_parallel,
-        is_chase_finite_l, is_chase_finite_l_parallel, is_chase_finite_sl, materialization_check,
-        FindShapesMode, Verdict,
+        check_termination, check_termination_cached, check_termination_threads, find_shapes,
+        find_shapes_parallel, is_chase_finite_l, is_chase_finite_l_parallel, is_chase_finite_sl,
+        materialization_check, FindShapesMode, Verdict, VerdictCache,
     };
     pub use soct_graph::{find_special_sccs, DependencyGraph};
     pub use soct_model::{
-        Atom, ConstId, Database, Instance, Interner, NullId, Rgs, Schema, Shape, Term, Tgd,
-        TgdClass, VarId,
+        fingerprint_instance_shapes, fingerprint_ruleset, Atom, ConstId, Database, Fingerprint,
+        Instance, Interner, NullId, Rgs, Schema, Shape, Term, Tgd, TgdClass, VarId,
     };
     pub use soct_parser::{parse_facts, parse_tgds, write_program, Program};
     pub use soct_storage::{InstanceSource, LimitView, StorageEngine, TupleSource};

@@ -1,0 +1,187 @@
+//! Property tests for the canonical ruleset fingerprints
+//! (`soct_model::fingerprint`): invariance under TGD permutation,
+//! variable renaming, and writer/parser round-trips — plus an empirical
+//! collision check over generated rulesets. These invariants are what
+//! make the fingerprint a *sound* verdict-cache key: requests that
+//! differ only in rule order or variable names must land on the same
+//! cache entry.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use soct::gen::TgdGenConfig;
+use soct::prelude::*;
+
+/// A generated ruleset over a fresh schema: predicate pool sized and
+/// shaped by `seed`, `tsize` rules of the given class.
+fn gen_ruleset(seed: u64, tsize: usize, sl: bool) -> (Schema, Vec<Tgd>) {
+    let mut schema = Schema::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = soct::gen::datagen::make_predicates(&mut schema, "p", 12, 1, 4, &mut rng);
+    let cfg = TgdGenConfig {
+        ssize: 6,
+        min_arity: 1,
+        max_arity: 4,
+        tsize,
+        tclass: if sl {
+            TgdClass::SimpleLinear
+        } else {
+            TgdClass::Linear
+        },
+        existential_prob: 0.2,
+        seed,
+    };
+    let tgds = soct::gen::generate_tgds(&cfg, &schema, &pool);
+    (schema, tgds)
+}
+
+fn shuffle<T>(v: &mut [T], rng: &mut StdRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.random_range(0usize..=i);
+        v.swap(i, j);
+    }
+}
+
+/// Rebuilds a TGD under an injective variable renaming (multiplication by
+/// an odd constant is a bijection on `u32`, so distinct variables stay
+/// distinct).
+fn rename_vars(tgd: &Tgd, mul: u32, add: u32) -> Tgd {
+    let mul = mul | 1; // force odd → bijective mod 2^32
+    let map_atom = |a: &Atom| {
+        let terms: Vec<Term> = a
+            .terms
+            .iter()
+            .map(|t| match *t {
+                Term::Var(v) => Term::Var(VarId(v.0.wrapping_mul(mul).wrapping_add(add))),
+                other => other,
+            })
+            .collect();
+        Atom::new_unchecked(a.pred, terms)
+    };
+    Tgd::new(
+        tgd.body().iter().map(map_atom).collect(),
+        tgd.head().iter().map(map_atom).collect(),
+    )
+    .expect("renaming preserves well-formedness")
+}
+
+/// Canonical text form of a ruleset: written rules (per-rule canonical
+/// variable numbering), sorted. Two rulesets with different canonical
+/// text are structurally distinct modulo rule order and renaming.
+fn canonical_text(schema: &Schema, tgds: &[Tgd]) -> Vec<String> {
+    let consts = Interner::new();
+    let mut lines: Vec<String> = soct::parser::write_tgds(tgds, schema, &consts)
+        .lines()
+        .map(str::to_string)
+        .collect();
+    lines.sort_unstable();
+    lines
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn permuting_tgd_order_preserves_the_fingerprint(
+        seed in any::<u64>(),
+        shuffle_seed in any::<u64>(),
+        sl in any::<bool>(),
+        tsize in 1usize..14,
+    ) {
+        let (schema, tgds) = gen_ruleset(seed, tsize, sl);
+        let base = fingerprint_ruleset(&schema, &tgds);
+        let mut shuffled = tgds.clone();
+        shuffle(&mut shuffled, &mut StdRng::seed_from_u64(shuffle_seed));
+        prop_assert_eq!(base, fingerprint_ruleset(&schema, &shuffled));
+    }
+
+    #[test]
+    fn renaming_variables_preserves_the_fingerprint(
+        seed in any::<u64>(),
+        mul in any::<u32>(),
+        add in any::<u32>(),
+        sl in any::<bool>(),
+        tsize in 1usize..14,
+    ) {
+        let (schema, tgds) = gen_ruleset(seed, tsize, sl);
+        let renamed: Vec<Tgd> = tgds.iter().map(|t| rename_vars(t, mul, add)).collect();
+        prop_assert_eq!(
+            fingerprint_ruleset(&schema, &tgds),
+            fingerprint_ruleset(&schema, &renamed)
+        );
+    }
+
+    #[test]
+    fn writer_round_trip_preserves_the_fingerprint(
+        seed in any::<u64>(),
+        sl in any::<bool>(),
+        tsize in 1usize..14,
+    ) {
+        let (schema, tgds) = gen_ruleset(seed, tsize, sl);
+        let consts = Interner::new();
+        let text = soct::parser::write_tgds(&tgds, &schema, &consts);
+        // Fresh vocabulary: the re-parse interns predicates in whatever
+        // order the written text mentions them.
+        let mut schema2 = Schema::new();
+        let mut consts2 = Interner::new();
+        let reparsed = soct::parser::parse_tgds(&text, &mut schema2, &mut consts2)
+            .expect("writer output must re-parse");
+        prop_assert_eq!(tgds.len(), reparsed.len());
+        prop_assert_eq!(
+            fingerprint_ruleset(&schema, &tgds),
+            fingerprint_ruleset(&schema2, &reparsed)
+        );
+    }
+
+    #[test]
+    fn permuted_and_renamed_round_trip_composes(
+        seed in any::<u64>(),
+        shuffle_seed in any::<u64>(),
+        mul in any::<u32>(),
+    ) {
+        // All three invariances at once — the cache-hit scenario of the
+        // service acceptance test, at property-test scale.
+        let (schema, tgds) = gen_ruleset(seed, 8, false);
+        let mut mangled: Vec<Tgd> = tgds.iter().map(|t| rename_vars(t, mul, 3)).collect();
+        shuffle(&mut mangled, &mut StdRng::seed_from_u64(shuffle_seed));
+        let consts = Interner::new();
+        let text = soct::parser::write_tgds(&mangled, &schema, &consts);
+        let mut schema2 = Schema::new();
+        let mut consts2 = Interner::new();
+        let reparsed = soct::parser::parse_tgds(&text, &mut schema2, &mut consts2).unwrap();
+        prop_assert_eq!(
+            fingerprint_ruleset(&schema, &tgds),
+            fingerprint_ruleset(&schema2, &reparsed)
+        );
+    }
+}
+
+/// Empirical collision resistance: ≥ 500 pairs of structurally distinct
+/// generated rulesets, zero fingerprint collisions.
+#[test]
+fn distinct_rulesets_do_not_collide_on_500_pairs() {
+    let mut rulesets = Vec::new();
+    for i in 0..17u64 {
+        for (tsize, sl) in [(3usize, true), (6, false)] {
+            let (schema, tgds) = gen_ruleset(0xC0FFEE + i * 7919, tsize, sl);
+            let fp = fingerprint_ruleset(&schema, &tgds);
+            let canon = canonical_text(&schema, &tgds);
+            rulesets.push((fp, canon));
+        }
+    }
+    let mut pairs = 0usize;
+    for i in 0..rulesets.len() {
+        for j in (i + 1)..rulesets.len() {
+            let (fp_a, canon_a) = &rulesets[i];
+            let (fp_b, canon_b) = &rulesets[j];
+            if canon_a != canon_b {
+                pairs += 1;
+                assert_ne!(
+                    fp_a, fp_b,
+                    "fingerprint collision between distinct rulesets:\n{canon_a:?}\nvs\n{canon_b:?}"
+                );
+            }
+        }
+    }
+    assert!(pairs >= 500, "only {pairs} distinct pairs sampled");
+}

@@ -1,0 +1,209 @@
+//! End-to-end tests of the service wire protocol (`soct_serve`): a real
+//! `TcpListener`-backed server with a worker pool, exercised through the
+//! plain-`TcpStream` client.
+//!
+//! The acceptance bar (ISSUE 4): identical `POST /check` requests return
+//! byte-identical verdict JSON with the second reporting a cache hit, a
+//! permuted/renamed-but-equivalent ruleset also hits, and concurrent
+//! clients against a 2-worker server agree with sequential one-shot
+//! `check_termination` calls — with `/chase` agreeing with the in-process
+//! engine on all three chase variants.
+
+use soct::prelude::*;
+use soct::serve::{get_field, Client, Server, ServiceConfig, TerminationService};
+use std::sync::Arc;
+
+const FINITE_SL: &str = "r(X, Y) -> s(Y).\nr(a, b).\n";
+const INFINITE_SL: &str = "person(X) -> adv(X, Y).\nadv(X, Y) -> person(Y).\nperson(alice).\n";
+/// Example 3.4 of the paper: linear (repeated body variable), finite.
+const FINITE_L: &str = "r(X, X) -> r(Z, X).\nr(a, a).\n";
+/// Linear, infinite: p(x,x) → ∃y q(x,y); q(x,y) → p(y,y).
+const INFINITE_L: &str = "p(X, X) -> q(X, Y).\nq(X, Y) -> p(Y, Y).\np(a, a).\n";
+
+const PROGRAMS: &[(&str, &str)] = &[
+    (FINITE_SL, "finite"),
+    (INFINITE_SL, "infinite"),
+    (FINITE_L, "finite"),
+    (INFINITE_L, "infinite"),
+];
+
+/// Spins up a server with `workers` request threads on an OS-chosen port.
+fn start_server(workers: usize) -> (soct::serve::ServerHandle, Client) {
+    let service = Arc::new(TerminationService::new(ServiceConfig::default()).unwrap());
+    let server = Server::bind("127.0.0.1:0", service, workers).unwrap();
+    let handle = server.start().unwrap();
+    let client = Client::new(handle.addr().to_string());
+    (handle, client)
+}
+
+#[test]
+fn identical_requests_are_byte_identical_and_the_second_hits() {
+    let (handle, client) = start_server(2);
+    for (program, expected) in PROGRAMS {
+        let first = client.post("/check", program).unwrap();
+        assert_eq!(first.status, 200, "{}", first.body);
+        assert_eq!(get_field(&first.body, "verdict"), Some(*expected));
+        assert_eq!(get_field(&first.body, "cached"), Some("false"));
+        let second = client.post("/check", program).unwrap();
+        assert_eq!(second.status, 200);
+        assert_eq!(get_field(&second.body, "cached"), Some("true"));
+        // Byte-identical apart from the cached flag — verdict, class,
+        // counts, and both fingerprints included.
+        assert_eq!(
+            first.body.replace("\"cached\":false", "\"cached\":true"),
+            second.body,
+            "responses diverged for {program:?}"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn permuted_and_renamed_rulesets_hit_the_same_cache_entry() {
+    let (handle, client) = start_server(2);
+    let prime = client.post("/check", INFINITE_SL).unwrap();
+    assert_eq!(get_field(&prime.body, "cached"), Some("false"));
+
+    // The same ruleset with the rules permuted and every variable renamed
+    // (and the same facts): must be a cache hit with the same verdict and
+    // the same fingerprints.
+    let equivalent = "adv(U, Vv) -> person(Vv).\nperson(W) -> adv(W, Q).\nperson(alice).\n";
+    let hit = client.post("/check", equivalent).unwrap();
+    assert_eq!(hit.status, 200, "{}", hit.body);
+    assert_eq!(get_field(&hit.body, "cached"), Some("true"), "{}", hit.body);
+    assert_eq!(get_field(&hit.body, "verdict"), Some("infinite"));
+    assert_eq!(
+        get_field(&prime.body, "rule_fp"),
+        get_field(&hit.body, "rule_fp")
+    );
+    assert_eq!(
+        get_field(&prime.body, "db_fp"),
+        get_field(&hit.body, "db_fp")
+    );
+
+    // A genuinely different ruleset over the same vocabulary must miss.
+    let different = "person(X) -> adv(X, Y).\nperson(alice).\n";
+    let miss = client.post("/check", different).unwrap();
+    assert_eq!(get_field(&miss.body, "cached"), Some("false"));
+    assert_eq!(get_field(&miss.body, "verdict"), Some("finite"));
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_agree_with_sequential_check_termination() {
+    // Sequential ground truth via one-shot in-process checks.
+    let expected: Vec<&str> = PROGRAMS
+        .iter()
+        .map(|(program, claimed)| {
+            let p = Program::parse(program).unwrap();
+            let report =
+                check_termination(&p.schema, &p.tgds, &p.database, FindShapesMode::InMemory);
+            let verdict = match report.verdict {
+                Verdict::Finite => "finite",
+                Verdict::Infinite => "infinite",
+                Verdict::Unknown => "unknown",
+            };
+            assert_eq!(verdict, *claimed, "test fixture out of sync");
+            verdict
+        })
+        .collect();
+
+    // 4 client threads hammering a 2-worker server, 3 rounds each: every
+    // response must carry the sequential verdict (first answer cold, the
+    // rest cache hits — same bytes either way).
+    let (handle, client) = start_server(2);
+    let results: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let client = client.clone();
+                scope.spawn(move || {
+                    let mut verdicts = Vec::new();
+                    for _ in 0..3 {
+                        for (program, _) in PROGRAMS {
+                            let resp = client.post("/check", program).unwrap();
+                            assert_eq!(resp.status, 200, "{}", resp.body);
+                            verdicts.push(get_field(&resp.body, "verdict").unwrap().to_string());
+                        }
+                    }
+                    verdicts
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for per_thread in results {
+        for (i, got) in per_thread.iter().enumerate() {
+            assert_eq!(got, expected[i % PROGRAMS.len()]);
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn chase_endpoint_matches_the_engine_on_all_three_variants() {
+    let (handle, client) = start_server(2);
+    let program = INFINITE_L; // diverges, so the budget binds
+    let budget = 300usize;
+    let parsed = Program::parse(program).unwrap();
+    for (name, variant) in [
+        ("so", ChaseVariant::SemiOblivious),
+        ("oblivious", ChaseVariant::Oblivious),
+        ("restricted", ChaseVariant::Restricted),
+    ] {
+        let resp = client
+            .post(
+                &format!("/chase?variant={name}&max-atoms={budget}"),
+                program,
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let cfg = soct::chase::ChaseConfig::with_max_atoms(variant, budget).with_threads(1);
+        let local = run_chase_columnar(&parsed.database, &parsed.tgds, &cfg);
+        let expect_outcome = match local.outcome {
+            ChaseOutcome::Terminated => "terminated",
+            ChaseOutcome::AtomBudgetExceeded => "atom-budget-exceeded",
+            ChaseOutcome::RoundBudgetExceeded => "round-budget-exceeded",
+        };
+        assert_eq!(get_field(&resp.body, "outcome"), Some(expect_outcome));
+        for (field, value) in [
+            ("atoms", local.store.len()),
+            ("rounds", local.rounds),
+            ("triggers", local.triggers_applied),
+            ("nulls", local.nulls_created),
+        ] {
+            assert_eq!(
+                get_field(&resp.body, field),
+                Some(value.to_string().as_str()),
+                "{name}: {field} diverged ({})",
+                resp.body
+            );
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn shapes_and_stats_round_trip_over_the_wire() {
+    let (handle, client) = start_server(1);
+    let facts = "r(a, a).\nr(a, b).\ns(c).\n";
+    let resp = client.post("/shapes", facts).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(get_field(&resp.body, "shapes"), Some("3"));
+    assert!(resp.body.contains("\"r_(1,1)\""), "{}", resp.body);
+
+    client.post("/check", FINITE_SL).unwrap();
+    client.post("/check", FINITE_SL).unwrap();
+    let stats = client.get("/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    assert_eq!(get_field(&stats.body, "check"), Some("2"));
+    assert_eq!(get_field(&stats.body, "shapes"), Some("1"));
+    assert_eq!(get_field(&stats.body, "hits"), Some("1"));
+
+    // Protocol errors surface as JSON errors, not dropped connections.
+    let bad = client.post("/check", "not a ruleset").unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(get_field(&bad.body, "error").is_some());
+    let missing = client.get("/no-such-route").unwrap();
+    assert_eq!(missing.status, 404);
+    handle.shutdown();
+}
