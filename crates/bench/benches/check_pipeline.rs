@@ -1,0 +1,215 @@
+//! End-to-end and per-phase hot-path benchmarks of Algorithm 3
+//! (`FindShapes → DynSimplification → BuildDepGraph → FindSpecialSCC`) —
+//! the quantity Figures 3–7 report and, since the service layer landed,
+//! the per-request cost of every `soct serve` cache miss.
+//!
+//! The grid runs three database scales against arities 2, 4, 16 and 17:
+//! 16 is the widest arity the inline `Rgs` representation packs into a
+//! single word, 17 the first one that falls back to the boxed form, so the
+//! pair brackets the representation boundary. Recorded numbers live in
+//! `crates/bench/BASELINES.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use soct_core::{check_l_with_shapes, dyn_simplification, find_shapes_in_memory};
+use soct_graph::DependencyGraph;
+use soct_model::{Atom, PredId, Schema, Shape, Term, Tgd, VarId};
+use soct_storage::StorageEngine;
+use std::time::Duration;
+
+/// Database scales (total tuples across the relation pool).
+const SCALES: &[u64] = &[1_000, 8_000, 64_000];
+/// Arity grid: 2 and 4 are the common benchmark arities, 16/17 bracket the
+/// inline-representation boundary.
+const ARITIES: &[usize] = &[2, 4, 16, 17];
+
+/// A fixed menu of repeat patterns per arity: identity, one merge, one
+/// coarse pattern. Avoids `PartitionSampler`'s arity cap while still
+/// exercising shape dedup on every scan.
+fn shape_menu(arity: usize) -> Vec<Vec<u8>> {
+    let identity: Vec<u8> = (1..=arity as u8).collect();
+    let mut merged = identity.clone();
+    if arity >= 2 {
+        merged[arity - 1] = merged[(arity - 1) / 2];
+    }
+    let coarse: Vec<u8> = (0..arity).map(|i| (i / 2) as u8 + 1).collect();
+    vec![identity, merged, coarse]
+}
+
+/// Builds an engine with two relations of the given arity and `rows` total
+/// tuples whose repeat patterns cycle through [`shape_menu`].
+fn build_engine(arity: usize, rows: u64, seed: u64) -> (Schema, Vec<PredId>, StorageEngine) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut schema = Schema::new();
+    let preds: Vec<PredId> = (0..2)
+        .map(|i| schema.add_predicate(&format!("b{i}"), arity).unwrap())
+        .collect();
+    let menu = shape_menu(arity);
+    let mut engine = StorageEngine::new();
+    let mut row = [0u64; 64];
+    let mut blocks = [0u64; 64];
+    for &p in &preds {
+        engine.create_table(p, schema.name(p), arity);
+        for t in 0..rows / preds.len() as u64 {
+            let ids = &menu[(t % menu.len() as u64) as usize];
+            let nblocks = ids.iter().copied().max().unwrap_or(1) as usize;
+            for b in 0..nblocks {
+                loop {
+                    let v = (rng.random_range(0..1_000_000u32) as u64) << 1;
+                    if !blocks[..b].contains(&v) {
+                        blocks[b] = v;
+                        break;
+                    }
+                }
+            }
+            for (i, &id) in ids.iter().enumerate() {
+                row[i] = blocks[id as usize - 1];
+            }
+            engine.insert_packed(p, &row[..arity]);
+        }
+    }
+    (schema, preds, engine)
+}
+
+/// A linear ruleset of `tsize` rules over a ring of 20 predicates of the
+/// given arity. Bodies carry the repeat patterns of [`shape_menu`], heads
+/// rotate the body variables by a per-rule offset (one existential every
+/// fifth rule), so the dynamic-simplification closure stays bounded at
+/// roughly `preds × arity × |menu|` shapes — unconstrained random linear
+/// rules at arity 16 make the shape fixpoint blow up exponentially (§4.2),
+/// which is precisely what a latency benchmark must avoid.
+fn build_ruleset(arity: usize, tsize: usize) -> (Schema, Vec<PredId>, Vec<soct_model::Tgd>) {
+    let mut schema = Schema::new();
+    let pool: Vec<PredId> = (0..20)
+        .map(|i| schema.add_predicate(&format!("p{i}"), arity).unwrap())
+        .collect();
+    let menu = shape_menu(arity);
+    let v = |i: u8| Term::Var(VarId(i as u32));
+    let mut tgds = Vec::with_capacity(tsize);
+    for r in 0..tsize {
+        let body_pred = pool[r % pool.len()];
+        let head_pred = pool[(r + 1) % pool.len()];
+        let ids = &menu[r % menu.len()];
+        let body: Vec<Term> = ids.iter().map(|&id| v(id - 1)).collect();
+        let shift = 1 + (r / pool.len()) % arity;
+        let head: Vec<Term> = (0..arity)
+            .map(|k| {
+                if r % 5 == 0 && k == arity - 1 {
+                    v(arity as u8) // existential, above every body id
+                } else {
+                    v(ids[(k + shift) % arity] - 1)
+                }
+            })
+            .collect();
+        tgds.push(
+            Tgd::new(
+                vec![Atom::new(&schema, body_pred, body).unwrap()],
+                vec![Atom::new(&schema, head_pred, head).unwrap()],
+            )
+            .unwrap(),
+        );
+    }
+    (schema, pool, tgds)
+}
+
+/// `shape(D)` of the first relations of a ruleset's pool, as the database
+/// half of the db-independent benchmarks: a couple of shapes per predicate.
+fn seed_shapes(schema: &Schema, pool: &[PredId]) -> Vec<Shape> {
+    let mut shapes = Vec::new();
+    for &p in pool.iter().take(10) {
+        for ids in shape_menu(schema.arity(p)) {
+            shapes.push(Shape {
+                pred: p,
+                rgs: soct_model::Rgs::canonicalize(&ids),
+            });
+        }
+    }
+    shapes.sort_unstable();
+    shapes.dedup();
+    shapes
+}
+
+fn bench_shape_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_pipeline/shape_scan");
+    for &arity in ARITIES {
+        for &rows in SCALES {
+            let (_schema, _preds, engine) = build_engine(arity, rows, 0xBE7C);
+            group.throughput(Throughput::Elements(rows));
+            group.bench_with_input(
+                BenchmarkId::new(format!("a{arity}"), rows),
+                &engine,
+                |b, engine| b.iter(|| find_shapes_in_memory(engine).shapes.len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_dynsimpl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_pipeline/dynsimpl");
+    for &arity in ARITIES {
+        for &tsize in &[100usize, 400, 1600] {
+            let (schema, pool, tgds) = build_ruleset(arity, tsize);
+            let shapes = seed_shapes(&schema, &pool);
+            group.throughput(Throughput::Elements(tsize as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("a{arity}"), tsize),
+                &(schema, tgds, shapes),
+                |b, (schema, tgds, shapes)| {
+                    b.iter(|| dyn_simplification(schema, tgds, shapes).tgds.len())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_depgraph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_pipeline/depgraph");
+    for &arity in ARITIES {
+        for &tsize in &[100usize, 400, 1600] {
+            let (schema, pool, tgds) = build_ruleset(arity, tsize);
+            let shapes = seed_shapes(&schema, &pool);
+            let simpl = dyn_simplification(&schema, &tgds, &shapes);
+            group.throughput(Throughput::Elements(simpl.tgds.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("a{arity}"), tsize),
+                &simpl,
+                |b, simpl| {
+                    b.iter(|| DependencyGraph::build(simpl.schema(), &simpl.tgds).num_edges())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_check_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_pipeline/check_full");
+    for &arity in ARITIES {
+        for &tsize in &[100usize, 400, 1600] {
+            let (schema, pool, tgds) = build_ruleset(arity, tsize);
+            let shapes = seed_shapes(&schema, &pool);
+            group.throughput(Throughput::Elements(tsize as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("a{arity}"), tsize),
+                &(schema, tgds, shapes),
+                |b, (schema, tgds, shapes)| {
+                    b.iter(|| check_l_with_shapes(schema, tgds, shapes).finite)
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_shape_scan, bench_dynsimpl, bench_depgraph, bench_check_full
+}
+criterion_main!(benches);

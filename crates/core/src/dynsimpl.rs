@@ -14,9 +14,18 @@
 //! index for fast access, per-TGD precomputed body patterns for the O(arity)
 //! applicability check, and shape interning so identifier tuples are built
 //! once.
+//!
+//! The fixpoint itself runs over *interned shape ids*: the
+//! [`ShapeInterner`]'s dense id sequence doubles as the seen-set and the
+//! frontier (ids below the current delta range are processed, ids inside it
+//! are ΔS), so no `Shape` is ever cloned into a side table, and simplified
+//! TGDs are deduplicated through a structural-hash bucket index into the
+//! output vector instead of a `HashSet<Tgd>` of clones.
 
+use soct_model::fxhash::FxBuildHasher;
 use soct_model::simplify::{h_specialization, simplify_tgd, ShapeInterner};
-use soct_model::{FxHashMap, FxHashSet, Rgs, Schema, Shape, Tgd};
+use soct_model::{FxHashMap, PredId, Rgs, Schema, Shape, Tgd};
+use std::hash::BuildHasher;
 
 /// The output of dynamic simplification.
 #[derive(Debug)]
@@ -48,63 +57,67 @@ pub fn dyn_simplification(
 ) -> DynSimplification {
     debug_assert!(tgds.iter().all(Tgd::is_linear));
     // §5.4: index the TGDs by their body predicate.
-    let mut by_body_pred: FxHashMap<soct_model::PredId, Vec<usize>> = FxHashMap::default();
+    let mut by_body_pred: FxHashMap<PredId, Vec<u32>> = FxHashMap::default();
     for (i, t) in tgds.iter().enumerate() {
-        by_body_pred.entry(t.body()[0].pred).or_default().push(i);
+        by_body_pred
+            .entry(t.body()[0].pred)
+            .or_default()
+            .push(i as u32);
     }
 
     let mut interner = ShapeInterner::new();
-    let mut seen_shapes: FxHashSet<Shape> = FxHashSet::default();
     let mut out_tgds: Vec<Tgd> = Vec::new();
-    let mut out_seen: FxHashSet<Tgd> = FxHashSet::default();
+    // Simplified-TGD dedup without cloning: structural hash → indices into
+    // `out_tgds` sharing it; collision chains compare the actual TGDs, so
+    // the output is exact (same order, same set) with no `Tgd` clones.
+    let hasher = FxBuildHasher::default();
+    let mut out_seen: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
 
-    // S ← FindShapes(D); ΔS ← S.
-    let mut delta: Vec<Shape> = Vec::new();
+    // S ← FindShapes(D); ΔS ← S. The interner's dense id sequence is the
+    // seen-set: interning database shapes up front also makes simple(D)'s
+    // predicates part of the derived schema even when no TGD fires on them.
     for s in db_shapes {
-        if seen_shapes.insert(s.clone()) {
-            // Intern database shapes up front so simple(D)'s predicates are
-            // part of the derived schema even when no TGD fires on them.
-            interner.intern(s.clone(), base_schema);
-            delta.push(s.clone());
-        }
+        interner.intern(s.clone(), base_schema);
     }
 
     let mut iterations = 0usize;
+    let mut delta = 0..interner.len();
     while !delta.is_empty() {
         iterations += 1;
-        let mut new_shapes: Vec<Shape> = Vec::new();
-        // Σ_aux ← Applicable(ΔS, Σ).
-        for shape in &delta {
-            let Some(tgd_ids) = by_body_pred.get(&shape.pred) else {
+        let next_start = delta.end;
+        // Σ_aux ← Applicable(ΔS, Σ). Head shapes are interned inside
+        // `simplify_tgd`, so new ids land past `next_start` and form the
+        // next frontier with no explicit ΔS list.
+        for sid in delta {
+            let shape_pred = interner.origin(PredId(sid as u32)).pred;
+            let Some(tgd_ids) = by_body_pred.get(&shape_pred) else {
                 continue;
             };
+            // Copy out the frontier shape's rgs (an inline word for arity
+            // ≤ 16) so `simplify_tgd` can borrow the interner mutably.
+            let rgs = interner.origin(PredId(sid as u32)).rgs.clone();
             for &ti in tgd_ids {
-                let tgd = &tgds[ti];
-                let body_terms = &tgd.body()[0].terms;
-                let Some(spec) = h_specialization(body_terms, &shape.rgs) else {
+                let tgd = &tgds[ti as usize];
+                let Some(spec) = h_specialization(&tgd.body()[0].terms, &rgs) else {
                     continue;
                 };
                 let simplified = simplify_tgd(&mut interner, base_schema, tgd, &spec);
-                // S_aux ← head shapes of the new simplified TGDs.
-                for head_atom in simplified.head() {
-                    let origin = interner.origin(head_atom.pred).clone();
-                    if seen_shapes.insert(origin.clone()) {
-                        new_shapes.push(origin);
-                    }
-                }
-                if out_seen.insert(simplified.clone()) {
+                let h = hasher.hash_one(&simplified);
+                let bucket = out_seen.entry(h).or_default();
+                if !bucket.iter().any(|&i| out_tgds[i as usize] == simplified) {
+                    bucket.push(out_tgds.len() as u32);
                     out_tgds.push(simplified);
                 }
             }
         }
         // ΔS ← S_aux \ S; S ← S ∪ ΔS.
-        delta = new_shapes;
+        delta = next_start..interner.len();
     }
 
     DynSimplification {
         tgds: out_tgds,
+        shapes_derived: interner.len(),
         interner,
-        shapes_derived: seen_shapes.len(),
         iterations,
     }
 }

@@ -4,7 +4,10 @@
 //! - **In-memory**: stream every relation through main memory and take the
 //!   shape of each tuple (the paper loads relations wholesale and splits
 //!   oversized ones; our page-wise streaming is the same computation with
-//!   the chunking built in — every tuple is decoded and hashed).
+//!   the chunking built in — every tuple is decoded and hashed). The scan
+//!   is zero-copy: each tuple's id pattern is computed straight off the
+//!   borrowed page row as an inline [`Rgs`] word, with no staging buffer
+//!   and no per-tuple allocation.
 //! - **In-database**: never materialise tuples; issue one relaxed + one
 //!   exact Boolean EXISTS query per candidate shape, Apriori-pruned over the
 //!   partition lattice (`soct-storage::shape_query`).
@@ -85,15 +88,7 @@ pub fn find_shapes_parallel(
 ) -> ShapesReport {
     let threads = soct_chase::resolve_threads(threads);
     let preds = src.non_empty_predicates();
-    // Scale the fan-out to the work: one worker per PAR_MIN_ROWS tuples,
-    // at most one per relation. Small inputs run sequentially — spawning
-    // and joining threads costs more than scanning a few thousand tuples,
-    // and unlike the chase engine's per-run pool, this fan-out is paid on
-    // every call.
-    const PAR_MIN_ROWS: u64 = 4096;
-    let workers = threads
-        .min(preds.len())
-        .min((src.total_rows() / PAR_MIN_ROWS) as usize);
+    let workers = planned_workers(threads, preds.len(), src.total_rows());
     if workers <= 1 {
         return find_shapes(src, mode);
     }
@@ -125,9 +120,7 @@ pub fn find_shapes_parallel(
                                 }
                                 FindShapesMode::InDatabase => {
                                     let (rgss, s) = find_shapes_apriori(src, pred);
-                                    stats.relaxed_queries += s.relaxed_queries;
-                                    stats.exact_queries += s.exact_queries;
-                                    stats.pruned_nodes += s.pruned_nodes;
+                                    stats.merge(&s);
                                     shapes.extend(rgss.into_iter().map(|rgs| Shape { pred, rgs }));
                                 }
                             }
@@ -147,9 +140,7 @@ pub fn find_shapes_parallel(
     let mut tuples_scanned = 0u64;
     for (s, st, t) in parts {
         shapes.extend(s);
-        stats.relaxed_queries += st.relaxed_queries;
-        stats.exact_queries += st.exact_queries;
-        stats.pruned_nodes += st.pruned_nodes;
+        stats.merge(&st);
         tuples_scanned += t;
     }
     shapes.sort_unstable();
@@ -160,16 +151,28 @@ pub fn find_shapes_parallel(
     }
 }
 
-/// Rows loaded per chunk by the in-memory implementation ("for relations
-/// that cannot be entirely loaded into the main memory, we split them into
-/// smaller relations processed separately", §5.4).
-const IN_MEMORY_CHUNK_ROWS: usize = 1 << 16;
+/// Rows per worker below which a parallel shape pass is not worth its
+/// thread fan-out: spawning and joining costs more than scanning a few
+/// thousand tuples, and unlike the chase engine's per-run pool, this
+/// fan-out is paid on every call.
+const PAR_MIN_ROWS: u64 = 4096;
 
-/// In-memory implementation, faithful to §5.4's description: *load* each
-/// relation's tuples into main memory (chunked), then iterate over the
-/// loaded tuples computing shapes. The explicit materialisation step is
-/// part of the measured cost — it is what the paper's in-memory/in-database
-/// comparison hinges on.
+/// Worker count for a parallel shape pass: one worker per
+/// [`PAR_MIN_ROWS`] tuples, at most one per relation, capped by `threads`.
+/// The row quotient is computed in `u64` and *saturated* into `usize`, so
+/// a > 2^44-row source on a 32-bit target clamps instead of wrapping to a
+/// tiny worker count.
+fn planned_workers(threads: usize, preds: usize, total_rows: u64) -> usize {
+    threads
+        .min(preds)
+        .min(usize::try_from(total_rows / PAR_MIN_ROWS).unwrap_or(usize::MAX))
+}
+
+/// In-memory implementation of §5.4: stream each relation's pages through
+/// memory and hash every tuple's id pattern. The pattern is computed
+/// directly from the borrowed row ([`Rgs::of_row`]) — the relation's pages
+/// are already memory-resident in our embedded engine, so no further
+/// staging copy exists and the per-tuple cost is pure scan + hash.
 pub fn find_shapes_in_memory(src: &dyn TupleSource) -> ShapesReport {
     let mut shapes: Vec<Shape> = Vec::new();
     let mut tuples_scanned = 0u64;
@@ -186,29 +189,19 @@ pub fn find_shapes_in_memory(src: &dyn TupleSource) -> ShapesReport {
     }
 }
 
-/// One relation's in-memory shape pass: load chunk by chunk, hash every
-/// tuple. The unit of work [`find_shapes_parallel`] distributes.
+/// One relation's in-memory shape pass: hash every tuple straight off the
+/// borrowed scan row. The unit of work [`find_shapes_parallel`]
+/// distributes. Allocation-free per tuple: `Rgs::of_row` packs arities
+/// ≤ 16 into an inline word on the stack, and the dedup set only grows by
+/// the handful of *distinct* shapes a relation exhibits.
 fn relation_shapes_in_memory(src: &dyn TupleSource, pred: PredId) -> (FxHashSet<Rgs>, u64) {
-    let arity = src.arity_of(pred).max(1);
     let mut tuples_scanned = 0u64;
     let mut seen: FxHashSet<Rgs> = FxHashSet::default();
-    // Load phase: materialise the relation chunk by chunk.
-    let mut chunk: Vec<u64> = Vec::with_capacity(IN_MEMORY_CHUNK_ROWS * arity);
-    let flush = |chunk: &mut Vec<u64>, seen: &mut FxHashSet<Rgs>| {
-        for row in chunk.chunks_exact(arity) {
-            seen.insert(Rgs::of(row));
-        }
-        chunk.clear();
-    };
     src.scan(pred, &mut |row| {
         tuples_scanned += 1;
-        chunk.extend_from_slice(row);
-        if chunk.len() >= IN_MEMORY_CHUNK_ROWS * arity {
-            flush(&mut chunk, &mut seen);
-        }
+        seen.insert(Rgs::of_row(row));
         true
     });
-    flush(&mut chunk, &mut seen);
     (seen, tuples_scanned)
 }
 
@@ -218,9 +211,7 @@ pub fn find_shapes_in_database(src: &dyn TupleSource) -> ShapesReport {
     let mut stats = ShapeQueryStats::default();
     for pred in src.non_empty_predicates() {
         let (rgss, s) = find_shapes_apriori(src, pred);
-        stats.relaxed_queries += s.relaxed_queries;
-        stats.exact_queries += s.exact_queries;
-        stats.pruned_nodes += s.pruned_nodes;
+        stats.merge(&s);
         shapes.extend(rgss.into_iter().map(|rgs| Shape { pred, rgs }));
     }
     shapes.sort_unstable();
@@ -271,6 +262,23 @@ mod tests {
         e.insert(r, &[c(6), c(6), c(7)]); // duplicate shape
         e.insert(p, &[c(1), c(1)]);
         (schema, e)
+    }
+
+    #[test]
+    fn worker_sizing_pins_the_4096_row_boundary() {
+        // 4095 rows: below one PAR_MIN_ROWS quantum → sequential.
+        assert_eq!(planned_workers(4, 2, 4095), 0);
+        // Exactly one quantum → still the sequential path (workers ≤ 1).
+        assert_eq!(planned_workers(4, 2, 4096), 1);
+        // Two quanta across two predicates → exactly 2 workers.
+        assert_eq!(planned_workers(4, 2, 2 * 4096), 2);
+        // Thread and relation caps still apply.
+        assert_eq!(planned_workers(1, 8, 1 << 20), 1);
+        assert_eq!(planned_workers(8, 3, 1 << 20), 3);
+        // The u64 → usize conversion saturates instead of wrapping: a row
+        // count whose quotient exceeds usize::MAX must not truncate the
+        // worker count to 0 (the 32-bit failure mode).
+        assert_eq!(planned_workers(7, 9, u64::MAX), 7);
     }
 
     #[test]

@@ -246,7 +246,7 @@ mod tests {
             struct Probe;
             let mut shapes = soct_model::FxHashSet::default();
             data.engine.scan(data.preds[0], &mut |row| {
-                shapes.insert(soct_model::Rgs::of(row));
+                shapes.insert(soct_model::Rgs::of_row(row));
                 true
             });
             let _ = Probe;
@@ -268,7 +268,7 @@ mod tests {
         };
         let data = generate_database(&cfg, &mut schema);
         data.engine.scan(data.preds[0], &mut |row| {
-            let rgs = soct_model::Rgs::of(row);
+            let rgs = soct_model::Rgs::of_row(row);
             // Distinct blocks must hold distinct values (the shape *is* the
             // equality pattern, nothing coarser).
             let reps = rgs.block_representatives();

@@ -105,7 +105,7 @@ mod tests {
                 let ids = r.ids();
                 assert_eq!(ids[0], 1);
                 let mut max = 1;
-                for &v in ids {
+                for &v in ids.iter() {
                     assert!(v <= max + 1 && v >= 1);
                     max = max.max(v);
                 }

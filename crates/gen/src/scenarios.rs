@@ -52,7 +52,7 @@ pub fn count_shapes(engine: &StorageEngine) -> usize {
     let mut shapes: soct_model::FxHashSet<(PredId, Rgs)> = soct_model::FxHashSet::default();
     for pred in engine.non_empty_predicates() {
         engine.scan(pred, &mut |row| {
-            shapes.insert((pred, Rgs::of(row)));
+            shapes.insert((pred, Rgs::of_row(row)));
             true
         });
     }

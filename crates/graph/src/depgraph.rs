@@ -13,10 +13,17 @@
 //! are of course considered once in the graph", Appendix A).
 //!
 //! Following §5.1, the adjacency structure is doubly linked: every node
-//! carries forward *and* reverse edge lists, so `Supports` (§5.3) can walk
+//! carries forward *and* reverse adjacency, so `Supports` (§5.3) can walk
 //! the graph against the edge direction. Construction is linear in `|Σ|`
 //! thanks to the dense position numbering provided by
 //! [`soct_model::Schema`].
+//!
+//! After construction the graph is *sealed* into CSR (compressed sparse
+//! row) form: one offset array plus one flat word array per direction,
+//! with the special bit packed into the low bit of each target word. The
+//! traversals (Tarjan, Kosaraju, `Supports`, the cycle strawmen) walk
+//! contiguous successor slices with no per-node `Vec` indirection — see
+//! `docs/ARCHITECTURE.md`, "Hot-path memory layout".
 
 use soct_model::fxhash::FxHashSet;
 use soct_model::{Position, Schema, Tgd};
@@ -29,15 +36,28 @@ pub struct Edge {
     pub special: bool,
 }
 
-/// The dependency graph, with forward and reverse adjacency.
+/// Packs an adjacency word: target node in the high 31 bits, special bit
+/// in the low bit.
+#[inline(always)]
+fn pack_word(node: u32, special: bool) -> u32 {
+    (node << 1) | special as u32
+}
+
+/// The dependency graph: an edge table plus sealed CSR adjacency in both
+/// directions.
 #[derive(Clone, Debug, Default)]
 pub struct DependencyGraph {
     num_nodes: usize,
     edges: Vec<Edge>,
-    /// `fwd[v]` = indices into `edges` of the edges leaving `v`.
-    fwd: Vec<Vec<u32>>,
-    /// `rev[v]` = indices into `edges` of the edges entering `v`.
-    rev: Vec<Vec<u32>>,
+    /// CSR offsets: `fwd_words[fwd_off[v] .. fwd_off[v+1]]` are the packed
+    /// `(target, special)` words of the edges leaving `v`, in insertion
+    /// order (`len = num_nodes + 1`; empty until sealed).
+    fwd_off: Vec<u32>,
+    fwd_words: Vec<u32>,
+    /// Reverse CSR: packed `(source, special)` words of the edges
+    /// *entering* each node — the doubly-linked structure of §5.1.
+    rev_off: Vec<u32>,
+    rev_words: Vec<u32>,
     num_special: usize,
 }
 
@@ -49,10 +69,7 @@ impl DependencyGraph {
         let n = schema.num_positions();
         let mut g = DependencyGraph {
             num_nodes: n,
-            edges: Vec::new(),
-            fwd: vec![Vec::new(); n],
-            rev: vec![Vec::new(); n],
-            num_special: 0,
+            ..DependencyGraph::default()
         };
         // Dedup key: from (high), to (low), special bit folded into `to`'s
         // high bit space — packed into one u64 for a cheap set.
@@ -81,6 +98,7 @@ impl DependencyGraph {
                 }
             }
         }
+        g.seal();
         g
     }
 
@@ -89,13 +107,48 @@ impl DependencyGraph {
         if !seen.insert(key) {
             return;
         }
-        let idx = self.edges.len() as u32;
         self.edges.push(Edge { from, to, special });
-        self.fwd[from as usize].push(idx);
-        self.rev[to as usize].push(idx);
         if special {
             self.num_special += 1;
         }
+    }
+
+    /// Builds the CSR arrays from the edge table: two counting passes per
+    /// direction, stable in edge-insertion order (so per-node adjacency
+    /// order — and with it every DFS and the SCC numbering — matches the
+    /// pre-CSR `Vec<Vec<_>>` layout exactly).
+    fn seal(&mut self) {
+        let n = self.num_nodes;
+        assert!(
+            n <= (u32::MAX >> 1) as usize,
+            "node ids must fit 31 bits (special bit is packed alongside)"
+        );
+        let mut fwd_off = vec![0u32; n + 1];
+        let mut rev_off = vec![0u32; n + 1];
+        for e in &self.edges {
+            fwd_off[e.from as usize + 1] += 1;
+            rev_off[e.to as usize + 1] += 1;
+        }
+        for v in 0..n {
+            fwd_off[v + 1] += fwd_off[v];
+            rev_off[v + 1] += rev_off[v];
+        }
+        let mut fwd_words = vec![0u32; self.edges.len()];
+        let mut rev_words = vec![0u32; self.edges.len()];
+        let mut fwd_cur: Vec<u32> = fwd_off[..n].to_vec();
+        let mut rev_cur: Vec<u32> = rev_off[..n].to_vec();
+        for e in &self.edges {
+            let f = &mut fwd_cur[e.from as usize];
+            fwd_words[*f as usize] = pack_word(e.to, e.special);
+            *f += 1;
+            let r = &mut rev_cur[e.to as usize];
+            rev_words[*r as usize] = pack_word(e.from, e.special);
+            *r += 1;
+        }
+        self.fwd_off = fwd_off;
+        self.fwd_words = fwd_words;
+        self.rev_off = rev_off;
+        self.rev_words = rev_words;
     }
 
     /// Number of nodes (= `|pos(sch(Σ))|`).
@@ -121,33 +174,50 @@ impl DependencyGraph {
         &self.edges
     }
 
-    /// Raw outgoing edge ids of `v` (indices into [`DependencyGraph::edges`]);
-    /// the zero-abstraction path used by the iterative Tarjan.
+    /// The packed outgoing adjacency words of `v` — the zero-abstraction
+    /// CSR slice the iterative DFS machines walk. Decode with
+    /// [`DependencyGraph::word_target`] / [`DependencyGraph::word_special`].
     #[inline]
-    pub fn successors_raw(&self, v: u32) -> &[u32] {
-        &self.fwd[v as usize]
+    pub fn successor_words(&self, v: u32) -> &[u32] {
+        &self.fwd_words[self.fwd_off[v as usize] as usize..self.fwd_off[v as usize + 1] as usize]
+    }
+
+    /// The packed incoming adjacency words of `v` (reverse CSR).
+    #[inline]
+    pub fn predecessor_words(&self, v: u32) -> &[u32] {
+        &self.rev_words[self.rev_off[v as usize] as usize..self.rev_off[v as usize + 1] as usize]
+    }
+
+    /// The node half of a packed adjacency word.
+    #[inline(always)]
+    pub fn word_target(word: u32) -> u32 {
+        word >> 1
+    }
+
+    /// The special bit of a packed adjacency word.
+    #[inline(always)]
+    pub fn word_special(word: u32) -> bool {
+        word & 1 != 0
     }
 
     /// Outgoing `(target, special)` pairs of `v`.
     pub fn successors(&self, v: u32) -> impl Iterator<Item = (u32, bool)> + '_ {
-        self.fwd[v as usize].iter().map(move |&e| {
-            let edge = self.edges[e as usize];
-            (edge.to, edge.special)
-        })
+        self.successor_words(v)
+            .iter()
+            .map(|&w| (Self::word_target(w), Self::word_special(w)))
     }
 
     /// Incoming `(source, special)` pairs of `v` (the reverse links of
     /// §5.1).
     pub fn predecessors(&self, v: u32) -> impl Iterator<Item = (u32, bool)> + '_ {
-        self.rev[v as usize].iter().map(move |&e| {
-            let edge = self.edges[e as usize];
-            (edge.from, edge.special)
-        })
+        self.predecessor_words(v)
+            .iter()
+            .map(|&w| (Self::word_target(w), Self::word_special(w)))
     }
 
     /// Out-degree of `v`.
     pub fn out_degree(&self, v: u32) -> usize {
-        self.fwd[v as usize].len()
+        self.successor_words(v).len()
     }
 
     /// Resolves a node id back to its predicate position.
@@ -215,6 +285,43 @@ mod tests {
         // Edges only go r → p.
         for e in g.edges() {
             assert!(e.from < 2 && e.to >= 2);
+        }
+    }
+
+    #[test]
+    fn csr_slices_match_the_edge_table_in_insertion_order() {
+        let (s, tgds) = running_example();
+        let g = DependencyGraph::build(&s, &tgds);
+        // Per-node forward slices concatenate to the edge table filtered by
+        // source, in insertion order (the property the DFS order — and so
+        // the SCC numbering — depends on).
+        for v in 0..g.num_nodes() as u32 {
+            let decoded: Vec<(u32, bool)> = g
+                .successor_words(v)
+                .iter()
+                .map(|&w| {
+                    (
+                        DependencyGraph::word_target(w),
+                        DependencyGraph::word_special(w),
+                    )
+                })
+                .collect();
+            let from_table: Vec<(u32, bool)> = g
+                .edges()
+                .iter()
+                .filter(|e| e.from == v)
+                .map(|e| (e.to, e.special))
+                .collect();
+            assert_eq!(decoded, from_table, "node {v}");
+            assert_eq!(g.out_degree(v), from_table.len());
+            let preds: Vec<(u32, bool)> = g.predecessors(v).collect();
+            let preds_table: Vec<(u32, bool)> = g
+                .edges()
+                .iter()
+                .filter(|e| e.to == v)
+                .map(|e| (e.from, e.special))
+                .collect();
+            assert_eq!(preds, preds_table, "node {v} (reverse)");
         }
     }
 

@@ -22,10 +22,10 @@ pub fn find_special_sccs_kosaraju(g: &DependencyGraph) -> SccResult {
         visited[root as usize] = true;
         stack.push((root, 0));
         while let Some(&mut (v, ref mut ei)) = stack.last_mut() {
-            let out = g.successors_raw(v);
-            if let Some(&e) = out.get(*ei) {
+            let out = g.successor_words(v);
+            if let Some(&word) = out.get(*ei) {
                 *ei += 1;
-                let w = g.edges()[e as usize].to;
+                let w = DependencyGraph::word_target(word);
                 if !visited[w as usize] {
                     visited[w as usize] = true;
                     stack.push((w, 0));

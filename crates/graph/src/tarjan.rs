@@ -95,11 +95,12 @@ pub fn find_special_sccs(g: &DependencyGraph) -> SccResult {
         on_stack[root as usize] = true;
 
         while let Some(&mut (v, ref mut ei)) = call_stack.last_mut() {
-            // Find the next edge of v to process.
-            let edge_ids = &g.successors_raw(v)[*ei..];
-            if let Some(&e) = edge_ids.first() {
+            // Find the next edge of v to process: a contiguous CSR slice,
+            // no edge-table indirection.
+            let words = &g.successor_words(v)[*ei..];
+            if let Some(&word) = words.first() {
                 *ei += 1;
-                let w = g.edges()[e as usize].to;
+                let w = DependencyGraph::word_target(word);
                 if index[w as usize] == UNVISITED {
                     // Tree edge: descend.
                     index[w as usize] = next_index;

@@ -209,7 +209,7 @@ fn shape_hash(schema: &Schema, shape: &Shape) -> u128 {
     let mut m = Mix128::new(SEED_SHAPE);
     m.bytes(schema.name(shape.pred).as_bytes());
     m.word(shape.rgs.len() as u64);
-    for &id in shape.rgs.ids() {
+    for id in shape.rgs.iter_ids() {
         m.word(id as u64);
     }
     m.finish()

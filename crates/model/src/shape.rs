@@ -16,33 +16,106 @@ use crate::schema::PredId;
 use crate::term::Term;
 use std::fmt;
 
+/// Widest tuple the inline [`Rgs`] representation covers: 16 positions at
+/// 4 bits each fill one `u64` word. Every paper benchmark and every
+/// generator scenario stays at or below this; arities up to
+/// [`crate::schema::MAX_ARITY`] fall back to the boxed form.
+pub const RGS_INLINE_MAX: usize = 16;
+
+/// Bit offset of position `i`'s nibble: position 0 sits in the *highest*
+/// nibble, so for equal lengths the numeric order of the packed words is
+/// the lexicographic order of the id tuples.
+#[inline(always)]
+const fn nib_shift(i: usize) -> u32 {
+    (60 - 4 * i) as u32
+}
+
+/// Packs 1-based ids (len ≤ 16) into a word, 0-based, high nibble first.
+#[inline]
+fn pack_ids(ids: &[u8]) -> u64 {
+    debug_assert!(ids.len() <= RGS_INLINE_MAX);
+    let mut packed = 0u64;
+    for (i, &id) in ids.iter().enumerate() {
+        packed |= ((id - 1) as u64) << nib_shift(i);
+    }
+    packed
+}
+
+/// The packed word of the identity partition, truncated to `n` nibbles.
+#[inline]
+fn identity_packed(n: usize) -> u64 {
+    const IDENT: u64 = 0x0123_4567_89AB_CDEF;
+    if n == 0 {
+        0
+    } else {
+        IDENT & (!0u64 << (64 - 4 * n))
+    }
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// Arity ≤ [`RGS_INLINE_MAX`]: the whole id tuple in one word.
+    Inline { len: u8, packed: u64 },
+    /// Arity ≥ 17 fallback: the 1-based ids on the heap.
+    Boxed(Box<[u8]>),
+}
+
 /// A restricted growth string: `rgs[0] == 1` and
 /// `rgs[i] <= 1 + max(rgs[..i])`, values 1-based as in the paper.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-pub struct Rgs(Box<[u8]>);
+///
+/// # Representation
+///
+/// Tuples of arity ≤ [`RGS_INLINE_MAX`] are stored *inline*: the 1-based
+/// ids, re-based to 0, packed 4 bits per position into a single `u64`
+/// (position 0 in the highest nibble). Wider tuples keep the boxed byte
+/// slice. Equality, ordering, hashing and [`Rgs::ids`] are
+/// representation-independent: a test-forced boxed copy of an inline value
+/// (see [`Rgs::to_boxed_repr`]) compares, sorts and hashes identically.
+#[derive(Clone)]
+pub struct Rgs(Repr);
 
 impl Rgs {
+    /// Builds from already-canonical RGS ids, picking the representation.
+    #[inline]
+    fn from_canonical_ids(ids: &[u8]) -> Rgs {
+        if ids.len() <= RGS_INLINE_MAX {
+            Rgs(Repr::Inline {
+                len: ids.len() as u8,
+                packed: pack_ids(ids),
+            })
+        } else {
+            Rgs(Repr::Boxed(ids.into()))
+        }
+    }
+
     /// `id(t̄)` for an arbitrary slice of comparable items.
     pub fn of<T: PartialEq>(items: &[T]) -> Rgs {
-        let mut ids = Vec::with_capacity(items.len());
+        let mut inline_buf = [0u8; RGS_INLINE_MAX];
+        let mut heap_buf = Vec::new();
+        let ids: &mut [u8] = if items.len() <= RGS_INLINE_MAX {
+            &mut inline_buf[..items.len()]
+        } else {
+            heap_buf.resize(items.len(), 0u8);
+            &mut heap_buf
+        };
+        // First-occurrence id assignment; 0 is never a valid 1-based id,
+        // so the zero-initialised buffer doubles as the "unseen" marker.
         let mut next = 1u8;
         for (i, it) in items.iter().enumerate() {
-            let mut found = None;
+            let mut id = 0u8;
             for j in 0..i {
                 if items[j] == *it {
-                    found = Some(ids[j]);
+                    id = ids[j];
                     break;
                 }
             }
-            match found {
-                Some(id) => ids.push(id),
-                None => {
-                    ids.push(next);
-                    next += 1;
-                }
+            if id == 0 {
+                id = next;
+                next += 1;
             }
+            ids[i] = id;
         }
-        Rgs(ids.into_boxed_slice())
+        Rgs::from_canonical_ids(ids)
     }
 
     /// `id(t̄)` for a term tuple.
@@ -50,9 +123,50 @@ impl Rgs {
         Rgs::of(terms)
     }
 
+    /// `id(t̄)` for a packed storage row — the per-tuple hot path of the
+    /// in-memory `FindShapes`. For arity ≤ [`RGS_INLINE_MAX`] the inline
+    /// word is assembled straight from the borrowed row with a scratch
+    /// distinct-value table on the stack: no allocation of any kind.
+    #[inline]
+    pub fn of_row(row: &[u64]) -> Rgs {
+        let n = row.len();
+        if n <= RGS_INLINE_MAX {
+            let mut distinct = [0u64; RGS_INLINE_MAX];
+            let mut blocks = 0usize;
+            let mut packed = 0u64;
+            for (i, &v) in row.iter().enumerate() {
+                let mut id = blocks;
+                for (j, &d) in distinct[..blocks].iter().enumerate() {
+                    if d == v {
+                        id = j;
+                        break;
+                    }
+                }
+                if id == blocks {
+                    distinct[blocks] = v;
+                    blocks += 1;
+                }
+                packed |= (id as u64) << nib_shift(i);
+            }
+            Rgs(Repr::Inline {
+                len: n as u8,
+                packed,
+            })
+        } else {
+            Rgs::of(row)
+        }
+    }
+
     /// The identity (finest) partition `(1,2,…,n)`: all positions distinct.
     pub fn identity(n: usize) -> Rgs {
-        Rgs((1..=n as u8).collect())
+        if n <= RGS_INLINE_MAX {
+            Rgs(Repr::Inline {
+                len: n as u8,
+                packed: identity_packed(n),
+            })
+        } else {
+            Rgs(Repr::Boxed((1..=n as u8).collect()))
+        }
     }
 
     /// Constructs from raw ids, re-canonicalising so the result is a valid
@@ -61,32 +175,96 @@ impl Rgs {
         Rgs::of(ids)
     }
 
-    /// The raw 1-based ids.
+    /// A copy of `self` forced onto the boxed (≥ 17-arity) representation.
+    ///
+    /// Testing aid for the representation-equivalence property suite; real
+    /// construction always picks the representation by arity.
+    #[doc(hidden)]
+    pub fn to_boxed_repr(&self) -> Rgs {
+        Rgs(Repr::Boxed(self.ids().iter().copied().collect()))
+    }
+
+    /// The raw 1-based ids, as a value that dereferences to `&[u8]`
+    /// (decoded into an inline buffer for packed values).
     #[inline]
-    pub fn ids(&self) -> &[u8] {
-        &self.0
+    pub fn ids(&self) -> RgsIds<'_> {
+        match &self.0 {
+            Repr::Inline { len, packed } => {
+                let mut buf = [0u8; RGS_INLINE_MAX];
+                for (i, b) in buf[..*len as usize].iter_mut().enumerate() {
+                    *b = ((packed >> nib_shift(i)) & 0xF) as u8 + 1;
+                }
+                RgsIds {
+                    buf,
+                    len: *len,
+                    slice: None,
+                }
+            }
+            Repr::Boxed(ids) => RgsIds {
+                buf: [0; RGS_INLINE_MAX],
+                len: 0,
+                slice: Some(ids),
+            },
+        }
+    }
+
+    /// The 1-based id at position `i`.
+    #[inline]
+    pub fn id(&self, i: usize) -> u8 {
+        match &self.0 {
+            Repr::Inline { len, packed } => {
+                debug_assert!(i < *len as usize);
+                ((packed >> nib_shift(i)) & 0xF) as u8 + 1
+            }
+            Repr::Boxed(ids) => ids[i],
+        }
+    }
+
+    /// Iterates the 1-based ids without materialising a slice.
+    #[inline]
+    pub fn iter_ids(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..self.len()).map(move |i| self.id(i))
     }
 
     /// Tuple length (the arity of the shaped atom).
     #[inline]
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Boxed(ids) => ids.len(),
+        }
     }
 
     /// True for the empty tuple.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
     }
 
     /// Number of blocks = `|unique(t̄)|` = arity of the shape predicate.
     #[inline]
     pub fn block_count(&self) -> usize {
-        self.0.iter().copied().max().unwrap_or(0) as usize
+        match &self.0 {
+            Repr::Inline { len, packed } => {
+                let mut max = 0u64;
+                for i in 0..*len as usize {
+                    max = max.max((packed >> nib_shift(i)) & 0xF);
+                }
+                if *len == 0 {
+                    0
+                } else {
+                    max as usize + 1
+                }
+            }
+            Repr::Boxed(ids) => ids.iter().copied().max().unwrap_or(0) as usize,
+        }
     }
 
     /// True if all positions are distinct (`id = (1,2,…,n)`).
     pub fn is_identity(&self) -> bool {
-        self.0.iter().enumerate().all(|(i, &v)| v as usize == i + 1)
+        match &self.0 {
+            Repr::Inline { len, packed } => *packed == identity_packed(*len as usize),
+            Repr::Boxed(ids) => ids.iter().enumerate().all(|(i, &v)| v as usize == i + 1),
+        }
     }
 
     /// True if `self` is coarser than or equal to `other`: every pair of
@@ -94,11 +272,17 @@ impl Rgs {
     /// order: `other` refines `self`.)
     pub fn coarsens(&self, other: &Rgs) -> bool {
         debug_assert_eq!(self.len(), other.len());
+        // Fast path: identical partitions (one word compare when inline).
+        if self == other {
+            return true;
+        }
+        let a = self.ids();
+        let b = other.ids();
         // For each block id of `other`, all its positions must share one
         // block id in `self`.
         let mut rep: [u8; 256] = [0; 256];
-        for (i, &ob) in other.0.iter().enumerate() {
-            let sb = self.0[i];
+        for (i, &ob) in b.iter().enumerate() {
+            let sb = a[i];
             let slot = &mut rep[ob as usize];
             if *slot == 0 {
                 *slot = sb;
@@ -117,21 +301,37 @@ impl Rgs {
     /// All immediate coarsenings: merge one pair of blocks, canonicalised.
     /// (The lattice step of the Apriori walk, §5.4.)
     pub fn immediate_coarsenings(&self) -> Vec<Rgs> {
-        let k = self.block_count();
         let mut out = Vec::new();
+        self.immediate_coarsenings_into(&mut out);
+        out
+    }
+
+    /// [`Rgs::immediate_coarsenings`] into a caller-reused buffer (cleared
+    /// first): the Apriori walk calls this per lattice node, so reusing one
+    /// `Vec` across the walk keeps the node expansion allocation-free.
+    /// The output is sorted; distinct block-pair merges always yield
+    /// distinct partitions, so no dedup is needed.
+    pub fn immediate_coarsenings_into(&self, out: &mut Vec<Rgs>) {
+        out.clear();
+        let k = self.block_count();
+        let ids = self.ids();
+        let mut merged = [0u8; 64];
+        let mut merged_long: Vec<u8> = Vec::new();
+        let scratch: &mut [u8] = if ids.len() <= 64 {
+            &mut merged[..ids.len()]
+        } else {
+            merged_long.resize(ids.len(), 0);
+            &mut merged_long
+        };
         for b1 in 1..=k as u8 {
             for b2 in (b1 + 1)..=k as u8 {
-                let merged: Vec<u8> = self
-                    .0
-                    .iter()
-                    .map(|&v| if v == b2 { b1 } else { v })
-                    .collect();
-                out.push(Rgs::canonicalize(&merged));
+                for (m, &v) in scratch.iter_mut().zip(ids.iter()) {
+                    *m = if v == b2 { b1 } else { v };
+                }
+                out.push(Rgs::canonicalize(scratch));
             }
         }
         out.sort_unstable();
-        out.dedup();
-        out
     }
 
     /// The first-occurrence position of each block, in block order — i.e.
@@ -139,7 +339,7 @@ impl Rgs {
     pub fn block_representatives(&self) -> Vec<usize> {
         let k = self.block_count();
         let mut reps = vec![usize::MAX; k];
-        for (i, &b) in self.0.iter().enumerate() {
+        for (i, b) in self.iter_ids().enumerate() {
             let slot = &mut reps[b as usize - 1];
             if *slot == usize::MAX {
                 *slot = i;
@@ -164,12 +364,12 @@ impl Rgs {
     pub fn all_of_len(n: usize) -> Vec<Rgs> {
         assert!(n <= 12, "refusing to enumerate Bell({n}) partitions");
         if n == 0 {
-            return vec![Rgs(Box::from([]))];
+            return vec![Rgs::from_canonical_ids(&[])];
         }
         let mut out = Vec::with_capacity(bell(n) as usize);
         let mut ids = vec![1u8; n];
         loop {
-            out.push(Rgs(ids.clone().into_boxed_slice()));
+            out.push(Rgs::from_canonical_ids(&ids));
             // Advance to the next RGS in lexicographic order.
             let mut i = n - 1;
             loop {
@@ -190,10 +390,130 @@ impl Rgs {
     }
 }
 
+impl PartialEq for Rgs {
+    #[inline]
+    fn eq(&self, other: &Rgs) -> bool {
+        match (&self.0, &other.0) {
+            (Repr::Inline { len: a, packed: p }, Repr::Inline { len: b, packed: q }) => {
+                a == b && p == q
+            }
+            (Repr::Boxed(a), Repr::Boxed(b)) => a == b,
+            // Mixed representations only arise from test-forced boxing.
+            _ => self.len() == other.len() && self.iter_ids().eq(other.iter_ids()),
+        }
+    }
+}
+
+impl Eq for Rgs {}
+
+impl Ord for Rgs {
+    /// Lexicographic on the 1-based id tuple — identical to the slice
+    /// ordering of the boxed form. For two inline values this is a packed
+    /// word compare: high-nibble-first packing makes numeric order agree
+    /// with lexicographic order, with the length as tie-breaker (a strict
+    /// prefix packs to the same word padded with zeros and sorts first).
+    #[inline]
+    fn cmp(&self, other: &Rgs) -> std::cmp::Ordering {
+        match (&self.0, &other.0) {
+            (Repr::Inline { len: a, packed: p }, Repr::Inline { len: b, packed: q }) => {
+                p.cmp(q).then(a.cmp(b))
+            }
+            (Repr::Boxed(a), Repr::Boxed(b)) => a.cmp(b),
+            _ => self.iter_ids().cmp(other.iter_ids()),
+        }
+    }
+}
+
+impl PartialOrd for Rgs {
+    #[inline]
+    fn partial_cmp(&self, other: &Rgs) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::hash::Hash for Rgs {
+    /// Representation-independent: values short enough to pack are hashed
+    /// through their packed word even when (test-)boxed, so equal values
+    /// always hash equally.
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match &self.0 {
+            Repr::Inline { len, packed } => {
+                state.write_u8(*len);
+                state.write_u64(*packed);
+            }
+            Repr::Boxed(ids) if ids.len() <= RGS_INLINE_MAX => {
+                state.write_u8(ids.len() as u8);
+                state.write_u64(pack_ids(ids));
+            }
+            Repr::Boxed(ids) => {
+                state.write_u8(ids.len() as u8);
+                state.write(ids);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Rgs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Rgs").field(&&*self.ids()).finish()
+    }
+}
+
+/// The decoded id tuple of an [`Rgs`]: dereferences to `&[u8]`. Inline
+/// values decode into an embedded buffer; boxed values borrow.
+pub struct RgsIds<'a> {
+    buf: [u8; RGS_INLINE_MAX],
+    len: u8,
+    slice: Option<&'a [u8]>,
+}
+
+impl std::ops::Deref for RgsIds<'_> {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        match self.slice {
+            Some(s) => s,
+            None => &self.buf[..self.len as usize],
+        }
+    }
+}
+
+impl fmt::Debug for RgsIds<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl PartialEq for RgsIds<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for RgsIds<'_> {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        **self == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for RgsIds<'_> {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        **self == other[..]
+    }
+}
+
+impl PartialEq<&[u8]> for RgsIds<'_> {
+    fn eq(&self, other: &&[u8]) -> bool {
+        **self == **other
+    }
+}
+
 impl fmt::Display for Rgs {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, v) in self.0.iter().enumerate() {
+        for (i, v) in self.iter_ids().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }

@@ -127,9 +127,10 @@ impl Specialization {
     pub fn from_rgs(distinct_vars: &[VarId], rgs: &Rgs) -> Specialization {
         debug_assert_eq!(distinct_vars.len(), rgs.len());
         let reps = rgs.block_representatives();
+        let ids = rgs.ids();
         let mut map = FxHashMap::default();
         for (i, &v) in distinct_vars.iter().enumerate() {
-            let block = rgs.ids()[i] as usize - 1;
+            let block = ids[i] as usize - 1;
             map.insert(v, distinct_vars[reps[block]]);
         }
         Specialization { map }
@@ -174,13 +175,14 @@ pub fn h_specialization(body_terms: &[Term], shape_rgs: &Rgs) -> Option<Speciali
     }
     // Distinct variables in first-occurrence order, and for each its id
     // under the target shape.
+    let shape_ids = shape_rgs.ids();
     let mut distinct: Vec<VarId> = Vec::new();
     let mut var_ids: Vec<u8> = Vec::new();
     for (i, t) in body_terms.iter().enumerate() {
         let v = t.as_var().expect("TGD bodies are variable-only");
         if !distinct.contains(&v) {
             distinct.push(v);
-            var_ids.push(shape_rgs.ids()[i]);
+            var_ids.push(shape_ids[i]);
         }
     }
     let spec_rgs = Rgs::canonicalize(&var_ids);

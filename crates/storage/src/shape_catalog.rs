@@ -45,7 +45,7 @@ impl ShapeCatalog {
     /// Registers one inserted tuple.
     #[inline]
     pub fn on_insert(&mut self, pred: PredId, row: &[u64]) {
-        let rgs = Rgs::of(row);
+        let rgs = Rgs::of_row(row);
         *self
             .per_pred
             .entry(pred)
@@ -58,7 +58,7 @@ impl ShapeCatalog {
     /// Registers one deleted tuple; returns `false` if the shape was not
     /// present (catalog desync — callers should rebuild).
     pub fn on_delete(&mut self, pred: PredId, row: &[u64]) -> bool {
-        let rgs = Rgs::of(row);
+        let rgs = Rgs::of_row(row);
         let Some(shapes) = self.per_pred.get_mut(&pred) else {
             return false;
         };

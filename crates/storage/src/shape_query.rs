@@ -13,30 +13,61 @@ use crate::query::ColumnCondition;
 use soct_model::{PredId, Rgs};
 use std::collections::VecDeque;
 
+/// Block representatives into a stack buffer (first occurrence of each
+/// block id); returns the block count. `MAX_ARITY = 64` bounds the width.
+#[inline]
+fn block_reps_into(rgs: &Rgs, reps: &mut [u16; soct_model::MAX_ARITY]) -> usize {
+    let mut k = 0usize;
+    for (i, b) in rgs.iter_ids().enumerate() {
+        let b = b as usize - 1;
+        if b >= k {
+            reps[b] = i as u16;
+            k = b + 1;
+        }
+    }
+    k
+}
+
 /// The exact conditions of a shape: equalities binding every position to
 /// its block representative, disequalities separating representatives.
 pub fn shape_conditions(rgs: &Rgs) -> Vec<ColumnCondition> {
-    let mut conds = shape_eq_conditions(rgs);
-    let reps = rgs.block_representatives();
-    for i in 0..reps.len() {
-        for j in (i + 1)..reps.len() {
-            conds.push(ColumnCondition::Ne(reps[i] as u16, reps[j] as u16));
+    let mut conds = Vec::new();
+    shape_conditions_into(rgs, &mut conds);
+    conds
+}
+
+/// [`shape_conditions`] into a caller-reused buffer (cleared first) — the
+/// Apriori walk builds conditions once per lattice node, so reusing one
+/// `Vec` keeps the walk allocation-free after the first node.
+pub fn shape_conditions_into(rgs: &Rgs, conds: &mut Vec<ColumnCondition>) {
+    shape_eq_conditions_into(rgs, conds);
+    let mut reps = [0u16; soct_model::MAX_ARITY];
+    let k = block_reps_into(rgs, &mut reps);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            conds.push(ColumnCondition::Ne(reps[i], reps[j]));
         }
     }
-    conds
 }
 
 /// The relaxed (equalities-only) conditions of a shape — the paper's `Q′`.
 pub fn shape_eq_conditions(rgs: &Rgs) -> Vec<ColumnCondition> {
-    let reps = rgs.block_representatives();
     let mut conds = Vec::new();
-    for (i, &b) in rgs.ids().iter().enumerate() {
+    shape_eq_conditions_into(rgs, &mut conds);
+    conds
+}
+
+/// [`shape_eq_conditions`] into a caller-reused buffer (cleared first).
+pub fn shape_eq_conditions_into(rgs: &Rgs, conds: &mut Vec<ColumnCondition>) {
+    conds.clear();
+    let mut reps = [0u16; soct_model::MAX_ARITY];
+    block_reps_into(rgs, &mut reps);
+    for (i, b) in rgs.iter_ids().enumerate() {
         let rep = reps[b as usize - 1];
-        if rep != i {
-            conds.push(ColumnCondition::Eq(rep as u16, i as u16));
+        if rep as usize != i {
+            conds.push(ColumnCondition::Eq(rep, i as u16));
         }
     }
-    conds
 }
 
 /// Query counters for the `abl-apriori` ablation.
@@ -48,6 +79,16 @@ pub struct ShapeQueryStats {
     pub exact_queries: u64,
     /// Lattice nodes never visited thanks to pruning.
     pub pruned_nodes: u64,
+}
+
+impl ShapeQueryStats {
+    /// Accumulates another run's counters into `self` — the one merge used
+    /// by every caller that folds per-relation or per-worker stats.
+    pub fn merge(&mut self, other: &ShapeQueryStats) {
+        self.relaxed_queries += other.relaxed_queries;
+        self.exact_queries += other.exact_queries;
+        self.pruned_nodes += other.pruned_nodes;
+    }
 }
 
 /// In-database shape discovery for one relation with Apriori pruning:
@@ -62,21 +103,31 @@ pub fn find_shapes_apriori(src: &dyn TupleSource, pred: PredId) -> (Vec<Rgs>, Sh
     }
     let mut visited: soct_model::FxHashSet<Rgs> = soct_model::FxHashSet::default();
     let mut queue: VecDeque<Rgs> = VecDeque::new();
+    // Scratch buffers reused across the whole walk: one coarsening list and
+    // one condition list, refilled per node — the walk allocates nothing
+    // per node beyond set/queue growth.
+    let mut coarsenings: Vec<Rgs> = Vec::new();
+    let mut conds: Vec<ColumnCondition> = Vec::new();
     let root = Rgs::identity(arity);
     visited.insert(root.clone());
     queue.push_back(root);
     while let Some(p) = queue.pop_front() {
         stats.relaxed_queries += 1;
-        if !src.exists_where(pred, &shape_eq_conditions(&p)) {
+        shape_eq_conditions_into(&p, &mut conds);
+        if !src.exists_where(pred, &conds) {
             // No tuple coarsens p: every coarsening of p is dead too.
-            stats.pruned_nodes += count_unvisited_coarsenings(&p, &visited);
+            p.immediate_coarsenings_into(&mut coarsenings);
+            stats.pruned_nodes +=
+                coarsenings.iter().filter(|c| !visited.contains(c)).count() as u64;
             continue;
         }
         stats.exact_queries += 1;
-        if src.exists_where(pred, &shape_conditions(&p)) {
-            found.push(p.clone());
+        shape_conditions_into(&p, &mut conds);
+        p.immediate_coarsenings_into(&mut coarsenings);
+        if src.exists_where(pred, &conds) {
+            found.push(p);
         }
-        for c in p.immediate_coarsenings() {
+        for c in coarsenings.drain(..) {
             if visited.insert(c.clone()) {
                 queue.push_back(c);
             }
@@ -84,13 +135,6 @@ pub fn find_shapes_apriori(src: &dyn TupleSource, pred: PredId) -> (Vec<Rgs>, Sh
     }
     found.sort_unstable();
     (found, stats)
-}
-
-fn count_unvisited_coarsenings(p: &Rgs, visited: &soct_model::FxHashSet<Rgs>) -> u64 {
-    p.immediate_coarsenings()
-        .into_iter()
-        .filter(|c| !visited.contains(c))
-        .count() as u64
 }
 
 /// Exhaustive in-database shape discovery: one exact query per partition of

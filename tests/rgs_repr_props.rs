@@ -1,0 +1,106 @@
+//! Representation-equivalence property suite for the inline `Rgs`.
+//!
+//! `Rgs` stores arities ≤ 16 as a single packed word and falls back to a
+//! boxed byte slice above that. Everything downstream — shape sets, the
+//! Apriori lattice walk, and crucially the `fingerprint::shape_set` values
+//! that key `soct_serve`'s persisted verdict cache — must be oblivious to
+//! which representation a value happens to use. These properties pin that:
+//! for random tuples across the representation boundary (arity 1..=20),
+//! the inline value and a forced-boxed copy agree on equality, ordering,
+//! hashing, `canonicalize` round-trips, and shape-set fingerprints.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use soct::model::fingerprint::fingerprint_shapes;
+use soct::model::fxhash::FxBuildHasher;
+use soct::prelude::*;
+use std::hash::BuildHasher;
+
+/// A random tuple of the given arity over a small domain (repeats likely).
+fn random_tuple(rng: &mut StdRng, arity: usize) -> Vec<u64> {
+    let domain = (arity as u64 / 2).max(2);
+    (0..arity).map(|_| rng.random_range(0..domain)).collect()
+}
+
+/// Both representations of one tuple's id pattern: the naturally-chosen
+/// one and a forced-boxed copy.
+fn both_reprs(tuple: &[u64]) -> (Rgs, Rgs) {
+    let natural = Rgs::of_row(tuple);
+    let boxed = natural.to_boxed_repr();
+    (natural, boxed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn rgs_repr_equivalence(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let arity = rng.random_range(1usize..=20);
+        let tuple = random_tuple(&mut rng, arity);
+        let (a, a_boxed) = both_reprs(&tuple);
+
+        // Value equality across representations, both directions.
+        prop_assert_eq!(&a, &a_boxed);
+        prop_assert_eq!(&a_boxed, &a);
+        prop_assert_eq!(&*a.ids(), &*a_boxed.ids());
+        prop_assert_eq!(a.len(), arity);
+        prop_assert_eq!(a.block_count(), a_boxed.block_count());
+        prop_assert_eq!(a.is_identity(), a_boxed.is_identity());
+
+        // Hashes agree (FxHash is what every shape set and interner uses).
+        let h = FxBuildHasher::default();
+        prop_assert_eq!(h.hash_one(&a), h.hash_one(&a_boxed));
+
+        // Canonicalize round-trips through the raw ids.
+        prop_assert_eq!(&Rgs::canonicalize(&a.ids()), &a);
+        prop_assert_eq!(&Rgs::canonicalize(&a_boxed.ids()), &a_boxed);
+
+        // Ordering agrees with the id-slice order in every representation
+        // combination — including across different arities.
+        let other_arity = rng.random_range(1usize..=20);
+        let other = random_tuple(&mut rng, other_arity);
+        let (b, b_boxed) = both_reprs(&other);
+        let slice_cmp = a.ids().iter().cmp(b.ids().iter());
+        prop_assert_eq!(a.cmp(&b), slice_cmp);
+        prop_assert_eq!(a.cmp(&b_boxed), slice_cmp);
+        prop_assert_eq!(a_boxed.cmp(&b), slice_cmp);
+        prop_assert_eq!(a_boxed.cmp(&b_boxed), slice_cmp);
+        prop_assert_eq!(b.cmp(&a), slice_cmp.reverse());
+
+        // Coarsening relations are representation-independent too (the
+        // Apriori walk's lattice steps).
+        for c in a.immediate_coarsenings() {
+            prop_assert!(c.coarsens(&a) && c.coarsens(&a_boxed));
+        }
+
+        // Shape-set fingerprints — the persisted verdict-cache key of
+        // `soct serve` — are bit-identical across representations.
+        let mut schema = Schema::new();
+        let p = schema.add_predicate("r", arity).unwrap();
+        let q = schema.add_predicate("s", other_arity).unwrap();
+        let shapes_natural = vec![
+            Shape { pred: p, rgs: a.clone() },
+            Shape { pred: q, rgs: b.clone() },
+        ];
+        let shapes_boxed = vec![
+            Shape { pred: p, rgs: a_boxed.clone() },
+            Shape { pred: q, rgs: b_boxed.clone() },
+        ];
+        prop_assert_eq!(
+            fingerprint_shapes(&schema, &shapes_natural),
+            fingerprint_shapes(&schema, &shapes_boxed)
+        );
+    }
+
+    #[test]
+    fn rgs_of_row_matches_generic_of(seed in any::<u64>()) {
+        // `of_row`'s distinct-value scratch must compute the same pattern
+        // as the generic first-occurrence algorithm, for every arity.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let arity = rng.random_range(1usize..=20);
+        let tuple = random_tuple(&mut rng, arity);
+        prop_assert_eq!(Rgs::of_row(&tuple), Rgs::of(&tuple));
+    }
+}
