@@ -298,11 +298,20 @@ pub fn serve(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("cannot initialise service: {e}"))?,
     );
     let warm = service.cache().len();
-    let server = soct_serve::Server::bind(format!("{host}:{port}"), service, workers)
+    let server_cfg = soct_serve::ServerConfig {
+        workers,
+        queue_depth: args.get_usize("queue-depth", 256)?,
+        deadline: std::time::Duration::from_millis(args.get_u64("deadline-ms", 10_000)?),
+        max_connections: args.get_usize("max-conns", 1024)?,
+        ..soct_serve::ServerConfig::default()
+    };
+    let (queue_depth, deadline) = (server_cfg.queue_depth, server_cfg.deadline);
+    let server = soct_serve::Server::bind_with(format!("{host}:{port}"), service, server_cfg)
         .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     println!(
-        "soct serve: listening on {addr} ({workers} worker threads, {} cache{})",
+        "soct serve: listening on {addr} ({workers} worker threads, queue depth {queue_depth}, \
+         async deadline {deadline:?}, {} cache{})",
         if persisted { "persistent" } else { "in-memory" },
         if warm > 0 {
             format!(", {warm} verdicts warm")
@@ -315,20 +324,47 @@ pub fn serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `soct client <check|shapes|chase|stats>`: one request against a
+/// `soct client <check|shapes|chase|stats|job>`: one request against a
 /// running service; prints the JSON response. `--expect VERDICT` and
 /// `--expect-cached` turn the invocation into an assertion (non-zero exit
-/// on mismatch) for CI and smoke tests.
+/// on mismatch) for CI and smoke tests. `check --async` submits via the
+/// job queue (`202 Accepted`); add `--wait` to poll the job to
+/// completion (assertions then run against the finished job's body).
+/// `job --id N [--wait]` polls an already-submitted job.
 pub fn client(sub: &str, args: &Args) -> Result<(), String> {
     let addr = args.get_or("addr", "127.0.0.1:7171");
     let client = soct_serve::Client::new(addr);
+    let timeout = std::time::Duration::from_millis(args.get_u64("timeout-ms", 60_000)?);
     let resp = match sub {
         "check" => {
             let mut path = "/check".to_string();
             if let Some(mode) = args.get("mode") {
                 path.push_str(&format!("?mode={mode}"));
             }
-            client.post(&path, &program_text(args)?)
+            let body = program_text(args)?;
+            if args.get_bool("async") {
+                let id = client
+                    .post_async(&path, &body)
+                    .map_err(|e| format!("request to {addr} failed: {e}"))?;
+                if !args.get_bool("wait") {
+                    println!("{{\"job\":{id},\"poll\":\"/jobs/{id}\"}}");
+                    return Ok(());
+                }
+                client.wait_job(id, timeout).map(check_job_done)
+            } else {
+                client.post(&path, &body)
+            }
+        }
+        "job" => {
+            let id: u64 = args
+                .require("id")?
+                .parse()
+                .map_err(|_| "--id expects a job id".to_string())?;
+            if args.get_bool("wait") {
+                client.wait_job(id, timeout).map(check_job_done)
+            } else {
+                client.job(id)
+            }
         }
         "shapes" => {
             let mut path = "/shapes".to_string();
@@ -348,7 +384,7 @@ pub fn client(sub: &str, args: &Args) -> Result<(), String> {
         "stats" => client.get("/stats"),
         other => {
             return Err(format!(
-                "unknown client subcommand `{other}` (try check|shapes|chase|stats)"
+                "unknown client subcommand `{other}` (try check|shapes|chase|stats|job)"
             ))
         }
     }
@@ -368,6 +404,23 @@ pub fn client(sub: &str, args: &Args) -> Result<(), String> {
         return Err("expected a cache hit, got a miss".to_string());
     }
     Ok(())
+}
+
+/// Adopts a finished job's inner request status as the response status,
+/// so `--expect`-style assertions and the non-2xx exit path act on the
+/// job's actual outcome rather than the `/jobs/<id>` envelope's 200.
+fn check_job_done(resp: soct_serve::Response) -> soct_serve::Response {
+    if resp.status == 200 && soct_serve::get_field(&resp.body, "state") == Some("done") {
+        if let Some(inner) =
+            soct_serve::get_field(&resp.body, "status").and_then(|s| s.parse().ok())
+        {
+            return soct_serve::Response {
+                status: inner,
+                body: resp.body,
+            };
+        }
+    }
+    resp
 }
 
 /// Request body for client check/chase: the rules file, with the facts

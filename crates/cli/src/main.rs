@@ -11,7 +11,8 @@
 //!                     [--seed N] [--out FILE]
 //! soct serve          [--port N] [--host ADDR] [--threads N] [--cache-dir PATH]
 //!                     [--cache-cap N] [--mode memory|db] [--max-atoms N]
-//! soct client         <check|shapes|chase|stats> [--addr HOST:PORT] ...
+//!                     [--queue-depth N] [--deadline-ms N] [--max-conns N]
+//! soct client         <check|shapes|chase|stats|job> [--addr HOST:PORT] ...
 //! ```
 //!
 //! `--threads 0` (the default) auto-sizes the worker pool from the
@@ -49,11 +50,32 @@ const SERVE_FLAGS: &[&str] = &[
     "cache-cap",
     "mode",
     "max-atoms",
+    "queue-depth",
+    "deadline-ms",
+    "max-conns",
 ];
-const CLIENT_CHECK_FLAGS: &[&str] = &["addr", "rules", "db", "mode", "expect", "expect-cached"];
+const CLIENT_CHECK_FLAGS: &[&str] = &[
+    "addr",
+    "rules",
+    "db",
+    "mode",
+    "expect",
+    "expect-cached",
+    "async",
+    "wait",
+    "timeout-ms",
+];
 const CLIENT_SHAPES_FLAGS: &[&str] = &["addr", "db", "mode"];
 const CLIENT_CHASE_FLAGS: &[&str] = &["addr", "rules", "db", "variant", "max-atoms"];
 const CLIENT_STATS_FLAGS: &[&str] = &["addr"];
+const CLIENT_JOB_FLAGS: &[&str] = &[
+    "addr",
+    "id",
+    "wait",
+    "timeout-ms",
+    "expect",
+    "expect-cached",
+];
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -75,7 +97,8 @@ fn run(argv: &[String]) -> Result<(), String> {
     if cmd == "client" {
         let Some(sub) = argv.get(1) else {
             return Err(
-                "usage: soct client <check|shapes|chase|stats> [--addr HOST:PORT] ...".to_string(),
+                "usage: soct client <check|shapes|chase|stats|job> [--addr HOST:PORT] ..."
+                    .to_string(),
             );
         };
         let args = Args::parse(&argv[2..])?;
@@ -84,9 +107,10 @@ fn run(argv: &[String]) -> Result<(), String> {
             "shapes" => CLIENT_SHAPES_FLAGS,
             "chase" => CLIENT_CHASE_FLAGS,
             "stats" => CLIENT_STATS_FLAGS,
+            "job" => CLIENT_JOB_FLAGS,
             other => {
                 return Err(format!(
-                    "unknown client subcommand `{other}` (try check|shapes|chase|stats)"
+                    "unknown client subcommand `{other}` (try check|shapes|chase|stats|job)"
                 ))
             }
         };
@@ -151,12 +175,18 @@ USAGE:
                       [--seed N] [--out FILE]
   soct serve          [--port N] [--host ADDR] [--threads N] [--cache-dir PATH]
                       [--cache-cap N] [--mode memory|db] [--max-atoms N]
+                      [--queue-depth N] [--deadline-ms N] [--max-conns N]
                       run the termination-checking service (POST /check,
-                      POST /shapes, POST /chase, GET /stats); verdicts are
+                      POST /shapes, POST /chase, GET /stats, GET /jobs/<id>);
+                      keep-alive HTTP/1.1, bounded job queue (429 + Retry-After
+                      when full), checks exceeding --deadline-ms answer
+                      202 Accepted with a pollable job id; verdicts are
                       cached by canonical ruleset/shape fingerprints
-  soct client         <check|shapes|chase|stats> [--addr HOST:PORT]
+  soct client         <check|shapes|chase|stats|job> [--addr HOST:PORT]
                       [--rules FILE] [--db FILE] [--expect VERDICT]
-                      [--expect-cached] — exercise a running service
+                      [--expect-cached] [--async] [--wait] [--timeout-ms N]
+                      — exercise a running service; `job --id N [--wait]`
+                      polls an async job
 
 Rule files use `body -> head.` / `head :- body.` syntax with implicit
 existentials; fact files hold `r(a,b).` lines. `--threads 0` (default)

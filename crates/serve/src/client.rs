@@ -1,12 +1,25 @@
-//! A minimal blocking client for the service's wire protocol, on a plain
-//! [`TcpStream`] — used by `soct client`, CI, and the end-to-end tests.
+//! A blocking keep-alive client for the service's wire protocol, on a
+//! plain [`TcpStream`] — used by `soct client`, CI, the end-to-end
+//! tests, and the `serve_throughput` bench.
+//!
+//! Each [`Client`] value holds at most one persistent connection and
+//! reuses it across requests (responses are `Content-Length`-framed, so
+//! the stream stays synchronised). Cloning a client clones the address,
+//! *not* the connection — clones open their own socket, so handing
+//! clones to threads yields one connection per thread. A request that
+//! fails on a reused connection (the server may have reaped an idle
+//! keep-alive) is retried once on a fresh connection.
 
-use std::io::{self, Read, Write};
+use crate::json::get_field;
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Per-request socket timeout.
 const TIMEOUT: Duration = Duration::from_secs(60);
+/// Poll interval of [`Client::wait_job`].
+const JOB_POLL_INTERVAL: Duration = Duration::from_millis(10);
 
 /// One parsed HTTP response.
 #[derive(Clone, Debug)]
@@ -24,106 +37,253 @@ impl Response {
     }
 }
 
-/// A client bound to one server address.
-#[derive(Clone, Debug)]
+/// A client bound to one server address, holding one reusable
+/// keep-alive connection.
+#[derive(Debug)]
 pub struct Client {
     addr: String,
+    conn: Mutex<Option<TcpStream>>,
+}
+
+impl Clone for Client {
+    /// Clones the address only — the clone opens its own connection.
+    fn clone(&self) -> Self {
+        Client::new(self.addr.clone())
+    }
 }
 
 impl Client {
     /// Creates a client for `addr` (`host:port`).
     pub fn new(addr: impl Into<String>) -> Self {
-        Client { addr: addr.into() }
+        Client {
+            addr: addr.into(),
+            conn: Mutex::new(None),
+        }
     }
 
     /// Sends `GET path`.
     pub fn get(&self, path: &str) -> io::Result<Response> {
-        request(&self.addr, "GET", path, "")
+        self.send("GET", path, "")
     }
 
     /// Sends `POST path` with `body`.
     pub fn post(&self, path: &str, body: &str) -> io::Result<Response> {
-        request(&self.addr, "POST", path, body)
+        self.send("POST", path, body)
+    }
+
+    /// Sends `POST path?async=1`, returning the job id from the `202`
+    /// response. Poll it with [`Client::job`] or [`Client::wait_job`].
+    pub fn post_async(&self, path: &str, body: &str) -> io::Result<u64> {
+        let sep = if path.contains('?') { '&' } else { '?' };
+        let resp = self.post(&format!("{path}{sep}async=1"), body)?;
+        if resp.status != 202 {
+            return Err(invalid(format!(
+                "expected 202 Accepted, got {}: {}",
+                resp.status, resp.body
+            )));
+        }
+        get_field(&resp.body, "job")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| invalid(format!("no job id in 202 response: {}", resp.body)))
+    }
+
+    /// Fetches `GET /jobs/<id>` once.
+    pub fn job(&self, id: u64) -> io::Result<Response> {
+        self.get(&format!("/jobs/{id}"))
+    }
+
+    /// Polls `GET /jobs/<id>` until the job reports `"state":"done"`
+    /// (returning the full job envelope, original response nested under
+    /// `response`), the server answers non-200, or `timeout` elapses.
+    pub fn wait_job(&self, id: u64, timeout: Duration) -> io::Result<Response> {
+        let start = Instant::now();
+        loop {
+            let resp = self.job(id)?;
+            if resp.status != 200 || get_field(&resp.body, "state") == Some("done") {
+                return Ok(resp);
+            }
+            if start.elapsed() > timeout {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("job {id} not done within {timeout:?}"),
+                ));
+            }
+            std::thread::sleep(JOB_POLL_INTERVAL);
+        }
+    }
+
+    /// One keep-alive request/response exchange, reconnecting once if a
+    /// reused connection turns out stale. A failed *fresh* connection is
+    /// a real error and surfaces.
+    fn send(&self, method: &str, path: &str, body: &str) -> io::Result<Response> {
+        let mut guard = self.conn.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(stream) = guard.take() {
+            if let Ok((resp, close)) = exchange(&stream, &self.addr, method, path, body) {
+                if !close {
+                    *guard = Some(stream);
+                }
+                return Ok(resp);
+            }
+            // Stale keep-alive connection: fall through to a fresh one.
+        }
+        let stream = connect(&self.addr)?;
+        let (resp, close) = exchange(&stream, &self.addr, method, path, body)?;
+        if !close {
+            *guard = Some(stream);
+        }
+        Ok(resp)
     }
 }
 
-/// One-shot request against `addr`. Opens a fresh connection per request
-/// (the server speaks `Connection: close`).
-pub fn request(addr: &str, method: &str, path: &str, body: &str) -> io::Result<Response> {
-    let mut stream = TcpStream::connect(addr)?;
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn connect(addr: &str) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(TIMEOUT))?;
     stream.set_write_timeout(Some(TIMEOUT))?;
+    let _ = stream.set_nodelay(true);
+    Ok(stream)
+}
+
+/// Writes one request and reads one framed response off `stream`.
+/// Returns the response and whether the server asked to close.
+fn exchange(
+    stream: &TcpStream,
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(Response, bool)> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    let mut w = stream;
+    w.write_all(head.as_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()?;
+    // A fresh BufReader per exchange is sound under strict
+    // request→response alternation: the server sends nothing
+    // unsolicited, so the reader can never buffer past this response.
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Reads one `Content-Length`-framed response, skipping interim 1xx
+/// responses (e.g. `100 Continue`).
+pub(crate) fn read_response(r: &mut impl BufRead) -> io::Result<(Response, bool)> {
+    loop {
+        let status_line = read_crlf_line(r)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| invalid(format!("bad status line: {status_line:?}")))?;
+        let mut content_length: Option<usize> = None;
+        let mut close = false;
+        loop {
+            let line = read_crlf_line(r)?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                let (k, v) = (k.trim(), v.trim());
+                if k.eq_ignore_ascii_case("content-length") {
+                    content_length = v.parse().ok();
+                } else if k.eq_ignore_ascii_case("connection") && v.eq_ignore_ascii_case("close") {
+                    close = true;
+                }
+            }
+        }
+        if (100..200).contains(&status) {
+            continue; // interim response: no body, the real one follows
+        }
+        let len =
+            content_length.ok_or_else(|| invalid("response has no Content-Length".to_string()))?;
+        let mut buf = vec![0u8; len];
+        r.read_exact(&mut buf)?;
+        let body =
+            String::from_utf8(buf).map_err(|_| invalid("response is not UTF-8".to_string()))?;
+        return Ok((Response { status, body }, close));
+    }
+}
+
+fn read_crlf_line(r: &mut impl BufRead) -> io::Result<String> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        ));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// One-shot request against `addr` on a fresh `Connection: close`
+/// connection — the pre-keep-alive wire path, kept for tools that want
+/// strict request isolation (and as the bench's `close` baseline).
+pub fn request(addr: &str, method: &str, path: &str, body: &str) -> io::Result<Response> {
+    let stream = connect(addr)?;
     let head = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()?;
-
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    parse_response(&raw)
-}
-
-fn parse_response(raw: &[u8]) -> io::Result<Response> {
-    let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
-    let text = std::str::from_utf8(raw).map_err(|_| err("response is not UTF-8"))?;
-    let (head, body) = text
-        .split_once("\r\n\r\n")
-        .or_else(|| text.split_once("\n\n"))
-        .ok_or_else(|| err("no header/body separator in response"))?;
-    let status_line = head.lines().next().ok_or_else(|| err("empty response"))?;
-    let status = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| err("bad status line"))?;
-    // `Connection: close` + read_to_end means the body is simply the rest;
-    // honour Content-Length when present in case of trailing bytes.
-    let body = match head
-        .lines()
-        .find_map(|l| {
-            l.split_once(':')
-                .filter(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
-        })
-        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
-    {
-        Some(len) if len <= body.len() => &body[..len],
-        _ => body,
-    };
-    Ok(Response {
-        status,
-        body: body.to_string(),
-    })
+    let mut w = &stream;
+    w.write_all(head.as_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()?;
+    let (resp, _close) = read_response(&mut BufReader::new(&stream))?;
+    Ok(resp)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn parses_a_response() {
-        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 13\r\n\r\n{\"verdict\":1}";
-        let r = parse_response(raw).unwrap();
-        assert_eq!(r.status, 200);
-        assert_eq!(r.body, "{\"verdict\":1}");
-        assert!(r.is_ok());
+    fn parse_bytes(raw: &[u8]) -> io::Result<(Response, bool)> {
+        read_response(&mut BufReader::new(raw))
     }
 
     #[test]
-    fn content_length_truncates_trailing_bytes() {
-        let raw = b"HTTP/1.1 400 Bad Request\r\nContent-Length: 2\r\n\r\n{}garbage";
-        let r = parse_response(raw).unwrap();
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 13\r\nConnection: keep-alive\r\n\r\n{\"verdict\":1}";
+        let (r, close) = parse_bytes(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "{\"verdict\":1}");
+        assert!(r.is_ok());
+        assert!(!close);
+    }
+
+    #[test]
+    fn content_length_frames_the_body_exactly() {
+        let raw =
+            b"HTTP/1.1 400 Bad Request\r\nContent-Length: 2\r\nConnection: close\r\n\r\n{}NEXT";
+        let (r, close) = parse_bytes(raw).unwrap();
         assert_eq!(r.status, 400);
         assert_eq!(r.body, "{}");
+        assert!(close);
         assert!(!r.is_ok());
     }
 
     #[test]
+    fn interim_100_continue_is_skipped() {
+        let raw = b"HTTP/1.1 100 Continue\r\n\r\nHTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok";
+        let (r, _) = parse_bytes(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "ok");
+    }
+
+    #[test]
     fn malformed_responses_error() {
-        assert!(parse_response(b"").is_err());
-        assert!(parse_response(b"HTTP/1.1 OK\r\n\r\n").is_err());
-        assert!(parse_response(b"no separator at all").is_err());
+        assert!(parse_bytes(b"").is_err());
+        assert!(parse_bytes(b"HTTP/1.1 OK\r\n\r\n").is_err());
+        assert!(
+            parse_bytes(b"HTTP/1.1 200 OK\r\n\r\n").is_err(),
+            "no Content-Length"
+        );
     }
 }

@@ -1,46 +1,107 @@
-//! A dependency-free HTTP/1.1 front end over [`TerminationService`]:
-//! one acceptor thread feeding a fixed-size worker pool over an mpsc
-//! channel (the `resolve_threads` sizing conventions of
-//! `soct_chase::parallel` apply to the pool). Connections are handled
-//! one request at a time with `Connection: close` semantics — the
-//! protocol surface is four routes returning JSON, not a general web
-//! server.
+//! The HTTP/1.1 front end over [`TerminationService`]: a poll-based
+//! reactor thread owns every socket (keep-alive, pipelined requests,
+//! bounded per-connection buffers) and hands parsed requests to a
+//! bounded job queue drained by a fixed check-worker pool. Requests
+//! that outlive the configured deadline — or that ask with `?async=1` —
+//! are answered `202 Accepted` with a job id pollable at
+//! `GET /jobs/<id>`; a full queue sheds load with `429` + `Retry-After`
+//! and a full connection table with `503`, instead of accepting
+//! unboundedly.
+//!
+//! This module holds the public server surface ([`Server`],
+//! [`ServerConfig`], [`ServerHandle`]) and the HTTP wire code (the
+//! incremental request parser and response writer); the event loop
+//! itself lives in the private `reactor` module.
 
+use crate::queue::{waker_pair, worker_loop, Shared, Waker};
+use crate::reactor::run_reactor;
 use crate::service::TerminationService;
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::fmt::Write as _;
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Upper bound on the header block of one request.
-const MAX_HEADER_BYTES: usize = 16 * 1024;
+pub(crate) const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Upper bound on a request body (rulesets of a million TGDs fit well
 /// under this).
-const MAX_BODY_BYTES: usize = 256 * 1024 * 1024;
-/// Per-connection socket timeout: a stalled peer cannot pin a worker.
-const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+pub(crate) const MAX_BODY_BYTES: usize = 256 * 1024 * 1024;
+
+/// Tuning knobs of a [`Server`]. `Default` is sized for tests and small
+/// deployments; `soct serve` exposes the load-bearing ones as flags.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Check worker threads draining the job queue (minimum 1).
+    pub workers: usize,
+    /// Bounded job-queue depth; a parsed request arriving when the queue
+    /// holds this many undispatched jobs is shed with `429`.
+    pub queue_depth: usize,
+    /// How long a request may hold its connection before the reactor
+    /// answers `202 Accepted + {"job": id}` and detaches it. `ZERO`
+    /// makes every queued request asynchronous.
+    pub deadline: Duration,
+    /// Connection-table cap; connections accepted past it are told `503`
+    /// and closed immediately.
+    pub max_connections: usize,
+    /// Idle keep-alive timeout: a connection with no in-flight request
+    /// and no traffic for this long is closed.
+    pub keep_alive: Duration,
+    /// Completed-job results retained for `GET /jobs/<id>` (oldest
+    /// evicted first).
+    pub jobs_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_depth: 256,
+            deadline: Duration::from_secs(10),
+            max_connections: 1024,
+            keep_alive: Duration::from_secs(30),
+            jobs_capacity: 1024,
+        }
+    }
+}
 
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
     service: Arc<TerminationService>,
-    workers: usize,
+    cfg: ServerConfig,
 }
 
 impl Server {
-    /// Binds to `addr` (e.g. `127.0.0.1:7171`; port `0` lets the OS pick)
-    /// with a pool of `workers` request threads (minimum 1).
+    /// Binds to `addr` (e.g. `127.0.0.1:7171`; port `0` lets the OS
+    /// pick) with `workers` check threads and default tuning.
     pub fn bind(
         addr: impl ToSocketAddrs,
         service: Arc<TerminationService>,
         workers: usize,
     ) -> io::Result<Server> {
+        Self::bind_with(
+            addr,
+            service,
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Binds with explicit [`ServerConfig`] tuning.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        service: Arc<TerminationService>,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             service,
-            workers: workers.max(1),
+            cfg,
         })
     }
 
@@ -50,49 +111,47 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Spawns the acceptor and worker threads and returns a handle that
+    /// Spawns the reactor and worker threads and returns a handle that
     /// can stop them. The calling thread is *not* consumed; use
     /// [`ServerHandle::join`] to block on the server (CLI) or keep the
     /// handle and call [`ServerHandle::shutdown`] (tests).
     pub fn start(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
-        let mut threads = Vec::with_capacity(self.workers + 1);
-        for i in 0..self.workers {
-            let rx = Arc::clone(&rx);
-            let service = Arc::clone(&self.service);
+        let (wake_tx, wake_rx) = waker_pair()?;
+        let shared = Arc::new(Shared::new(
+            Arc::clone(&self.service),
+            self.cfg.queue_depth,
+            self.cfg.jobs_capacity,
+            Waker::new(wake_tx.try_clone()?),
+        ));
+        let mut threads = Vec::with_capacity(self.cfg.workers.max(1) + 1);
+        for i in 0..self.cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("soct-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &service))?,
+                    .spawn(move || worker_loop(&shared))?,
             );
         }
         let listener = self.listener;
-        let stop_acceptor = Arc::clone(&stop);
+        let cfg = self.cfg;
+        let reactor_shared = Arc::clone(&shared);
+        let reactor_stop = Arc::clone(&stop);
         threads.push(
             std::thread::Builder::new()
-                .name("soct-serve-acceptor".to_string())
+                .name("soct-serve-reactor".to_string())
                 .spawn(move || {
-                    for conn in listener.incoming() {
-                        if stop_acceptor.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        if let Ok(stream) = conn {
-                            // A send only fails when every worker is gone;
-                            // nothing useful remains to do then.
-                            if tx.send(stream).is_err() {
-                                break;
-                            }
-                        }
-                    }
-                    // tx drops here; workers drain the queue and exit.
+                    run_reactor(listener, &reactor_shared, &cfg, &reactor_stop, wake_rx);
+                    // Reactor gone: release the workers once the queue
+                    // drains, so `join` terminates.
+                    reactor_shared.shutdown_queue();
                 })?,
         );
         Ok(ServerHandle {
             addr,
             stop,
+            waker: Waker::new(wake_tx),
             threads,
         })
     }
@@ -102,6 +161,7 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    waker: Waker,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -119,173 +179,441 @@ impl ServerHandle {
         }
     }
 
-    /// Stops accepting, drains in-flight requests, and joins all threads.
+    /// Stops accepting, drains in-flight requests (bounded grace), and
+    /// joins all threads.
     pub fn shutdown(self) {
         self.stop.store(true, Ordering::SeqCst);
-        // The acceptor is parked in accept(); one throwaway connection
-        // wakes it to observe the stop flag.
-        let _ = TcpStream::connect(self.addr);
+        self.waker.wake();
         for t in self.threads {
             let _ = t.join();
         }
     }
 }
 
-fn worker_loop(rx: &Mutex<mpsc::Receiver<TcpStream>>, service: &TerminationService) {
-    loop {
-        let stream = match rx.lock().expect("worker queue poisoned").recv() {
-            Ok(s) => s,
-            Err(_) => return, // acceptor gone: shut down
-        };
-        // Errors on one connection (bad request framing, peer reset) are
-        // answered where possible and never take the worker down.
-        let _ = handle_connection(stream, service);
-    }
+// ── Wire format ────────────────────────────────────────────────────────
+
+/// A fully parsed request, ready for dispatch.
+#[derive(Debug)]
+pub(crate) struct ParsedRequest {
+    pub method: String,
+    pub target: String,
+    pub body: String,
+    /// `HEAD`: the response head is written, the body suppressed.
+    pub is_head: bool,
+    /// Close after the response (`Connection: close`, or HTTP/1.0
+    /// without `keep-alive`).
+    pub close: bool,
 }
 
-fn handle_connection(stream: TcpStream, service: &TerminationService) -> io::Result<()> {
-    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
-    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
-    let mut reader = BufReader::new(stream);
-    let (status, body) = match read_request(&mut reader) {
-        Ok(req) => service.handle(&req.method, &req.target, &req.body),
-        Err(RequestError::Malformed(msg)) => (400, format!("{{\"error\":\"{msg}\"}}")),
-        Err(RequestError::TooLarge) => (413, "{\"error\":\"request too large\"}".to_string()),
-        Err(RequestError::LengthRequired) => {
-            (411, "{\"error\":\"Content-Length required\"}".to_string())
+/// Outcome of one incremental parse attempt over the read buffer.
+#[derive(Debug)]
+pub(crate) enum Parse {
+    /// Need more bytes. `needs_continue` is set when a complete header
+    /// block carries `Expect: 100-continue` and the body has not fully
+    /// arrived — the caller owes the peer an interim `100 Continue`.
+    Incomplete { needs_continue: bool },
+    /// One complete request, consuming this many buffer bytes.
+    Done(ParsedRequest, usize),
+    /// Framing is broken or unsupported: answer and close.
+    Bad { status: u16, msg: &'static str },
+}
+
+/// Parses at most one request from the front of `buf`. Stateless over
+/// the buffer: callers re-invoke as bytes arrive (the header block is
+/// capped at [`MAX_HEADER_BYTES`], so re-scanning is bounded).
+///
+/// Framing hygiene (request-smuggling corpus): duplicate
+/// `Content-Length` headers that disagree are `400`, any
+/// `Transfer-Encoding` is `501` (length framing only), a non-`GET`/
+/// `HEAD` request without a length is `411`, and bodies are checked
+/// UTF-8 before dispatch.
+pub(crate) fn parse_request(buf: &[u8]) -> Parse {
+    let Some((head_end, body_start)) = find_head_end(buf) else {
+        if buf.len() > MAX_HEADER_BYTES {
+            return Parse::Bad {
+                status: 413,
+                msg: "header block too large",
+            };
         }
-        Err(RequestError::Io(e)) => return Err(e),
+        return Parse::Incomplete {
+            needs_continue: false,
+        };
     };
-    write_response(reader.get_mut(), status, &body)
-}
-
-struct Request {
-    method: String,
-    target: String,
-    body: String,
-}
-
-enum RequestError {
-    Malformed(&'static str),
-    TooLarge,
-    LengthRequired,
-    Io(io::Error),
-}
-
-impl From<io::Error> for RequestError {
-    fn from(e: io::Error) -> Self {
-        RequestError::Io(e)
+    if head_end > MAX_HEADER_BYTES {
+        return Parse::Bad {
+            status: 413,
+            msg: "header block too large",
+        };
     }
-}
-
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, RequestError> {
-    let mut line = String::new();
-    take_line(reader, &mut line)?;
-    let mut parts = line.split_whitespace();
+    let Ok(head) = std::str::from_utf8(&buf[..head_end]) else {
+        return Parse::Bad {
+            status: 400,
+            msg: "header is not UTF-8",
+        };
+    };
+    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
     let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return Err(RequestError::Malformed("bad request line"));
+        return Parse::Bad {
+            status: 400,
+            msg: "bad request line",
+        };
     };
     if !version.starts_with("HTTP/1.") {
-        return Err(RequestError::Malformed("unsupported HTTP version"));
-    }
-    let method = method.to_string();
-    let target = target.to_string();
-
-    let mut content_length: Option<usize> = None;
-    let mut header_bytes = 0usize;
-    loop {
-        take_line(reader, &mut line)?;
-        if line.is_empty() {
-            break;
-        }
-        header_bytes += line.len();
-        if header_bytes > MAX_HEADER_BYTES {
-            return Err(RequestError::TooLarge);
-        }
-        if let Some((k, v)) = line.split_once(':') {
-            if k.trim().eq_ignore_ascii_case("content-length") {
-                content_length = Some(
-                    v.trim()
-                        .parse()
-                        .map_err(|_| RequestError::Malformed("bad Content-Length"))?,
-                );
-            }
-        }
-    }
-
-    let body = if method == "GET" || method == "HEAD" {
-        String::new()
-    } else {
-        let len = content_length.ok_or(RequestError::LengthRequired)?;
-        if len > MAX_BODY_BYTES {
-            return Err(RequestError::TooLarge);
-        }
-        let mut buf = vec![0u8; len];
-        reader.read_exact(&mut buf)?;
-        String::from_utf8(buf).map_err(|_| RequestError::Malformed("body is not UTF-8"))?
-    };
-    Ok(Request {
-        method,
-        target,
-        body,
-    })
-}
-
-/// Reads one CRLF- (or LF-) terminated line into `line`, trimmed. The
-/// length cap is enforced *while* reading — `read_line` would buffer a
-/// newline-free stream in its entirety before any post-hoc check, letting
-/// one hostile connection grow a line without bound.
-fn take_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> Result<(), RequestError> {
-    line.clear();
-    let mut buf: Vec<u8> = Vec::new();
-    loop {
-        let chunk = reader.fill_buf()?;
-        if chunk.is_empty() {
-            if buf.is_empty() {
-                return Err(RequestError::Malformed("connection closed mid-request"));
-            }
-            break; // EOF mid-line: surface what we have; parsing fails later
-        }
-        let (taken, done) = match chunk.iter().position(|&b| b == b'\n') {
-            Some(i) => (i + 1, true),
-            None => (chunk.len(), false),
+        return Parse::Bad {
+            status: 400,
+            msg: "unsupported HTTP version",
         };
-        buf.extend_from_slice(&chunk[..taken]);
-        reader.consume(taken);
-        if buf.len() > MAX_HEADER_BYTES {
-            return Err(RequestError::TooLarge);
+    }
+    let http10 = version == "HTTP/1.0";
+    let mut content_length: Option<usize> = None;
+    let mut expect_continue = false;
+    let mut close = http10;
+    for line in lines {
+        if line.is_empty() {
+            continue;
         }
-        if done {
-            break;
+        let Some((k, v)) = line.split_once(':') else {
+            return Parse::Bad {
+                status: 400,
+                msg: "malformed header line",
+            };
+        };
+        let (k, v) = (k.trim(), v.trim());
+        if k.eq_ignore_ascii_case("content-length") {
+            let Ok(n) = v.parse::<usize>() else {
+                return Parse::Bad {
+                    status: 400,
+                    msg: "bad Content-Length",
+                };
+            };
+            // Smuggling hygiene: duplicates must agree, else reject.
+            if content_length.is_some_and(|prev| prev != n) {
+                return Parse::Bad {
+                    status: 400,
+                    msg: "conflicting Content-Length headers",
+                };
+            }
+            content_length = Some(n);
+        } else if k.eq_ignore_ascii_case("transfer-encoding") {
+            return Parse::Bad {
+                status: 501,
+                msg: "Transfer-Encoding is not supported; send Content-Length",
+            };
+        } else if k.eq_ignore_ascii_case("expect") {
+            if v.eq_ignore_ascii_case("100-continue") {
+                expect_continue = true;
+            } else {
+                return Parse::Bad {
+                    status: 417,
+                    msg: "unsupported Expect",
+                };
+            }
+        } else if k.eq_ignore_ascii_case("connection") {
+            for tok in v.split(',') {
+                let t = tok.trim();
+                if t.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if t.eq_ignore_ascii_case("keep-alive") && http10 {
+                    close = false;
+                }
+            }
         }
     }
-    while matches!(buf.last(), Some(b'\n' | b'\r')) {
-        buf.pop();
+    // A Content-Length on *any* method frames the connection; honour it
+    // even for GET/HEAD (the body is simply unused) so keep-alive never
+    // desynchronises.
+    let body_len = match content_length {
+        Some(n) => n,
+        None if method == "GET" || method == "HEAD" => 0,
+        None => {
+            return Parse::Bad {
+                status: 411,
+                msg: "Content-Length required",
+            }
+        }
+    };
+    if body_len > MAX_BODY_BYTES {
+        return Parse::Bad {
+            status: 413,
+            msg: "request body too large",
+        };
     }
-    *line = String::from_utf8(buf).map_err(|_| RequestError::Malformed("header is not UTF-8"))?;
-    Ok(())
+    let total = body_start + body_len;
+    if buf.len() < total {
+        return Parse::Incomplete {
+            needs_continue: expect_continue,
+        };
+    }
+    let Ok(body) = std::str::from_utf8(&buf[body_start..total]) else {
+        return Parse::Bad {
+            status: 400,
+            msg: "body is not UTF-8",
+        };
+    };
+    Parse::Done(
+        ParsedRequest {
+            method: method.to_string(),
+            target: target.to_string(),
+            body: body.to_string(),
+            is_head: method == "HEAD",
+            close,
+        },
+        total,
+    )
 }
 
-fn status_text(status: u16) -> &'static str {
+/// Finds the end of the header block: `(head_len, body_start)` at the
+/// first `\r\n\r\n` or `\n\n`.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if buf.get(i + 1) == Some(&b'\n') {
+                return Some((i, i + 2));
+            }
+            if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                return Some((i, i + 3));
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The interim response owed to `Expect: 100-continue`.
+pub(crate) const CONTINUE: &[u8] = b"HTTP/1.1 100 Continue\r\n\r\n";
+
+/// The standard reason phrase for the statuses this server emits
+/// (anything else renders as `Unknown`, not a misleading
+/// `Internal Server Error`).
+pub fn status_text(status: u16) -> &'static str {
     match status {
+        100 => "Continue",
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         411 => "Length Required",
         413 => "Payload Too Large",
-        _ => "Internal Server Error",
+        417 => "Expectation Failed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
     }
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+/// Appends one rendered response to `out`. `is_head` suppresses the
+/// body while keeping the true `Content-Length` (RFC 9110 §9.3.2);
+/// `retry_after` adds the backpressure hint on shed responses.
+pub(crate) fn render_response(
+    out: &mut Vec<u8>,
+    status: u16,
+    body: &str,
+    is_head: bool,
+    close: bool,
+    retry_after: bool,
+) {
+    let mut head = String::with_capacity(128);
+    let _ = write!(
+        head,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status_text(status),
-        body.len()
+        body.len(),
+        if close { "close" } else { "keep-alive" },
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    if retry_after {
+        head.push_str("Retry-After: 1\r\n");
+    }
+    head.push_str("\r\n");
+    out.extend_from_slice(head.as_bytes());
+    if !is_head {
+        out.extend_from_slice(body.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Parse {
+        parse_request(raw.as_bytes())
+    }
+
+    fn expect_done(p: Parse) -> (ParsedRequest, usize) {
+        match p {
+            Parse::Done(req, n) => (req, n),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    fn expect_bad(p: Parse) -> (u16, &'static str) {
+        match p {
+            Parse::Bad { status, msg } => (status, msg),
+            other => panic!("expected Bad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_post_and_reports_consumed_bytes() {
+        let raw = "POST /check HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\nr(a,b).TRAILING";
+        let (req, n) = expect_done(parse(raw));
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/check");
+        assert_eq!(req.body, "r(a,b).");
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(&raw[n..], "TRAILING", "pipelined bytes left in place");
+    }
+
+    #[test]
+    fn incremental_parse_waits_for_header_and_body() {
+        assert!(matches!(
+            parse("POST /check HT"),
+            Parse::Incomplete {
+                needs_continue: false
+            }
+        ));
+        assert!(matches!(
+            parse("POST /check HTTP/1.1\r\nContent-Length: 9\r\n\r\nr(a,"),
+            Parse::Incomplete {
+                needs_continue: false
+            }
+        ));
+    }
+
+    #[test]
+    fn expect_continue_is_flagged_only_while_the_body_is_missing() {
+        let head = "POST /c HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 4\r\n\r\n";
+        assert!(matches!(
+            parse(head),
+            Parse::Incomplete {
+                needs_continue: true
+            }
+        ));
+        let (req, _) = expect_done(parse(&format!("{head}abcd")));
+        assert_eq!(req.body, "abcd");
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected_agreeing_ones_tolerated() {
+        let (status, msg) = expect_bad(parse(
+            "POST /c HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 7\r\n\r\n",
+        ));
+        assert_eq!(status, 400);
+        assert!(msg.contains("conflicting"));
+        let (req, _) = expect_done(parse(
+            "POST /c HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok",
+        ));
+        assert_eq!(req.body, "ok");
+    }
+
+    #[test]
+    fn transfer_encoding_is_not_implemented() {
+        let (status, _) = expect_bad(parse(
+            "POST /c HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+        ));
+        assert_eq!(status, 501);
+        // Even a length-ish TE spelling is refused, not length-framed.
+        let (status, _) = expect_bad(parse(
+            "POST /c HTTP/1.1\r\nTransfer-Encoding: identity\r\nContent-Length: 2\r\n\r\nok",
+        ));
+        assert_eq!(status, 501);
+    }
+
+    #[test]
+    fn framing_errors() {
+        assert_eq!(expect_bad(parse("GARBAGE\r\n\r\n")).0, 400);
+        assert_eq!(expect_bad(parse("GET / SPDY/3\r\n\r\n")).0, 400);
+        assert_eq!(
+            expect_bad(parse("POST /c HTTP/1.1\r\nContent-Length: nope\r\n\r\n")).0,
+            400
+        );
+        assert_eq!(expect_bad(parse("POST /c HTTP/1.1\r\n\r\n")).0, 411);
+        assert_eq!(
+            expect_bad(parse("POST /c HTTP/1.1\r\nno colon here\r\n\r\n")).0,
+            400
+        );
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX: {}\r\n\r\n",
+            "a".repeat(MAX_HEADER_BYTES)
+        );
+        assert_eq!(expect_bad(parse(&huge)).0, 413);
+        // An unterminated header block past the cap dies immediately.
+        let torrent = "GET / HTTP/1.1\r\nX: ".to_string() + &"a".repeat(MAX_HEADER_BYTES);
+        assert_eq!(expect_bad(parse(&torrent)).0, 413);
+    }
+
+    #[test]
+    fn non_utf8_bodies_are_rejected() {
+        let mut raw = b"POST /c HTTP/1.1\r\nContent-Length: 4\r\n\r\n".to_vec();
+        raw.extend_from_slice(&[0xff, 0xfe, 0x01, 0x02]);
+        let (status, msg) = expect_bad(parse_request(&raw));
+        assert_eq!(status, 400);
+        assert!(msg.contains("UTF-8"));
+    }
+
+    #[test]
+    fn connection_semantics_across_versions() {
+        let (req, _) = expect_done(parse("GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(req.close);
+        let (req, _) = expect_done(parse("GET /stats HTTP/1.0\r\n\r\n"));
+        assert!(req.close, "1.0 defaults to close");
+        let (req, _) = expect_done(parse(
+            "GET /stats HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+        ));
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn get_with_a_content_length_consumes_the_body_for_framing() {
+        let raw = "GET /stats HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyzGET";
+        let (req, n) = expect_done(parse(raw));
+        assert_eq!(req.body, "xyz");
+        assert_eq!(&raw[n..], "GET");
+    }
+
+    #[test]
+    fn lf_only_framing_is_accepted() {
+        let (req, n) = expect_done(parse("POST /c HTTP/1.1\nContent-Length: 2\n\nhi"));
+        assert_eq!(req.body, "hi");
+        assert_eq!(n, "POST /c HTTP/1.1\nContent-Length: 2\n\nhi".len());
+    }
+
+    #[test]
+    fn head_responses_carry_length_but_no_body() {
+        let mut out = Vec::new();
+        render_response(&mut out, 200, "{\"a\":1}", true, false, false);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.ends_with("\r\n\r\n"), "no body after the head: {text}");
+    }
+
+    #[test]
+    fn shed_responses_carry_retry_after() {
+        let mut out = Vec::new();
+        render_response(&mut out, 429, "{}", false, false, true);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(
+            text.contains("Connection: keep-alive\r\n"),
+            "shedding keeps the connection"
+        );
+    }
+
+    #[test]
+    fn status_texts_cover_the_servers_vocabulary() {
+        assert_eq!(status_text(202), "Accepted");
+        assert_eq!(status_text(429), "Too Many Requests");
+        assert_eq!(status_text(503), "Service Unavailable");
+        assert_eq!(status_text(501), "Not Implemented");
+        assert_eq!(status_text(999), "Unknown");
+    }
 }

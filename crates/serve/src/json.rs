@@ -97,6 +97,29 @@ impl JsonObject {
     }
 }
 
+/// Splices two rendered JSON objects into one: `{a…}` + `{b…}` →
+/// `{a…,b…}`. Inputs must each be a rendered object (as produced by
+/// [`JsonObject::finish`]); keys are not deduplicated — callers keep the
+/// namespaces disjoint (the server uses this to append its `server`
+/// object to the service's `/stats` body).
+pub fn merge_objects(a: &str, b: &str) -> String {
+    let inner = |s: &str| -> String {
+        s.trim()
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .unwrap_or(s)
+            .trim()
+            .to_string()
+    };
+    let (ia, ib) = (inner(a), inner(b));
+    match (ia.is_empty(), ib.is_empty()) {
+        (true, true) => "{}".to_string(),
+        (true, false) => format!("{{{ib}}}"),
+        (false, true) => format!("{{{ia}}}"),
+        (false, false) => format!("{{{ia},{ib}}}"),
+    }
+}
+
 /// Extracts the raw value token of a top-level field from JSON produced by
 /// [`JsonObject`] — strings come back unquoted (but still escaped),
 /// numbers/booleans verbatim. This is a *flat* reader for the service's
@@ -172,6 +195,17 @@ mod tests {
         assert_eq!(get_field(&json, "rules"), Some("12"));
         assert_eq!(get_field(&json, "cached"), Some("true"));
         assert_eq!(get_field(&json, "missing"), None);
+    }
+
+    #[test]
+    fn merge_objects_splices_and_handles_empties() {
+        assert_eq!(
+            merge_objects(r#"{"a":1}"#, r#"{"b":{"c":2}}"#),
+            r#"{"a":1,"b":{"c":2}}"#
+        );
+        assert_eq!(merge_objects("{}", r#"{"b":2}"#), r#"{"b":2}"#);
+        assert_eq!(merge_objects(r#"{"a":1}"#, "{}"), r#"{"a":1}"#);
+        assert_eq!(merge_objects("{}", "{}"), "{}");
     }
 
     #[test]

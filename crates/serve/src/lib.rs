@@ -11,12 +11,20 @@
 //!   `soct_core`'s checkers / the chase / `FindShapes`, and fronts every
 //!   check with the fingerprint-keyed, LRU-bounded
 //!   [`soct_core::VerdictCache`] (optionally persisted across restarts).
-//! - [`Server`] — a dependency-free HTTP/1.1 front end on
-//!   [`std::net::TcpListener`] with a fixed-size acceptor/worker pool,
-//!   serving `POST /check`, `POST /shapes`, `POST /chase`, and
-//!   `GET /stats` with JSON responses.
-//! - [`Client`] — a plain-[`std::net::TcpStream`] client used by the
-//!   `soct client` subcommand, CI, and the end-to-end tests.
+//! - [`Server`] — a dependency-free, event-driven HTTP/1.1 front end: a
+//!   single poll-based reactor thread owns every socket (keep-alive and
+//!   pipelined requests included) and feeds a bounded job queue drained
+//!   by a worker pool. Checks that outrun the configured deadline (or
+//!   arrive with `?async=1`) are converted to `202 Accepted` with a job
+//!   id, pollable at `GET /jobs/<id>`; a full queue sheds load with
+//!   `429` + `Retry-After`, and a connection cap answers `503`.
+//!   `GET /stats` surfaces queue depth, in-flight counts, and
+//!   per-endpoint latency histograms next to the cache counters. Tune
+//!   it with [`ServerConfig`] via [`Server::bind_with`].
+//! - [`Client`] — a plain-[`std::net::TcpStream`] keep-alive client
+//!   (one persistent connection per value, fresh connection per clone)
+//!   used by the `soct client` subcommand, CI, and the end-to-end
+//!   tests, with `post_async`/`wait_job` helpers for the job flow.
 //!
 //! Repeated checks of a known ruleset are O(fingerprint + lookup): the
 //! db-dependent phase re-runs only when the shape fingerprint changes.
@@ -44,9 +52,12 @@
 pub mod client;
 pub mod http;
 pub mod json;
+mod queue;
+mod reactor;
 pub mod service;
+mod sys;
 
 pub use client::{request, Client, Response};
-pub use http::{Server, ServerHandle};
-pub use json::{escape, get_field, JsonObject};
+pub use http::{status_text, Server, ServerConfig, ServerHandle};
+pub use json::{escape, get_field, merge_objects, JsonObject};
 pub use service::{critical_instance, ServiceConfig, ServiceStats, TerminationService, CACHE_FILE};

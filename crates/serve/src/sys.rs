@@ -1,0 +1,222 @@
+//! Readiness notification for the reactor: a dependency-free wrapper
+//! around `poll(2)` on Unix, with a portable degraded fallback elsewhere.
+//!
+//! The workspace denies `unsafe_code`; this module is the one audited
+//! exception (scoped `allow` on the FFI call below). The surface kept
+//! unsafe-free for callers is deliberately tiny: register sockets with
+//! read/write interests, block until one is ready (or a timeout), then
+//! ask which slots became readable/writable/closed.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+
+/// One registered socket's interests and readiness results.
+#[derive(Clone, Copy, Debug, Default)]
+struct Slot {
+    // Interests are echoed back as readiness by the non-unix fallback;
+    // on unix the kernel decides and these two are write-only.
+    #[cfg_attr(unix, allow(dead_code))]
+    read: bool,
+    #[cfg_attr(unix, allow(dead_code))]
+    write: bool,
+    readable: bool,
+    writable: bool,
+    closed: bool,
+}
+
+/// A reusable poll set. `clear` + `register_*` each iteration, then
+/// `wait`, then query by the slot index `register_*` returned.
+#[derive(Debug, Default)]
+pub(crate) struct PollSet {
+    slots: Vec<Slot>,
+    #[cfg(unix)]
+    fds: Vec<unix::PollFd>,
+}
+
+impl PollSet {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all registrations (capacity is kept across iterations).
+    pub(crate) fn clear(&mut self) {
+        self.slots.clear();
+        #[cfg(unix)]
+        self.fds.clear();
+    }
+
+    fn push(&mut self, #[cfg(unix)] fd: i32, read: bool, write: bool) -> usize {
+        self.slots.push(Slot {
+            read,
+            write,
+            ..Slot::default()
+        });
+        #[cfg(unix)]
+        self.fds.push(unix::PollFd::new(fd, read, write));
+        self.slots.len() - 1
+    }
+
+    /// Registers a listener for accept-readiness; returns its slot.
+    pub(crate) fn register_listener(&mut self, l: &TcpListener) -> usize {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            self.push(l.as_raw_fd(), true, false)
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = l;
+            self.push(true, false)
+        }
+    }
+
+    /// Registers a stream with the given interests; returns its slot.
+    /// Registering with no interests still reports `closed` (error/hangup).
+    pub(crate) fn register_stream(&mut self, s: &TcpStream, read: bool, write: bool) -> usize {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            self.push(s.as_raw_fd(), read, write)
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = s;
+            self.push(read, write)
+        }
+    }
+
+    /// Blocks until a registered socket is ready or `timeout_ms` elapses.
+    /// `EINTR` is treated as a zero-ready wakeup, not an error.
+    pub(crate) fn wait(&mut self, timeout_ms: i32) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            let ready = unix::poll(&mut self.fds, timeout_ms)?;
+            if ready > 0 {
+                for (slot, fd) in self.slots.iter_mut().zip(self.fds.iter()) {
+                    slot.readable = fd.readable();
+                    slot.writable = fd.writable();
+                    slot.closed = fd.closed();
+                }
+            }
+            Ok(())
+        }
+        #[cfg(not(unix))]
+        {
+            // Degraded portable mode: sleep briefly, then report every
+            // interest as ready. All reactor I/O is nonblocking and treats
+            // `WouldBlock` as "not actually ready", so optimistic readiness
+            // is correct — it merely costs spurious syscalls.
+            std::thread::sleep(std::time::Duration::from_millis(
+                timeout_ms.clamp(0, 2) as u64
+            ));
+            for slot in &mut self.slots {
+                slot.readable = slot.read;
+                slot.writable = slot.write;
+                slot.closed = false;
+            }
+            Ok(())
+        }
+    }
+
+    pub(crate) fn readable(&self, slot: usize) -> bool {
+        self.slots[slot].readable
+    }
+
+    pub(crate) fn writable(&self, slot: usize) -> bool {
+        self.slots[slot].writable
+    }
+
+    /// Error/hangup: the peer is gone in both directions (a half-close
+    /// arrives as a readable slot whose read returns 0, not as `closed`).
+    pub(crate) fn closed(&self, slot: usize) -> bool {
+        self.slots[slot].closed
+    }
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)] // the one FFI call; see the safety argument below
+mod unix {
+    use std::io;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    /// Mirror of `struct pollfd` (POSIX): layout fixed by `repr(C)`.
+    #[repr(C)]
+    #[derive(Clone, Copy, Debug)]
+    pub(super) struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    impl PollFd {
+        pub(super) fn new(fd: i32, read: bool, write: bool) -> Self {
+            let mut events = 0;
+            if read {
+                events |= POLLIN;
+            }
+            if write {
+                events |= POLLOUT;
+            }
+            PollFd {
+                fd,
+                events,
+                revents: 0,
+            }
+        }
+
+        pub(super) fn readable(&self) -> bool {
+            self.revents & (POLLIN | POLLHUP) != 0
+        }
+
+        pub(super) fn writable(&self) -> bool {
+            self.revents & POLLOUT != 0
+        }
+
+        pub(super) fn closed(&self) -> bool {
+            self.revents & (POLLERR | POLLNVAL) != 0
+        }
+    }
+
+    mod ffi {
+        extern "C" {
+            /// `poll(2)` from the platform libc that `std` already links.
+            pub(super) fn poll(
+                fds: *mut super::PollFd,
+                nfds: core::ffi::c_ulong,
+                timeout: core::ffi::c_int,
+            ) -> core::ffi::c_int;
+        }
+    }
+
+    /// Safe wrapper: blocks until readiness or timeout, returns the number
+    /// of ready descriptors. `EINTR` reads as zero-ready.
+    pub(super) fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        for fd in fds.iter_mut() {
+            fd.revents = 0;
+        }
+        // SAFETY: `fds` is a live, exclusively borrowed slice of
+        // `repr(C)` pollfd records for the duration of the call;
+        // `poll(2)` reads `events` and writes `revents` strictly within
+        // `fds.len()` elements and retains no pointer after returning.
+        let rc = unsafe {
+            ffi::poll(
+                fds.as_mut_ptr(),
+                fds.len() as core::ffi::c_ulong,
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(rc as usize)
+    }
+}

@@ -10,8 +10,9 @@
 //! engine on all three chase variants.
 
 use soct::prelude::*;
-use soct::serve::{get_field, Client, Server, ServiceConfig, TerminationService};
+use soct::serve::{get_field, Client, Server, ServerConfig, ServiceConfig, TerminationService};
 use std::sync::Arc;
+use std::time::Duration;
 
 const FINITE_SL: &str = "r(X, Y) -> s(Y).\nr(a, b).\n";
 const INFINITE_SL: &str = "person(X) -> adv(X, Y).\nadv(X, Y) -> person(Y).\nperson(alice).\n";
@@ -29,8 +30,16 @@ const PROGRAMS: &[(&str, &str)] = &[
 
 /// Spins up a server with `workers` request threads on an OS-chosen port.
 fn start_server(workers: usize) -> (soct::serve::ServerHandle, Client) {
+    start_server_cfg(ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    })
+}
+
+/// Spins up a server with a full [`ServerConfig`] on an OS-chosen port.
+fn start_server_cfg(cfg: ServerConfig) -> (soct::serve::ServerHandle, Client) {
     let service = Arc::new(TerminationService::new(ServiceConfig::default()).unwrap());
-    let server = Server::bind("127.0.0.1:0", service, workers).unwrap();
+    let server = Server::bind_with("127.0.0.1:0", service, cfg).unwrap();
     let handle = server.start().unwrap();
     let client = Client::new(handle.addr().to_string());
     (handle, client)
@@ -205,5 +214,147 @@ fn shapes_and_stats_round_trip_over_the_wire() {
     assert!(get_field(&bad.body, "error").is_some());
     let missing = client.get("/no-such-route").unwrap();
     assert_eq!(missing.status, 404);
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_reuses_one_connection_across_many_requests() {
+    let (handle, client) = start_server(2);
+    for _ in 0..3 {
+        for (program, _) in PROGRAMS {
+            let resp = client.post("/check", program).unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.body);
+        }
+    }
+    // The server counts TCP accepts; 12 checks + this stats call all rode
+    // the client's single persistent connection.
+    let stats = client.get("/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    assert_eq!(
+        get_field(&stats.body, "accepted"),
+        Some("1"),
+        "{}",
+        stats.body
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn async_jobs_round_trip_through_the_job_table() {
+    let (handle, client) = start_server(2);
+    let id = client.post_async("/check", INFINITE_SL).unwrap();
+    let done = client.wait_job(id, Duration::from_secs(30)).unwrap();
+    assert_eq!(done.status, 200, "{}", done.body);
+    assert_eq!(get_field(&done.body, "state"), Some("done"));
+    assert_eq!(get_field(&done.body, "status"), Some("200"));
+    assert_eq!(get_field(&done.body, "verdict"), Some("infinite"));
+
+    // The finished job keeps answering (the table retains done entries),
+    // and unknown ids are 404, not hangs or 500s.
+    let again = client.job(id).unwrap();
+    assert_eq!(get_field(&again.body, "state"), Some("done"));
+    let unknown = client.job(id + 1_000_000).unwrap();
+    assert_eq!(unknown.status, 404, "{}", unknown.body);
+    handle.shutdown();
+}
+
+#[test]
+fn zero_deadline_converts_every_check_into_a_202() {
+    let (handle, client) = start_server_cfg(ServerConfig {
+        workers: 1,
+        deadline: Duration::ZERO,
+        ..ServerConfig::default()
+    });
+    let resp = client.post("/check", FINITE_SL).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let id: u64 = get_field(&resp.body, "job").unwrap().parse().unwrap();
+    let done = client.wait_job(id, Duration::from_secs(30)).unwrap();
+    assert_eq!(get_field(&done.body, "state"), Some("done"));
+    assert_eq!(get_field(&done.body, "verdict"), Some("finite"));
+    handle.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_429_and_still_completes_accepted_jobs() {
+    // One worker, a 2-deep queue, and immediate-202 conversion: slow
+    // chases pile up, so some submissions must shed with 429 — and every
+    // accepted job must still run to completion with no worker panic.
+    let (handle, client) = start_server_cfg(ServerConfig {
+        workers: 1,
+        queue_depth: 2,
+        deadline: Duration::ZERO,
+        ..ServerConfig::default()
+    });
+    let slow = "/chase?variant=so&max-atoms=20000";
+    let mut accepted = Vec::new();
+    let mut shed = 0u32;
+    for _ in 0..8 {
+        let resp = client.post(slow, INFINITE_L).unwrap();
+        match resp.status {
+            202 => accepted.push(
+                get_field(&resp.body, "job")
+                    .unwrap()
+                    .parse::<u64>()
+                    .unwrap(),
+            ),
+            429 => shed += 1,
+            other => panic!("expected 202 or 429, got {other}: {}", resp.body),
+        }
+    }
+    assert!(shed > 0, "8 slow chases against a 2-deep queue never shed");
+    assert!(!accepted.is_empty(), "every submission shed");
+    for id in &accepted {
+        let done = client.wait_job(*id, Duration::from_secs(120)).unwrap();
+        assert_eq!(
+            get_field(&done.body, "state"),
+            Some("done"),
+            "{}",
+            done.body
+        );
+        assert_eq!(
+            get_field(&done.body, "status"),
+            Some("200"),
+            "{}",
+            done.body
+        );
+    }
+    // The worker survived the storm: a fresh check still runs to a verdict
+    // (202-converted like everything under a zero deadline), and the
+    // server's own counters saw the sheds.
+    let id = client.post_async("/check", FINITE_SL).unwrap();
+    let check = client.wait_job(id, Duration::from_secs(30)).unwrap();
+    assert_eq!(
+        get_field(&check.body, "verdict"),
+        Some("finite"),
+        "{}",
+        check.body
+    );
+    let stats = client.get("/stats").unwrap();
+    let counted: u32 = get_field(&stats.body, "shed_429").unwrap().parse().unwrap();
+    assert_eq!(counted, shed, "{}", stats.body);
+    handle.shutdown();
+}
+
+#[test]
+fn stats_expose_server_queue_and_latency_metrics() {
+    let (handle, client) = start_server(2);
+    client.post("/check", FINITE_SL).unwrap();
+    client.post("/check", FINITE_SL).unwrap();
+    let stats = client.get("/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    // Service-level counters stay where the PR 4 protocol put them…
+    assert_eq!(get_field(&stats.body, "check"), Some("2"));
+    assert_eq!(get_field(&stats.body, "hits"), Some("1"));
+    // …and the reactor appends its own `server` object alongside them.
+    assert!(stats.body.contains("\"server\":"), "{}", stats.body);
+    assert!(stats.body.contains("\"latency_us\":"), "{}", stats.body);
+    assert_eq!(get_field(&stats.body, "refused_503"), Some("0"));
+    assert_eq!(get_field(&stats.body, "shed_429"), Some("0"));
+    assert_eq!(get_field(&stats.body, "async_202"), Some("0"));
+    let depth: usize = get_field(&stats.body, "queue_depth_limit")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(depth, ServerConfig::default().queue_depth, "{}", stats.body);
     handle.shutdown();
 }
