@@ -291,8 +291,10 @@ pub fn serve(args: &Args) -> Result<(), String> {
         cache_capacity: args.get_usize("cache-cap", 1 << 16)?,
         cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
         max_chase_atoms: args.get_usize("max-atoms", 1_000_000)?,
+        db_path: args.get("db").map(std::path::PathBuf::from),
     };
     let persisted = cfg.cache_dir.is_some();
+    let live_db = cfg.db_path.clone();
     let service = std::sync::Arc::new(
         soct_serve::TerminationService::new(cfg)
             .map_err(|e| format!("cannot initialise service: {e}"))?,
@@ -319,29 +321,56 @@ pub fn serve(args: &Args) -> Result<(), String> {
             String::new()
         }
     );
+    if let Some(path) = live_db {
+        println!(
+            "soct serve: resident live database loaded from {} \
+             (POST /db/insert, POST /db/delete, GET /db/stats, /check?db=live)",
+            path.display()
+        );
+    }
     let handle = server.start().map_err(|e| e.to_string())?;
     handle.join();
     Ok(())
 }
 
-/// `soct client <check|shapes|chase|stats|job>`: one request against a
-/// running service; prints the JSON response. `--expect VERDICT` and
-/// `--expect-cached` turn the invocation into an assertion (non-zero exit
-/// on mismatch) for CI and smoke tests. `check --async` submits via the
-/// job queue (`202 Accepted`); add `--wait` to poll the job to
-/// completion (assertions then run against the finished job's body).
-/// `job --id N [--wait]` polls an already-submitted job.
+/// `soct client <check|shapes|chase|stats|job|insert|delete|db-stats>`:
+/// one request against a running service; prints the JSON response.
+/// `--expect VERDICT`, `--expect-cached`, and (for writes)
+/// `--expect-fp-changed true|false` turn the invocation into an assertion
+/// (non-zero exit on mismatch) for CI and smoke tests. `check --async`
+/// submits via the job queue (`202 Accepted`); add `--wait` to poll the
+/// job to completion (assertions then run against the finished job's
+/// body). `job --id N [--wait]` polls an already-submitted job.
+/// `check --live` checks the body's rules against the server's resident
+/// database; `insert`/`delete` stream line-oriented facts to it.
 pub fn client(sub: &str, args: &Args) -> Result<(), String> {
     let addr = args.get_or("addr", "127.0.0.1:7171");
     let client = soct_serve::Client::new(addr);
     let timeout = std::time::Duration::from_millis(args.get_u64("timeout-ms", 60_000)?);
     let resp = match sub {
         "check" => {
-            let mut path = "/check".to_string();
-            if let Some(mode) = args.get("mode") {
-                path.push_str(&format!("?mode={mode}"));
+            let mut params: Vec<String> = Vec::new();
+            if args.get_bool("live") {
+                params.push("db=live".to_string());
             }
-            let body = program_text(args)?;
+            if let Some(mode) = args.get("mode") {
+                params.push(format!("mode={mode}"));
+            }
+            let mut path = "/check".to_string();
+            if !params.is_empty() {
+                path.push('?');
+                path.push_str(&params.join("&"));
+            }
+            // With --live the resident database is the instance; a --db
+            // facts file would be silently ignored, so refuse the combination.
+            let body = if args.get_bool("live") {
+                if args.get("db").is_some() {
+                    return Err("--live checks the resident database; drop --db".to_string());
+                }
+                read(args.require("rules")?)?
+            } else {
+                program_text(args)?
+            };
             if args.get_bool("async") {
                 let id = client
                     .post_async(&path, &body)
@@ -382,9 +411,12 @@ pub fn client(sub: &str, args: &Args) -> Result<(), String> {
             client.post(&path, &program_text(args)?)
         }
         "stats" => client.get("/stats"),
+        "insert" | "delete" => client.post(&format!("/db/{sub}"), &facts_text(args)?),
+        "db-stats" => client.get("/db/stats"),
         other => {
             return Err(format!(
-                "unknown client subcommand `{other}` (try check|shapes|chase|stats|job)"
+                "unknown client subcommand `{other}` \
+                 (try check|shapes|chase|stats|job|insert|delete|db-stats)"
             ))
         }
     }
@@ -403,7 +435,24 @@ pub fn client(sub: &str, args: &Args) -> Result<(), String> {
     {
         return Err("expected a cache hit, got a miss".to_string());
     }
+    if let Some(expected) = args.get("expect-fp-changed") {
+        let got = soct_serve::get_field(&resp.body, "shape_fp_changed").unwrap_or("<none>");
+        if got != expected {
+            return Err(format!("expected shape_fp_changed={expected}, got {got}"));
+        }
+    }
     Ok(())
+}
+
+/// Request body for client insert/delete: `--tuples 'r(a,b).'` inline, or
+/// `--facts FILE` for a batch file of line-oriented facts.
+fn facts_text(args: &Args) -> Result<String, String> {
+    match (args.get("tuples"), args.get("facts")) {
+        (Some(t), None) => Ok(t.to_string()),
+        (None, Some(path)) => read(path),
+        (None, None) => Err("provide --tuples 'r(a,b).' or --facts FILE".to_string()),
+        (Some(_), Some(_)) => Err("--tuples and --facts are mutually exclusive".to_string()),
+    }
 }
 
 /// Adopts a finished job's inner request status as the response status,

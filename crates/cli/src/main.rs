@@ -12,7 +12,9 @@
 //! soct serve          [--port N] [--host ADDR] [--threads N] [--cache-dir PATH]
 //!                     [--cache-cap N] [--mode memory|db] [--max-atoms N]
 //!                     [--queue-depth N] [--deadline-ms N] [--max-conns N]
-//! soct client         <check|shapes|chase|stats|job> [--addr HOST:PORT] ...
+//!                     [--db FACTS-FILE]
+//! soct client         <check|shapes|chase|stats|job|insert|delete|db-stats>
+//!                     [--addr HOST:PORT] ...
 //! ```
 //!
 //! `--threads 0` (the default) auto-sizes the worker pool from the
@@ -53,11 +55,13 @@ const SERVE_FLAGS: &[&str] = &[
     "queue-depth",
     "deadline-ms",
     "max-conns",
+    "db",
 ];
 const CLIENT_CHECK_FLAGS: &[&str] = &[
     "addr",
     "rules",
     "db",
+    "live",
     "mode",
     "expect",
     "expect-cached",
@@ -65,6 +69,8 @@ const CLIENT_CHECK_FLAGS: &[&str] = &[
     "wait",
     "timeout-ms",
 ];
+const CLIENT_WRITE_FLAGS: &[&str] = &["addr", "tuples", "facts", "expect-fp-changed"];
+const CLIENT_DB_STATS_FLAGS: &[&str] = &["addr"];
 const CLIENT_SHAPES_FLAGS: &[&str] = &["addr", "db", "mode"];
 const CLIENT_CHASE_FLAGS: &[&str] = &["addr", "rules", "db", "variant", "max-atoms"];
 const CLIENT_STATS_FLAGS: &[&str] = &["addr"];
@@ -97,7 +103,8 @@ fn run(argv: &[String]) -> Result<(), String> {
     if cmd == "client" {
         let Some(sub) = argv.get(1) else {
             return Err(
-                "usage: soct client <check|shapes|chase|stats|job> [--addr HOST:PORT] ..."
+                "usage: soct client <check|shapes|chase|stats|job|insert|delete|db-stats> \
+                 [--addr HOST:PORT] ..."
                     .to_string(),
             );
         };
@@ -108,9 +115,12 @@ fn run(argv: &[String]) -> Result<(), String> {
             "chase" => CLIENT_CHASE_FLAGS,
             "stats" => CLIENT_STATS_FLAGS,
             "job" => CLIENT_JOB_FLAGS,
+            "insert" | "delete" => CLIENT_WRITE_FLAGS,
+            "db-stats" => CLIENT_DB_STATS_FLAGS,
             other => {
                 return Err(format!(
-                    "unknown client subcommand `{other}` (try check|shapes|chase|stats|job)"
+                    "unknown client subcommand `{other}` \
+                     (try check|shapes|chase|stats|job|insert|delete|db-stats)"
                 ))
             }
         };
@@ -176,17 +186,26 @@ USAGE:
   soct serve          [--port N] [--host ADDR] [--threads N] [--cache-dir PATH]
                       [--cache-cap N] [--mode memory|db] [--max-atoms N]
                       [--queue-depth N] [--deadline-ms N] [--max-conns N]
+                      [--db FACTS-FILE]
                       run the termination-checking service (POST /check,
                       POST /shapes, POST /chase, GET /stats, GET /jobs/<id>);
                       keep-alive HTTP/1.1, bounded job queue (429 + Retry-After
                       when full), checks exceeding --deadline-ms answer
                       202 Accepted with a pollable job id; verdicts are
-                      cached by canonical ruleset/shape fingerprints
-  soct client         <check|shapes|chase|stats|job> [--addr HOST:PORT]
-                      [--rules FILE] [--db FILE] [--expect VERDICT]
-                      [--expect-cached] [--async] [--wait] [--timeout-ms N]
+                      cached by canonical ruleset/shape fingerprints.
+                      --db loads a resident writable database (shape tracking
+                      on) served via POST /db/insert, POST /db/delete,
+                      GET /db/stats, and /check?db=live
+  soct client         <check|shapes|chase|stats|job|insert|delete|db-stats>
+                      [--addr HOST:PORT] [--rules FILE] [--db FILE]
+                      [--expect VERDICT] [--expect-cached] [--async] [--wait]
+                      [--timeout-ms N]
                       — exercise a running service; `job --id N [--wait]`
-                      polls an async job
+                      polls an async job; `check --live` checks rules against
+                      the server's resident database; `insert|delete`
+                      (--tuples 'r(a,b).' | --facts FILE)
+                      [--expect-fp-changed true|false] stream writes to it;
+                      `db-stats` prints its counters and fingerprints
 
 Rule files use `body -> head.` / `head :- body.` syntax with implicit
 existentials; fact files hold `r(a,b).` lines. `--threads 0` (default)

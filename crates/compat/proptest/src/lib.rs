@@ -93,6 +93,72 @@ pub trait Strategy {
 
     /// Draws one value.
     fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's combinator of the
+    /// same name) — the idiom for building struct-valued strategies out
+    /// of tuple strategies.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+
+/// Collection strategies (the `proptest::collection` module slice the
+/// workspace uses).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// `Vec`s of `element` values with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rand::RngExt::random_range(rng, self.len.clone());
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
 }
 
 macro_rules! impl_range_strategy {
@@ -398,6 +464,16 @@ mod tests {
             let copy = b;
             prop_assert_eq!(b, copy); // exercises the eq macro on bools
             prop_assert_ne!(x, 99);
+        }
+
+        #[test]
+        fn composite_strategies_compose(
+            pair in (0u32..5, any::<bool>()).prop_map(|(n, b)| (n * 2, b)),
+            xs in crate::collection::vec(1usize..4, 0..6),
+        ) {
+            prop_assert!(pair.0 < 10 && pair.0 % 2 == 0);
+            prop_assert!(xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| (1..4).contains(&x)));
         }
     }
 

@@ -22,13 +22,17 @@
 //! of `soct_storage::persist`) so a service restart starts warm.
 
 use crate::find_shapes::FindShapesMode;
-use crate::oracle::{check_termination_threads, TerminationReport, Verdict};
+use crate::oracle::{
+    check_termination_engine, check_termination_threads, TerminationReport, Verdict,
+};
 use crate::timings::CacheTimings;
 use bytes::{Buf, BufMut, BytesMut};
 use soct_model::fingerprint::{
-    fingerprint_instance_shapes, fingerprint_predicates, fingerprint_ruleset, Fingerprint,
+    fingerprint_instance_shapes, fingerprint_predicates, fingerprint_ruleset, fingerprint_shapes,
+    Fingerprint,
 };
 use soct_model::{FxHashMap, Instance, Schema, Tgd, TgdClass};
+use soct_storage::{StorageEngine, TupleSource};
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -57,6 +61,34 @@ pub fn cache_key(schema: &Schema, tgds: &[Tgd], db: &Instance) -> (CacheKey, Tgd
         TgdClass::SimpleLinear | TgdClass::General => {
             fingerprint_predicates(schema, &db.non_empty_predicates())
         }
+    };
+    (CacheKey { rules, db: db_fp }, class)
+}
+
+/// [`cache_key`] against a live [`StorageEngine`]. A tracking-enabled
+/// engine answers the db half from its incrementally-maintained
+/// accumulators in O(1) — this is the revalidation primitive: after any
+/// number of shape-preserving writes the key is unchanged, so a previously
+/// cached verdict is served with zero re-derivation. Engines without
+/// tracking fall back to one scan. The key is bit-identical to
+/// [`cache_key`] over an equivalent in-memory instance (both build on the
+/// same commutative per-element hashes), so live and instance checks share
+/// cache entries.
+pub fn cache_key_live(
+    schema: &Schema,
+    tgds: &[Tgd],
+    engine: &StorageEngine,
+) -> (CacheKey, TgdClass) {
+    let class = soct_model::tgd::classify(tgds);
+    let rules = fingerprint_ruleset(schema, tgds);
+    let db_fp = match class {
+        TgdClass::Linear => engine.shape_fingerprint().unwrap_or_else(|| {
+            let shapes = crate::find_shapes::find_shapes(engine, FindShapesMode::InMemory).shapes;
+            fingerprint_shapes(schema, &shapes)
+        }),
+        TgdClass::SimpleLinear | TgdClass::General => engine
+            .predicate_fingerprint()
+            .unwrap_or_else(|| fingerprint_predicates(schema, &engine.non_empty_predicates())),
     };
     (CacheKey { rules, db: db_fp }, class)
 }
@@ -366,6 +398,65 @@ pub fn check_termination_cached(
     }
 }
 
+/// [`check_termination_cached`] against a live [`StorageEngine`] — the
+/// end-to-end revalidation path. With shape tracking enabled, a hit costs
+/// one ruleset fingerprint, two O(1) accumulator reads, and one shard
+/// probe: sub-millisecond regardless of database size, and guaranteed
+/// whenever no write since the last check changed the class-relevant
+/// fingerprint (the distinct shape set for L, the non-empty relations for
+/// SL/general). A miss dispatches [`check_termination_engine`], which
+/// itself reads shapes from the catalog instead of rescanning tables.
+pub fn check_termination_live(
+    schema: &Schema,
+    tgds: &[Tgd],
+    engine: &StorageEngine,
+    mode: FindShapesMode,
+    threads: usize,
+    cache: &VerdictCache,
+) -> CachedCheck {
+    let t0 = Instant::now();
+    let (key, class) = cache_key_live(schema, tgds, engine);
+    let t_fingerprint = t0.elapsed();
+
+    let t1 = Instant::now();
+    let cached = cache.get(&key);
+    let t_lookup = t1.elapsed();
+
+    if let Some((verdict, cached_class)) = cached {
+        debug_assert_eq!(cached_class, class, "class is a function of the ruleset");
+        return CachedCheck {
+            report: TerminationReport {
+                verdict,
+                class: cached_class,
+            },
+            hit: true,
+            rules_fp: key.rules,
+            db_fp: key.db,
+            timings: CacheTimings {
+                t_fingerprint,
+                t_lookup,
+                t_check: Default::default(),
+            },
+        };
+    }
+
+    let t2 = Instant::now();
+    let report = check_termination_engine(schema, tgds, engine, mode, threads);
+    let t_check = t2.elapsed();
+    cache.insert(key, report.verdict, report.class);
+    CachedCheck {
+        report,
+        hit: false,
+        rules_fp: key.rules,
+        db_fp: key.db,
+        timings: CacheTimings {
+            t_fingerprint,
+            t_lookup,
+            t_check,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +532,128 @@ mod tests {
         check_termination_cached(&s, &tgds, &d1, FindShapesMode::InMemory, 1, &cache);
         let second = check_termination_cached(&s, &tgds, &d2, FindShapesMode::InMemory, 1, &cache);
         assert!(second.hit, "same non-empty predicates must share the key");
+    }
+
+    /// R(x,x) → S(x); S(x) → ∃y T(x,y); T(x,y) → S(y). Linear (the first
+    /// body repeats a variable), and the verdict flips on whether the
+    /// database contains the shape R_(1,1): only a repeated-column R tuple
+    /// ignites the infinite S/T loop.
+    fn shape_sensitive_l() -> (Schema, Vec<Tgd>) {
+        let mut s = Schema::new();
+        let r = s.add_predicate("R", 2).unwrap();
+        let sp = s.add_predicate("S", 1).unwrap();
+        let t = s.add_predicate("T", 2).unwrap();
+        let tgds = vec![
+            Tgd::new(
+                vec![Atom::new(&s, r, vec![v(0), v(0)]).unwrap()],
+                vec![Atom::new(&s, sp, vec![v(0)]).unwrap()],
+            )
+            .unwrap(),
+            Tgd::new(
+                vec![Atom::new(&s, sp, vec![v(0)]).unwrap()],
+                vec![Atom::new(&s, t, vec![v(0), v(1)]).unwrap()],
+            )
+            .unwrap(),
+            Tgd::new(
+                vec![Atom::new(&s, t, vec![v(0), v(1)]).unwrap()],
+                vec![Atom::new(&s, sp, vec![v(1)]).unwrap()],
+            )
+            .unwrap(),
+        ];
+        (s, tgds)
+    }
+
+    #[test]
+    fn live_checks_hit_after_shape_preserving_writes() {
+        use soct_storage::StorageEngine;
+        let (s, tgds) = shape_sensitive_l();
+        let r = s.pred_by_name("R").unwrap();
+        let mut engine = StorageEngine::new();
+        engine.create_table(r, "R", 2);
+        engine.insert(r, &[c(0), c(1)]);
+        engine.enable_shape_tracking();
+        let cache = VerdictCache::new(64);
+        let first = check_termination_live(&s, &tgds, &engine, FindShapesMode::InMemory, 1, &cache);
+        assert!(!first.hit);
+        assert_eq!(first.report.verdict, Verdict::Finite);
+        // Shape-preserving writes: same distinct shape set, so revalidation
+        // is a pure cache hit with zero re-derivation.
+        for i in 10..30 {
+            engine.insert(r, &[c(i), c(i + 100)]);
+        }
+        let second =
+            check_termination_live(&s, &tgds, &engine, FindShapesMode::InMemory, 1, &cache);
+        assert!(second.hit, "shape-preserving writes keep the key stable");
+        assert_eq!(second.db_fp, first.db_fp);
+        // A shape-changing write (R_(1,1) appears) must recompute — and the
+        // verdict flips, proving the miss was necessary.
+        engine.insert(r, &[c(5), c(5)]);
+        let third = check_termination_live(&s, &tgds, &engine, FindShapesMode::InMemory, 1, &cache);
+        assert!(!third.hit);
+        assert_ne!(third.db_fp, first.db_fp);
+        assert_eq!(third.report.verdict, Verdict::Infinite);
+        // Deleting the witness restores the original key: hit again.
+        assert!(engine.delete(r, &[c(5), c(5)]));
+        let fourth =
+            check_termination_live(&s, &tgds, &engine, FindShapesMode::InMemory, 1, &cache);
+        assert!(fourth.hit);
+        assert_eq!(fourth.report.verdict, Verdict::Finite);
+        assert_eq!(fourth.db_fp, first.db_fp);
+    }
+
+    #[test]
+    fn live_and_instance_paths_share_cache_entries() {
+        use soct_storage::StorageEngine;
+        let (s, tgds) = shape_sensitive_l();
+        let r = s.pred_by_name("R").unwrap();
+        // Seed the cache through the instance path...
+        let mut db = Instance::new();
+        db.insert(Atom::new(&s, r, vec![c(0), c(1)]).unwrap());
+        let cache = VerdictCache::new(64);
+        let via_instance =
+            check_termination_cached(&s, &tgds, &db, FindShapesMode::InMemory, 1, &cache);
+        assert!(!via_instance.hit);
+        // ...and hit it through the live path over equivalent contents,
+        // both with and without tracking enabled.
+        let mut engine = StorageEngine::new();
+        engine.create_table(r, "R", 2);
+        engine.insert(r, &[c(7), c(9)]);
+        let untracked =
+            check_termination_live(&s, &tgds, &engine, FindShapesMode::InMemory, 1, &cache);
+        assert!(untracked.hit, "scan-derived key matches the instance key");
+        engine.enable_shape_tracking();
+        let tracked =
+            check_termination_live(&s, &tgds, &engine, FindShapesMode::InMemory, 1, &cache);
+        assert!(tracked.hit, "maintained key matches the instance key");
+        assert_eq!(tracked.db_fp, via_instance.db_fp);
+        assert_eq!(tracked.rules_fp, via_instance.rules_fp);
+    }
+
+    #[test]
+    fn live_sl_keys_on_nonempty_predicates() {
+        use soct_storage::StorageEngine;
+        let (s, tgds, _) = infinite_sl();
+        let person = s.pred_by_name("person").unwrap();
+        let adv = s.pred_by_name("adv").unwrap();
+        let mut engine = StorageEngine::new();
+        engine.create_table(person, "person", 1);
+        engine.create_table(adv, "adv", 2);
+        engine.insert(person, &[c(0)]);
+        engine.enable_shape_tracking();
+        let cache = VerdictCache::new(64);
+        let first = check_termination_live(&s, &tgds, &engine, FindShapesMode::InMemory, 1, &cache);
+        assert!(!first.hit);
+        assert_eq!(first.report.verdict, Verdict::Infinite);
+        // More tuples in already-populated relations: same key.
+        engine.insert(person, &[c(1)]);
+        let second =
+            check_termination_live(&s, &tgds, &engine, FindShapesMode::InMemory, 1, &cache);
+        assert!(second.hit);
+        // Populating a previously-empty relation changes the SL key.
+        engine.insert(adv, &[c(0), c(1)]);
+        let third = check_termination_live(&s, &tgds, &engine, FindShapesMode::InMemory, 1, &cache);
+        assert!(!third.hit);
+        assert_ne!(third.db_fp, first.db_fp);
     }
 
     #[test]

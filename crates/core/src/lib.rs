@@ -23,7 +23,8 @@ pub mod oracle;
 pub mod timings;
 
 pub use cache::{
-    cache_key, check_termination_cached, CacheKey, CacheStats, CachedCheck, VerdictCache,
+    cache_key, cache_key_live, check_termination_cached, check_termination_live, CacheKey,
+    CacheStats, CachedCheck, VerdictCache,
 };
 pub use check_l::{
     check_l_with_shapes, is_chase_finite_l, is_chase_finite_l_parallel, is_chase_finite_l_text,
@@ -39,6 +40,7 @@ pub use find_shapes::{
     find_shapes_parallel, FindShapesMode, ShapesReport,
 };
 pub use oracle::{
-    check_termination, check_termination_threads, materialization_check, TerminationReport, Verdict,
+    check_termination, check_termination_engine, check_termination_threads, materialization_check,
+    TerminationReport, Verdict,
 };
 pub use timings::{ms, CacheTimings, LTimings, SlTimings};

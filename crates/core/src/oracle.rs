@@ -10,7 +10,7 @@ use soct_graph::{find_special_sccs, supports, DependencyGraph};
 use soct_model::shape::shapes_of_instance;
 use soct_model::simplify::simplify_instance;
 use soct_model::{FxHashSet, Instance, PredId, Schema, Tgd, TgdClass};
-use soct_storage::InstanceSource;
+use soct_storage::{InstanceSource, StorageEngine, TupleSource};
 
 /// Materialization-based termination check, complete for simple-linear and
 /// linear TGDs (§1.4). Linear sets are dynamically simplified first so the
@@ -149,6 +149,69 @@ pub fn check_termination_threads(
                 false
             } else {
                 let db_preds: FxHashSet<PredId> = db.non_empty_predicates().into_iter().collect();
+                let derivable = derivable_predicates(tgds, &db_preds);
+                supports(&graph, schema, &reps, |p| derivable.contains(&p))
+            };
+            if supported {
+                Verdict::Unknown
+            } else {
+                Verdict::Finite
+            }
+        }
+    };
+    TerminationReport { verdict, class }
+}
+
+/// [`check_termination_threads`] against a live [`StorageEngine`] instead
+/// of an in-memory instance. The verdict is identical for equivalent
+/// contents; what changes is the db-dependent cost: when the engine
+/// maintains a shape catalog (`StorageEngine::enable_shape_tracking`), the
+/// linear checker reads `shape(D)` straight from the catalog — no table is
+/// scanned at all — and the SL/general dispatch only consults the table
+/// directory. Without a catalog, the linear path falls back to the
+/// scanning `FindShapes` over the engine.
+pub fn check_termination_engine(
+    schema: &Schema,
+    tgds: &[Tgd],
+    engine: &StorageEngine,
+    mode: FindShapesMode,
+    threads: usize,
+) -> TerminationReport {
+    let class = soct_model::tgd::classify(tgds);
+    let verdict = match class {
+        TgdClass::SimpleLinear => {
+            let db_preds: FxHashSet<PredId> = engine.non_empty_predicates().into_iter().collect();
+            if is_chase_finite_sl(schema, tgds, &db_preds).finite {
+                Verdict::Finite
+            } else {
+                Verdict::Infinite
+            }
+        }
+        TgdClass::Linear => {
+            let finite = match engine.shape_catalog() {
+                Some(cat) => {
+                    crate::check_l::check_l_with_shapes(schema, tgds, &cat.shapes()).finite
+                }
+                None => {
+                    crate::check_l::is_chase_finite_l_parallel(schema, tgds, engine, mode, threads)
+                        .finite
+                }
+            };
+            if finite {
+                Verdict::Finite
+            } else {
+                Verdict::Infinite
+            }
+        }
+        TgdClass::General => {
+            let graph = DependencyGraph::build(schema, tgds);
+            let scc = find_special_sccs(&graph);
+            let reps = scc.special_representatives();
+            let supported = if reps.is_empty() {
+                false
+            } else {
+                let db_preds: FxHashSet<PredId> =
+                    engine.non_empty_predicates().into_iter().collect();
                 let derivable = derivable_predicates(tgds, &db_preds);
                 supports(&graph, schema, &reps, |p| derivable.contains(&p))
             };

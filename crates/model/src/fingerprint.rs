@@ -27,6 +27,22 @@
 //! and generators, and a collision merely yields a stale cached verdict
 //! for an adversarially crafted ruleset — an accepted trade for hashing at
 //! memory bandwidth with zero dependencies.
+//!
+//! ## Incremental set fingerprints
+//!
+//! The *database-dependent* fingerprints (shape sets and predicate sets)
+//! are combined with a **commutative multiset hash** ([`SetFingerprint`]):
+//! each element contributes an independent 128-bit hash, and elements are
+//! combined with wrapping addition. Insertion is `add`, deletion is a
+//! wrapping subtraction — so a live database can maintain its shape-set
+//! fingerprint in O(1) per write instead of re-sorting and re-hashing the
+//! whole set. [`fingerprint_shapes`] and [`fingerprint_predicates`] build
+//! on the same combinator, so a fingerprint maintained incrementally
+//! across any interleaving of inserts and deletes is **bit-identical** to
+//! one rebuilt from scratch over the surviving elements (proptest-proven
+//! in `tests/fingerprint_props.rs`). The ruleset fingerprint keeps the
+//! sorted-multiset combine: rulesets are immutable per request, and the
+//! sort makes the canonical form easy to audit.
 
 use crate::fxhash::FxHashMap;
 use crate::instance::Instance;
@@ -167,6 +183,104 @@ fn combine_sorted(seed: u64, mut hashes: Vec<u128>) -> Fingerprint {
     Fingerprint(m.finish())
 }
 
+/// An incrementally-maintainable, order-invariant multiset fingerprint.
+///
+/// Elements are pre-hashed to 128 bits ([`shape_element_hash`],
+/// [`predicate_element_hash`]) and combined with wrapping addition, so the
+/// combine is commutative and invertible: [`SetFingerprint::add`] and
+/// [`SetFingerprint::remove`] are O(1), and any interleaving of adds and
+/// removes that leaves the same surviving multiset yields the same
+/// [`SetFingerprint::finish`] value — bit-identical to a rebuild from
+/// scratch. The final mix folds in the element count and the domain seed,
+/// so the empty set of one domain never collides with another domain's.
+///
+/// ```
+/// use soct_model::fingerprint::{predicate_element_hash, SetFingerprint};
+///
+/// let (r, s) = (predicate_element_hash("r", 2), predicate_element_hash("s", 1));
+/// let mut live = SetFingerprint::predicates();
+/// live.add(r);
+/// live.add(s);
+/// live.remove(r);
+/// let mut rebuilt = SetFingerprint::predicates();
+/// rebuilt.add(s);
+/// assert_eq!(live.finish(), rebuilt.finish());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SetFingerprint {
+    seed: u64,
+    sum: u128,
+    count: u64,
+}
+
+impl SetFingerprint {
+    /// An empty accumulator in the shape-set domain (`SEED_SHAPESET` —
+    /// the same domain as [`fingerprint_shapes`]).
+    pub fn shapes() -> Self {
+        Self::with_seed(SEED_SHAPESET)
+    }
+
+    /// An empty accumulator in the predicate-set domain (`SEED_PREDSET` —
+    /// the same domain as [`fingerprint_predicates`]).
+    pub fn predicates() -> Self {
+        Self::with_seed(SEED_PREDSET)
+    }
+
+    fn with_seed(seed: u64) -> Self {
+        SetFingerprint {
+            seed,
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// Adds one pre-hashed element (wrapping; O(1)).
+    #[inline]
+    pub fn add(&mut self, element: u128) {
+        self.sum = self.sum.wrapping_add(element);
+        self.count = self.count.wrapping_add(1);
+    }
+
+    /// Removes one pre-hashed element (the inverse of
+    /// [`SetFingerprint::add`]; O(1)). Removing an element that was never
+    /// added silently desynchronises the accumulator — callers (the
+    /// storage engine's shape catalog) guard against that upstream.
+    #[inline]
+    pub fn remove(&mut self, element: u128) {
+        self.sum = self.sum.wrapping_sub(element);
+        self.count = self.count.wrapping_sub(1);
+    }
+
+    /// Number of elements currently accumulated.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no element is accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The fingerprint of the current multiset.
+    pub fn finish(&self) -> Fingerprint {
+        let mut m = Mix128::new(self.seed);
+        m.word(self.count);
+        m.word(self.sum as u64);
+        m.word((self.sum >> 64) as u64);
+        Fingerprint(m.finish())
+    }
+}
+
+/// Combines pre-hashed elements with the commutative multiset combinator —
+/// the rebuild-from-scratch form of [`SetFingerprint`].
+fn combine_multiset(seed: u64, hashes: impl IntoIterator<Item = u128>) -> Fingerprint {
+    let mut acc = SetFingerprint::with_seed(seed);
+    for h in hashes {
+        acc.add(h);
+    }
+    acc.finish()
+}
+
 /// Order- and renaming-invariant fingerprint of a ruleset.
 ///
 /// Permuting `tgds`, renaming variables within any TGD, or round-tripping
@@ -204,24 +318,31 @@ pub fn fingerprint_ruleset(schema: &Schema, tgds: &[Tgd]) -> Fingerprint {
     )
 }
 
-/// Canonical hash of one shape: predicate name + arity + RGS ids.
-fn shape_hash(schema: &Schema, shape: &Shape) -> u128 {
+/// Canonical element hash of one shape, keyed by predicate *name* (arity
+/// is implied by `rgs.len()`). A storage engine that knows only its table
+/// names can compute the exact same element a schema-holding caller would,
+/// so fingerprints maintained engine-side and rebuilt schema-side agree.
+pub fn shape_element_hash(name: &str, rgs: &crate::shape::Rgs) -> u128 {
     let mut m = Mix128::new(SEED_SHAPE);
-    m.bytes(schema.name(shape.pred).as_bytes());
-    m.word(shape.rgs.len() as u64);
-    for id in shape.rgs.iter_ids() {
+    m.bytes(name.as_bytes());
+    m.word(rgs.len() as u64);
+    for id in rgs.iter_ids() {
         m.word(id as u64);
     }
     m.finish()
 }
 
+/// Canonical hash of one shape: predicate name + arity + RGS ids.
+fn shape_hash(schema: &Schema, shape: &Shape) -> u128 {
+    shape_element_hash(schema.name(shape.pred), &shape.rgs)
+}
+
 /// Order-invariant fingerprint of a shape set, keyed by predicate names —
-/// the db-dependent half of the linear checker's cache key.
+/// the db-dependent half of the linear checker's cache key. Built with the
+/// commutative multiset combine, so it equals a [`SetFingerprint`] (shape
+/// domain) maintained incrementally over the same elements.
 pub fn fingerprint_shapes(schema: &Schema, shapes: &[Shape]) -> Fingerprint {
-    combine_sorted(
-        SEED_SHAPESET,
-        shapes.iter().map(|s| shape_hash(schema, s)).collect(),
-    )
+    combine_multiset(SEED_SHAPESET, shapes.iter().map(|s| shape_hash(schema, s)))
 }
 
 /// Fingerprint of `shape(D)` for an in-memory instance: the full
@@ -230,21 +351,26 @@ pub fn fingerprint_instance_shapes(schema: &Schema, db: &Instance) -> Fingerprin
     fingerprint_shapes(schema, &shapes_of_instance(db))
 }
 
+/// Canonical element hash of one predicate, keyed by name + arity — the
+/// element form consumed by a predicate-domain [`SetFingerprint`].
+pub fn predicate_element_hash(name: &str, arity: usize) -> u128 {
+    let mut m = Mix128::new(SEED_PREDSET);
+    m.bytes(name.as_bytes());
+    m.word(arity as u64);
+    m.finish()
+}
+
 /// Order-invariant fingerprint of a predicate set by name — the
 /// db-dependent cache key for simple-linear and general rulesets, whose
 /// verdicts depend only on which relations are non-empty (§4, Remark 1).
+/// Uses the same commutative combine as [`fingerprint_shapes`], so it
+/// equals a predicate-domain [`SetFingerprint`] maintained incrementally.
 pub fn fingerprint_predicates(schema: &Schema, preds: &[PredId]) -> Fingerprint {
-    combine_sorted(
+    combine_multiset(
         SEED_PREDSET,
         preds
             .iter()
-            .map(|&p| {
-                let mut m = Mix128::new(SEED_PREDSET);
-                m.bytes(schema.name(p).as_bytes());
-                m.word(schema.arity(p) as u64);
-                m.finish()
-            })
-            .collect(),
+            .map(|&p| predicate_element_hash(schema.name(p), schema.arity(p))),
     )
 }
 
@@ -411,6 +537,52 @@ mod tests {
             fingerprint_predicates(&s, &[r, p]),
             fingerprint_predicates(&s, &[r])
         );
+    }
+
+    #[test]
+    fn incremental_equals_rebuilt() {
+        let mut s = Schema::new();
+        let r = s.add_predicate("r", 2).unwrap();
+        let p = s.add_predicate("p", 3).unwrap();
+        let shapes = [
+            Shape {
+                pred: r,
+                rgs: Rgs::identity(2),
+            },
+            Shape {
+                pred: r,
+                rgs: Rgs::of(&[1u8, 1]),
+            },
+            Shape {
+                pred: p,
+                rgs: Rgs::of(&[1u8, 1, 2]),
+            },
+        ];
+        let hashes: Vec<u128> = shapes
+            .iter()
+            .map(|sh| shape_element_hash(s.name(sh.pred), &sh.rgs))
+            .collect();
+        // Add all three, remove the middle one, out of order.
+        let mut live = SetFingerprint::shapes();
+        live.add(hashes[1]);
+        live.add(hashes[0]);
+        live.add(hashes[2]);
+        live.remove(hashes[1]);
+        assert_eq!(
+            live.finish(),
+            fingerprint_shapes(&s, &[shapes[0].clone(), shapes[2].clone()])
+        );
+        assert_eq!(live.len(), 2);
+        // Predicate domain: incremental equals the batch builder too.
+        let mut preds = SetFingerprint::predicates();
+        preds.add(predicate_element_hash("r", 2));
+        preds.add(predicate_element_hash("p", 3));
+        assert_eq!(preds.finish(), fingerprint_predicates(&s, &[r, p]));
+        // Draining everything returns to the empty fingerprint.
+        live.remove(hashes[0]);
+        live.remove(hashes[2]);
+        assert!(live.is_empty());
+        assert_eq!(live.finish(), fingerprint_shapes(&s, &[]));
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub use atom::Atom;
 pub use error::ModelError;
 pub use fingerprint::{
     fingerprint_instance_shapes, fingerprint_predicates, fingerprint_ruleset, fingerprint_shapes,
-    Fingerprint,
+    predicate_element_hash, shape_element_hash, Fingerprint, SetFingerprint,
 };
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use homomorphism::{satisfies_all, satisfies_tgd, Substitution};

@@ -31,15 +31,17 @@ pub(crate) enum Endpoint {
     Shapes,
     Chase,
     Stats,
+    Db,
     Jobs,
     Other,
 }
 
-pub(crate) const ENDPOINTS: [Endpoint; 6] = [
+pub(crate) const ENDPOINTS: [Endpoint; 7] = [
     Endpoint::Check,
     Endpoint::Shapes,
     Endpoint::Chase,
     Endpoint::Stats,
+    Endpoint::Db,
     Endpoint::Jobs,
     Endpoint::Other,
 ];
@@ -51,6 +53,7 @@ impl Endpoint {
             "/shapes" => Endpoint::Shapes,
             "/chase" => Endpoint::Chase,
             "/stats" => Endpoint::Stats,
+            _ if path.starts_with("/db/") => Endpoint::Db,
             _ if path.starts_with("/jobs") => Endpoint::Jobs,
             _ => Endpoint::Other,
         }
@@ -62,6 +65,7 @@ impl Endpoint {
             Endpoint::Shapes => "shapes",
             Endpoint::Chase => "chase",
             Endpoint::Stats => "stats",
+            Endpoint::Db => "db",
             Endpoint::Jobs => "jobs",
             Endpoint::Other => "other",
         }
@@ -73,8 +77,9 @@ impl Endpoint {
             Endpoint::Shapes => 1,
             Endpoint::Chase => 2,
             Endpoint::Stats => 3,
-            Endpoint::Jobs => 4,
-            Endpoint::Other => 5,
+            Endpoint::Db => 4,
+            Endpoint::Jobs => 5,
+            Endpoint::Other => 6,
         }
     }
 }
@@ -274,7 +279,7 @@ pub(crate) struct Metrics {
     pub async_202: AtomicU64,
     /// Malformed-request error responses written by the HTTP layer.
     pub http_errors: AtomicU64,
-    hist: [Histogram; 6],
+    hist: [Histogram; 7],
 }
 
 impl Metrics {
@@ -442,6 +447,7 @@ mod tests {
     #[test]
     fn endpoint_classification() {
         assert_eq!(Endpoint::of("/check"), Endpoint::Check);
+        assert_eq!(Endpoint::of("/db/insert"), Endpoint::Db);
         assert_eq!(Endpoint::of("/jobs/17"), Endpoint::Jobs);
         assert_eq!(Endpoint::of("/nope"), Endpoint::Other);
     }

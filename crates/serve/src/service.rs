@@ -5,15 +5,16 @@
 use crate::json::JsonObject;
 use soct_chase::{run_chase_columnar, ChaseConfig, ChaseOutcome, ChaseVariant};
 use soct_core::{
-    check_termination_cached, find_shapes_parallel, FindShapesMode, Verdict, VerdictCache,
+    check_termination_cached, check_termination_live, find_shapes_parallel, FindShapesMode,
+    Verdict, VerdictCache,
 };
 use soct_model::{Atom, ConstId, Database, FxHashMap, Interner, Schema, Term, Tgd, TgdClass};
-use soct_parser::Program;
-use soct_storage::InstanceSource;
+use soct_parser::{parse_facts, Program};
+use soct_storage::{InstanceSource, StorageEngine, TupleSource};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 
 /// File name of the persisted verdict cache inside `cache_dir`.
 pub const CACHE_FILE: &str = "verdicts.soctvc";
@@ -48,6 +49,11 @@ pub struct ServiceConfig {
     pub cache_dir: Option<PathBuf>,
     /// Hard ceiling on the atom budget a `/chase` request may ask for.
     pub max_chase_atoms: usize,
+    /// When set, a resident live database is loaded from this facts file
+    /// at startup (shape tracking enabled) and served through
+    /// `POST /db/insert`, `POST /db/delete`, `GET /db/stats`, and
+    /// `/check?db=live`.
+    pub db_path: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +64,7 @@ impl Default for ServiceConfig {
             cache_capacity: 1 << 16,
             cache_dir: None,
             max_chase_atoms: 1_000_000,
+            db_path: None,
         }
     }
 }
@@ -75,6 +82,58 @@ pub struct ServiceStats {
     pub errors: AtomicU64,
     /// Cache persistence failures (best-effort writes that did not land).
     pub persist_failures: AtomicU64,
+    /// `POST /db/insert` and `POST /db/delete` requests served.
+    pub db_writes: AtomicU64,
+}
+
+/// The resident live database: a writable engine with shape tracking on,
+/// plus the schema/constant interners its facts were parsed against. One
+/// `RwLock` guards the whole thing — writes are short (O(arity²) per tuple
+/// for inserts), and checks take the read side so they can proceed
+/// concurrently with each other.
+#[derive(Debug)]
+struct LiveDb {
+    schema: Schema,
+    consts: Interner,
+    engine: StorageEngine,
+    inserts: u64,
+    deletes: u64,
+    delete_misses: u64,
+}
+
+impl LiveDb {
+    /// Parses a facts file and loads it into a tracking-enabled engine.
+    fn load(path: &PathBuf) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_text(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
+    }
+
+    fn from_text(text: &str) -> Result<Self, String> {
+        let mut schema = Schema::new();
+        let mut consts = Interner::new();
+        let db = parse_facts(text, &mut schema, &mut consts).map_err(|e| e.to_string())?;
+        let mut engine = StorageEngine::new();
+        engine.load_instance(&schema, &db);
+        // Register empty tables for every declared predicate too, so the
+        // engine knows names/arities even before the first insert.
+        for p in schema.predicates() {
+            engine.create_table(p, schema.name(p), schema.arity(p));
+        }
+        engine.enable_shape_tracking();
+        Ok(LiveDb {
+            schema,
+            consts,
+            engine,
+            inserts: 0,
+            deletes: 0,
+            delete_misses: 0,
+        })
+    }
 }
 
 /// The termination-checking service: parses line-oriented ruleset bodies,
@@ -90,6 +149,8 @@ pub struct TerminationService {
     persist_lock: Mutex<()>,
     /// Verdicts inserted since the last persisted snapshot.
     dirty: AtomicU64,
+    /// The resident live database, when `db_path` is configured.
+    live: Option<RwLock<LiveDb>>,
 }
 
 impl TerminationService {
@@ -106,12 +167,17 @@ impl TerminationService {
                 cache.load(&file)?;
             }
         }
+        let live = match &cfg.db_path {
+            Some(path) => Some(RwLock::new(LiveDb::load(path)?)),
+            None => None,
+        };
         Ok(TerminationService {
             cfg,
             cache,
             stats: ServiceStats::default(),
             persist_lock: Mutex::new(()),
             dirty: AtomicU64::new(0),
+            live,
         })
     }
 
@@ -143,9 +209,23 @@ impl TerminationService {
                 self.chase(body, &query)
             }
             ("GET", "/stats") => Ok(self.stats_json()),
-            (_, "/check" | "/shapes" | "/chase" | "/stats") => Err((
+            ("POST", "/db/insert") => {
+                self.stats.db_writes.fetch_add(1, Ordering::Relaxed);
+                self.db_write(body, WriteOp::Insert)
+            }
+            ("POST", "/db/delete") => {
+                self.stats.db_writes.fetch_add(1, Ordering::Relaxed);
+                self.db_write(body, WriteOp::Delete)
+            }
+            ("GET", "/db/stats") => self.db_stats(),
+            (
+                _,
+                "/check" | "/shapes" | "/chase" | "/stats" | "/db/insert" | "/db/delete"
+                | "/db/stats",
+            ) => Err((
                 405,
-                "method not allowed (POST /check, POST /shapes, POST /chase, GET /stats)"
+                "method not allowed (POST /check, POST /shapes, POST /chase, GET /stats, \
+                 POST /db/insert, POST /db/delete, GET /db/stats)"
                     .to_string(),
             )),
             _ => Err((404, format!("no such endpoint: {path}"))),
@@ -162,8 +242,15 @@ impl TerminationService {
     }
 
     /// `POST /check`: decide termination for the ruleset (and optional
-    /// facts) in the body. Supports `?mode=memory|db`.
+    /// facts) in the body. Supports `?mode=memory|db`, and `?db=live` to
+    /// check the rules against the resident live database instead of the
+    /// body's facts / the critical instance.
     fn check(&self, body: &str, query: &FxHashMap<String, String>) -> ServiceResult {
+        match query.get("db").map(String::as_str) {
+            Some("live") => return self.check_live(body, query),
+            Some(other) => return Err((400, format!("db expects `live`, got `{other}`"))),
+            None => {}
+        }
         let program = parse_program(body)?;
         let mode = mode_from(query, self.cfg.mode)?;
         let (schema, tgds, db) = (program.schema, program.tgds, program.db);
@@ -186,6 +273,137 @@ impl TerminationService {
             .str_field("rule_fp", &checked.rules_fp.to_string())
             .str_field("db_fp", &checked.db_fp.to_string())
             .bool_field("cached", checked.hit);
+        Ok(o.finish())
+    }
+
+    /// `/check?db=live`: decide termination for the body's rules against
+    /// the resident live database. Rules parse against a *clone* of the
+    /// live schema, so rule-only predicates intern freely without mutating
+    /// the shared vocabulary — a predicate with no table is simply an
+    /// empty relation, exactly the semantics the checkers expect. With
+    /// shape tracking on, the db half of the cache key is an O(1)
+    /// accumulator read: revalidation after shape-preserving writes is a
+    /// pure cache hit, independent of database size.
+    fn check_live(&self, body: &str, query: &FxHashMap<String, String>) -> ServiceResult {
+        let live = self.live.as_ref().ok_or_else(no_live_db)?;
+        let mode = mode_from(query, self.cfg.mode)?;
+        let guard = live.read().expect("live db poisoned");
+        let mut schema = guard.schema.clone();
+        let mut consts = guard.consts.clone();
+        let tgds = soct_parser::parse_tgds(body, &mut schema, &mut consts)
+            .map_err(|e| (400, e.to_string()))?;
+        let checked = check_termination_live(
+            &schema,
+            &tgds,
+            &guard.engine,
+            mode,
+            self.cfg.check_threads,
+            &self.cache,
+        );
+        if !checked.hit {
+            self.persist_best_effort();
+        }
+        let mut o = JsonObject::new();
+        o.str_field("verdict", verdict_str(checked.report.verdict))
+            .str_field("class", class_str(checked.report.class))
+            .u64_field("rules", tgds.len() as u64)
+            .u64_field("db_atoms", guard.engine.total_rows())
+            .str_field("rule_fp", &checked.rules_fp.to_string())
+            .str_field("db_fp", &checked.db_fp.to_string())
+            .bool_field("cached", checked.hit);
+        Ok(o.finish())
+    }
+
+    /// `POST /db/insert` and `POST /db/delete`: apply a batch of
+    /// line-oriented facts (same syntax as a database file) to the
+    /// resident engine. Inserts create tables on the fly for new
+    /// predicates; deletes remove one matching tuple each (multiset
+    /// semantics) and report misses without failing the batch. The
+    /// response carries the shape fingerprint before/after, so a client
+    /// can tell whether the write invalidated cached verdicts.
+    fn db_write(&self, body: &str, op: WriteOp) -> ServiceResult {
+        let live = self.live.as_ref().ok_or_else(no_live_db)?;
+        let mut guard = live.write().expect("live db poisoned");
+        let g = &mut *guard;
+        let facts =
+            parse_facts(body, &mut g.schema, &mut g.consts).map_err(|e| (400, e.to_string()))?;
+        let fp_before = g.engine.shape_fingerprint().expect("tracking enabled");
+        let (mut applied, mut missed) = (0u64, 0u64);
+        for a in facts.atoms() {
+            match op {
+                WriteOp::Insert => {
+                    g.engine
+                        .create_table(a.pred, g.schema.name(a.pred), a.arity());
+                    g.engine.insert(a.pred, &a.terms);
+                    applied += 1;
+                }
+                WriteOp::Delete => {
+                    if g.engine.delete(a.pred, &a.terms) {
+                        applied += 1;
+                    } else {
+                        missed += 1;
+                    }
+                }
+            }
+        }
+        match op {
+            WriteOp::Insert => g.inserts += applied,
+            WriteOp::Delete => {
+                g.deletes += applied;
+                g.delete_misses += missed;
+            }
+        }
+        let fp_after = g.engine.shape_fingerprint().expect("tracking enabled");
+        let cat = g.engine.shape_catalog().expect("tracking enabled");
+        let mut o = JsonObject::new();
+        o.str_field(
+            "op",
+            match op {
+                WriteOp::Insert => "insert",
+                WriteOp::Delete => "delete",
+            },
+        )
+        .u64_field("applied", applied)
+        .u64_field("missed", missed)
+        .u64_field("tuples", g.engine.total_rows())
+        .u64_field("shapes", cat.num_shapes() as u64)
+        .bool_field("shape_fp_changed", fp_before != fp_after)
+        .str_field("shape_fp", &fp_after.to_string());
+        Ok(o.finish())
+    }
+
+    /// `GET /db/stats`: size, shape, and write counters of the resident
+    /// database, plus the two maintained fingerprints.
+    fn db_stats(&self) -> ServiceResult {
+        let live = self.live.as_ref().ok_or_else(no_live_db)?;
+        let g = live.read().expect("live db poisoned");
+        let cat = g.engine.shape_catalog().expect("tracking enabled");
+        let mut o = JsonObject::new();
+        o.u64_field("tuples", g.engine.total_rows())
+            .u64_field("tables", g.engine.tables().count() as u64)
+            .u64_field(
+                "relations_nonempty",
+                g.engine.non_empty_predicates().len() as u64,
+            )
+            .u64_field("shapes", cat.num_shapes() as u64)
+            .u64_field("inserts", g.inserts)
+            .u64_field("deletes", g.deletes)
+            .u64_field("delete_misses", g.delete_misses)
+            .u64_field("catalog_rebuilds", g.engine.catalog_rebuilds())
+            .str_field(
+                "shape_fp",
+                &g.engine
+                    .shape_fingerprint()
+                    .expect("tracking enabled")
+                    .to_string(),
+            )
+            .str_field(
+                "pred_fp",
+                &g.engine
+                    .predicate_fingerprint()
+                    .expect("tracking enabled")
+                    .to_string(),
+            );
         Ok(o.finish())
     }
 
@@ -245,6 +463,7 @@ impl TerminationService {
             .u64_field("check", self.stats.checks.load(Ordering::Relaxed))
             .u64_field("shapes", self.stats.shapes.load(Ordering::Relaxed))
             .u64_field("chase", self.stats.chases.load(Ordering::Relaxed))
+            .u64_field("db_writes", self.stats.db_writes.load(Ordering::Relaxed))
             .u64_field("errors", self.stats.errors.load(Ordering::Relaxed))
             .u64_field(
                 "persist_failures",
@@ -297,6 +516,20 @@ impl TerminationService {
 }
 
 type ServiceResult = Result<String, (u16, String)>;
+
+/// Which mutation a `/db/*` write request performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WriteOp {
+    Insert,
+    Delete,
+}
+
+fn no_live_db() -> (u16, String) {
+    (
+        409,
+        "no resident database (start serve with --db <facts-file>)".to_string(),
+    )
+}
 
 /// A parsed request body: vocabulary, rules, and the database actually
 /// checked (the body's facts, or the critical instance when none given).
@@ -514,6 +747,97 @@ mod tests {
         let (_, body) = second.handle("POST", "/check", INFINITE_SL);
         assert_eq!(get_field(&body, "cached"), Some("true"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Linear ruleset whose verdict flips on the presence of the shape
+    /// `r_(1,1)`: the s/t loop only fires once some `r(c, c)` exists.
+    const SHAPE_SENSITIVE_L: &str = "r(X, X) -> s(X).\ns(X) -> t(X, Y).\nt(X, Y) -> s(Y).\n";
+
+    fn live_svc(name: &str, facts: &str) -> (TerminationService, PathBuf) {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, facts).unwrap();
+        let cfg = ServiceConfig {
+            db_path: Some(path.clone()),
+            ..ServiceConfig::default()
+        };
+        (TerminationService::new(cfg).unwrap(), path)
+    }
+
+    #[test]
+    fn live_check_revalidates_through_shape_preserving_writes() {
+        let (s, path) = live_svc("soct_serve_live_test.facts", "r(a, b).\nr(b, c).\n");
+        let (status, body) = s.handle("POST", "/check?db=live", SHAPE_SENSITIVE_L);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(get_field(&body, "verdict"), Some("finite"));
+        assert_eq!(get_field(&body, "class"), Some("L"));
+        assert_eq!(get_field(&body, "cached"), Some("false"));
+
+        // Shape-preserving insert: r_(1,2) already present.
+        let (status, w) = s.handle("POST", "/db/insert", "r(c, d).\n");
+        assert_eq!(status, 200, "{w}");
+        assert_eq!(get_field(&w, "applied"), Some("1"));
+        assert_eq!(get_field(&w, "shape_fp_changed"), Some("false"));
+        let (_, body2) = s.handle("POST", "/check?db=live", SHAPE_SENSITIVE_L);
+        assert_eq!(get_field(&body2, "cached"), Some("true"), "{body2}");
+        assert_eq!(get_field(&body2, "verdict"), Some("finite"));
+
+        // Shape-changing insert: r_(1,1) appears, the loop arms.
+        let (_, w) = s.handle("POST", "/db/insert", "r(e, e).\n");
+        assert_eq!(get_field(&w, "shape_fp_changed"), Some("true"), "{w}");
+        let (_, body3) = s.handle("POST", "/check?db=live", SHAPE_SENSITIVE_L);
+        assert_eq!(get_field(&body3, "cached"), Some("false"));
+        assert_eq!(get_field(&body3, "verdict"), Some("infinite"));
+
+        // Delete restores the fingerprint bit-exactly: cache hit, old verdict.
+        let (_, w) = s.handle("POST", "/db/delete", "r(e, e).\n");
+        assert_eq!(get_field(&w, "applied"), Some("1"));
+        assert_eq!(get_field(&w, "shape_fp_changed"), Some("true"));
+        let (_, body4) = s.handle("POST", "/check?db=live", SHAPE_SENSITIVE_L);
+        assert_eq!(get_field(&body4, "cached"), Some("true"), "{body4}");
+        assert_eq!(get_field(&body4, "verdict"), Some("finite"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn db_stats_counts_writes_and_misses() {
+        let (s, path) = live_svc("soct_serve_live_stats.facts", "r(a, b).\n");
+        s.handle("POST", "/db/insert", "r(b, c).\ns(a).\n");
+        let (status, w) = s.handle("POST", "/db/delete", "r(a, b).\nr(zz, zz).\n");
+        assert_eq!(status, 200, "{w}");
+        assert_eq!(get_field(&w, "applied"), Some("1"));
+        assert_eq!(get_field(&w, "missed"), Some("1"));
+        let (status, body) = s.handle("GET", "/db/stats", "");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(get_field(&body, "tuples"), Some("2"));
+        assert_eq!(get_field(&body, "inserts"), Some("2"));
+        assert_eq!(get_field(&body, "deletes"), Some("1"));
+        assert_eq!(get_field(&body, "delete_misses"), Some("1"));
+        assert_eq!(get_field(&body, "catalog_rebuilds"), Some("0"));
+        assert_eq!(get_field(&body, "relations_nonempty"), Some("2"));
+        let (_, stats) = s.handle("GET", "/stats", "");
+        assert_eq!(get_field(&stats, "db_writes"), Some("2"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn db_endpoints_require_a_resident_database() {
+        let s = svc();
+        for (method, target) in [
+            ("POST", "/db/insert"),
+            ("POST", "/db/delete"),
+            ("GET", "/db/stats"),
+            ("POST", "/check?db=live"),
+        ] {
+            let (status, body) = s.handle(method, target, "r(a, b).\n");
+            assert_eq!(status, 409, "{target}: {body}");
+            assert!(
+                get_field(&body, "error").unwrap().contains("--db"),
+                "{body}"
+            );
+        }
+        // And a bogus db selector is a 400, not a 409.
+        let (status, _) = s.handle("POST", "/check?db=other", FINITE_SL);
+        assert_eq!(status, 400);
     }
 
     #[test]

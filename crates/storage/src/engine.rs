@@ -18,7 +18,8 @@
 use crate::query::{self, ColumnCondition};
 use crate::shape_catalog::ShapeCatalog;
 use crate::table::Table;
-use soct_model::{Instance, PredId, Term, MAX_ARITY};
+use soct_model::fingerprint::{predicate_element_hash, shape_element_hash, SetFingerprint};
+use soct_model::{Fingerprint, Instance, PredId, Rgs, Term, MAX_ARITY};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Row-level access used by the termination checkers and generators.
@@ -43,15 +44,31 @@ pub trait TupleSource {
     }
 }
 
-/// An embedded, append-only relational store.
+/// The db-dependent cache-key fingerprints, maintained in O(1) per write:
+/// the distinct shape set (Linear) and the non-empty predicate set
+/// (simple-linear / general). Elements enter and leave the accumulators
+/// only on distinct-set transitions (shape multiplicity 0 ↔ 1, relation
+/// row count 0 ↔ 1), so shape-preserving writes leave both bits unchanged.
+#[derive(Debug, Clone, Copy)]
+struct LiveFingerprints {
+    shapes: SetFingerprint,
+    preds: SetFingerprint,
+}
+
+/// An embedded, writable relational store.
 #[derive(Debug, Default)]
 pub struct StorageEngine {
     tables: Vec<Option<Table>>,
     /// EXISTS queries answered (the `abl-apriori` ablation metric).
     exists_queries: AtomicU64,
     /// Optional incrementally-maintained shape catalog (§10 future work);
-    /// enabled with [`StorageEngine::enable_shape_tracking`].
+    /// enabled with [`StorageEngine::enable_shape_tracking`]. Invariant:
+    /// `Some` iff `live_fp` is `Some`.
     shape_catalog: Option<ShapeCatalog>,
+    /// Incrementally-maintained db fingerprints; paired with the catalog.
+    live_fp: Option<LiveFingerprints>,
+    /// Full catalog rebuilds forced by detected desyncs.
+    catalog_rebuilds: u64,
 }
 
 impl StorageEngine {
@@ -100,25 +117,142 @@ impl StorageEngine {
 
     /// Inserts one pre-packed tuple. The table must exist.
     pub fn insert_packed(&mut self, pred: PredId, row: &[u64]) {
-        self.table_mut(pred).insert_packed(row);
+        let table = self
+            .tables
+            .get_mut(pred.index())
+            .and_then(Option::as_mut)
+            .expect("table not created");
+        let was_empty = table.is_empty();
+        table.insert_packed(row);
         if let Some(cat) = self.shape_catalog.as_mut() {
-            cat.on_insert(pred, row);
+            let new_shape = cat.on_insert(pred, row);
+            let table = self.tables[pred.index()].as_ref().unwrap();
+            if let Some(fp) = self.live_fp.as_mut() {
+                if new_shape {
+                    fp.shapes
+                        .add(shape_element_hash(table.name(), &Rgs::of_row(row)));
+                }
+                if was_empty {
+                    fp.preds
+                        .add(predicate_element_hash(table.name(), table.arity()));
+                }
+            }
         }
     }
 
+    /// Deletes one tuple of terms (first match). Returns whether a row was
+    /// removed. The catalog and fingerprints stay in sync because the
+    /// notification fires only for rows that actually left the store.
+    pub fn delete(&mut self, pred: PredId, terms: &[Term]) -> bool {
+        // Safe by the MAX_ARITY contract `Schema::add_predicate` enforces.
+        let mut row = [0u64; MAX_ARITY];
+        for (i, t) in terms.iter().enumerate() {
+            row[i] = t.pack();
+        }
+        self.delete_packed(pred, &row[..terms.len()])
+    }
+
+    /// Deletes one pre-packed tuple (first match; swap-remove inside the
+    /// page arena, so it is O(scan) to find and O(1) to remove). Returns
+    /// whether a row was removed; a missing table, arity mismatch, or
+    /// absent tuple is a clean `false`, never a desync. If the catalog
+    /// nevertheless reports a shape it cannot reconcile, tracking is
+    /// rebuilt from a full scan on the spot ([`StorageEngine::catalog_rebuilds`]
+    /// counts these) — the catalog is never left silently wrong.
+    pub fn delete_packed(&mut self, pred: PredId, row: &[u64]) -> bool {
+        let Some(table) = self.tables.get_mut(pred.index()).and_then(Option::as_mut) else {
+            return false;
+        };
+        if row.len() != table.arity() || !table.delete_first_match(row) {
+            return false;
+        }
+        if self.shape_catalog.is_some() {
+            let table = self.tables[pred.index()].as_ref().unwrap();
+            let now_empty = table.is_empty();
+            let cat = self.shape_catalog.as_mut().unwrap();
+            match cat.on_delete(pred, row) {
+                Some(shape_vanished) => {
+                    if let Some(fp) = self.live_fp.as_mut() {
+                        if shape_vanished {
+                            fp.shapes
+                                .remove(shape_element_hash(table.name(), &Rgs::of_row(row)));
+                        }
+                        if now_empty {
+                            fp.preds
+                                .remove(predicate_element_hash(table.name(), table.arity()));
+                        }
+                    }
+                }
+                None => self.rebuild_tracking(),
+            }
+        }
+        true
+    }
+
     /// Turns on the materialised shape catalog (§10 future work). Existing
-    /// rows are scanned once; every later insert maintains the catalog
-    /// incrementally, making `FindShapesMode::Materialized` a constant-time
-    /// read.
+    /// rows are scanned once; every later insert and delete maintains the
+    /// catalog — and the live db fingerprints — incrementally, collapsing
+    /// `FindShapes` to a constant-time catalog read and cache revalidation
+    /// to a fingerprint comparison.
     pub fn enable_shape_tracking(&mut self) {
         if self.shape_catalog.is_none() {
-            self.shape_catalog = Some(ShapeCatalog::build(self));
+            let cat = ShapeCatalog::build(self);
+            self.live_fp = Some(self.build_fingerprints(&cat));
+            self.shape_catalog = Some(cat);
         }
+    }
+
+    /// Recomputes both fingerprint accumulators from a catalog + the table
+    /// directory — the rebuild-from-scratch form the incremental path must
+    /// stay bit-identical to.
+    fn build_fingerprints(&self, cat: &ShapeCatalog) -> LiveFingerprints {
+        let mut shapes = SetFingerprint::shapes();
+        for sh in cat.shapes() {
+            let name = self.table(sh.pred).map_or("", Table::name);
+            shapes.add(shape_element_hash(name, &sh.rgs));
+        }
+        let mut preds = SetFingerprint::predicates();
+        for (_, t) in self.tables() {
+            if !t.is_empty() {
+                preds.add(predicate_element_hash(t.name(), t.arity()));
+            }
+        }
+        LiveFingerprints { shapes, preds }
+    }
+
+    /// Recovery path for a detected catalog desync: one full scan rebuilds
+    /// catalog and fingerprints, restoring the in-sync invariant.
+    fn rebuild_tracking(&mut self) {
+        self.catalog_rebuilds += 1;
+        let cat = ShapeCatalog::build(self);
+        self.live_fp = Some(self.build_fingerprints(&cat));
+        self.shape_catalog = Some(cat);
     }
 
     /// The materialised shape catalog, if tracking is enabled.
     pub fn shape_catalog(&self) -> Option<&ShapeCatalog> {
         self.shape_catalog.as_ref()
+    }
+
+    /// The live shape-set fingerprint — the db-dependent cache key for
+    /// linear rulesets — if tracking is enabled. Bit-identical to
+    /// `fingerprint_shapes` over the current shape set.
+    pub fn shape_fingerprint(&self) -> Option<Fingerprint> {
+        self.live_fp.as_ref().map(|f| f.shapes.finish())
+    }
+
+    /// The live non-empty-predicate fingerprint — the db-dependent cache
+    /// key for simple-linear and general rulesets — if tracking is enabled.
+    /// Bit-identical to `fingerprint_predicates` over the current non-empty
+    /// relations.
+    pub fn predicate_fingerprint(&self) -> Option<Fingerprint> {
+        self.live_fp.as_ref().map(|f| f.preds.finish())
+    }
+
+    /// Number of full catalog rebuilds forced by detected desyncs (0 when
+    /// every write went through the engine API).
+    pub fn catalog_rebuilds(&self) -> u64 {
+        self.catalog_rebuilds
     }
 
     /// Bulk-loads an instance (tables are created on the fly, named after
@@ -277,6 +411,66 @@ mod tests {
         assert!(e.exists_where(PredId(0), &[ColumnCondition::Eq(0, 1)]));
         assert!(!e.exists_where(PredId(0), &[ColumnCondition::Ne(0, 1)]));
         assert_eq!(e.exists_query_count(), 2);
+    }
+
+    #[test]
+    fn delete_removes_one_witness() {
+        let mut e = StorageEngine::new();
+        let p = PredId(0);
+        e.create_table(p, "r", 2);
+        e.insert(p, &[c(1), c(2)]);
+        e.insert(p, &[c(1), c(2)]);
+        assert!(e.delete(p, &[c(1), c(2)]));
+        assert_eq!(e.row_count(p), 1, "duplicates go one at a time");
+        assert!(e.delete(p, &[c(1), c(2)]));
+        assert!(!e.delete(p, &[c(1), c(2)]), "gone");
+        assert!(!e.delete(PredId(9), &[c(1)]), "missing table is a miss");
+        assert!(!e.delete(p, &[c(1)]), "arity mismatch is a miss");
+    }
+
+    #[test]
+    fn live_fingerprints_track_distinct_sets() {
+        use soct_model::{fingerprint_predicates, fingerprint_shapes, Schema, Shape};
+        let mut schema = Schema::new();
+        let r = schema.add_predicate("r", 2).unwrap();
+        let s = schema.add_predicate("s", 2).unwrap();
+        let mut e = StorageEngine::new();
+        e.create_table(r, "r", 2);
+        e.create_table(s, "s", 2);
+        e.insert(r, &[c(1), c(2)]);
+        e.enable_shape_tracking();
+        let fp0 = e.shape_fingerprint().unwrap();
+        let pfp0 = e.predicate_fingerprint().unwrap();
+        // A shape-preserving insert changes nothing.
+        e.insert(r, &[c(8), c(9)]);
+        assert_eq!(e.shape_fingerprint().unwrap(), fp0);
+        assert_eq!(e.predicate_fingerprint().unwrap(), pfp0);
+        // A new shape moves the shape fp but not the predicate fp.
+        e.insert(r, &[c(3), c(3)]);
+        let fp1 = e.shape_fingerprint().unwrap();
+        assert_ne!(fp1, fp0);
+        assert_eq!(e.predicate_fingerprint().unwrap(), pfp0);
+        // Populating a fresh relation moves both.
+        e.insert(s, &[c(4), c(5)]);
+        assert_ne!(e.predicate_fingerprint().unwrap(), pfp0);
+        // Deleting back to the original state restores both bit-exactly.
+        assert!(e.delete(s, &[c(4), c(5)]));
+        assert!(e.delete(r, &[c(3), c(3)]));
+        assert_eq!(e.shape_fingerprint().unwrap(), fp0);
+        assert_eq!(e.predicate_fingerprint().unwrap(), pfp0);
+        // And both maintained fps equal the rebuild-from-scratch forms.
+        assert_eq!(
+            fp0,
+            fingerprint_shapes(
+                &schema,
+                &[Shape {
+                    pred: r,
+                    rgs: soct_model::Rgs::identity(2)
+                }]
+            )
+        );
+        assert_eq!(pfp0, fingerprint_predicates(&schema, &[r]));
+        assert_eq!(e.catalog_rebuilds(), 0);
     }
 
     #[test]

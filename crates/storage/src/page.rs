@@ -92,6 +92,25 @@ impl Page {
         true
     }
 
+    /// Overwrites row `i` in place (same width). Panics on out-of-range.
+    pub fn overwrite_row(&mut self, i: usize, row: &[u64]) {
+        assert!(i < self.len(), "row index out of range");
+        assert_eq!(row.len() * 8, self.row_width, "row width mismatch");
+        let base = i * self.row_width;
+        for (j, &v) in row.iter().enumerate() {
+            let at = base + j * 8;
+            self.buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Removes the last row (the O(1) half of a table-level swap-remove).
+    /// Panics if empty.
+    pub fn pop_row(&mut self) {
+        assert!(!self.is_empty(), "pop from empty page");
+        self.rows -= 1;
+        self.buf.truncate(self.rows as usize * self.row_width);
+    }
+
     /// Raw page bytes (for persistence).
     pub fn bytes(&self) -> &[u8] {
         &self.buf
@@ -172,6 +191,26 @@ mod tests {
         assert!(!complete);
         // Rows 0..=3 return true; row 4 returns false and stops the scan.
         assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn overwrite_and_pop() {
+        let mut p = Page::new(2);
+        p.push_row(&[1, 2]);
+        p.push_row(&[3, 4]);
+        p.push_row(&[5, 6]);
+        p.overwrite_row(0, &[5, 6]);
+        p.pop_row();
+        assert_eq!(p.len(), 2);
+        let mut out = [0u64; 2];
+        p.read_row(0, &mut out);
+        assert_eq!(out, [5, 6]);
+        p.read_row(1, &mut out);
+        assert_eq!(out, [3, 4]);
+        // Popped space is reusable: the page accepts a fresh row again.
+        p.push_row(&[7, 8]);
+        p.read_row(2, &mut out);
+        assert_eq!(out, [7, 8]);
     }
 
     #[test]

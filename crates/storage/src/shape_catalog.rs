@@ -16,10 +16,20 @@ use soct_model::fxhash::FxHashMap;
 use soct_model::{PredId, Rgs, Shape};
 
 /// A multiset of shapes per relation.
+///
+/// The catalog is *provably in sync* with its source as long as every write
+/// flows through [`ShapeCatalog::on_insert`] / [`ShapeCatalog::on_delete`]
+/// with rows that actually entered or left the store — the contract
+/// `StorageEngine` upholds by checking row existence before notifying.
+/// A delete for a shape the catalog never saw cannot be reconciled locally;
+/// it marks the catalog **dirty** ([`ShapeCatalog::is_dirty`]) and callers
+/// must rebuild with [`ShapeCatalog::build`] before trusting
+/// [`ShapeCatalog::shapes`] again — there is no silent-wrong-shapes state.
 #[derive(Default, Debug, Clone)]
 pub struct ShapeCatalog {
     per_pred: FxHashMap<PredId, FxHashMap<Rgs, u64>>,
     tuples_seen: u64,
+    dirty: bool,
 }
 
 impl ShapeCatalog {
@@ -42,38 +52,54 @@ impl ShapeCatalog {
         cat
     }
 
-    /// Registers one inserted tuple.
+    /// Registers one inserted tuple. Returns `true` when the tuple's shape
+    /// is *new* to its relation (multiplicity 0 → 1) — the distinct-set
+    /// transition that changes the shape-set fingerprint.
     #[inline]
-    pub fn on_insert(&mut self, pred: PredId, row: &[u64]) {
+    pub fn on_insert(&mut self, pred: PredId, row: &[u64]) -> bool {
         let rgs = Rgs::of_row(row);
-        *self
+        let count = self
             .per_pred
             .entry(pred)
             .or_default()
             .entry(rgs)
-            .or_insert(0) += 1;
+            .or_insert(0);
+        *count += 1;
         self.tuples_seen += 1;
+        *count == 1
     }
 
-    /// Registers one deleted tuple; returns `false` if the shape was not
-    /// present (catalog desync — callers should rebuild).
-    pub fn on_delete(&mut self, pred: PredId, row: &[u64]) -> bool {
+    /// Registers one deleted tuple.
+    ///
+    /// Returns `Some(true)` when the last witness of the shape left
+    /// (multiplicity 1 → 0 — the transition that changes the shape-set
+    /// fingerprint), `Some(false)` when witnesses remain, and `None` when
+    /// the shape was not present at all. `None` means the catalog and its
+    /// source have diverged: the catalog marks itself dirty and every shape
+    /// query is suspect until a rebuild (see the type-level contract).
+    pub fn on_delete(&mut self, pred: PredId, row: &[u64]) -> Option<bool> {
         let rgs = Rgs::of_row(row);
-        let Some(shapes) = self.per_pred.get_mut(&pred) else {
-            return false;
-        };
-        let Some(count) = shapes.get_mut(&rgs) else {
-            return false;
+        let Some(count) = self.per_pred.get_mut(&pred).and_then(|m| m.get_mut(&rgs)) else {
+            self.dirty = true;
+            return None;
         };
         *count -= 1;
-        if *count == 0 {
+        let vanished = *count == 0;
+        if vanished {
+            let shapes = self.per_pred.get_mut(&pred).unwrap();
             shapes.remove(&rgs);
             if shapes.is_empty() {
                 self.per_pred.remove(&pred);
             }
         }
         self.tuples_seen -= 1;
-        true
+        Some(vanished)
+    }
+
+    /// True once a delete could not be reconciled: shape queries may
+    /// under-report until the catalog is rebuilt from its source.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
     }
 
     /// The distinct shapes, sorted — same contract as `FindShapes`.
@@ -159,14 +185,16 @@ mod tests {
     fn deletion_decrements_and_removes() {
         let p = PredId(0);
         let mut cat = ShapeCatalog::new();
-        cat.on_insert(p, &[c(1), c(1)]);
-        cat.on_insert(p, &[c(2), c(2)]);
+        assert!(cat.on_insert(p, &[c(1), c(1)]), "first witness of shape");
+        assert!(!cat.on_insert(p, &[c(2), c(2)]), "shape already present");
         assert_eq!(cat.num_shapes(), 1);
-        assert!(cat.on_delete(p, &[c(1), c(1)]));
+        assert_eq!(cat.on_delete(p, &[c(1), c(1)]), Some(false));
         assert_eq!(cat.num_shapes(), 1, "one witness left");
-        assert!(cat.on_delete(p, &[c(2), c(2)]));
+        assert_eq!(cat.on_delete(p, &[c(2), c(2)]), Some(true));
         assert_eq!(cat.num_shapes(), 0);
-        assert!(!cat.on_delete(p, &[c(3), c(3)]), "desync detected");
+        assert!(!cat.is_dirty());
+        assert_eq!(cat.on_delete(p, &[c(3), c(3)]), None, "desync detected");
+        assert!(cat.is_dirty(), "desync leaves a visible mark");
         assert_eq!(cat.tuples_seen(), 0);
     }
 

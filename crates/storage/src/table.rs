@@ -81,6 +81,42 @@ impl Table {
         self.insert_packed(&row[..terms.len()]);
     }
 
+    /// Deletes the first row equal to `row` by swap-remove inside the page
+    /// arena: the globally-last row overwrites the match, the tail slot is
+    /// popped, and an emptied trailing page is released. Returns whether a
+    /// matching row existed. Cost is the O(rows) equality scan; the removal
+    /// itself is O(1) and row order is not preserved (the engine never
+    /// promises positional stability — scans are set-semantics).
+    pub fn delete_first_match(&mut self, row: &[u64]) -> bool {
+        debug_assert_eq!(row.len(), self.arity);
+        let mut scratch = vec![0u64; self.arity];
+        let mut hit = None;
+        'pages: for (pi, page) in self.pages.iter().enumerate() {
+            for ri in 0..page.len() {
+                page.read_row(ri, &mut scratch);
+                if scratch.as_slice() == row {
+                    hit = Some((pi, ri));
+                    break 'pages;
+                }
+            }
+        }
+        let Some((pi, ri)) = hit else {
+            return false;
+        };
+        let last_pi = self.pages.len() - 1;
+        let last_ri = self.pages[last_pi].len() - 1;
+        if (pi, ri) != (last_pi, last_ri) {
+            self.pages[last_pi].read_row(last_ri, &mut scratch);
+            self.pages[pi].overwrite_row(ri, &scratch);
+        }
+        self.pages[last_pi].pop_row();
+        if self.pages[last_pi].is_empty() {
+            self.pages.pop();
+        }
+        self.rows -= 1;
+        true
+    }
+
     /// Visits up to `limit` rows (`u64::MAX` = all) with early exit.
     /// Returns `false` if the callback stopped the scan.
     pub fn for_each_row_limited(&self, limit: u64, f: &mut dyn FnMut(&[u64]) -> bool) -> bool {
@@ -185,6 +221,45 @@ mod tests {
         let row = t.row(0).unwrap();
         assert_eq!(Term::unpack(row[0]), Some(a));
         assert_eq!(Term::unpack(row[1]), Some(b));
+    }
+
+    #[test]
+    fn delete_swap_removes_across_pages() {
+        let mut t = Table::new("r", 2);
+        for i in 0..3000u64 {
+            t.insert_packed(&[i, i + 1]);
+        }
+        let pages_before = t.page_count();
+        assert!(t.delete_first_match(&[7, 8]));
+        assert!(!t.delete_first_match(&[7, 8]), "already gone");
+        assert_eq!(t.row_count(), 2999);
+        // The multiset of surviving rows is exactly the original minus one.
+        let mut firsts: Vec<u64> = Vec::new();
+        t.for_each_row(&mut |row| {
+            firsts.push(row[0]);
+            true
+        });
+        firsts.sort_unstable();
+        let expect: Vec<u64> = (0..3000u64).filter(|&i| i != 7).collect();
+        assert_eq!(firsts, expect);
+        // Draining the tail releases emptied pages.
+        for i in 2000..3000u64 {
+            assert!(t.delete_first_match(&[i, i + 1]));
+        }
+        assert!(t.page_count() < pages_before);
+        assert_eq!(t.row_count(), 1999);
+    }
+
+    #[test]
+    fn delete_to_empty_and_reinsert() {
+        let mut t = Table::new("r", 1);
+        t.insert_packed(&[5]);
+        assert!(t.delete_first_match(&[5]));
+        assert!(t.is_empty());
+        assert_eq!(t.page_count(), 0);
+        assert!(!t.delete_first_match(&[5]));
+        t.insert_packed(&[6]);
+        assert_eq!(t.row(0).unwrap(), vec![6]);
     }
 
     #[test]

@@ -57,14 +57,16 @@ pub mod prelude {
         ChaseOutcome, ChaseResult, ChaseStore, ChaseVariant, ColumnarStore, MaterializationVerdict,
     };
     pub use soct_core::{
-        check_termination, check_termination_cached, check_termination_threads, find_shapes,
+        cache_key, cache_key_live, check_termination, check_termination_cached,
+        check_termination_engine, check_termination_live, check_termination_threads, find_shapes,
         find_shapes_parallel, is_chase_finite_l, is_chase_finite_l_parallel, is_chase_finite_sl,
         materialization_check, FindShapesMode, Verdict, VerdictCache,
     };
     pub use soct_graph::{find_special_sccs, DependencyGraph};
     pub use soct_model::{
-        fingerprint_instance_shapes, fingerprint_ruleset, Atom, ConstId, Database, Fingerprint,
-        Instance, Interner, NullId, Rgs, Schema, Shape, Term, Tgd, TgdClass, VarId,
+        fingerprint_instance_shapes, fingerprint_predicates, fingerprint_ruleset,
+        fingerprint_shapes, Atom, ConstId, Database, Fingerprint, Instance, Interner, NullId, Rgs,
+        Schema, SetFingerprint, Shape, Term, Tgd, TgdClass, VarId,
     };
     pub use soct_parser::{parse_facts, parse_tgds, write_program, Program};
     pub use soct_storage::{InstanceSource, LimitView, StorageEngine, TupleSource};

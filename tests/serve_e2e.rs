@@ -336,6 +336,81 @@ fn overload_sheds_with_429_and_still_completes_accepted_jobs() {
 }
 
 #[test]
+fn live_db_write_stream_revalidates_over_the_wire() {
+    // A resident database served behind a real socket: verdicts must
+    // survive shape-preserving writes as cache hits, recompute on
+    // shape-changing ones, and hit again once the shape set is restored.
+    let facts_path = std::env::temp_dir().join("soct_e2e_live.facts");
+    std::fs::write(&facts_path, "r(a, b).\nr(b, c).\n").unwrap();
+    let service = Arc::new(
+        TerminationService::new(ServiceConfig {
+            db_path: Some(facts_path.clone()),
+            ..ServiceConfig::default()
+        })
+        .unwrap(),
+    );
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        service,
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.start().unwrap();
+    let client = Client::new(handle.addr().to_string());
+
+    // Linear rules whose verdict flips on the shape r_(1,1).
+    let rules = "r(X, X) -> s(X).\ns(X) -> t(X, Y).\nt(X, Y) -> s(Y).\n";
+    let first = client.post("/check?db=live", rules).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(get_field(&first.body, "verdict"), Some("finite"));
+    assert_eq!(get_field(&first.body, "cached"), Some("false"));
+
+    // Shape-preserving insert: the next live check is a pure cache hit.
+    let w = client.post("/db/insert", "r(c, d).\n").unwrap();
+    assert_eq!(w.status, 200, "{}", w.body);
+    assert_eq!(get_field(&w.body, "shape_fp_changed"), Some("false"));
+    let hit = client.post("/check?db=live", rules).unwrap();
+    assert_eq!(get_field(&hit.body, "cached"), Some("true"), "{}", hit.body);
+    assert_eq!(get_field(&hit.body, "verdict"), Some("finite"));
+
+    // Shape-changing insert: recompute, and the verdict genuinely flips.
+    let w = client.post("/db/insert", "r(e, e).\n").unwrap();
+    assert_eq!(get_field(&w.body, "shape_fp_changed"), Some("true"));
+    let miss = client.post("/check?db=live", rules).unwrap();
+    assert_eq!(get_field(&miss.body, "cached"), Some("false"));
+    assert_eq!(get_field(&miss.body, "verdict"), Some("infinite"));
+
+    // Deleting the witness restores the fingerprint: hit, old verdict.
+    let w = client.post("/db/delete", "r(e, e).\n").unwrap();
+    assert_eq!(get_field(&w.body, "applied"), Some("1"));
+    let back = client.post("/check?db=live", rules).unwrap();
+    assert_eq!(
+        get_field(&back.body, "cached"),
+        Some("true"),
+        "{}",
+        back.body
+    );
+    assert_eq!(get_field(&back.body, "verdict"), Some("finite"));
+    assert_eq!(
+        get_field(&first.body, "db_fp"),
+        get_field(&back.body, "db_fp"),
+        "restored shape set must reproduce the original fingerprint"
+    );
+
+    let stats = client.get("/db/stats").unwrap();
+    assert_eq!(stats.status, 200, "{}", stats.body);
+    assert_eq!(get_field(&stats.body, "tuples"), Some("3"));
+    assert_eq!(get_field(&stats.body, "inserts"), Some("2"));
+    assert_eq!(get_field(&stats.body, "deletes"), Some("1"));
+    assert_eq!(get_field(&stats.body, "catalog_rebuilds"), Some("0"));
+    handle.shutdown();
+    std::fs::remove_file(facts_path).ok();
+}
+
+#[test]
 fn stats_expose_server_queue_and_latency_metrics() {
     let (handle, client) = start_server(2);
     client.post("/check", FINITE_SL).unwrap();
