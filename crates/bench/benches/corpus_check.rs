@@ -1,0 +1,70 @@
+//! Corpus-driven checker benchmark: `check_termination` over the
+//! checked-in foundry corpus, grouped by difficulty tier.
+//!
+//! Unlike the figure benches (which sweep synthetic grids), this measures
+//! the checker on the exact rulesets the test tiers assert on, so a
+//! regression here names the tier it hit. Each tier's measurement runs the
+//! full critical-instance check over *every* corpus entry of that tier —
+//! throughput is reported in rulesets per second. Recorded numbers live in
+//! `crates/bench/BASELINES.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use soct_core::{check_termination, FindShapesMode};
+use soct_gen::{load_manifest, repo_corpus_dir, Difficulty};
+use soct_model::{Database, Interner, Schema, Tgd};
+use std::time::Duration;
+
+/// One parsed corpus entry with its critical instance, ready to check.
+struct Prepared {
+    schema: Schema,
+    tgds: Vec<Tgd>,
+    db: Database,
+}
+
+fn load_tier(tier: Difficulty) -> Vec<Prepared> {
+    let dir = repo_corpus_dir();
+    let entries = load_manifest(&dir).expect("checked-in corpus manifest");
+    entries
+        .iter()
+        .filter(|e| e.difficulty == tier)
+        .map(|e| {
+            let text = std::fs::read_to_string(dir.join(&e.file)).expect(&e.file);
+            let mut schema = Schema::new();
+            let mut consts = Interner::new();
+            let tgds = soct_parser::parse_tgds(&text, &mut schema, &mut consts).expect(&e.file);
+            let db = soct_serve::critical_instance(&schema, &tgds, &mut consts);
+            Prepared { schema, tgds, db }
+        })
+        .collect()
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_check");
+    for tier in Difficulty::ALL {
+        let prepared = load_tier(tier);
+        assert!(!prepared.is_empty(), "tier {tier} missing from corpus");
+        group.throughput(Throughput::Elements(prepared.len() as u64));
+        group.bench_function(BenchmarkId::new("critical_instance", tier.name()), |b| {
+            b.iter(|| {
+                let mut finite = 0usize;
+                for p in &prepared {
+                    let report =
+                        check_termination(&p.schema, &p.tgds, &p.db, FindShapesMode::InMemory);
+                    finite += usize::from(report.verdict == soct_core::Verdict::Finite);
+                }
+                finite
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_corpus
+}
+criterion_main!(benches);

@@ -264,6 +264,80 @@ pub fn generate_tgds(args: &Args) -> Result<(), String> {
     write_out(args, &rendered)
 }
 
+/// `soct gen`: the scenario foundry — difficulty-calibrated, deduplicated,
+/// byte-deterministic workloads, plus corpus maintenance (`--corpus` to
+/// (re)write the standard corpus, `--check-corpus` as the CI drift gate).
+pub fn gen(args: &Args) -> Result<(), String> {
+    if let Some(dir) = args.get("check-corpus") {
+        let drift = soct_gen::check_corpus(std::path::Path::new(dir))?;
+        if drift.is_empty() {
+            let n = soct_gen::load_manifest(std::path::Path::new(dir))?.len();
+            println!("corpus {dir}: {n} entries, no drift");
+            return Ok(());
+        }
+        for d in &drift {
+            eprintln!("drift: {d}");
+        }
+        return Err(format!("corpus {dir}: {} entries drifted", drift.len()));
+    }
+    if let Some(dir) = args.get("corpus") {
+        let seed = args.get_u64("seed", soct_gen::CORPUS_SEED)?;
+        let n = soct_gen::write_corpus(std::path::Path::new(dir), seed)?;
+        println!(
+            "wrote corpus {dir}: {n} rulesets + {} (seed {seed})",
+            soct_gen::MANIFEST
+        );
+        return Ok(());
+    }
+    let family: soct_gen::Family = args
+        .get_or("family", "linear")
+        .parse()
+        .map_err(|e| format!("--{e}"))?;
+    let difficulty: soct_gen::Difficulty = args
+        .get_or("difficulty", "easy")
+        .parse()
+        .map_err(|e| format!("--{e}"))?;
+    let seed = args.get_u64("seed", 42)?;
+    let count = args.get_usize("count", 1)?;
+    let cfg = soct_gen::FoundryConfig {
+        family,
+        difficulty,
+        seed,
+        count,
+    };
+    let rulesets = soct_gen::foundry::generate(&cfg)?;
+    if let Some(dir) = args.get("out-dir") {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create `{}`: {e}", dir.display()))?;
+        for (i, r) in rulesets.iter().enumerate() {
+            let name = soct_gen::corpus::entry_file_name(family, difficulty, i);
+            std::fs::write(dir.join(&name), &r.text)
+                .map_err(|e| format!("cannot write `{name}`: {e}"))?;
+            println!(
+                "{name}: rules {} fp {:032x} verdict {}",
+                r.tgds.len(),
+                r.fingerprint.0,
+                soct_gen::verdict_name(r.verdict)
+            );
+        }
+        return Ok(());
+    }
+    let mut rendered = String::new();
+    for r in &rulesets {
+        rendered.push_str(&format!(
+            "# family={} difficulty={} subseed={} fingerprint={:032x} verdict={}\n",
+            r.family,
+            r.difficulty,
+            r.subseed,
+            r.fingerprint.0,
+            soct_gen::verdict_name(r.verdict)
+        ));
+        rendered.push_str(&r.text);
+    }
+    write_out(args, &rendered)
+}
+
 /// `soct generate-data`.
 pub fn generate_data(args: &Args) -> Result<(), String> {
     let cfg = soct_gen::DataGenConfig {

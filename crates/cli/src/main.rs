@@ -6,6 +6,8 @@
 //!                     [--max-atoms N] [--threads N] [--out FILE]
 //! soct shapes         --db FILE [--mode memory|db] [--threads N]
 //! soct stats          --rules FILE
+//! soct gen            [--family F] [--difficulty T] [--seed N] [--count N]
+//!                     [--out FILE | --out-dir DIR] | --corpus DIR | --check-corpus DIR
 //! soct generate-tgds  --ssize N --tsize N [--class sl|l] [--seed N] [--out FILE]
 //! soct generate-data  [--preds N] [--min N] [--max N] [--dsize N] [--rsize N]
 //!                     [--seed N] [--out FILE]
@@ -43,6 +45,16 @@ const CHASE_FLAGS: &[&str] = &[
 const SHAPES_FLAGS: &[&str] = &["db", "mode", "threads"];
 const STATS_FLAGS: &[&str] = &["rules"];
 const GEN_TGDS_FLAGS: &[&str] = &["ssize", "tsize", "min", "max", "class", "seed", "out"];
+const GEN_FLAGS: &[&str] = &[
+    "family",
+    "difficulty",
+    "seed",
+    "count",
+    "out",
+    "out-dir",
+    "corpus",
+    "check-corpus",
+];
 const GEN_DATA_FLAGS: &[&str] = &["preds", "min", "max", "dsize", "rsize", "seed", "out"];
 const SERVE_FLAGS: &[&str] = &[
     "port",
@@ -145,6 +157,10 @@ fn run(argv: &[String]) -> Result<(), String> {
             args.reject_unknown("stats", STATS_FLAGS)?;
             commands::stats(&args)
         }
+        "gen" => {
+            args.reject_unknown("gen", GEN_FLAGS)?;
+            commands::gen(&args)
+        }
         "generate-tgds" => {
             args.reject_unknown("generate-tgds", GEN_TGDS_FLAGS)?;
             commands::generate_tgds(&args)
@@ -179,6 +195,13 @@ USAGE:
                       list the database shapes
   soct stats          --rules FILE
                       rule-set statistics and dependency-graph profile
+  soct gen            [--family linear|multi-head|sticky|guarded|ontology]
+                      [--difficulty trivial|easy|medium|hard] [--seed N]
+                      [--count N] [--out FILE | --out-dir DIR]
+                      scenario foundry: difficulty-calibrated, deduplicated
+                      rulesets, byte-deterministic per seed;
+                      --corpus DIR regenerates the standard corpus,
+                      --check-corpus DIR is the CI drift gate
   soct generate-tgds  --ssize N --tsize N [--class sl|l] [--min N] [--max N]
                       [--seed N] [--out FILE]
   soct generate-data  [--preds N] [--min N] [--max N] [--dsize N] [--rsize N]

@@ -1,0 +1,305 @@
+//! The checked-in corpus: on-disk layout, manifest format, and the drift
+//! gate.
+//!
+//! A corpus directory holds one `.dlog` file per ruleset plus a
+//! `MANIFEST.tsv` with one row per file:
+//!
+//! ```text
+//! file<TAB>family<TAB>difficulty<TAB>subseed<TAB>fingerprint<TAB>verdict
+//! ```
+//!
+//! `subseed` is the foundry sub-seed that regenerates exactly that file
+//! ([`crate::foundry::generate_candidate`]), `fingerprint` the 32-hex-digit
+//! ruleset fingerprint, `verdict` the expected `check_termination` result in
+//! lowercase wire form. Tests and benches *load* the corpus (they never
+//! regenerate it), so recorded verdicts stay meaningful; the CI drift gate
+//! ([`check_corpus`]) regenerates every entry from its sub-seed and fails
+//! loudly when generator changes would silently alter checked-in files.
+
+use crate::difficulty::Difficulty;
+use crate::families::Family;
+use crate::foundry::{
+    generate, generate_candidate, parse_verdict, verdict_name, FoundryConfig, GeneratedRuleset,
+};
+use soct_core::Verdict;
+use std::path::{Path, PathBuf};
+
+/// Manifest file name inside a corpus directory.
+pub const MANIFEST: &str = "MANIFEST.tsv";
+/// Rulesets per `(family, difficulty)` bucket in the standard corpus.
+pub const BUCKET_SIZE: usize = 5;
+/// Master seed of the standard checked-in corpus.
+pub const CORPUS_SEED: u64 = 20230801;
+
+/// One manifest row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// File name relative to the corpus directory, e.g. `linear_easy_03.dlog`.
+    pub file: String,
+    /// Generating family.
+    pub family: Family,
+    /// Measured difficulty tier.
+    pub difficulty: Difficulty,
+    /// Foundry sub-seed that regenerates the file byte-identically.
+    pub subseed: u64,
+    /// Ruleset fingerprint (order/renaming-invariant).
+    pub fingerprint: u128,
+    /// Expected `check_termination` verdict on the critical instance.
+    pub verdict: Verdict,
+}
+
+/// The checked-in corpus directory of this repository
+/// (`<workspace>/corpus`), resolved from the gen crate's source location
+/// so tests and benches find it regardless of the invocation directory.
+pub fn repo_corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+fn manifest_line(e: &CorpusEntry) -> String {
+    format!(
+        "{}\t{}\t{}\t{}\t{:032x}\t{}",
+        e.file,
+        e.family,
+        e.difficulty,
+        e.subseed,
+        e.fingerprint,
+        verdict_name(e.verdict)
+    )
+}
+
+fn parse_manifest_line(line: &str, lineno: usize) -> Result<CorpusEntry, String> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.len() != 6 {
+        return Err(format!(
+            "manifest line {lineno}: expected 6 fields, got {}",
+            fields.len()
+        ));
+    }
+    let err = |what: &str, detail: String| format!("manifest line {lineno}: {what}: {detail}");
+    Ok(CorpusEntry {
+        file: fields[0].to_string(),
+        family: fields[1].parse().map_err(|e| err("family", e))?,
+        difficulty: fields[2].parse().map_err(|e| err("difficulty", e))?,
+        subseed: fields[3]
+            .parse()
+            .map_err(|e: std::num::ParseIntError| err("subseed", e.to_string()))?,
+        fingerprint: u128::from_str_radix(fields[4], 16)
+            .map_err(|e| err("fingerprint", e.to_string()))?,
+        verdict: parse_verdict(fields[5]).map_err(|e| err("verdict", e))?,
+    })
+}
+
+/// Serialises manifest rows (header comment + one line per entry, sorted
+/// input expected).
+pub fn render_manifest(entries: &[CorpusEntry]) -> String {
+    let mut out = String::from("# file\tfamily\tdifficulty\tsubseed\tfingerprint\tverdict\n");
+    for e in entries {
+        out.push_str(&manifest_line(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a manifest, skipping `#` comment lines and blank lines.
+pub fn parse_manifest(text: &str) -> Result<Vec<CorpusEntry>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_manifest_line(line, i + 1)?);
+    }
+    Ok(out)
+}
+
+/// Loads the manifest of a corpus directory.
+pub fn load_manifest(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let path = dir.join(MANIFEST);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_manifest(&text)
+}
+
+/// The file name of the `i`-th entry of a bucket.
+pub fn entry_file_name(family: Family, difficulty: Difficulty, index: usize) -> String {
+    format!("{family}_{difficulty}_{index:02}.dlog")
+}
+
+/// Generates the standard corpus in memory: every family × every tier,
+/// [`BUCKET_SIZE`] deduplicated rulesets per bucket, derived from `seed`.
+/// Returns `(entries, rulesets)` in manifest order.
+pub fn build_corpus(seed: u64) -> Result<(Vec<CorpusEntry>, Vec<GeneratedRuleset>), String> {
+    let mut entries = Vec::new();
+    let mut rulesets = Vec::new();
+    for family in Family::ALL {
+        for difficulty in Difficulty::ALL {
+            let bucket = generate(&FoundryConfig {
+                family,
+                difficulty,
+                seed,
+                count: BUCKET_SIZE,
+            })?;
+            for (i, r) in bucket.into_iter().enumerate() {
+                entries.push(CorpusEntry {
+                    file: entry_file_name(family, difficulty, i),
+                    family,
+                    difficulty,
+                    subseed: r.subseed,
+                    fingerprint: r.fingerprint.0,
+                    verdict: r.verdict,
+                });
+                rulesets.push(r);
+            }
+        }
+    }
+    Ok((entries, rulesets))
+}
+
+/// Writes a freshly generated corpus (ruleset files + manifest) into `dir`,
+/// creating it if needed. Returns the number of ruleset files written.
+pub fn write_corpus(dir: &Path, seed: u64) -> Result<usize, String> {
+    let (entries, rulesets) = build_corpus(seed)?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    for (e, r) in entries.iter().zip(&rulesets) {
+        let path = dir.join(&e.file);
+        std::fs::write(&path, &r.text)
+            .map_err(|err| format!("cannot write {}: {err}", path.display()))?;
+    }
+    let manifest = dir.join(MANIFEST);
+    std::fs::write(&manifest, render_manifest(&entries))
+        .map_err(|e| format!("cannot write {}: {e}", manifest.display()))?;
+    Ok(entries.len())
+}
+
+/// The CI drift gate: regenerates every manifest entry from its recorded
+/// sub-seed and compares bytes, fingerprint, and verdict against the
+/// checked-in state. Returns the list of drift descriptions (empty = clean).
+pub fn check_corpus(dir: &Path) -> Result<Vec<String>, String> {
+    let entries = load_manifest(dir)?;
+    if entries.is_empty() {
+        return Err(format!("{} has an empty manifest", dir.display()));
+    }
+    let mut drift = Vec::new();
+    for e in &entries {
+        let path = dir.join(&e.file);
+        let on_disk = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(err) => {
+                drift.push(format!("{}: unreadable: {err}", e.file));
+                continue;
+            }
+        };
+        let regen = generate_candidate(e.family, e.difficulty, e.subseed);
+        if regen.text != on_disk {
+            drift.push(format!(
+                "{}: bytes differ from regeneration (subseed {})",
+                e.file, e.subseed
+            ));
+        }
+        if regen.fingerprint.0 != e.fingerprint {
+            drift.push(format!(
+                "{}: fingerprint {:032x} != manifest {:032x}",
+                e.file, regen.fingerprint.0, e.fingerprint
+            ));
+        }
+        if regen.verdict != e.verdict {
+            drift.push(format!(
+                "{}: verdict {} != manifest {}",
+                e.file,
+                verdict_name(regen.verdict),
+                verdict_name(e.verdict)
+            ));
+        }
+        if regen.difficulty != e.difficulty {
+            drift.push(format!(
+                "{}: measured tier {} != manifest {}",
+                e.file, regen.difficulty, e.difficulty
+            ));
+        }
+    }
+    Ok(drift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips() {
+        let entries = vec![
+            CorpusEntry {
+                file: "linear_easy_00.dlog".into(),
+                family: Family::Linear,
+                difficulty: Difficulty::Easy,
+                subseed: 123456789,
+                fingerprint: 0xdead_beef_dead_beef_dead_beef_dead_beef,
+                verdict: Verdict::Finite,
+            },
+            CorpusEntry {
+                file: "ontology_hard_04.dlog".into(),
+                family: Family::Ontology,
+                difficulty: Difficulty::Hard,
+                subseed: u64::MAX,
+                fingerprint: 1,
+                verdict: Verdict::Infinite,
+            },
+        ];
+        let text = render_manifest(&entries);
+        assert_eq!(parse_manifest(&text).unwrap(), entries);
+    }
+
+    #[test]
+    fn malformed_manifest_lines_are_rejected_with_line_numbers() {
+        assert!(parse_manifest("a\tb\n").unwrap_err().contains("line 1"));
+        let bad_family = "x.dlog\tnope\teasy\t1\t0\tfinite\n";
+        assert!(parse_manifest(bad_family).unwrap_err().contains("family"));
+        let bad_verdict = "x.dlog\tlinear\teasy\t1\t0\tmaybe\n";
+        assert!(parse_manifest(bad_verdict).unwrap_err().contains("verdict"));
+    }
+
+    #[test]
+    fn entry_file_names_are_stable() {
+        assert_eq!(
+            entry_file_name(Family::MultiHead, Difficulty::Medium, 3),
+            "multi-head_medium_03.dlog"
+        );
+    }
+
+    #[test]
+    fn written_corpus_passes_its_own_drift_gate() {
+        let dir = std::env::temp_dir().join(format!("soct_corpus_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A tiny one-bucket corpus keeps this test fast; write the files
+        // and manifest by hand through the same primitives write_corpus uses.
+        let bucket = generate(&FoundryConfig {
+            family: Family::Linear,
+            difficulty: Difficulty::Trivial,
+            seed: 5,
+            count: 2,
+        })
+        .unwrap();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut entries = Vec::new();
+        for (i, r) in bucket.iter().enumerate() {
+            let file = entry_file_name(r.family, r.difficulty, i);
+            std::fs::write(dir.join(&file), &r.text).unwrap();
+            entries.push(CorpusEntry {
+                file,
+                family: r.family,
+                difficulty: r.difficulty,
+                subseed: r.subseed,
+                fingerprint: r.fingerprint.0,
+                verdict: r.verdict,
+            });
+        }
+        std::fs::write(dir.join(MANIFEST), render_manifest(&entries)).unwrap();
+        assert_eq!(check_corpus(&dir).unwrap(), Vec::<String>::new());
+
+        // Tampering with a file is drift.
+        std::fs::write(dir.join(&entries[0].file), "p(X) -> q(X).\n").unwrap();
+        let drift = check_corpus(&dir).unwrap();
+        assert!(drift.iter().any(|d| d.contains("bytes differ")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

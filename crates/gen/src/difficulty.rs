@@ -1,0 +1,270 @@
+//! The difficulty calibrator of the scenario foundry.
+//!
+//! A generated ruleset is *not* trusted to be as hard as its generator
+//! intended: difficulty is **measured** on the artefact itself, from the
+//! same signals the paper's analysis ties to checker cost (§7–§8) —
+//! ruleset size, predicate fan-out, the depth of the shape lattices the
+//! Apriori walk can descend (bounded by the maximum arity), the presence
+//! of special SCCs in the dependency graph, and the number of chase
+//! rounds on the critical instance. The foundry generates candidates with
+//! tier-appropriate knobs and then keeps only those whose *measured* tier
+//! matches the requested one (rejection sampling over sub-seeds), so a
+//! `hard` corpus entry is hard by measurement, not by intention.
+
+use soct_chase::{run_chase, ChaseConfig, ChaseVariant};
+use soct_core::{check_termination, FindShapesMode, Verdict};
+use soct_graph::{find_special_sccs, DependencyGraph};
+use soct_model::{Atom, ConstId, FxHashMap, FxHashSet, Instance, PredId, Schema, Term, Tgd};
+
+/// Atom budget for the calibration chase on the critical instance: big
+/// enough that shallow fixpoints terminate inside it, small enough that
+/// divergent sets are cut off cheaply.
+pub const CALIBRATION_MAX_ATOMS: usize = 4_000;
+/// Round budget for the calibration chase; divergent sets report this cap.
+pub const CALIBRATION_MAX_ROUNDS: usize = 24;
+
+/// The four difficulty tiers of the foundry.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Difficulty {
+    /// A handful of low-arity rules; every checker answers instantly.
+    Trivial,
+    /// Small acyclic sets: exercises the pipeline, nothing stresses it.
+    Easy,
+    /// Either sizeable, or cyclic with a real chase depth — the first tier
+    /// where special SCCs and double-digit chase rounds appear.
+    Medium,
+    /// Large and structurally deep: wide fan-out, high-arity shapes,
+    /// special SCCs, and chase rounds at the calibration cap.
+    Hard,
+}
+
+impl Difficulty {
+    /// All tiers, ordered from trivial to hard.
+    pub const ALL: [Difficulty; 4] = [
+        Difficulty::Trivial,
+        Difficulty::Easy,
+        Difficulty::Medium,
+        Difficulty::Hard,
+    ];
+
+    /// The manifest/CLI name of the tier.
+    pub fn name(self) -> &'static str {
+        match self {
+            Difficulty::Trivial => "trivial",
+            Difficulty::Easy => "easy",
+            Difficulty::Medium => "medium",
+            Difficulty::Hard => "hard",
+        }
+    }
+}
+
+impl std::fmt::Display for Difficulty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Difficulty {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Difficulty::ALL
+            .into_iter()
+            .find(|d| d.name() == s)
+            .ok_or_else(|| format!("difficulty must be trivial|easy|medium|hard, got `{s}`"))
+    }
+}
+
+/// The measured signals a tier verdict is derived from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signals {
+    /// `|Σ|`.
+    pub n_rules: usize,
+    /// `|sch(Σ)|`.
+    pub n_preds: usize,
+    /// Maximum predicate arity — the depth of the deepest shape lattice
+    /// the Apriori walk can descend for this vocabulary.
+    pub max_arity: usize,
+    /// Maximum predicate-level fan-out: the largest number of distinct
+    /// head predicates reachable from one body predicate across Σ.
+    pub fanout: usize,
+    /// Special SCCs in the dependency graph (the quantity
+    /// `IsChaseFinite[SL]` keys on).
+    pub special_sccs: usize,
+    /// Rounds of the semi-oblivious chase on the critical instance,
+    /// capped at [`CALIBRATION_MAX_ROUNDS`].
+    pub chase_rounds: usize,
+    /// Verdict of `check_termination` on the critical instance.
+    pub verdict: Verdict,
+}
+
+/// The critical instance `D_Σ` (Remark 1) over raw constant ids: one atom
+/// per predicate of Σ, all positions distinct fresh constants. Verdicts on
+/// it characterise termination on all databases, which is what the corpus
+/// manifest records.
+pub fn critical_db(schema: &Schema, tgds: &[Tgd]) -> Instance {
+    let mut db = Instance::new();
+    let mut next = 0u32;
+    for p in soct_model::tgd::predicates_of(tgds) {
+        let terms: Vec<Term> = (0..schema.arity(p))
+            .map(|_| {
+                let t = Term::Const(ConstId(next));
+                next += 1;
+                t
+            })
+            .collect();
+        db.insert(Atom::new(schema, p, terms).expect("arity matches"));
+    }
+    db
+}
+
+/// Measures every calibration signal of a ruleset.
+pub fn measure(schema: &Schema, tgds: &[Tgd]) -> Signals {
+    let preds = soct_model::tgd::predicates_of(tgds);
+    let max_arity = preds.iter().map(|&p| schema.arity(p)).max().unwrap_or(0);
+
+    // Predicate-level fan-out: body predicate → distinct head predicates.
+    let mut fan: FxHashMap<PredId, FxHashSet<PredId>> = FxHashMap::default();
+    for t in tgds {
+        for b in t.body() {
+            let heads = fan.entry(b.pred).or_default();
+            for h in t.head() {
+                heads.insert(h.pred);
+            }
+        }
+    }
+    let fanout = fan.values().map(FxHashSet::len).max().unwrap_or(0);
+
+    let graph = DependencyGraph::build(schema, tgds);
+    let special_sccs = find_special_sccs(&graph).special_sccs().len();
+
+    let db = critical_db(schema, tgds);
+    let chase = run_chase(
+        &db,
+        tgds,
+        &ChaseConfig {
+            max_rounds: CALIBRATION_MAX_ROUNDS,
+            threads: 1,
+            ..ChaseConfig::with_max_atoms(ChaseVariant::SemiOblivious, CALIBRATION_MAX_ATOMS)
+        },
+    );
+    let verdict = check_termination(schema, tgds, &db, FindShapesMode::InMemory).verdict;
+
+    Signals {
+        n_rules: tgds.len(),
+        n_preds: preds.len(),
+        max_arity,
+        fanout,
+        special_sccs,
+        chase_rounds: chase.rounds.min(CALIBRATION_MAX_ROUNDS),
+        verdict,
+    }
+}
+
+/// Difficulty score: the sum of five bucketed components (0–3 each, the
+/// cyclicity component 0 or 3). Monotone in every signal.
+pub fn score(s: &Signals) -> u32 {
+    let size = match s.n_rules {
+        0..=3 => 0,
+        4..=12 => 1,
+        13..=48 => 2,
+        _ => 3,
+    };
+    let arity = match s.max_arity {
+        0..=2 => 0,
+        3 => 1,
+        4..=5 => 2,
+        _ => 3,
+    };
+    let fanout = match s.fanout {
+        0..=1 => 0,
+        2..=3 => 1,
+        4..=6 => 2,
+        _ => 3,
+    };
+    let cyclic = if s.special_sccs > 0 { 3 } else { 0 };
+    let rounds = match s.chase_rounds {
+        0..=2 => 0,
+        3..=5 => 1,
+        6..=12 => 2,
+        _ => 3,
+    };
+    size + arity + fanout + cyclic + rounds
+}
+
+/// Buckets a score into a tier. Thresholds are part of the corpus
+/// contract: changing them re-tiers existing entries, which the CI drift
+/// gate (`soct gen --check-corpus`) turns into a loud failure.
+pub fn tier_of_score(score: u32) -> Difficulty {
+    match score {
+        0..=2 => Difficulty::Trivial,
+        3..=5 => Difficulty::Easy,
+        6..=9 => Difficulty::Medium,
+        _ => Difficulty::Hard,
+    }
+}
+
+/// Measured tier of a ruleset: [`tier_of_score`] ∘ [`score`] ∘ [`measure`].
+pub fn calibrate(schema: &Schema, tgds: &[Tgd]) -> (Difficulty, Signals) {
+    let signals = measure(schema, tgds);
+    (tier_of_score(score(&signals)), signals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soct_parser::Program;
+
+    fn signals_of(rules: &str) -> Signals {
+        let p = Program::parse(rules).unwrap();
+        measure(&p.schema, &p.tgds)
+    }
+
+    #[test]
+    fn tiny_acyclic_set_is_trivial() {
+        let s = signals_of("r(X, Y) -> s(Y).");
+        assert_eq!(s.n_rules, 1);
+        assert_eq!(s.special_sccs, 0);
+        assert_eq!(s.verdict, Verdict::Finite);
+        assert_eq!(tier_of_score(score(&s)), Difficulty::Trivial);
+    }
+
+    #[test]
+    fn special_cycle_lifts_the_tier_to_medium() {
+        // Divergent: the chase runs to the round cap, the graph has a
+        // special SCC — two maxed components on an otherwise tiny set.
+        let s = signals_of("r(X, Y) -> r(Y, Z).");
+        assert!(s.special_sccs > 0);
+        assert_eq!(s.chase_rounds, CALIBRATION_MAX_ROUNDS);
+        assert_eq!(s.verdict, Verdict::Infinite);
+        assert_eq!(tier_of_score(score(&s)), Difficulty::Medium);
+    }
+
+    #[test]
+    fn fanout_is_the_max_over_body_predicates() {
+        let s = signals_of("r(X) -> s(X).\nr(X) -> t(X).\nr(X) -> u(X).\ns(X) -> t(X).");
+        assert_eq!(s.fanout, 3);
+    }
+
+    #[test]
+    fn critical_db_has_one_atom_per_predicate_with_distinct_constants() {
+        let p = Program::parse("r(X, Y) -> s(Y).\ns(X) -> t(X, X).").unwrap();
+        let db = critical_db(&p.schema, &p.tgds);
+        assert_eq!(db.len(), 3);
+        let mut seen = FxHashSet::default();
+        for a in db.atoms() {
+            for t in a.terms.iter() {
+                assert!(seen.insert(*t), "constants must be pairwise distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn tier_thresholds_cover_the_score_range() {
+        assert_eq!(tier_of_score(0), Difficulty::Trivial);
+        assert_eq!(tier_of_score(3), Difficulty::Easy);
+        assert_eq!(tier_of_score(6), Difficulty::Medium);
+        assert_eq!(tier_of_score(10), Difficulty::Hard);
+        assert_eq!(tier_of_score(15), Difficulty::Hard);
+    }
+}

@@ -1,0 +1,188 @@
+//! Dedup and diversity metrics for the scenario foundry.
+//!
+//! Two layers keep a corpus bucket from collapsing to near-duplicates:
+//!
+//! 1. **Exact dedup** on the order/renaming-invariant ruleset fingerprint
+//!    ([`soct_model::fingerprint_ruleset`]): two candidates that differ
+//!    only by rule order or variable names are the *same* workload.
+//! 2. **Structural diversity** on a feature vector of bucketed counts
+//!    (rules, predicates, arity histogram, head widths, body widths,
+//!    existential positions, special SCCs, chase rounds): a candidate
+//!    whose features are identical to an already-accepted one is rejected
+//!    even if its fingerprint is fresh, because it stresses the checkers
+//!    in exactly the same way.
+//!
+//! A per-bucket feature histogram ([`feature_spread`]) quantifies the
+//! spread, so tests can assert a bucket covers more than one structural
+//! point.
+
+use crate::difficulty::Signals;
+use soct_model::{FxHashSet, Schema, Tgd};
+
+/// Number of slots in a [`Features`] vector.
+pub const FEATURE_DIMS: usize = 12;
+
+/// A structural feature vector. Equality is the "near-duplicate" test:
+/// buckets are coarse enough that cosmetically different candidates
+/// collide, and fine enough that structurally distinct ones do not.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Features(pub [u16; FEATURE_DIMS]);
+
+impl Features {
+    /// L1 distance between two feature vectors.
+    pub fn l1(&self, other: &Features) -> u32 {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(&a, &b)| u32::from(a.abs_diff(b)))
+            .sum()
+    }
+}
+
+/// Extracts the feature vector of a ruleset from the artefact plus its
+/// measured [`Signals`].
+pub fn features(schema: &Schema, tgds: &[Tgd], signals: &Signals) -> Features {
+    // Arity histogram over the ruleset's predicates: 1, 2, 3, 4–5, 6+.
+    let mut arity_hist = [0u16; 5];
+    for p in soct_model::tgd::predicates_of(tgds) {
+        let slot = match schema.arity(p) {
+            0..=1 => 0,
+            2 => 1,
+            3 => 2,
+            4..=5 => 3,
+            _ => 4,
+        };
+        arity_hist[slot] += 1;
+    }
+    let multi_head = tgds.iter().filter(|t| t.head().len() > 1).count();
+    let multi_body = tgds.iter().filter(|t| t.body().len() > 1).count();
+    let existentials: usize = tgds.iter().map(|t| t.existential().len()).sum();
+    let sat = |v: usize| u16::try_from(v).unwrap_or(u16::MAX);
+    Features([
+        sat(signals.n_rules),
+        sat(signals.n_preds),
+        arity_hist[0],
+        arity_hist[1],
+        arity_hist[2],
+        arity_hist[3],
+        arity_hist[4],
+        sat(multi_head),
+        sat(multi_body),
+        sat(existentials / 4), // bucketed: ±3 existentials ≈ same workload
+        sat(signals.special_sccs),
+        sat(signals.chase_rounds / 3), // bucketed chase depth
+    ])
+}
+
+/// Streaming dedup/diversity filter for one corpus bucket.
+#[derive(Default, Debug)]
+pub struct DiversityFilter {
+    fingerprints: FxHashSet<u128>,
+    accepted: Vec<Features>,
+}
+
+impl DiversityFilter {
+    /// Empty filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits a candidate iff its fingerprint is new *and* its feature
+    /// vector differs from every accepted one. Admitted candidates are
+    /// recorded.
+    pub fn admit(&mut self, fingerprint: u128, feat: Features) -> bool {
+        if !self.fingerprints.insert(fingerprint) {
+            return false;
+        }
+        if self.accepted.contains(&feat) {
+            return false;
+        }
+        self.accepted.push(feat);
+        true
+    }
+
+    /// Number of candidates admitted so far.
+    pub fn len(&self) -> usize {
+        self.accepted.len()
+    }
+
+    /// True when nothing has been admitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.accepted.is_empty()
+    }
+
+    /// The feature vectors admitted so far, in admission order.
+    pub fn accepted(&self) -> &[Features] {
+        &self.accepted
+    }
+}
+
+/// Diversity summary of a set of feature vectors: minimum and mean
+/// pairwise L1 distance. A bucket of near-duplicates has `min == 0`;
+/// the foundry's filter guarantees `min >= 1`.
+pub fn feature_spread(feats: &[Features]) -> (u32, f64) {
+    let mut min = u32::MAX;
+    let mut sum = 0u64;
+    let mut pairs = 0u64;
+    for i in 0..feats.len() {
+        for j in (i + 1)..feats.len() {
+            let d = feats[i].l1(&feats[j]);
+            min = min.min(d);
+            sum += u64::from(d);
+            pairs += 1;
+        }
+    }
+    if pairs == 0 {
+        (0, 0.0)
+    } else {
+        (min, sum as f64 / pairs as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(v: &[u16]) -> Features {
+        let mut a = [0u16; FEATURE_DIMS];
+        a[..v.len()].copy_from_slice(v);
+        Features(a)
+    }
+
+    #[test]
+    fn duplicate_fingerprints_are_rejected() {
+        let mut f = DiversityFilter::new();
+        assert!(f.admit(1, feat(&[1])));
+        assert!(!f.admit(1, feat(&[2])), "same fingerprint must be rejected");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn identical_features_are_rejected_even_with_fresh_fingerprints() {
+        let mut f = DiversityFilter::new();
+        assert!(f.admit(1, feat(&[3, 4])));
+        assert!(!f.admit(2, feat(&[3, 4])));
+        assert!(f.admit(3, feat(&[3, 5])));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn spread_of_admitted_features_is_positive() {
+        let mut f = DiversityFilter::new();
+        for i in 0..5u16 {
+            f.admit(u128::from(i) + 10, feat(&[i, 2 * i]));
+        }
+        let (min, mean) = feature_spread(f.accepted());
+        assert!(min >= 1, "filter guarantees pairwise distance >= 1");
+        assert!(mean >= 1.0);
+    }
+
+    #[test]
+    fn l1_distance_is_symmetric_and_zero_on_self() {
+        let a = feat(&[1, 2, 3]);
+        let b = feat(&[4, 0, 3]);
+        assert_eq!(a.l1(&b), b.l1(&a));
+        assert_eq!(a.l1(&b), 3 + 2);
+        assert_eq!(a.l1(&a), 0);
+    }
+}

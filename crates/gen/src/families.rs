@@ -1,0 +1,531 @@
+//! Parameterized TGD families for the scenario foundry.
+//!
+//! `soct_gen`'s original generators reproduce the paper's §6 experiments;
+//! the families here go beyond them, covering fragments from the related
+//! literature so benchmarks stop oversampling one region of the ruleset
+//! space:
+//!
+//! - **linear** — the paper's shape-guided single-head linear rules
+//!   (reusing [`crate::tgdgen`]);
+//! - **multi-head** — multi-head linear rules in the style of Gerlach,
+//!   Kalaitzis, Pieris (arXiv 2509.19400): one body atom, several head
+//!   atoms chained through shared existentials;
+//! - **sticky** — sticky-shaped joins: two-atom bodies sharing one join
+//!   variable that propagates into every head atom;
+//! - **guarded** — guarded-shaped rules: a guard atom carrying all body
+//!   variables plus side atoms over subsets of them;
+//! - **ontology** — ontology-shaped chains/stars/cycles over an EL-style
+//!   vocabulary of unary classes and binary roles.
+//!
+//! Every generator is a pure function of `(params, seed)`; the same seed
+//! reproduces byte-identical rulesets (locked by `tests/foundry_props.rs`).
+
+use crate::partition::PartitionSampler;
+use crate::tgdgen::{generate_tgds_over, TgdGenConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use soct_model::{Atom, PredId, Schema, Term, Tgd, TgdClass, VarId};
+
+/// The TGD families the foundry enumerates.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Family {
+    /// Paper-style shape-guided linear rules (§6.2).
+    Linear,
+    /// Multi-head linear rules (single body atom, 1–3 head atoms).
+    MultiHead,
+    /// Sticky-shaped two-atom joins.
+    Sticky,
+    /// Guarded-shaped rules (guard atom + side atoms).
+    Guarded,
+    /// Ontology-shaped chains, stars, and cycles (unary/binary only).
+    Ontology,
+}
+
+impl Family {
+    /// All families, in manifest order.
+    pub const ALL: [Family; 5] = [
+        Family::Linear,
+        Family::MultiHead,
+        Family::Sticky,
+        Family::Guarded,
+        Family::Ontology,
+    ];
+
+    /// The manifest/CLI name of the family.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Linear => "linear",
+            Family::MultiHead => "multi-head",
+            Family::Sticky => "sticky",
+            Family::Guarded => "guarded",
+            Family::Ontology => "ontology",
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Family {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Family::ALL
+            .into_iter()
+            .find(|f| f.name() == s)
+            .ok_or_else(|| {
+                format!("family must be linear|multi-head|sticky|guarded|ontology, got `{s}`")
+            })
+    }
+}
+
+/// Size/shape knobs one candidate ruleset is generated under. The foundry
+/// derives them from the requested difficulty tier (with seeded jitter)
+/// and then *verifies* the result against the measured tier
+/// ([`crate::difficulty::calibrate`]).
+#[derive(Clone, Copy, Debug)]
+pub struct FamilyParams {
+    /// Size of the fresh predicate pool.
+    pub n_preds: usize,
+    /// Number of rules to generate.
+    pub n_rules: usize,
+    /// Minimum predicate arity (ontology ignores this: classes are unary).
+    pub min_arity: usize,
+    /// Maximum predicate arity (ontology caps at 2).
+    pub max_arity: usize,
+    /// Probability of an existential head position.
+    pub existential_prob: f64,
+    /// Probability of structure that closes predicate-level cycles
+    /// (back-edges in chains, cycle closure in ontologies).
+    pub cycle_prob: f64,
+}
+
+/// Tier-appropriate parameter ranges, jittered by `rng` so candidates in
+/// one bucket differ structurally, not just in their random draws.
+pub fn params_for(tier: crate::difficulty::Difficulty, rng: &mut StdRng) -> FamilyParams {
+    use crate::difficulty::Difficulty::*;
+    match tier {
+        Trivial => FamilyParams {
+            n_preds: rng.random_range(2..=4usize),
+            n_rules: rng.random_range(2..=3usize),
+            min_arity: 1,
+            max_arity: 2,
+            existential_prob: 0.10,
+            cycle_prob: 0.15,
+        },
+        Easy => FamilyParams {
+            n_preds: rng.random_range(4..=7usize),
+            n_rules: rng.random_range(5..=12usize),
+            min_arity: 1,
+            max_arity: rng.random_range(2..=3usize),
+            existential_prob: 0.15,
+            cycle_prob: 0.25,
+        },
+        Medium => FamilyParams {
+            n_preds: rng.random_range(7..=12usize),
+            n_rules: rng.random_range(16..=44usize),
+            min_arity: 2,
+            max_arity: rng.random_range(3..=5usize),
+            existential_prob: 0.20,
+            cycle_prob: 0.5,
+        },
+        Hard => FamilyParams {
+            n_preds: rng.random_range(10..=18usize),
+            n_rules: rng.random_range(70..=150usize),
+            min_arity: 3,
+            // Capped at 6: the dynamic-simplification closure over wide
+            // shape lattices grows exponentially with arity (§4.2), and
+            // corpus entries must stay checkable in milliseconds.
+            max_arity: 6,
+            existential_prob: 0.25,
+            cycle_prob: 0.75,
+        },
+    }
+}
+
+/// Generates one candidate ruleset of the given family. Pure in
+/// `(family, params, seed)`: the schema's predicate names, the rule
+/// order, and every term are reproducible bit-for-bit.
+pub fn generate_family(family: Family, params: &FamilyParams, seed: u64) -> (Schema, Vec<Tgd>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf0d5_7a6e_5eed_0001);
+    let mut schema = Schema::new();
+    let tgds = match family {
+        Family::Linear => gen_linear(&mut schema, params, &mut rng),
+        Family::MultiHead => gen_multi_head(&mut schema, params, &mut rng),
+        Family::Sticky => gen_sticky(&mut schema, params, &mut rng),
+        Family::Guarded => gen_guarded(&mut schema, params, &mut rng),
+        Family::Ontology => gen_ontology(&mut schema, params, &mut rng),
+    };
+    (schema, tgds)
+}
+
+/// Fresh predicate pool `{prefix}{i}` with uniform arities in the window.
+fn pool(
+    schema: &mut Schema,
+    prefix: &str,
+    n: usize,
+    min_arity: usize,
+    max_arity: usize,
+    rng: &mut StdRng,
+) -> Vec<PredId> {
+    crate::datagen::make_predicates(schema, prefix, n, min_arity, max_arity, rng)
+}
+
+/// Paper-style linear rules: delegate to the §6.2 generator over a fresh
+/// pool (every pool predicate is eligible, so `ssize = n_preds`).
+fn gen_linear(schema: &mut Schema, p: &FamilyParams, rng: &mut StdRng) -> Vec<Tgd> {
+    let preds = pool(schema, "ln", p.n_preds, p.min_arity, p.max_arity, rng);
+    let cfg = TgdGenConfig {
+        ssize: p.n_preds,
+        min_arity: p.min_arity,
+        max_arity: p.max_arity,
+        tsize: p.n_rules,
+        tclass: TgdClass::Linear,
+        existential_prob: p.existential_prob,
+        seed: 0, // unused: generate_tgds_over threads `rng` through
+    };
+    generate_tgds_over(&cfg, schema, &preds, rng)
+}
+
+/// Shape-guided body terms for a single body atom: variables follow a
+/// uniformly random partition of the positions (repetitions allowed),
+/// yielding proper Linear rules; returns the distinct variables.
+fn shaped_body(
+    sampler: &PartitionSampler,
+    arity: usize,
+    rng: &mut StdRng,
+) -> (Vec<Term>, Vec<VarId>) {
+    let shape = sampler.sample(rng, arity);
+    let terms: Vec<Term> = shape
+        .ids()
+        .iter()
+        .map(|&id| Term::Var(VarId(id as u32 - 1)))
+        .collect();
+    let mut distinct = Vec::new();
+    for t in &terms {
+        let v = t.as_var().expect("body terms are variables");
+        if !distinct.contains(&v) {
+            distinct.push(v);
+        }
+    }
+    (terms, distinct)
+}
+
+/// Multi-head linear rules: one shape-guided body atom, 1–3 head atoms.
+/// Existential variables are shared across head atoms half the time, so
+/// the heads chain through fresh nulls instead of being independent —
+/// the structural trait that separates multi-head from single-head sets.
+fn gen_multi_head(schema: &mut Schema, p: &FamilyParams, rng: &mut StdRng) -> Vec<Tgd> {
+    let preds = pool(schema, "mh", p.n_preds, p.min_arity, p.max_arity, rng);
+    let sampler = PartitionSampler::new();
+    let mut out = Vec::with_capacity(p.n_rules);
+    while out.len() < p.n_rules {
+        let body_pred = preds[rng.random_range(0..preds.len())];
+        let body_arity = schema.arity(body_pred);
+        let (body_terms, body_vars) = shaped_body(&sampler, body_arity, rng);
+
+        let n_heads = rng.random_range(1..=3usize);
+        let mut next_exist = body_arity as u32;
+        let mut live_exists: Vec<VarId> = Vec::new();
+        let mut heads = Vec::with_capacity(n_heads);
+        for _ in 0..n_heads {
+            let head_pred = preds[rng.random_range(0..preds.len())];
+            let head_arity = schema.arity(head_pred);
+            let terms: Vec<Term> = (0..head_arity)
+                .map(|_| {
+                    if rng.random_bool(p.existential_prob) {
+                        // Chain through an existing existential half the
+                        // time; otherwise mint a fresh one.
+                        if !live_exists.is_empty() && rng.random_bool(0.5) {
+                            Term::Var(live_exists[rng.random_range(0..live_exists.len())])
+                        } else {
+                            let v = VarId(next_exist);
+                            next_exist += 1;
+                            live_exists.push(v);
+                            Term::Var(v)
+                        }
+                    } else {
+                        Term::Var(body_vars[rng.random_range(0..body_vars.len())])
+                    }
+                })
+                .collect();
+            heads.push(Atom::new(schema, head_pred, terms).expect("arity by construction"));
+        }
+        let body = Atom::new(schema, body_pred, body_terms).expect("arity by construction");
+        out.push(Tgd::new(vec![body], heads).expect("generated TGD is valid"));
+    }
+    out
+}
+
+/// Sticky-shaped rules: two body atoms sharing exactly one join variable,
+/// and the join variable occurs in every head atom (the marked-variable
+/// discipline of sticky sets, specialised to one join).
+fn gen_sticky(schema: &mut Schema, p: &FamilyParams, rng: &mut StdRng) -> Vec<Tgd> {
+    // Sticky joins need arity ≥ 1 on both sides; keep the window as given
+    // but force at least arity 1 (pool already does).
+    let preds = pool(schema, "st", p.n_preds, p.min_arity, p.max_arity, rng);
+    let mut out = Vec::with_capacity(p.n_rules);
+    while out.len() < p.n_rules {
+        let a_pred = preds[rng.random_range(0..preds.len())];
+        let b_pred = preds[rng.random_range(0..preds.len())];
+        let head_pred = preds[rng.random_range(0..preds.len())];
+        let a_arity = schema.arity(a_pred);
+        let b_arity = schema.arity(b_pred);
+        let head_arity = schema.arity(head_pred);
+
+        // Variables 0..a_arity fill atom A; the join variable is one of
+        // them, re-used at a random position of atom B; B's remaining
+        // positions get fresh variables.
+        let join = VarId(rng.random_range(0..a_arity as u32));
+        let a_terms: Vec<Term> = (0..a_arity as u32).map(|i| Term::Var(VarId(i))).collect();
+        let join_pos = rng.random_range(0..b_arity);
+        let mut next = a_arity as u32;
+        let b_terms: Vec<Term> = (0..b_arity)
+            .map(|i| {
+                if i == join_pos {
+                    Term::Var(join)
+                } else {
+                    let v = next;
+                    next += 1;
+                    Term::Var(VarId(v))
+                }
+            })
+            .collect();
+        let body_vars: Vec<VarId> = (0..next).map(VarId).collect();
+
+        // Head: the join variable appears at a fixed position; the rest
+        // are existential with probability p, else random body variables.
+        let join_head_pos = rng.random_range(0..head_arity);
+        let mut next_exist = next;
+        let head_terms: Vec<Term> = (0..head_arity)
+            .map(|i| {
+                if i == join_head_pos {
+                    Term::Var(join)
+                } else if rng.random_bool(p.existential_prob) {
+                    let v = VarId(next_exist);
+                    next_exist += 1;
+                    Term::Var(v)
+                } else {
+                    Term::Var(body_vars[rng.random_range(0..body_vars.len())])
+                }
+            })
+            .collect();
+
+        let a = Atom::new(schema, a_pred, a_terms).expect("arity by construction");
+        let b = Atom::new(schema, b_pred, b_terms).expect("arity by construction");
+        let head = Atom::new(schema, head_pred, head_terms).expect("arity by construction");
+        out.push(Tgd::new(vec![a, b], vec![head]).expect("generated TGD is valid"));
+    }
+    out
+}
+
+/// Guarded-shaped rules: a guard atom containing *all* body variables,
+/// plus 1–2 side atoms over subsets of them; single head atom.
+fn gen_guarded(schema: &mut Schema, p: &FamilyParams, rng: &mut StdRng) -> Vec<Tgd> {
+    // The guard must be wide enough to carry every variable: draw guards
+    // from the top of the arity window, sides from anywhere.
+    let preds = pool(schema, "gd", p.n_preds, p.min_arity, p.max_arity, rng);
+    let max_arity_pred = |preds: &[PredId], schema: &Schema, rng: &mut StdRng| {
+        // Rejection-pick a predicate of maximal-ish arity for the guard.
+        let widest = preds.iter().map(|&q| schema.arity(q)).max().unwrap_or(1);
+        loop {
+            let q = preds[rng.random_range(0..preds.len())];
+            if schema.arity(q) + 1 >= widest {
+                return q;
+            }
+        }
+    };
+    let mut out = Vec::with_capacity(p.n_rules);
+    while out.len() < p.n_rules {
+        let guard_pred = max_arity_pred(&preds, schema, rng);
+        let guard_arity = schema.arity(guard_pred);
+        // Guard variables: distinct (guardedness is about coverage, not
+        // repetition; repeated-variable shapes come from the other
+        // families).
+        let guard_terms: Vec<Term> = (0..guard_arity as u32)
+            .map(|i| Term::Var(VarId(i)))
+            .collect();
+        let guard_vars: Vec<VarId> = (0..guard_arity as u32).map(VarId).collect();
+
+        let mut body = vec![Atom::new(schema, guard_pred, guard_terms).expect("arity ok")];
+        for _ in 0..rng.random_range(1..=2usize) {
+            let side_pred = preds[rng.random_range(0..preds.len())];
+            let side_arity = schema.arity(side_pred);
+            let side_terms: Vec<Term> = (0..side_arity)
+                .map(|_| Term::Var(guard_vars[rng.random_range(0..guard_vars.len())]))
+                .collect();
+            body.push(Atom::new(schema, side_pred, side_terms).expect("arity ok"));
+        }
+
+        let head_pred = preds[rng.random_range(0..preds.len())];
+        let head_arity = schema.arity(head_pred);
+        let mut next_exist = guard_arity as u32;
+        let head_terms: Vec<Term> = (0..head_arity)
+            .map(|_| {
+                if rng.random_bool(p.existential_prob) {
+                    let v = VarId(next_exist);
+                    next_exist += 1;
+                    Term::Var(v)
+                } else {
+                    Term::Var(guard_vars[rng.random_range(0..guard_vars.len())])
+                }
+            })
+            .collect();
+        let head = Atom::new(schema, head_pred, head_terms).expect("arity ok");
+        out.push(Tgd::new(body, vec![head]).expect("generated TGD is valid"));
+    }
+    out
+}
+
+/// Ontology-shaped rules over unary classes `oc{i}` and binary roles
+/// `or{i}`: class hierarchies, role chains `C(x) → ∃y R(x,y)`,
+/// `R(x,y) → C'(y)`, existential stars around hub classes, and — with
+/// `cycle_prob` — chain closures back to earlier classes, which create
+/// the special SCCs that make ontologies diverge.
+fn gen_ontology(schema: &mut Schema, p: &FamilyParams, rng: &mut StdRng) -> Vec<Tgd> {
+    let n_classes = p.n_preds.max(2);
+    let n_roles = (p.n_preds / 2).max(1);
+    let classes: Vec<PredId> = (0..n_classes)
+        .map(|i| schema.add_predicate(&format!("oc{i}"), 1).expect("fresh"))
+        .collect();
+    let roles: Vec<PredId> = (0..n_roles)
+        .map(|i| schema.add_predicate(&format!("or{i}"), 2).expect("fresh"))
+        .collect();
+    let (x, y) = (Term::Var(VarId(0)), Term::Var(VarId(1)));
+
+    let mut out = Vec::with_capacity(p.n_rules);
+    while out.len() < p.n_rules {
+        match rng.random_range(0..4u32) {
+            // Class hierarchy A ⊑ B.
+            0 => {
+                let a = classes[rng.random_range(0..classes.len())];
+                let b = classes[rng.random_range(0..classes.len())];
+                out.push(
+                    Tgd::new(
+                        vec![Atom::new(schema, a, vec![x]).expect("arity ok")],
+                        vec![Atom::new(schema, b, vec![x]).expect("arity ok")],
+                    )
+                    .expect("valid axiom"),
+                );
+            }
+            // Existential step A ⊑ ∃R (chain/star opener).
+            1 => {
+                let a = classes[rng.random_range(0..classes.len())];
+                let r = roles[rng.random_range(0..roles.len())];
+                out.push(
+                    Tgd::new(
+                        vec![Atom::new(schema, a, vec![x]).expect("arity ok")],
+                        vec![Atom::new(schema, r, vec![x, y]).expect("arity ok")],
+                    )
+                    .expect("valid axiom"),
+                );
+            }
+            // Range step ∃R⁻ ⊑ B: with cycle_prob the target class is a
+            // uniformly random one (possibly closing a chain into a
+            // cycle); otherwise it is a *later* class, keeping the
+            // class-level order acyclic.
+            2 => {
+                let r = roles[rng.random_range(0..roles.len())];
+                let b = if rng.random_bool(p.cycle_prob) {
+                    classes[rng.random_range(0..classes.len())]
+                } else {
+                    let lo = rng.random_range(0..classes.len());
+                    classes[lo.max(classes.len() / 2)]
+                };
+                out.push(
+                    Tgd::new(
+                        vec![Atom::new(schema, r, vec![x, y]).expect("arity ok")],
+                        vec![Atom::new(schema, b, vec![y]).expect("arity ok")],
+                    )
+                    .expect("valid axiom"),
+                );
+            }
+            // Star burst: a hub class sprouts 2–3 existential roles at
+            // once (multi-head) — high predicate fan-out.
+            _ => {
+                let hub = classes[rng.random_range(0..classes.len())];
+                let n = rng.random_range(2..=3usize).min(roles.len());
+                let mut heads = Vec::with_capacity(n);
+                for k in 0..n {
+                    let r = roles[rng.random_range(0..roles.len())];
+                    let fresh = Term::Var(VarId(1 + k as u32));
+                    heads.push(Atom::new(schema, r, vec![x, fresh]).expect("arity ok"));
+                }
+                out.push(
+                    Tgd::new(
+                        vec![Atom::new(schema, hub, vec![x]).expect("arity ok")],
+                        heads,
+                    )
+                    .expect("valid axiom"),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::difficulty::Difficulty;
+
+    fn gen(family: Family, seed: u64) -> (Schema, Vec<Tgd>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = params_for(Difficulty::Medium, &mut rng);
+        generate_family(family, &params, seed)
+    }
+
+    #[test]
+    fn families_generate_their_advertised_structure() {
+        for seed in [1u64, 7, 42] {
+            let (_s, linear) = gen(Family::Linear, seed);
+            assert!(linear.iter().all(|t| t.is_linear() && t.head().len() == 1));
+
+            let (_s, mh) = gen(Family::MultiHead, seed);
+            assert!(mh.iter().all(Tgd::is_linear));
+            assert!(
+                mh.iter().any(|t| t.head().len() > 1),
+                "multi-head family must contain multi-head rules"
+            );
+
+            let (_s, sticky) = gen(Family::Sticky, seed);
+            assert!(sticky.iter().all(|t| t.body().len() == 2));
+
+            let (schema, guarded) = gen(Family::Guarded, seed);
+            for t in &guarded {
+                assert!(t.body().len() >= 2);
+                // First body atom is the guard: it carries all body vars.
+                let guard_arity = schema.arity(t.body()[0].pred);
+                assert_eq!(t.body_variables().len(), guard_arity);
+            }
+
+            let (schema, onto) = gen(Family::Ontology, seed);
+            for t in &onto {
+                for a in t.body().iter().chain(t.head()) {
+                    assert!(schema.arity(a.pred) <= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for family in Family::ALL {
+            let (sa, a) = gen(family, 99);
+            let (sb, b) = gen(family, 99);
+            assert_eq!(a, b);
+            assert_eq!(sa.len(), sb.len());
+        }
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for family in Family::ALL {
+            assert_eq!(family.name().parse::<Family>().unwrap(), family);
+        }
+        assert!("frobnicate".parse::<Family>().is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! The workload foundry: family enumeration × difficulty calibration ×
+//! diversity filtering, with byte-deterministic output.
+//!
+//! One call to [`generate`] produces `count` rulesets of one
+//! `(family, difficulty)` bucket from a master seed: candidate sub-seeds
+//! are a pure function of `(family, difficulty, seed, k)`, each candidate
+//! is generated with tier-appropriate knobs ([`crate::families`]),
+//! measured ([`crate::difficulty`]), and kept only if its *measured* tier
+//! matches the request and it survives the dedup/diversity filter
+//! ([`crate::diversity`]). The loop is deterministic end to end, so the
+//! same `(family, difficulty, seed, count)` always reproduces the same
+//! bytes — the property the corpus drift gate (`soct gen --check-corpus`)
+//! and `tests/foundry_props.rs` enforce.
+
+use crate::difficulty::{calibrate, Difficulty, Signals};
+use crate::diversity::{features, DiversityFilter, Features};
+use crate::families::{generate_family, params_for, Family};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soct_core::Verdict;
+use soct_model::{fingerprint_ruleset, Fingerprint, Interner, Schema, Tgd};
+
+/// One foundry request: a `(family, difficulty)` bucket of `count`
+/// deduplicated rulesets derived from `seed`.
+#[derive(Clone, Copy, Debug)]
+pub struct FoundryConfig {
+    /// The TGD family to enumerate.
+    pub family: Family,
+    /// The difficulty tier every returned ruleset must *measure* at.
+    pub difficulty: Difficulty,
+    /// Master seed; candidate sub-seeds derive from it.
+    pub seed: u64,
+    /// Number of rulesets to return.
+    pub count: usize,
+}
+
+/// A generated, calibrated, accepted ruleset.
+pub struct GeneratedRuleset {
+    /// The family it was generated from.
+    pub family: Family,
+    /// The measured (= requested) difficulty tier.
+    pub difficulty: Difficulty,
+    /// The sub-seed that regenerates exactly this ruleset via
+    /// [`generate_candidate`] — recorded in the corpus manifest so the
+    /// drift gate can re-derive entries independently.
+    pub subseed: u64,
+    /// Canonical text (`soct_parser::write_tgds` output; parse→write is
+    /// byte-stable on it).
+    pub text: String,
+    /// The schema the rules were generated over.
+    pub schema: Schema,
+    /// The rules themselves.
+    pub tgds: Vec<Tgd>,
+    /// Order/renaming-invariant ruleset fingerprint.
+    pub fingerprint: Fingerprint,
+    /// `check_termination` verdict on the critical instance.
+    pub verdict: Verdict,
+    /// The measured difficulty signals.
+    pub signals: Signals,
+    /// The structural feature vector used by the diversity filter.
+    pub features: Features,
+}
+
+/// Candidates examined per requested ruleset before giving up. Generous:
+/// acceptance requires the measured tier to match, and tier measurement
+/// is intentionally independent of the generator's knobs.
+const MAX_ATTEMPTS_PER_RULESET: usize = 600;
+
+/// SplitMix64 step — derives statistically independent sub-seeds from the
+/// master seed without sharing any RNG state between candidates.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The sub-seed of candidate `k` of a bucket: a pure function of the
+/// request, so buckets never share RNG state and a bucket's k-th
+/// candidate is the same no matter what was generated before it.
+pub fn subseed(family: Family, difficulty: Difficulty, seed: u64, k: u64) -> u64 {
+    let f = Family::ALL.iter().position(|&x| x == family).unwrap() as u64;
+    let d = Difficulty::ALL
+        .iter()
+        .position(|&x| x == difficulty)
+        .unwrap() as u64;
+    mix(seed ^ mix(f.wrapping_mul(41) ^ d.wrapping_mul(1009) ^ k.wrapping_mul(0x5de3_44d0)))
+}
+
+/// Generates and measures the candidate identified by `subseed` — the
+/// regeneration entry point used by the corpus drift gate. Everything
+/// (knob jitter and ruleset content) derives from the one sub-seed.
+pub fn generate_candidate(
+    family: Family,
+    difficulty: Difficulty,
+    subseed: u64,
+) -> GeneratedRuleset {
+    let mut knob_rng = StdRng::seed_from_u64(mix(subseed ^ 0x6b0b_5eed));
+    let params = params_for(difficulty, &mut knob_rng);
+    let (schema, tgds) = generate_family(family, &params, subseed);
+    let (measured, signals) = calibrate(&schema, &tgds);
+    let feats = features(&schema, &tgds, &signals);
+    let fingerprint = fingerprint_ruleset(&schema, &tgds);
+    // Rules carry no constants, so an empty interner renders them fully.
+    let text = soct_parser::write_tgds(&tgds, &schema, &Interner::new());
+    GeneratedRuleset {
+        family,
+        difficulty: measured,
+        subseed,
+        text,
+        schema,
+        tgds,
+        fingerprint,
+        verdict: signals.verdict,
+        signals,
+        features: feats,
+    }
+}
+
+/// Runs the foundry for one bucket. Deterministic in `cfg`; errors if the
+/// family cannot fill the bucket within the attempt budget (a sign the
+/// tier thresholds and the family's parameter ranges have drifted apart).
+pub fn generate(cfg: &FoundryConfig) -> Result<Vec<GeneratedRuleset>, String> {
+    let mut out = Vec::with_capacity(cfg.count);
+    let mut filter = DiversityFilter::new();
+    let budget = MAX_ATTEMPTS_PER_RULESET * cfg.count.max(1);
+    for k in 0..budget as u64 {
+        if out.len() == cfg.count {
+            break;
+        }
+        let candidate = generate_candidate(
+            cfg.family,
+            cfg.difficulty,
+            subseed(cfg.family, cfg.difficulty, cfg.seed, k),
+        );
+        if candidate.difficulty != cfg.difficulty {
+            continue;
+        }
+        if !filter.admit(candidate.fingerprint.0, candidate.features) {
+            continue;
+        }
+        out.push(candidate);
+    }
+    if out.len() < cfg.count {
+        return Err(format!(
+            "foundry exhausted {budget} candidates filling {}/{} of bucket {}/{} (seed {})",
+            out.len(),
+            cfg.count,
+            cfg.family,
+            cfg.difficulty,
+            cfg.seed
+        ));
+    }
+    Ok(out)
+}
+
+/// Renders a [`Verdict`] in the manifest's (and the service's) lowercase
+/// wire form.
+pub fn verdict_name(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Finite => "finite",
+        Verdict::Infinite => "infinite",
+        Verdict::Unknown => "unknown",
+    }
+}
+
+/// Inverse of [`verdict_name`].
+pub fn parse_verdict(s: &str) -> Result<Verdict, String> {
+    match s {
+        "finite" => Ok(Verdict::Finite),
+        "infinite" => Ok(Verdict::Infinite),
+        "unknown" => Ok(Verdict::Unknown),
+        other => Err(format!(
+            "verdict must be finite|infinite|unknown, got `{other}`"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_generation_is_deterministic_and_calibrated() {
+        let cfg = FoundryConfig {
+            family: Family::Linear,
+            difficulty: Difficulty::Easy,
+            seed: 7,
+            count: 3,
+        };
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.text, y.text, "byte-deterministic per (bucket, seed)");
+            assert_eq!(x.fingerprint, y.fingerprint);
+            assert_eq!(x.subseed, y.subseed);
+            // Accepted = measured at the requested tier.
+            let (tier, _) = calibrate(&x.schema, &x.tgds);
+            assert_eq!(tier, Difficulty::Easy);
+        }
+    }
+
+    #[test]
+    fn bucket_entries_are_deduplicated() {
+        let cfg = FoundryConfig {
+            family: Family::Ontology,
+            difficulty: Difficulty::Trivial,
+            seed: 3,
+            count: 5,
+        };
+        let entries = generate(&cfg).unwrap();
+        let fps: soct_model::FxHashSet<u128> = entries.iter().map(|e| e.fingerprint.0).collect();
+        assert_eq!(fps.len(), 5, "fingerprints must be pairwise distinct");
+        let (min, _) = crate::diversity::feature_spread(
+            &entries.iter().map(|e| e.features).collect::<Vec<_>>(),
+        );
+        assert!(min >= 1, "no two entries share a feature vector");
+    }
+
+    #[test]
+    fn subseeds_do_not_collide_across_buckets() {
+        let mut seen = soct_model::FxHashSet::default();
+        for family in Family::ALL {
+            for difficulty in Difficulty::ALL {
+                for k in 0..8 {
+                    assert!(seen.insert(subseed(family, difficulty, 42, k)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regeneration_from_subseed_matches_the_bucket_entry() {
+        let cfg = FoundryConfig {
+            family: Family::MultiHead,
+            difficulty: Difficulty::Easy,
+            seed: 11,
+            count: 2,
+        };
+        for e in generate(&cfg).unwrap() {
+            let again = generate_candidate(e.family, Difficulty::Easy, e.subseed);
+            assert_eq!(again.text, e.text);
+            assert_eq!(again.fingerprint, e.fingerprint);
+            assert_eq!(again.difficulty, Difficulty::Easy);
+            assert_eq!(again.verdict, e.verdict);
+        }
+    }
+}

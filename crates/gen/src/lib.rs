@@ -5,14 +5,35 @@
 //! §7.1 and the `D★`-plus-views design of §8.1, and synthetic stand-ins for
 //! the §9 validation scenarios (Deep, LUBM, iBench) matching their published
 //! Table 1 statistics.
+//!
+//! On top of those sits the **scenario foundry**: parameterized TGD
+//! families ([`families`]), a measured-signal difficulty calibrator
+//! ([`difficulty`]), a dedup/diversity filter ([`diversity`]), the
+//! orchestration loop ([`foundry`]), and the checked-in corpus layer
+//! ([`corpus`]) that tests and benches load.
 
+pub mod corpus;
 pub mod datagen;
+pub mod difficulty;
+pub mod diversity;
+pub mod families;
+pub mod foundry;
 pub mod partition;
 pub mod profiles;
 pub mod scenarios;
 pub mod tgdgen;
 
+pub use corpus::{
+    build_corpus, check_corpus, load_manifest, repo_corpus_dir, write_corpus, CorpusEntry,
+    BUCKET_SIZE, CORPUS_SEED, MANIFEST,
+};
 pub use datagen::{generate_database, generate_instance, DataGenConfig, GeneratedData};
+pub use difficulty::{calibrate, measure, Difficulty, Signals};
+pub use diversity::{feature_spread, features, DiversityFilter, Features};
+pub use families::{generate_family, Family, FamilyParams};
+pub use foundry::{
+    generate_candidate, parse_verdict, verdict_name, FoundryConfig, GeneratedRuleset,
+};
 pub use partition::PartitionSampler;
 pub use profiles::{combined_profiles, CombinedProfile, Scale};
 pub use scenarios::{deep_like, ibench_like, lubm_like, IBenchVariant, Scenario, ScenarioStats};

@@ -137,6 +137,100 @@ proptest! {
     }
 }
 
+/// Corpus-wide agreement: every checked-in corpus entry gets the manifest's
+/// expected verdict from **all four** checker entry points — the plain
+/// checker, the thread-pool checker, the cached checker, and the live
+/// checker over a writable engine holding the critical instance.
+#[test]
+fn corpus_agrees_across_all_four_checker_entry_points() {
+    let dir = soct::gen::repo_corpus_dir();
+    let entries = soct::gen::load_manifest(&dir).expect("checked-in corpus manifest");
+    assert!(!entries.is_empty());
+    let cache = VerdictCache::new(entries.len() * 2);
+    for e in &entries {
+        let text = std::fs::read_to_string(dir.join(&e.file)).expect(&e.file);
+        let mut schema = Schema::new();
+        let mut consts = Interner::new();
+        let tgds = parse_tgds(&text, &mut schema, &mut consts).expect(&e.file);
+        assert_eq!(
+            fingerprint_ruleset(&schema, &tgds).0,
+            e.fingerprint,
+            "{}: parsed ruleset must match the manifest fingerprint",
+            e.file
+        );
+        let db = soct::serve::critical_instance(&schema, &tgds, &mut consts);
+
+        let plain = check_termination(&schema, &tgds, &db, FindShapesMode::InMemory);
+        assert_eq!(plain.verdict, e.verdict, "{}: check_termination", e.file);
+
+        let threaded = check_termination_threads(&schema, &tgds, &db, FindShapesMode::InMemory, 4);
+        assert_eq!(
+            threaded.verdict, e.verdict,
+            "{}: check_termination_threads",
+            e.file
+        );
+
+        // Cached: the first call computes, the second must hit.
+        let cached =
+            check_termination_cached(&schema, &tgds, &db, FindShapesMode::InMemory, 1, &cache);
+        assert_eq!(
+            cached.report.verdict, e.verdict,
+            "{}: check_termination_cached",
+            e.file
+        );
+        let again =
+            check_termination_cached(&schema, &tgds, &db, FindShapesMode::InMemory, 1, &cache);
+        assert!(
+            again.hit,
+            "{}: second cached check must be a cache hit",
+            e.file
+        );
+        assert_eq!(
+            again.report.verdict, e.verdict,
+            "{}: cached hit verdict",
+            e.file
+        );
+
+        // Live: the critical instance loaded into a writable engine with
+        // incremental shape tracking on.
+        let mut engine = StorageEngine::new();
+        engine.load_instance(&schema, &db);
+        engine.enable_shape_tracking();
+        let live =
+            check_termination_live(&schema, &tgds, &engine, FindShapesMode::InMemory, 1, &cache);
+        assert_eq!(
+            live.report.verdict, e.verdict,
+            "{}: check_termination_live",
+            e.file
+        );
+    }
+}
+
+/// The acceptance floor of the corpus itself: at least 4 families × at
+/// least 3 tiers, with at least 5 deduplicated rulesets per bucket.
+#[test]
+fn corpus_covers_families_and_tiers_with_full_deduplicated_buckets() {
+    let entries = soct::gen::load_manifest(&soct::gen::repo_corpus_dir()).unwrap();
+    let mut buckets: soct::model::FxHashMap<(soct::gen::Family, soct::gen::Difficulty), usize> =
+        soct::model::FxHashMap::default();
+    let mut fps: soct::model::FxHashSet<u128> = soct::model::FxHashSet::default();
+    for e in &entries {
+        *buckets.entry((e.family, e.difficulty)).or_default() += 1;
+        assert!(
+            fps.insert(e.fingerprint),
+            "{}: duplicate fingerprint in corpus",
+            e.file
+        );
+    }
+    let families: soct::model::FxHashSet<_> = buckets.keys().map(|&(f, _)| f).collect();
+    let tiers: soct::model::FxHashSet<_> = buckets.keys().map(|&(_, d)| d).collect();
+    assert!(families.len() >= 4, "families: {families:?}");
+    assert!(tiers.len() >= 3, "tiers: {tiers:?}");
+    for (bucket, n) in &buckets {
+        assert!(*n >= 5, "bucket {bucket:?} has only {n} entries");
+    }
+}
+
 #[test]
 fn regression_example_3_4_family() {
     // Hand-picked instances of the linear-vs-SL gap.

@@ -119,6 +119,43 @@ proptest! {
     }
 }
 
+// ── Checked-in corpus as a second hostile-input source ──────────────────
+
+/// Every checked-in corpus file is canonical writer output, so it must
+/// survive parse → write **byte-identically** — any asymmetry between the
+/// writer's canonical form and the parser shows up as a diff here before
+/// it shows up as corpus drift in CI.
+#[test]
+fn corpus_files_round_trip_byte_identically() {
+    let dir = soct::gen::repo_corpus_dir();
+    let entries = soct::gen::load_manifest(&dir).expect("corpus manifest");
+    assert!(!entries.is_empty());
+    for e in &entries {
+        let text = std::fs::read_to_string(dir.join(&e.file)).expect(&e.file);
+        let mut schema = Schema::new();
+        let mut consts = Interner::new();
+        let tgds = parse_tgds(&text, &mut schema, &mut consts)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.file));
+        let rewritten = soct::parser::write_tgds(&tgds, &schema, &consts);
+        assert_eq!(
+            rewritten, text,
+            "{}: parse→write must be byte-identical",
+            e.file
+        );
+        // And the canonical form is a fixpoint: parsing the rewrite changes
+        // nothing either.
+        let mut schema2 = Schema::new();
+        let mut consts2 = Interner::new();
+        let tgds2 = parse_tgds(&rewritten, &mut schema2, &mut consts2).unwrap();
+        assert_eq!(
+            fingerprint_ruleset(&schema, &tgds),
+            fingerprint_ruleset(&schema2, &tgds2),
+            "{}: fingerprint must survive the round trip",
+            e.file
+        );
+    }
+}
+
 // ── Unicode / whitespace-hostile lexer corpus ───────────────────────────
 //
 // The lexer walks raw bytes of a (guaranteed valid UTF-8) `&str`. These

@@ -433,3 +433,42 @@ fn stats_expose_server_queue_and_latency_metrics() {
     assert_eq!(depth, ServerConfig::default().queue_depth, "{}", stats.body);
     handle.shutdown();
 }
+
+#[test]
+fn corpus_sample_verdicts_match_the_manifest_over_the_wire() {
+    // One entry per (family, tier) bucket — rules-only bodies, so the
+    // server falls back to the critical instance, which is exactly what
+    // the manifest verdict was recorded against.
+    let dir = soct::gen::repo_corpus_dir();
+    let entries = soct::gen::load_manifest(&dir).expect("corpus manifest");
+    let sample: Vec<_> = entries
+        .iter()
+        .filter(|e| e.file.ends_with("_00.dlog"))
+        .collect();
+    assert!(
+        sample.len() >= 12,
+        "bucket sample too small: {}",
+        sample.len()
+    );
+    let (handle, client) = start_server(2);
+    for e in sample {
+        let text = std::fs::read_to_string(dir.join(&e.file)).expect(&e.file);
+        let resp = client.post("/check", &text).unwrap();
+        assert_eq!(resp.status, 200, "{}: {}", e.file, resp.body);
+        assert_eq!(
+            get_field(&resp.body, "verdict"),
+            Some(soct::gen::verdict_name(e.verdict)),
+            "{}: {}",
+            e.file,
+            resp.body
+        );
+        // The wire fingerprint must agree with the manifest's.
+        assert_eq!(
+            get_field(&resp.body, "rule_fp"),
+            Some(format!("{:032x}", e.fingerprint).as_str()),
+            "{}",
+            e.file
+        );
+    }
+    handle.shutdown();
+}
