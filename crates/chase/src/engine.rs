@@ -290,6 +290,14 @@ pub fn run_chase_on_store<S: ChaseStore>(
     let mut parallel_rounds = 0usize;
     let mut delta_start: RowId = 0;
     let mut outcome = ChaseOutcome::Terminated;
+    // Run-level observability tallies, folded into the process-global
+    // counters once at the end: the hot loop pays plain integer adds, not
+    // atomics.
+    let run_span = soct_obs::span("chase");
+    let mut obs_enumerated = 0u64;
+    let mut obs_new = 0u64;
+    let mut obs_tuples = 0u64;
+    let mut obs_tasks = 0u64;
 
     // The store and the global witness table sit behind one RwLock so the
     // worker pool can read the round snapshot (and pre-filter against the
@@ -321,6 +329,7 @@ pub fn run_chase_on_store<S: ChaseStore>(
                 break;
             }
             rounds += 1;
+            let _round_span = soct_obs::span("chase_round");
             // Phase 1: enumerate the round's new triggers. The matcher
             // borrows the store immutably, so application is deferred to
             // phase 2 — which is also what makes the round shardable:
@@ -334,6 +343,7 @@ pub fn run_chase_on_store<S: ChaseStore>(
                 let (tasks, est_work) =
                     build_tasks(&compiled, &*guard.store, delta_start, delta_end, threads);
                 if est_work >= PAR_MIN_ROUND_WORK && tasks.len() > 1 {
+                    obs_tasks += tasks.len() as u64;
                     drop(guard); // workers take read locks for the round
                     let pool = pool.get_or_insert_with(|| {
                         WorkerPool::spawn(scope, &shared, &compiled, policy, threads)
@@ -353,6 +363,7 @@ pub fn run_chase_on_store<S: ChaseStore>(
                     // new candidate once.
                     parallel_rounds += 1;
                     for out in &outs {
+                        obs_enumerated += out.table.len() as u64;
                         for k in 0..out.table.len() as u32 {
                             let (wit, is_new) = witnesses.intern_prehashed(
                                 out.tgd,
@@ -385,6 +396,7 @@ pub fn run_chase_on_store<S: ChaseStore>(
                                 *s = UNBOUND;
                             }
                             match_ranged(&ctgd.body, &*live, &lo, &hi, &mut binding, &mut |b| {
+                                obs_enumerated += 1;
                                 wit_scratch.clear();
                                 wit_scratch.extend(wit_slots.iter().map(|&s| b[s as usize]));
                                 let (wit, is_new) = witnesses.intern(ti as u32, &wit_scratch);
@@ -397,6 +409,7 @@ pub fn run_chase_on_store<S: ChaseStore>(
                     }
                 }
             }
+            obs_new += new_triggers.len() as u64;
             // Phase 2: apply. The (semi-)oblivious variants realise the
             // parallel `chase_i` semantics (results are key-determined, so
             // application order is irrelevant); the restricted variant
@@ -444,6 +457,7 @@ pub fn run_chase_on_store<S: ChaseStore>(
                         row_scratch[i] = binding[s as usize];
                     }
                     live.insert(ha.pred, &row_scratch[..ha.slots.len()]);
+                    obs_tuples += 1;
                 }
                 if live.len() > config.max_atoms {
                     outcome = ChaseOutcome::AtomBudgetExceeded;
@@ -453,6 +467,14 @@ pub fn run_chase_on_store<S: ChaseStore>(
             delta_start = delta_end;
         }
     });
+    let g = soct_obs::global();
+    g.chase_rounds.add(rounds as u64);
+    g.chase_triggers.add(obs_enumerated);
+    g.chase_dedup_hits
+        .add(obs_enumerated.saturating_sub(obs_new));
+    g.chase_tuples.add(obs_tuples);
+    g.chase_parallel_tasks.add(obs_tasks);
+    drop(run_span);
 
     ChaseStats {
         outcome,

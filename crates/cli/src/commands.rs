@@ -30,6 +30,23 @@ fn mode_of(args: &Args) -> Result<FindShapesMode, String> {
         .map_err(|e| format!("--{e}"))
 }
 
+/// Starts a span-collection session when `--trace-out FILE` is given.
+/// Returns the session paired with the target path.
+fn trace_session_of(args: &Args) -> Option<(soct_obs::TraceSession, &str)> {
+    args.get("trace-out")
+        .map(|path| (soct_obs::TraceSession::start(), path))
+}
+
+/// Finishes a trace session and writes the Chrome-trace JSON
+/// (Perfetto / `chrome://tracing` loadable) to `path`.
+fn write_trace(session: soct_obs::TraceSession, path: &str) -> Result<(), String> {
+    let records = session.finish();
+    let json = soct_obs::chrome_trace_json(&records);
+    std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    println!("wrote trace {path} ({} spans)", records.len());
+    Ok(())
+}
+
 /// Loads rules and (optionally) a fact file over one shared vocabulary.
 fn load_program(args: &Args) -> Result<(Schema, Interner, Vec<soct_model::Tgd>, Database), String> {
     let rules_path = args.require("rules")?;
@@ -59,9 +76,16 @@ pub fn check(args: &Args) -> Result<(), String> {
     let mode = mode_of(args)?;
     let threads = threads_of(args)?;
     let class = soct_model::tgd::classify(&tgds);
+    let trace = trace_session_of(args);
     let t0 = Instant::now();
-    let report = check_termination_threads(&schema, &tgds, &db, mode, threads);
+    let report = {
+        let _span = soct_obs::span("check");
+        check_termination_threads(&schema, &tgds, &db, mode, threads)
+    };
     let elapsed = t0.elapsed();
+    if let Some((session, path)) = trace {
+        write_trace(session, path)?;
+    }
     println!(
         "class: {class}  rules: {}  db-atoms: {}",
         tgds.len(),
@@ -133,6 +157,7 @@ pub fn chase(args: &Args) -> Result<(), String> {
     // `--backend storage` loads the database into the embedded storage
     // engine first and chases it there, writing derived atoms back to the
     // engine's tables (the paper's in-database mode).
+    let trace = trace_session_of(args);
     let t0 = Instant::now();
     let (res, pages) = match args.get_or("backend", "memory") {
         "memory" | "mem" => (soct_chase::run_chase_columnar(&db, &tgds, &cfg), None),
@@ -147,6 +172,9 @@ pub fn chase(args: &Args) -> Result<(), String> {
         other => return Err(format!("--backend must be memory|storage, got `{other}`")),
     };
     let elapsed = t0.elapsed();
+    if let Some((session, path)) = trace {
+        write_trace(session, path)?;
+    }
     println!(
         "outcome: {:?}  rounds: {} ({} parallel)  atoms: {} ({} derived)  triggers: {}  nulls: {}  time: {:.3} ms",
         res.outcome,

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! soct check          --rules FILE [--db FILE] [--mode memory|db] [--threads N]
+//!                     [--trace-out FILE]
 //! soct chase          --rules FILE --db FILE [--variant so|oblivious|restricted]
-//!                     [--max-atoms N] [--threads N] [--out FILE]
+//!                     [--max-atoms N] [--threads N] [--out FILE] [--trace-out FILE]
 //! soct shapes         --db FILE [--mode memory|db] [--threads N]
 //! soct stats          --rules FILE
 //! soct gen            [--family F] [--difficulty T] [--seed N] [--count N]
@@ -31,7 +32,7 @@ use args::Args;
 
 /// Valid flags per subcommand — `Args::reject_unknown` turns typos into
 /// errors instead of silently ignored settings.
-const CHECK_FLAGS: &[&str] = &["rules", "db", "mode", "threads", "quiet"];
+const CHECK_FLAGS: &[&str] = &["rules", "db", "mode", "threads", "quiet", "trace-out"];
 const CHASE_FLAGS: &[&str] = &[
     "rules",
     "db",
@@ -41,6 +42,7 @@ const CHASE_FLAGS: &[&str] = &[
     "threads",
     "out",
     "backend",
+    "trace-out",
 ];
 const SHAPES_FLAGS: &[&str] = &["db", "mode", "threads"];
 const STATS_FLAGS: &[&str] = &["rules"];
@@ -187,9 +189,11 @@ fn print_usage() {
 
 USAGE:
   soct check          --rules FILE [--db FILE] [--mode memory|db] [--threads N]
+                      [--trace-out FILE]
                       decide whether chase(D, Σ) is finite
   soct chase          --rules FILE --db FILE [--variant so|oblivious|restricted]
                       [--max-atoms N] [--max-rounds N] [--threads N] [--out FILE]
+                      [--trace-out FILE]
                       materialise the chase
   soct shapes         --db FILE [--mode memory|db] [--threads N]
                       list the database shapes
@@ -233,6 +237,8 @@ USAGE:
 Rule files use `body -> head.` / `head :- body.` syntax with implicit
 existentials; fact files hold `r(a,b).` lines. `--threads 0` (default)
 auto-sizes the worker pool (SOCT_THREADS env, else available cores);
-results never depend on the thread count."
+results never depend on the thread count. `--trace-out FILE` writes a
+Chrome-trace JSON of the run's spans (loadable in Perfetto or
+chrome://tracing); SOCT_LOG=debug turns on key=value stderr logging."
     );
 }

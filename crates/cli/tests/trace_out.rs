@@ -1,0 +1,178 @@
+//! Subprocess tests of `soct check/chase --trace-out FILE` (ISSUE 9):
+//! the Chrome-trace JSON must be schema-valid, and the span tree on a
+//! fixed corpus entry at `--threads 1` must be deterministic — same
+//! names, same nesting, same completion order on every run.
+//!
+//! Each test drives the real binary (`CARGO_BIN_EXE_soct`), so the
+//! process-global trace collector starts from a clean slate regardless
+//! of what other tests in this workspace are doing.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn corpus_entry() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus/linear_easy_00.dlog")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("soct_trace_{}_{name}", std::process::id()))
+}
+
+/// One `"ph":"X"` complete event, hand-parsed from the trace JSON.
+#[derive(Debug, PartialEq)]
+struct Event {
+    name: String,
+    ts: u64,
+    dur: u64,
+    tid: u64,
+    depth: u64,
+}
+
+fn field(event: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":");
+    let rest = &event[event
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {key} in {event}"))
+        + pat.len()..];
+    rest.trim_start_matches('"')
+        .split(['"', ',', '}'])
+        .next()
+        .unwrap()
+        .to_string()
+}
+
+/// Minimal schema check + parse: the body is a `{"traceEvents":[…]}`
+/// object of complete events carrying name/cat/ph/ts/dur/pid/tid.
+fn parse_trace(path: &Path) -> Vec<Event> {
+    let body = std::fs::read_to_string(path).unwrap();
+    assert!(body.starts_with("{\"traceEvents\":["), "bad envelope");
+    assert!(body.ends_with("]}"), "bad envelope");
+    let inner = &body["{\"traceEvents\":[".len()..body.len() - 2];
+    if inner.is_empty() {
+        return Vec::new();
+    }
+    inner
+        .split("},{")
+        .map(|ev| {
+            assert_eq!(field(ev, "ph"), "X", "only complete events: {ev}");
+            assert_eq!(field(ev, "cat"), "soct");
+            assert_eq!(field(ev, "pid"), "1");
+            Event {
+                name: field(ev, "name"),
+                ts: field(ev, "ts").parse().unwrap(),
+                dur: field(ev, "dur").parse().unwrap(),
+                tid: field(ev, "tid").parse().unwrap(),
+                depth: field(ev, "depth").parse().unwrap(),
+            }
+        })
+        .collect()
+}
+
+fn run_check(trace: &Path) {
+    let out = Command::new(env!("CARGO_BIN_EXE_soct"))
+        .args([
+            "check",
+            "--rules",
+            corpus_entry().to_str().unwrap(),
+            "--threads",
+            "1",
+            "--quiet",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn check_trace_has_a_deterministic_span_tree() {
+    let trace = tmp("check.json");
+    run_check(&trace);
+    let events = parse_trace(&trace);
+
+    // linear_easy_00 is simple-linear: the checker runs graph → comp →
+    // supports under the CLI's outer `check` span. Records are in
+    // completion order — children before the parent.
+    let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, ["graph", "comp", "supports", "check"]);
+    let root = events.last().unwrap();
+    assert_eq!(root.depth, 0);
+    assert!(root.dur > 0, "the root span spans the whole check");
+    for child in &events[..events.len() - 1] {
+        assert_eq!(child.depth, 1, "{}", child.name);
+        assert_eq!(child.tid, root.tid, "single-threaded run: one tid");
+        assert!(child.ts >= root.ts, "{} starts inside the root", child.name);
+        assert!(
+            child.ts + child.dur <= root.ts + root.dur + 1,
+            "{} ends inside the root (1µs rounding slack)",
+            child.name
+        );
+    }
+    // Children complete in phase order, back to back.
+    for pair in events[..events.len() - 1].windows(2) {
+        assert!(pair[0].ts <= pair[1].ts, "{pair:?}");
+    }
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn check_trace_is_identical_in_shape_across_runs() {
+    let (a, b) = (tmp("check_a.json"), tmp("check_b.json"));
+    run_check(&a);
+    run_check(&b);
+    let (ea, eb) = (parse_trace(&a), parse_trace(&b));
+    let shape = |evs: &[Event]| -> Vec<(String, u64, u64)> {
+        evs.iter()
+            .map(|e| (e.name.clone(), e.depth, e.tid))
+            .collect()
+    };
+    assert_eq!(shape(&ea), shape(&eb), "span tree must be deterministic");
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}
+
+#[test]
+fn chase_trace_nests_rounds_under_the_run() {
+    let rules = tmp("chase.dlog");
+    let facts = tmp("chase.facts");
+    std::fs::write(&rules, "r(X, Y) -> r(Y, Z).\n").unwrap();
+    std::fs::write(&facts, "r(a, b).\n").unwrap();
+    let trace = tmp("chase.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_soct"))
+        .args([
+            "chase",
+            "--rules",
+            rules.to_str().unwrap(),
+            "--db",
+            facts.to_str().unwrap(),
+            "--max-rounds",
+            "3",
+            "--threads",
+            "1",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let events = parse_trace(&trace);
+    let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["chase_round", "chase_round", "chase_round", "chase"],
+        "three budgeted rounds inside one engine-run span"
+    );
+    assert!(events.last().unwrap().dur > 0);
+    for f in [rules, facts, trace] {
+        std::fs::remove_file(&f).ok();
+    }
+}

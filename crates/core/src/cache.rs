@@ -32,12 +32,12 @@ use soct_model::fingerprint::{
     Fingerprint,
 };
 use soct_model::{FxHashMap, Instance, Schema, Tgd, TgdClass};
+use soct_obs::Phases;
 use soct_storage::{StorageEngine, TupleSource};
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// The pair of fingerprints a verdict is keyed by.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -355,13 +355,9 @@ pub fn check_termination_cached(
     threads: usize,
     cache: &VerdictCache,
 ) -> CachedCheck {
-    let t0 = Instant::now();
-    let (key, class) = cache_key(schema, tgds, db);
-    let t_fingerprint = t0.elapsed();
-
-    let t1 = Instant::now();
-    let cached = cache.get(&key);
-    let t_lookup = t1.elapsed();
+    let mut phases = Phases::new();
+    let (key, class) = phases.run("fingerprint", || cache_key(schema, tgds, db));
+    let cached = phases.run("lookup", || cache.get(&key));
 
     if let Some((verdict, cached_class)) = cached {
         debug_assert_eq!(cached_class, class, "class is a function of the ruleset");
@@ -373,28 +369,20 @@ pub fn check_termination_cached(
             hit: true,
             rules_fp: key.rules,
             db_fp: key.db,
-            timings: CacheTimings {
-                t_fingerprint,
-                t_lookup,
-                t_check: Default::default(),
-            },
+            timings: CacheTimings::from_phases(&phases),
         };
     }
 
-    let t2 = Instant::now();
-    let report = check_termination_threads(schema, tgds, db, mode, threads);
-    let t_check = t2.elapsed();
+    let report = phases.run("check", || {
+        check_termination_threads(schema, tgds, db, mode, threads)
+    });
     cache.insert(key, report.verdict, report.class);
     CachedCheck {
         report,
         hit: false,
         rules_fp: key.rules,
         db_fp: key.db,
-        timings: CacheTimings {
-            t_fingerprint,
-            t_lookup,
-            t_check,
-        },
+        timings: CacheTimings::from_phases(&phases),
     }
 }
 
@@ -414,13 +402,9 @@ pub fn check_termination_live(
     threads: usize,
     cache: &VerdictCache,
 ) -> CachedCheck {
-    let t0 = Instant::now();
-    let (key, class) = cache_key_live(schema, tgds, engine);
-    let t_fingerprint = t0.elapsed();
-
-    let t1 = Instant::now();
-    let cached = cache.get(&key);
-    let t_lookup = t1.elapsed();
+    let mut phases = Phases::new();
+    let (key, class) = phases.run("fingerprint", || cache_key_live(schema, tgds, engine));
+    let cached = phases.run("lookup", || cache.get(&key));
 
     if let Some((verdict, cached_class)) = cached {
         debug_assert_eq!(cached_class, class, "class is a function of the ruleset");
@@ -432,28 +416,20 @@ pub fn check_termination_live(
             hit: true,
             rules_fp: key.rules,
             db_fp: key.db,
-            timings: CacheTimings {
-                t_fingerprint,
-                t_lookup,
-                t_check: Default::default(),
-            },
+            timings: CacheTimings::from_phases(&phases),
         };
     }
 
-    let t2 = Instant::now();
-    let report = check_termination_engine(schema, tgds, engine, mode, threads);
-    let t_check = t2.elapsed();
+    let report = phases.run("check", || {
+        check_termination_engine(schema, tgds, engine, mode, threads)
+    });
     cache.insert(key, report.verdict, report.class);
     CachedCheck {
         report,
         hit: false,
         rules_fp: key.rules,
         db_fp: key.db,
-        timings: CacheTimings {
-            t_fingerprint,
-            t_lookup,
-            t_check,
-        },
+        timings: CacheTimings::from_phases(&phases),
     }
 }
 
@@ -507,6 +483,26 @@ mod tests {
         assert_eq!(second.db_fp, first.db_fp);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn fingerprint_time_is_reported_on_misses_too() {
+        use std::time::Duration;
+        let (s, tgds, db) = infinite_sl();
+        let cache = VerdictCache::new(64);
+        let miss = check_termination_cached(&s, &tgds, &db, FindShapesMode::InMemory, 1, &cache);
+        assert!(!miss.hit);
+        assert!(
+            miss.timings.t_fingerprint > Duration::ZERO,
+            "the miss path must report fingerprint time, not fold it into the hit path"
+        );
+        assert!(miss.timings.t_check > Duration::ZERO);
+        let hit = check_termination_cached(&s, &tgds, &db, FindShapesMode::InMemory, 1, &cache);
+        assert!(hit.hit);
+        assert!(hit.timings.t_fingerprint > Duration::ZERO);
+        assert_eq!(hit.timings.t_check, Duration::ZERO, "no check ran on a hit");
+        // Both paths feed the global phase histogram.
+        assert!(soct_obs::global().phase("fingerprint").unwrap().count() >= 2);
     }
 
     #[test]

@@ -15,8 +15,8 @@ use crate::find_shapes::{find_shapes, FindShapesMode, ShapesReport};
 use crate::timings::LTimings;
 use soct_graph::{find_special_sccs, DependencyGraph};
 use soct_model::{Schema, Shape, Tgd};
+use soct_obs::Phases;
 use soct_storage::{ShapeQueryStats, TupleSource};
-use std::time::Instant;
 
 /// Report of one `IsChaseFinite[L]` run.
 #[derive(Clone, Debug)]
@@ -52,11 +52,10 @@ pub fn is_chase_finite_l(
     src: &dyn TupleSource,
     mode: FindShapesMode,
 ) -> LCheckReport {
-    let t0 = Instant::now();
-    let shapes = find_shapes(src, mode);
-    let t_shapes = t0.elapsed();
+    let mut phases = Phases::new();
+    let shapes = phases.run("shapes", || find_shapes(src, mode));
     let mut report = check_l_with_shapes(schema, tgds, &shapes.shapes);
-    report.timings.t_shapes = t_shapes;
+    report.timings.t_shapes = phases.duration("shapes");
     report.shape_stats = shapes.stats;
     report.tuples_scanned = shapes.tuples_scanned;
     report
@@ -73,11 +72,12 @@ pub fn is_chase_finite_l_parallel(
     mode: FindShapesMode,
     threads: usize,
 ) -> LCheckReport {
-    let t0 = Instant::now();
-    let shapes = crate::find_shapes::find_shapes_parallel(src, mode, threads);
-    let t_shapes = t0.elapsed();
+    let mut phases = Phases::new();
+    let shapes = phases.run("shapes", || {
+        crate::find_shapes::find_shapes_parallel(src, mode, threads)
+    });
     let mut report = check_l_with_shapes(schema, tgds, &shapes.shapes);
-    report.timings.t_shapes = t_shapes;
+    report.timings.t_shapes = phases.duration("shapes");
     report.shape_stats = shapes.stats;
     report.tuples_scanned = shapes.tuples_scanned;
     report
@@ -87,24 +87,17 @@ pub fn is_chase_finite_l_parallel(
 /// simplification, dependency graph, special SCCs — starting from
 /// already-computed database shapes. This is what Figures 5–7 time.
 pub fn check_l_with_shapes(schema: &Schema, tgds: &[Tgd], db_shapes: &[Shape]) -> LCheckReport {
-    let t0 = Instant::now();
-    let simplification: DynSimplification = dyn_simplification(schema, tgds, db_shapes);
-    let graph = DependencyGraph::build(simplification.schema(), &simplification.tgds);
-    let t_graph = t0.elapsed();
-
-    let t1 = Instant::now();
-    let scc = find_special_sccs(&graph);
-    let special = scc.special_sccs();
-    let t_comp = t1.elapsed();
+    let mut phases = Phases::new();
+    let (simplification, graph) = phases.run("graph", || {
+        let simplification: DynSimplification = dyn_simplification(schema, tgds, db_shapes);
+        let graph = DependencyGraph::build(simplification.schema(), &simplification.tgds);
+        (simplification, graph)
+    });
+    let special = phases.run("comp", || find_special_sccs(&graph).special_sccs());
 
     LCheckReport {
         finite: special.is_empty(),
-        timings: LTimings {
-            t_shapes: Default::default(),
-            t_parse: Default::default(),
-            t_graph,
-            t_comp,
-        },
+        timings: LTimings::from_phases(&phases),
         n_db_shapes: db_shapes.len(),
         shapes_derived: simplification.shapes_derived,
         n_simplified_tgds: simplification.tgds.len(),
@@ -125,11 +118,12 @@ pub fn is_chase_finite_l_text(
 ) -> Result<(LCheckReport, Schema, Vec<Tgd>), soct_parser::ParseError> {
     let mut schema = Schema::new();
     let mut consts = soct_model::Interner::new();
-    let t0 = Instant::now();
-    let tgds = soct_parser::parse_tgds(text, &mut schema, &mut consts)?;
-    let t_parse = t0.elapsed();
+    let mut phases = Phases::new();
+    let tgds = phases.run("parse", || {
+        soct_parser::parse_tgds(text, &mut schema, &mut consts)
+    })?;
     let mut report = is_chase_finite_l(&schema, &tgds, src, mode);
-    report.timings.t_parse = t_parse;
+    report.timings.t_parse = phases.duration("parse");
     Ok((report, schema, tgds))
 }
 

@@ -19,8 +19,8 @@
 use crate::timings::SlTimings;
 use soct_graph::{find_special_sccs, supports, DependencyGraph};
 use soct_model::{FxHashSet, PredId, Schema, Tgd};
+use soct_obs::Phases;
 use soct_storage::TupleSource;
-use std::time::Instant;
 
 /// Report of one `IsChaseFinite[SL]` run.
 #[derive(Clone, Debug)]
@@ -72,32 +72,23 @@ pub fn is_chase_finite_sl(
     db_preds: &FxHashSet<PredId>,
 ) -> SlCheckReport {
     debug_assert!(tgds.iter().all(Tgd::is_simple_linear));
-    let t0 = Instant::now();
-    let graph = DependencyGraph::build(schema, tgds);
-    let t_graph = t0.elapsed();
-
-    let t1 = Instant::now();
-    let scc = find_special_sccs(&graph);
-    let reps = scc.special_representatives();
-    let t_comp = t1.elapsed();
-
-    let t2 = Instant::now();
-    let supported = if reps.is_empty() {
-        false
-    } else {
-        let derivable = derivable_predicates(tgds, db_preds);
-        supports(&graph, schema, &reps, |p| derivable.contains(&p))
-    };
-    let t_supports = t2.elapsed();
+    let mut phases = Phases::new();
+    let graph = phases.run("graph", || DependencyGraph::build(schema, tgds));
+    let reps = phases.run("comp", || {
+        find_special_sccs(&graph).special_representatives()
+    });
+    let supported = phases.run("supports", || {
+        if reps.is_empty() {
+            false
+        } else {
+            let derivable = derivable_predicates(tgds, db_preds);
+            supports(&graph, schema, &reps, |p| derivable.contains(&p))
+        }
+    });
 
     SlCheckReport {
         finite: !supported,
-        timings: SlTimings {
-            t_parse: Default::default(),
-            t_graph,
-            t_comp,
-            t_supports,
-        },
+        timings: SlTimings::from_phases(&phases),
         graph_nodes: graph.num_nodes(),
         graph_edges: graph.num_edges(),
         special_edges: graph.num_special_edges(),
@@ -125,12 +116,13 @@ pub fn is_chase_finite_sl_text(
 ) -> Result<(SlCheckReport, Schema, Vec<Tgd>), soct_parser::ParseError> {
     let mut schema = Schema::new();
     let mut consts = soct_model::Interner::new();
-    let t0 = Instant::now();
-    let tgds = soct_parser::parse_tgds(text, &mut schema, &mut consts)?;
-    let t_parse = t0.elapsed();
+    let mut phases = Phases::new();
+    let tgds = phases.run("parse", || {
+        soct_parser::parse_tgds(text, &mut schema, &mut consts)
+    })?;
     let db_preds: FxHashSet<PredId> = soct_model::tgd::predicates_of(&tgds).into_iter().collect();
     let mut report = is_chase_finite_sl(&schema, &tgds, &db_preds);
-    report.timings.t_parse = t_parse;
+    report.timings.t_parse = phases.duration("parse");
     Ok((report, schema, tgds))
 }
 

@@ -3,7 +3,14 @@
 //! §7 (simple-linear): `t-parse`, `t-graph`, `t-comp`; `t-total` is their
 //! sum. §8 (linear): additionally `t-shapes` — the db-dependent component —
 //! while `t-parse + t-graph + t-comp` form the db-independent component.
+//!
+//! Since the `soct_obs` refactor these structs are *projections*: the
+//! checkers accumulate phase durations through [`soct_obs::Phases`]
+//! (which also feeds the global `soct_core_phase_us{phase=…}` histogram
+//! and the span layer), and each struct's `from_phases` selects the
+//! fields the paper reports.
 
+use soct_obs::Phases;
 use std::time::Duration;
 
 /// Timing breakdown of `IsChaseFinite[SL]` (§7).
@@ -22,6 +29,16 @@ pub struct SlTimings {
 }
 
 impl SlTimings {
+    /// Projects §7's quantities out of a phase accumulator.
+    pub fn from_phases(phases: &Phases) -> Self {
+        SlTimings {
+            t_parse: phases.duration("parse"),
+            t_graph: phases.duration("graph"),
+            t_comp: phases.duration("comp"),
+            t_supports: phases.duration("supports"),
+        }
+    }
+
     /// End-to-end runtime (`t-total` of Figure 1).
     pub fn total(&self) -> Duration {
         self.t_parse + self.t_graph + self.t_comp + self.t_supports
@@ -43,6 +60,16 @@ pub struct LTimings {
 }
 
 impl LTimings {
+    /// Projects §8's quantities out of a phase accumulator.
+    pub fn from_phases(phases: &Phases) -> Self {
+        LTimings {
+            t_shapes: phases.duration("shapes"),
+            t_parse: phases.duration("parse"),
+            t_graph: phases.duration("graph"),
+            t_comp: phases.duration("comp"),
+        }
+    }
+
     /// The db-independent component (`t-total` of Figure 5).
     pub fn db_independent(&self) -> Duration {
         self.t_parse + self.t_graph + self.t_comp
@@ -70,6 +97,17 @@ pub struct CacheTimings {
 }
 
 impl CacheTimings {
+    /// Projects the request-side quantities out of a phase accumulator.
+    /// Every field is recorded on hits *and* misses (`t_check` is simply
+    /// zero on a hit, when the phase never ran).
+    pub fn from_phases(phases: &Phases) -> Self {
+        CacheTimings {
+            t_fingerprint: phases.duration("fingerprint"),
+            t_lookup: phases.duration("lookup"),
+            t_check: phases.duration("check"),
+        }
+    }
+
     /// End-to-end time of the cached check.
     pub fn total(&self) -> Duration {
         self.t_fingerprint + self.t_lookup + self.t_check

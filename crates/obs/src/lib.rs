@@ -1,0 +1,36 @@
+//! `soct_obs` — the workspace-wide observability substrate: metric
+//! primitives (counters, gauges, log₂ latency histograms), a span layer
+//! with Chrome-trace export, the paper-facing phase accumulator, and a
+//! leveled `SOCT_LOG` key=value logger. Dependency-free, like the rest
+//! of the workspace.
+//!
+//! Design contract (the "overhead contract" of `docs/ARCHITECTURE.md`):
+//!
+//! - **Counters and histograms are always on.** They are single relaxed
+//!   atomic ops, incremented at round/request granularity — never inside
+//!   per-tuple inner loops — so the instrumented build inside the 5%
+//!   bench envelope *is* the production build.
+//! - **Spans are off by default.** [`span()`] costs one relaxed atomic
+//!   load when no [`TraceSession`] is installed: no clock read, no
+//!   thread-local traffic, no allocation. Only an active session pays
+//!   for timestamps and record collection.
+//! - **Logging is off by default.** The [`log_info!`]-family macros
+//!   check the parsed `SOCT_LOG` filter before touching their format
+//!   arguments.
+//!
+//! Metric families follow the `soct_<layer>_<name>{labels}` naming
+//! convention and render to Prometheus text exposition format via
+//! [`PromText`]; span records render to Chrome-trace-viewer JSON
+//! (loadable in `chrome://tracing` or Perfetto) via
+//! [`chrome_trace_json`].
+#![warn(missing_docs)]
+
+pub mod logger;
+pub mod metrics;
+pub mod phase;
+pub mod span;
+
+pub use logger::Level;
+pub use metrics::{global, Counter, Gauge, GlobalMetrics, Histogram, PromText};
+pub use phase::Phases;
+pub use span::{chrome_trace_json, span, Span, SpanRecord, TraceSession};

@@ -1,0 +1,196 @@
+//! The leveled `SOCT_LOG` structured logger: `key=value` lines on
+//! stderr, filtered before format arguments are evaluated.
+//!
+//! `SOCT_LOG` holds a default level (`off`, `error`, `warn`, `info`,
+//! `debug`, `trace`) and optional per-target overrides, comma-separated:
+//! `SOCT_LOG=warn,serve=debug` logs `serve` at `debug` and everything
+//! else at `warn`. Unset or unparsable means `off` — production runs
+//! pay one atomic-ish lookup per call site and nothing else.
+//!
+//! Call sites use the [`log_error!`](crate::log_error) /
+//! [`log_warn!`](crate::log_warn) / [`log_info!`](crate::log_info) /
+//! [`log_debug!`](crate::log_debug) / [`log_trace!`](crate::log_trace)
+//! macros, which check [`enabled`] before touching their arguments:
+//!
+//! ```
+//! soct_obs::log_info!("serve", "event=accept fd={} conns={}", 7, 12);
+//! ```
+
+use std::sync::OnceLock;
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The system misbehaved.
+    Error,
+    /// Something surprising but survivable (sheds, refusals).
+    Warn,
+    /// Lifecycle events (connections, jobs, persistence).
+    Info,
+    /// Per-request detail.
+    Debug,
+    /// Everything.
+    Trace,
+}
+
+impl Level {
+    fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Option<Level>> {
+        match s {
+            "off" => Some(None),
+            "error" => Some(Some(Level::Error)),
+            "warn" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Filter {
+    /// `None` = off.
+    default: Option<Level>,
+    /// Per-target overrides (`serve=debug`).
+    targets: Vec<(String, Option<Level>)>,
+}
+
+impl Filter {
+    fn from_spec(spec: &str) -> Filter {
+        let mut f = Filter::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.split_once('=') {
+                Some((target, level)) => {
+                    if let Some(lvl) = Level::parse(level.trim()) {
+                        f.targets.push((target.trim().to_string(), lvl));
+                    }
+                }
+                None => {
+                    if let Some(lvl) = Level::parse(part) {
+                        f.default = lvl;
+                    }
+                }
+            }
+        }
+        f
+    }
+
+    fn allows(&self, level: Level, target: &str) -> bool {
+        let max = self
+            .targets
+            .iter()
+            .find(|(t, _)| t == target)
+            .map(|(_, lvl)| *lvl)
+            .unwrap_or(self.default);
+        max.is_some_and(|m| level <= m)
+    }
+}
+
+fn filter() -> &'static Filter {
+    static FILTER: OnceLock<Filter> = OnceLock::new();
+    FILTER.get_or_init(|| Filter::from_spec(&std::env::var("SOCT_LOG").unwrap_or_default()))
+}
+
+/// Whether a `level` record for `target` would be emitted. The macros
+/// call this before evaluating their format arguments.
+pub fn enabled(level: Level, target: &str) -> bool {
+    filter().allows(level, target)
+}
+
+/// Writes one structured line to stderr:
+/// `soct level=<level> target=<target> <message>`. Called by the
+/// macros; the filter decision has already been made.
+pub fn write_line(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    eprintln!("soct level={} target={target} {args}", level.name());
+}
+
+/// Logs at an explicit [`Level`]; prefer the per-level macros.
+#[macro_export]
+macro_rules! obs_log {
+    ($lvl:expr, $target:expr, $($arg:tt)*) => {
+        if $crate::logger::enabled($lvl, $target) {
+            $crate::logger::write_line($lvl, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs a `key=value` line at `error` level.
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_log!($crate::Level::Error, $target, $($arg)*) };
+}
+
+/// Logs a `key=value` line at `warn` level.
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_log!($crate::Level::Warn, $target, $($arg)*) };
+}
+
+/// Logs a `key=value` line at `info` level.
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_log!($crate::Level::Info, $target, $($arg)*) };
+}
+
+/// Logs a `key=value` line at `debug` level.
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_log!($crate::Level::Debug, $target, $($arg)*) };
+}
+
+/// Logs a `key=value` line at `trace` level.
+#[macro_export]
+macro_rules! log_trace {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_log!($crate::Level::Trace, $target, $($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_is_severity_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Trace);
+    }
+
+    #[test]
+    fn filter_parses_default_and_targets() {
+        let f = Filter::from_spec("warn,serve=debug,chase=off");
+        assert!(f.allows(Level::Warn, "core"));
+        assert!(!f.allows(Level::Info, "core"));
+        assert!(f.allows(Level::Debug, "serve"));
+        assert!(!f.allows(Level::Trace, "serve"));
+        assert!(!f.allows(Level::Error, "chase"), "per-target off wins");
+    }
+
+    #[test]
+    fn empty_and_garbage_specs_mean_off() {
+        let f = Filter::from_spec("");
+        assert!(!f.allows(Level::Error, "serve"));
+        let f = Filter::from_spec("bananas,=,x=");
+        assert!(!f.allows(Level::Error, "serve"));
+    }
+
+    #[test]
+    fn off_spec_is_explicitly_off() {
+        let f = Filter::from_spec("off");
+        assert!(!f.allows(Level::Error, "any"));
+        let f = Filter::from_spec("trace");
+        assert!(f.allows(Level::Trace, "any"));
+    }
+}

@@ -1,0 +1,486 @@
+//! Metric primitives (counter / gauge / log₂ histogram), the
+//! process-global metric set, and the Prometheus text renderer.
+//!
+//! The [`Histogram`] here is the serve tier's original log₂ latency
+//! histogram, promoted to the shared crate so every layer records
+//! through one implementation: 28 buckets where bucket *b* covers
+//! `[2^b, 2^(b+1))` µs (~134 s and up saturate the last), lock-free
+//! recording, quantiles reconstructed as the upper bound of the bucket
+//! where the cumulative count crosses the rank.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// A monotone counter (relaxed atomic increments).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if n > 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count of the log₂ histogram.
+pub const HIST_BUCKETS: usize = 28;
+
+/// A log₂-bucketed latency histogram over microseconds.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    max_us: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+/// A point-in-time copy of a [`Histogram`], for consistent rendering.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (bucket *b* covers `[2^b, 2^(b+1))` µs).
+    pub counts: [u64; HIST_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all recorded values, µs.
+    pub sum_us: u64,
+    /// Largest recorded value, µs.
+    pub max_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Quantile `q` in `[0,1]`, reconstructed as the upper bound of the
+    /// bucket where the cumulative count crosses the rank (the exact
+    /// maximum when the rank lands past every bucket boundary).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (b + 1);
+            }
+        }
+        self.max_us
+    }
+}
+
+impl Histogram {
+    /// A zeroed histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            max_us: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (µs). Lock-free; three relaxed atomic ops.
+    pub fn record_us(&self, us: u64) {
+        let b = (63 - us.max(1).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Copies the current state for rendering.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; HIST_BUCKETS];
+        for (out, b) in counts.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: counts.iter().sum(),
+            counts,
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ── Prometheus text exposition ─────────────────────────────────────────
+
+/// An incrementally-built Prometheus text exposition body
+/// (`text/plain; version=0.0.4`): `# HELP` / `# TYPE` headers followed
+/// by sample lines. Callers keep family names disjoint; the format has
+/// no nesting, so one builder renders metrics gathered from any number
+/// of layers.
+#[derive(Debug, Default)]
+pub struct PromText {
+    buf: String,
+}
+
+fn write_labels(buf: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    buf.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        let _ = write!(
+            buf,
+            "{k}=\"{}\"",
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    buf.push('}');
+}
+
+impl PromText {
+    /// An empty exposition body.
+    pub fn new() -> Self {
+        PromText::default()
+    }
+
+    /// Writes the `# HELP` / `# TYPE` header of a family.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.buf, "# HELP {name} {help}");
+        let _ = writeln!(self.buf, "# TYPE {name} {kind}");
+    }
+
+    /// Writes one sample line.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.buf.push_str(name);
+        write_labels(&mut self.buf, labels);
+        let _ = writeln!(self.buf, " {value}");
+    }
+
+    /// A single-sample counter family.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, "counter", help);
+        self.sample(name, &[], value);
+    }
+
+    /// A single-sample gauge family.
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, "gauge", help);
+        self.sample(name, &[], value);
+    }
+
+    /// One labelled series of a histogram family: cumulative
+    /// `name_bucket{…,le=…}` lines (bucket *b* reports `le` = its
+    /// exclusive upper bound `2^(b+1)` µs, the same value `/stats`
+    /// quantiles report), then `name_sum` and `name_count`. The caller
+    /// writes the family [`PromText::header`] once before the first
+    /// series.
+    pub fn histogram_series(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+    ) {
+        let mut cumulative = 0u64;
+        let with_le = |le: &str, v: u64, buf: &mut String| {
+            let _ = write!(buf, "{name}_bucket");
+            let mut all: Vec<(&str, &str)> = labels.to_vec();
+            all.push(("le", le));
+            write_labels(buf, &all);
+            let _ = writeln!(buf, " {v}");
+        };
+        for (b, &c) in snap.counts.iter().enumerate() {
+            cumulative += c;
+            // Skip interior all-zero prefixes? No: Prometheus clients
+            // expect the full ladder; 28 lines per series is fine.
+            let le = (1u128 << (b + 1)).to_string();
+            with_le(&le, cumulative, &mut self.buf);
+        }
+        with_le("+Inf", snap.count, &mut self.buf);
+        let _ = write!(self.buf, "{name}_sum");
+        write_labels(&mut self.buf, labels);
+        let _ = writeln!(self.buf, " {}", snap.sum_us);
+        let _ = write!(self.buf, "{name}_count");
+        write_labels(&mut self.buf, labels);
+        let _ = writeln!(self.buf, " {}", snap.count);
+    }
+
+    /// The rendered exposition body.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+// ── The process-global metric set ──────────────────────────────────────
+
+/// The checker phases recorded into `soct_core_phase_us{phase=…}` — the
+/// paper's breakdown (§7–§8) plus the cache-aware request phases.
+pub const PHASE_NAMES: [&str; 8] = [
+    "parse",
+    "shapes",
+    "graph",
+    "comp",
+    "supports",
+    "fingerprint",
+    "lookup",
+    "check",
+];
+
+/// Process-wide metrics for the layers that have no per-server object
+/// to hang counters off (the chase engine, the checker pipeline, the
+/// storage write path). Per-server state — the serve admission counters
+/// and latency histograms, the verdict-cache counters — stays on its
+/// owning object and is rendered into the same `/metrics` body by the
+/// serve tier.
+#[derive(Debug, Default)]
+pub struct GlobalMetrics {
+    /// Chase rounds completed (`soct_chase_rounds_total`).
+    pub chase_rounds: Counter,
+    /// Triggers enumerated across rounds (`soct_chase_triggers_total`).
+    pub chase_triggers: Counter,
+    /// Tuples derived (head atoms written) (`soct_chase_tuples_total`).
+    pub chase_tuples: Counter,
+    /// Witness-table dedup hits: triggers seen before and skipped
+    /// (`soct_chase_dedup_hits_total`).
+    pub chase_dedup_hits: Counter,
+    /// Parallel enumeration tasks dispatched to the worker pool
+    /// (`soct_chase_parallel_tasks_total`).
+    pub chase_parallel_tasks: Counter,
+    /// Storage-engine tuple inserts (`soct_db_inserts_total`).
+    pub db_inserts: Counter,
+    /// Storage-engine tuple deletes that removed a row
+    /// (`soct_db_deletes_total`).
+    pub db_deletes: Counter,
+    /// Incremental shape-catalog updates: distinct-shape transitions
+    /// applied on a write (`soct_db_shape_updates_total`).
+    pub db_shape_updates: Counter,
+    /// Incremental db-fingerprint accumulator updates
+    /// (`soct_db_fingerprint_updates_total`).
+    pub db_fingerprint_updates: Counter,
+    /// Full catalog rebuilds forced by detected desyncs
+    /// (`soct_db_catalog_rebuilds_total`).
+    pub db_catalog_rebuilds: Counter,
+    /// Verdict-cache snapshots persisted to disk
+    /// (`soct_cache_persists_total`).
+    pub cache_persists: Counter,
+    phases: [Histogram; PHASE_NAMES.len()],
+}
+
+impl GlobalMetrics {
+    /// Records one checker-phase duration into
+    /// `soct_core_phase_us{phase=name}`. Unknown names are dropped (the
+    /// phase list is fixed; see [`PHASE_NAMES`]).
+    pub fn record_phase_us(&self, name: &str, us: u64) {
+        if let Some(i) = PHASE_NAMES.iter().position(|p| *p == name) {
+            self.phases[i].record_us(us);
+        }
+    }
+
+    /// The phase histogram for `name`, if it is a known phase.
+    pub fn phase(&self, name: &str) -> Option<&Histogram> {
+        PHASE_NAMES
+            .iter()
+            .position(|p| *p == name)
+            .map(|i| &self.phases[i])
+    }
+
+    /// Renders every global family into `out`.
+    pub fn render_into(&self, out: &mut PromText) {
+        for (name, help, c) in [
+            (
+                "soct_chase_rounds_total",
+                "Chase rounds completed",
+                &self.chase_rounds,
+            ),
+            (
+                "soct_chase_triggers_total",
+                "Triggers enumerated by the chase engine",
+                &self.chase_triggers,
+            ),
+            (
+                "soct_chase_tuples_total",
+                "Tuples derived by the chase engine",
+                &self.chase_tuples,
+            ),
+            (
+                "soct_chase_dedup_hits_total",
+                "Witness-table dedup hits (previously seen triggers skipped)",
+                &self.chase_dedup_hits,
+            ),
+            (
+                "soct_chase_parallel_tasks_total",
+                "Parallel trigger-enumeration tasks dispatched",
+                &self.chase_parallel_tasks,
+            ),
+            (
+                "soct_db_inserts_total",
+                "Storage-engine tuple inserts",
+                &self.db_inserts,
+            ),
+            (
+                "soct_db_deletes_total",
+                "Storage-engine tuple deletes that removed a row",
+                &self.db_deletes,
+            ),
+            (
+                "soct_db_shape_updates_total",
+                "Incremental shape-catalog distinct-set transitions",
+                &self.db_shape_updates,
+            ),
+            (
+                "soct_db_fingerprint_updates_total",
+                "Incremental live db-fingerprint accumulator updates",
+                &self.db_fingerprint_updates,
+            ),
+            (
+                "soct_db_catalog_rebuilds_total",
+                "Full shape-catalog rebuilds forced by detected desyncs",
+                &self.db_catalog_rebuilds,
+            ),
+            (
+                "soct_cache_persists_total",
+                "Verdict-cache snapshots persisted to disk",
+                &self.cache_persists,
+            ),
+        ] {
+            out.counter(name, help, c.get());
+        }
+        out.header(
+            "soct_core_phase_us",
+            "histogram",
+            "Checker phase latency (µs) by paper phase",
+        );
+        for (i, name) in PHASE_NAMES.iter().enumerate() {
+            let snap = self.phases[i].snapshot();
+            if snap.count > 0 {
+                out.histogram_series("soct_core_phase_us", &[("phase", name)], &snap);
+            }
+        }
+    }
+}
+
+/// The process-global metric set.
+pub fn global() -> &'static GlobalMetrics {
+    static GLOBAL: OnceLock<GlobalMetrics> = OnceLock::new();
+    GLOBAL.get_or_init(GlobalMetrics::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        c.add(0);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_quantiles_and_sum() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record_us(100); // bucket [64,128)
+        }
+        for _ in 0..10 {
+            h.record_us(10_000); // bucket [8192,16384)
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum_us, 90 * 100 + 10 * 10_000);
+        assert_eq!(s.max_us, 10_000);
+        assert!((100..=128).contains(&s.quantile_us(0.50)));
+        assert!((10_000..=16_384).contains(&s.quantile_us(0.99)));
+        // Zero saturates into the first bucket, huge values into the last.
+        h.record_us(0);
+        h.record_us(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[HIST_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let mut p = PromText::new();
+        p.counter("soct_test_total", "help text", 3);
+        p.gauge("soct_test_depth", "queue depth", 2);
+        let h = Histogram::new();
+        h.record_us(100);
+        p.header("soct_test_us", "histogram", "latency");
+        p.histogram_series("soct_test_us", &[("endpoint", "check")], &h.snapshot());
+        let text = p.finish();
+        assert!(text.contains("# HELP soct_test_total help text\n"));
+        assert!(text.contains("# TYPE soct_test_total counter\n"));
+        assert!(text.contains("soct_test_total 3\n"));
+        assert!(text.contains("soct_test_depth 2\n"));
+        assert!(text.contains("soct_test_us_bucket{endpoint=\"check\",le=\"128\"} 1\n"));
+        assert!(text.contains("soct_test_us_bucket{endpoint=\"check\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("soct_test_us_sum{endpoint=\"check\"} 100\n"));
+        assert!(text.contains("soct_test_us_count{endpoint=\"check\"} 1\n"));
+        // Bucket counts are cumulative: every bucket past [64,128) also
+        // reports the sample.
+        assert!(text.contains("soct_test_us_bucket{endpoint=\"check\",le=\"256\"} 1\n"));
+        // The ladder starts empty below the sample's bucket.
+        assert!(text.contains("soct_test_us_bucket{endpoint=\"check\",le=\"64\"} 0\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut p = PromText::new();
+        p.header("soct_x_total", "counter", "h");
+        p.sample("soct_x_total", &[("k", "a\"b\\c")], 1);
+        assert!(p.finish().contains("soct_x_total{k=\"a\\\"b\\\\c\"} 1\n"));
+    }
+
+    #[test]
+    fn global_phase_histograms_accept_known_phases_only() {
+        let g = GlobalMetrics::default();
+        g.record_phase_us("shapes", 50);
+        g.record_phase_us("nonsense", 50);
+        assert_eq!(g.phase("shapes").unwrap().count(), 1);
+        assert!(g.phase("nonsense").is_none());
+        let mut p = PromText::new();
+        g.render_into(&mut p);
+        let text = p.finish();
+        assert!(text.contains("soct_chase_rounds_total 0\n"));
+        assert!(text.contains("soct_core_phase_us_bucket{phase=\"shapes\",le=\"64\"} 1\n"));
+    }
+}

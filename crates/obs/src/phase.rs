@@ -1,0 +1,87 @@
+//! The phase accumulator: the span-derived replacement for the bespoke
+//! per-checker timing plumbing. A [`Phases`] value rides through one
+//! check; each [`Phases::run`] scope is timed (phases are coarse —
+//! a handful per request — so always-on timing is within the overhead
+//! contract), recorded into the global
+//! `soct_core_phase_us{phase=…}` histogram, and emitted as a span when
+//! a [`crate::TraceSession`] is active. The paper-facing structs
+//! (`SlTimings`, `LTimings`, `CacheTimings` in `soct_core`) are
+//! projections over the accumulated durations.
+
+use crate::metrics;
+use crate::span::span;
+use std::time::{Duration, Instant};
+
+/// Per-check phase durations, accumulated in call order.
+#[derive(Debug, Default, Clone)]
+pub struct Phases {
+    entries: Vec<(&'static str, Duration)>,
+}
+
+impl Phases {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Phases::default()
+    }
+
+    /// Runs `f` as phase `name`: times it, opens a span around it, and
+    /// records the duration here and in the global phase histogram.
+    pub fn run<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let _span = span(name);
+        let t0 = Instant::now();
+        let out = f();
+        self.record(name, t0.elapsed());
+        out
+    }
+
+    /// Records an externally measured duration for phase `name` (used
+    /// when the timed region spans an API boundary).
+    pub fn record(&mut self, name: &'static str, d: Duration) {
+        self.entries.push((name, d));
+        metrics::global().record_phase_us(name, d.as_micros() as u64);
+    }
+
+    /// Total duration accumulated under `name` (zero if never run).
+    pub fn duration(&self, name: &str) -> Duration {
+        self.entries
+            .iter()
+            .filter(|(n, _)| *n == name)
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// The recorded `(phase, duration)` pairs, in call order.
+    pub fn entries(&self) -> &[(&'static str, Duration)] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_accumulates_and_projects() {
+        let mut p = Phases::new();
+        let v = p.run("graph", || {
+            std::thread::sleep(Duration::from_millis(1));
+            42
+        });
+        assert_eq!(v, 42);
+        p.record("graph", Duration::from_millis(2));
+        p.record("comp", Duration::from_micros(5));
+        assert!(p.duration("graph") >= Duration::from_millis(3));
+        assert_eq!(p.duration("comp"), Duration::from_micros(5));
+        assert_eq!(p.duration("never"), Duration::ZERO);
+        assert_eq!(p.entries().len(), 3);
+    }
+
+    #[test]
+    fn run_feeds_the_global_phase_histogram() {
+        let before = metrics::global().phase("supports").unwrap().count();
+        let mut p = Phases::new();
+        p.run("supports", || ());
+        let after = metrics::global().phase("supports").unwrap().count();
+        assert!(after > before);
+    }
+}

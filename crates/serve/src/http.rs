@@ -410,8 +410,8 @@ pub fn status_text(status: u16) -> &'static str {
     }
 }
 
-/// Appends one rendered response to `out`. `is_head` suppresses the
-/// body while keeping the true `Content-Length` (RFC 9110 §9.3.2);
+/// Appends one rendered JSON response to `out`. `is_head` suppresses
+/// the body while keeping the true `Content-Length` (RFC 9110 §9.3.2);
 /// `retry_after` adds the backpressure hint on shed responses.
 pub(crate) fn render_response(
     out: &mut Vec<u8>,
@@ -421,10 +421,33 @@ pub(crate) fn render_response(
     close: bool,
     retry_after: bool,
 ) {
+    render_response_typed(
+        out,
+        status,
+        "application/json",
+        body,
+        is_head,
+        close,
+        retry_after,
+    );
+}
+
+/// [`render_response`] with an explicit `Content-Type` (the `/metrics`
+/// endpoint answers Prometheus text, everything else JSON).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn render_response_typed(
+    out: &mut Vec<u8>,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    is_head: bool,
+    close: bool,
+    retry_after: bool,
+) {
     let mut head = String::with_capacity(128);
     let _ = write!(
         head,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status_text(status),
         body.len(),
         if close { "close" } else { "keep-alive" },

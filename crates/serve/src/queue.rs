@@ -5,6 +5,7 @@
 
 use crate::json::JsonObject;
 use crate::service::TerminationService;
+use soct_obs::{Histogram, PromText};
 use std::collections::{HashMap, VecDeque};
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
@@ -211,57 +212,21 @@ pub(crate) fn waker_pair() -> io::Result<(TcpStream, TcpStream)> {
     Ok((tx, rx))
 }
 
-/// A log₂-bucketed latency histogram over microseconds (28 buckets:
-/// bucket *b* covers `[2^b, 2^(b+1))` µs, ~134 s and up saturate the
-/// last). Lock-free recording; quantiles are reconstructed as the upper
-/// bound of the bucket where the cumulative count crosses the rank.
-#[derive(Debug, Default)]
-pub(crate) struct Histogram {
-    buckets: [AtomicU64; 28],
-    max_us: AtomicU64,
-}
-
-impl Histogram {
-    pub(crate) fn record_us(&self, us: u64) {
-        let b = (63 - us.max(1).leading_zeros() as usize).min(self.buckets.len() - 1);
-        self.buckets[b].fetch_add(1, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
+/// `{"count":…,"p50_us":…,"p90_us":…,"p99_us":…,"max_us":…}` — the
+/// `/stats` rendering of a latency [`Histogram`] (the log₂ histogram
+/// itself now lives in `soct_obs`; this keeps the wire format
+/// byte-identical to when it lived here).
+pub(crate) fn histogram_json(h: &Histogram) -> String {
+    let snap = h.snapshot();
+    let mut o = JsonObject::new();
+    o.u64_field("count", snap.count);
+    if snap.count > 0 {
+        o.u64_field("p50_us", snap.quantile_us(0.50))
+            .u64_field("p90_us", snap.quantile_us(0.90))
+            .u64_field("p99_us", snap.quantile_us(0.99))
+            .u64_field("max_us", snap.max_us);
     }
-
-    pub(crate) fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    fn quantile_us(&self, counts: &[u64], total: u64, q: f64) -> u64 {
-        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (b, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return 1u64 << (b + 1);
-            }
-        }
-        self.max_us.load(Ordering::Relaxed)
-    }
-
-    /// `{"count":…,"p50_us":…,"p90_us":…,"p99_us":…,"max_us":…}`.
-    pub(crate) fn to_json(&self) -> String {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        let mut o = JsonObject::new();
-        o.u64_field("count", total);
-        if total > 0 {
-            o.u64_field("p50_us", self.quantile_us(&counts, total, 0.50))
-                .u64_field("p90_us", self.quantile_us(&counts, total, 0.90))
-                .u64_field("p99_us", self.quantile_us(&counts, total, 0.99))
-                .u64_field("max_us", self.max_us.load(Ordering::Relaxed));
-        }
-        o.finish()
-    }
+    o.finish()
 }
 
 /// Monotonic server-side counters (the service keeps its own request
@@ -294,10 +259,40 @@ impl Metrics {
         for ep in ENDPOINTS {
             let h = &self.hist[ep.index()];
             if h.count() > 0 {
-                o.raw_field(ep.name(), &h.to_json());
+                o.raw_field(ep.name(), &histogram_json(h));
             }
         }
         o.finish()
+    }
+
+    /// Renders the serve-tier families (`soct_serve_*` admission
+    /// counters and per-endpoint latency histograms) for `/metrics`.
+    pub(crate) fn render_prometheus(&self, out: &mut PromText) {
+        out.header(
+            "soct_serve_requests_total",
+            "counter",
+            "Server admission outcomes by kind",
+        );
+        for (kind, v) in [
+            ("accepted", self.accepted.load(Ordering::Relaxed)),
+            ("refused_503", self.refused_503.load(Ordering::Relaxed)),
+            ("shed_429", self.shed_429.load(Ordering::Relaxed)),
+            ("async_202", self.async_202.load(Ordering::Relaxed)),
+            ("http_error", self.http_errors.load(Ordering::Relaxed)),
+        ] {
+            out.sample("soct_serve_requests_total", &[("kind", kind)], v);
+        }
+        out.header(
+            "soct_serve_request_us",
+            "histogram",
+            "Queue-to-completion request latency (µs) by endpoint",
+        );
+        for ep in ENDPOINTS {
+            let snap = self.hist[ep.index()].snapshot();
+            if snap.count > 0 {
+                out.histogram_series("soct_serve_request_us", &[("endpoint", ep.name())], &snap);
+            }
+        }
     }
 }
 
@@ -386,6 +381,12 @@ pub(crate) fn worker_loop(shared: &Shared) {
         });
         let us = job.enqueued.elapsed().as_micros() as u64;
         shared.metrics.record(job.endpoint, us);
+        soct_obs::log_info!(
+            "serve",
+            "event=job_done job={} endpoint={} status={status} us={us}",
+            job.id,
+            job.endpoint.name()
+        );
         shared
             .jobs
             .lock()
@@ -435,7 +436,7 @@ mod tests {
         for _ in 0..10 {
             h.record_us(10_000); // bucket [8192,16384)
         }
-        let json = h.to_json();
+        let json = histogram_json(&h);
         assert_eq!(get_field(&json, "count"), Some("100"));
         let p50: u64 = get_field(&json, "p50_us").unwrap().parse().unwrap();
         let p99: u64 = get_field(&json, "p99_us").unwrap().parse().unwrap();

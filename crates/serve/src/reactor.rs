@@ -11,10 +11,14 @@
 //! answered `202` and its job detached; the connection then advances to
 //! the next pipelined request immediately.
 
-use crate::http::{parse_request, render_response, Parse, ParsedRequest, ServerConfig, CONTINUE};
+use crate::http::{
+    parse_request, render_response, render_response_typed, Parse, ParsedRequest, ServerConfig,
+    CONTINUE,
+};
 use crate::json::{merge_objects, JsonObject};
 use crate::queue::{Endpoint, Job, JobState, Shared};
 use crate::sys::PollSet;
+use soct_obs::PromText;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -68,6 +72,30 @@ impl Conn {
 
     fn push_response(&mut self, status: u16, body: &str, is_head: bool, close: bool, shed: bool) {
         render_response(&mut self.wbuf, status, body, is_head, close, shed);
+        if close {
+            self.close_after_flush = true;
+        }
+    }
+
+    /// [`Conn::push_response`] with an explicit `Content-Type`
+    /// (Prometheus text for `/metrics`).
+    fn push_response_typed(
+        &mut self,
+        status: u16,
+        content_type: &str,
+        body: &str,
+        is_head: bool,
+        close: bool,
+    ) {
+        render_response_typed(
+            &mut self.wbuf,
+            status,
+            content_type,
+            body,
+            is_head,
+            close,
+            false,
+        );
         if close {
             self.close_after_flush = true;
         }
@@ -238,6 +266,7 @@ pub(crate) fn run_reactor(
                 let inf = c.inflight.take().expect("checked above");
                 waiting.remove(&inf.job);
                 shared.metrics.async_202.fetch_add(1, Ordering::Relaxed);
+                soct_obs::log_info!("serve", "event=deadline_202 job={} conn={cid}", inf.job);
                 c.push_response(
                     202,
                     &job_accepted_json(inf.job),
@@ -264,6 +293,12 @@ pub(crate) fn run_reactor(
                     Ok((stream, _)) => {
                         if conns.len() >= cfg.max_connections {
                             shared.metrics.refused_503.fetch_add(1, Ordering::Relaxed);
+                            soct_obs::log_warn!(
+                                "serve",
+                                "event=refuse_503 conns={} cap={}",
+                                conns.len(),
+                                cfg.max_connections
+                            );
                             let _ = stream.set_nonblocking(true);
                             let mut turn_away = Vec::new();
                             render_response(
@@ -282,6 +317,11 @@ pub(crate) fn run_reactor(
                         }
                         let _ = stream.set_nodelay(true);
                         shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                        soct_obs::log_info!(
+                            "serve",
+                            "event=accept conn={next_conn} conns={}",
+                            conns.len() + 1
+                        );
                         conns.insert(next_conn, Conn::new(stream, now));
                         next_conn += 1;
                     }
@@ -441,6 +481,18 @@ fn dispatch(
         c.push_response(200, &body, req.is_head, req.close, false);
         return;
     }
+    if path == "/metrics" && req.method == "GET" {
+        let body = metrics_text(shared, cfg, conn_count);
+        shared.metrics.record(endpoint, elapsed_us(now));
+        c.push_response_typed(
+            200,
+            "text/plain; version=0.0.4",
+            &body,
+            req.is_head,
+            req.close,
+        );
+        return;
+    }
     if let Some(rest) = path.strip_prefix("/jobs/") {
         let (status, body) = if req.method == "GET" {
             job_status_json(shared, rest)
@@ -456,6 +508,12 @@ fn dispatch(
     if q.q.len() >= shared.queue_depth {
         drop(q);
         shared.metrics.shed_429.fetch_add(1, Ordering::Relaxed);
+        soct_obs::log_warn!(
+            "serve",
+            "event=shed_429 endpoint={} depth={}",
+            endpoint.name(),
+            shared.queue_depth
+        );
         c.push_response(
             429,
             &error_json("job queue is full; retry shortly"),
@@ -477,6 +535,11 @@ fn dispatch(
     });
     drop(q);
     shared.cv.notify_one();
+    soct_obs::log_debug!(
+        "serve",
+        "event=enqueue job={id} endpoint={} conn={cid}",
+        endpoint.name()
+    );
 
     if wants_async(&req.target) || cfg.deadline.is_zero() {
         shared.metrics.async_202.fetch_add(1, Ordering::Relaxed);
@@ -558,4 +621,38 @@ fn stats_json(shared: &Shared, cfg: &ServerConfig, conn_count: u64) -> String {
     let mut wrap = JsonObject::new();
     wrap.raw_field("server", &server.finish());
     merge_objects(&shared.service.stats_json(), &wrap.finish())
+}
+
+/// `GET /metrics`: the full Prometheus text exposition — serve-tier
+/// gauges and admission/latency families first, then the service-level
+/// (cache, live db) and process-global (chase, storage, checker-phase)
+/// families, one body. Answered inline by the reactor so scrapes
+/// reflect queue state even when the workers are saturated.
+fn metrics_text(shared: &Shared, cfg: &ServerConfig, conn_count: u64) -> String {
+    let queue_len = shared.queue.lock().expect("queue poisoned").q.len() as u64;
+    let (queued, running, done) = shared.jobs.lock().expect("jobs poisoned").counts();
+    let mut out = PromText::new();
+    out.gauge("soct_serve_connections", "Open connections", conn_count);
+    out.gauge(
+        "soct_serve_max_connections",
+        "Connection-table cap (refused with 503 past it)",
+        cfg.max_connections as u64,
+    );
+    out.gauge(
+        "soct_serve_queue_depth",
+        "Undispatched jobs in the bounded queue",
+        queue_len,
+    );
+    out.gauge(
+        "soct_serve_queue_capacity",
+        "Bounded job-queue depth (shed with 429 past it)",
+        shared.queue_depth as u64,
+    );
+    out.header("soct_serve_jobs", "gauge", "Job-table entries by state");
+    for (state, v) in [("queued", queued), ("running", running), ("done", done)] {
+        out.sample("soct_serve_jobs", &[("state", state)], v);
+    }
+    shared.metrics.render_prometheus(&mut out);
+    shared.service.metrics_prometheus(&mut out);
+    out.finish()
 }

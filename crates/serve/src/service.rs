@@ -9,6 +9,7 @@ use soct_core::{
     Verdict, VerdictCache,
 };
 use soct_model::{Atom, ConstId, Database, FxHashMap, Interner, Schema, Term, Tgd, TgdClass};
+use soct_obs::PromText;
 use soct_parser::{parse_facts, Program};
 use soct_storage::{InstanceSource, StorageEngine, TupleSource};
 use std::io;
@@ -84,6 +85,9 @@ pub struct ServiceStats {
     pub persist_failures: AtomicU64,
     /// `POST /db/insert` and `POST /db/delete` requests served.
     pub db_writes: AtomicU64,
+    /// `/check?db=live` requests answered from cache after fingerprint
+    /// revalidation (no recomputation touched the database).
+    pub live_revalidations: AtomicU64,
 }
 
 /// The resident live database: a writable engine with shape tracking on,
@@ -300,7 +304,11 @@ impl TerminationService {
             self.cfg.check_threads,
             &self.cache,
         );
-        if !checked.hit {
+        if checked.hit {
+            self.stats
+                .live_revalidations
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
             self.persist_best_effort();
         }
         let mut o = JsonObject::new();
@@ -483,6 +491,104 @@ impl TerminationService {
         o.finish()
     }
 
+    /// Renders the service-level metric families for `GET /metrics`:
+    /// per-endpoint request counters, the verdict cache, the resident
+    /// live database (when configured), then the process-global
+    /// families (chase engine, storage write path, checker phases).
+    pub fn metrics_prometheus(&self, out: &mut PromText) {
+        out.header(
+            "soct_service_requests_total",
+            "counter",
+            "Service requests served by endpoint",
+        );
+        for (ep, v) in [
+            ("check", self.stats.checks.load(Ordering::Relaxed)),
+            ("shapes", self.stats.shapes.load(Ordering::Relaxed)),
+            ("chase", self.stats.chases.load(Ordering::Relaxed)),
+            ("db_write", self.stats.db_writes.load(Ordering::Relaxed)),
+        ] {
+            out.sample("soct_service_requests_total", &[("endpoint", ep)], v);
+        }
+        out.counter(
+            "soct_service_errors_total",
+            "Requests answered with a 4xx/5xx status",
+            self.stats.errors.load(Ordering::Relaxed),
+        );
+        out.counter(
+            "soct_service_persist_failures_total",
+            "Best-effort verdict-cache writes that did not land",
+            self.stats.persist_failures.load(Ordering::Relaxed),
+        );
+        let cs = self.cache.stats();
+        for (name, help, v) in [
+            (
+                "soct_cache_hits_total",
+                "Verdict-cache lookups answered from cache",
+                cs.hits,
+            ),
+            (
+                "soct_cache_misses_total",
+                "Verdict-cache lookups that required a fresh check",
+                cs.misses,
+            ),
+            (
+                "soct_cache_insertions_total",
+                "Verdicts inserted into the cache",
+                cs.insertions,
+            ),
+            (
+                "soct_cache_evictions_total",
+                "Verdicts evicted by the LRU bound",
+                cs.evictions,
+            ),
+        ] {
+            out.counter(name, help, v);
+        }
+        out.gauge(
+            "soct_cache_entries",
+            "Verdict-cache resident entries",
+            self.cache.len() as u64,
+        );
+        out.gauge(
+            "soct_cache_capacity",
+            "Verdict-cache LRU capacity",
+            self.cache.capacity() as u64,
+        );
+        out.counter(
+            "soct_livedb_revalidations_total",
+            "Live checks answered via fingerprint revalidation (pure cache hits)",
+            self.stats.live_revalidations.load(Ordering::Relaxed),
+        );
+        if let Some(live) = &self.live {
+            let g = live.read().expect("live db poisoned");
+            out.gauge(
+                "soct_livedb_tuples",
+                "Tuples resident in the live database",
+                g.engine.total_rows(),
+            );
+            if let Some(cat) = g.engine.shape_catalog() {
+                out.gauge(
+                    "soct_livedb_shapes",
+                    "Distinct database shapes in the live database",
+                    cat.num_shapes() as u64,
+                );
+            }
+            out.header(
+                "soct_livedb_writes_total",
+                "counter",
+                "Live-database write outcomes by operation",
+            );
+            for (op, v) in [
+                ("insert", g.inserts),
+                ("delete", g.deletes),
+                ("delete_miss", g.delete_misses),
+            ] {
+                out.sample("soct_livedb_writes_total", &[("op", op)], v);
+            }
+        }
+        soct_obs::global().render_into(out);
+    }
+
     /// Writes the verdict cache to `cache_dir`, if configured.
     pub fn persist(&self) -> io::Result<()> {
         let Some(dir) = &self.cfg.cache_dir else {
@@ -493,7 +599,14 @@ impl TerminationService {
         // cache for the next startup to choke on.
         let tmp = dir.join(format!("{CACHE_FILE}.tmp"));
         self.cache.save(&tmp)?;
-        std::fs::rename(&tmp, dir.join(CACHE_FILE))
+        std::fs::rename(&tmp, dir.join(CACHE_FILE))?;
+        soct_obs::global().cache_persists.inc();
+        soct_obs::log_debug!(
+            "serve",
+            "event=cache_persisted entries={}",
+            self.cache.len()
+        );
+        Ok(())
     }
 
     /// Persists after a newly computed verdict: immediately while the
@@ -509,8 +622,9 @@ impl TerminationService {
             return;
         }
         self.dirty.store(0, Ordering::Relaxed);
-        if self.persist().is_err() {
+        if let Err(e) = self.persist() {
             self.stats.persist_failures.fetch_add(1, Ordering::Relaxed);
+            soct_obs::log_warn!("serve", "event=persist_failed error={e}");
         }
     }
 }

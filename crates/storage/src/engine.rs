@@ -112,6 +112,7 @@ impl StorageEngine {
             self.insert_packed(pred, &row[..terms.len()]);
         } else {
             self.table_mut(pred).insert_terms(terms);
+            soct_obs::global().db_inserts.inc();
         }
     }
 
@@ -124,8 +125,12 @@ impl StorageEngine {
             .expect("table not created");
         let was_empty = table.is_empty();
         table.insert_packed(row);
+        soct_obs::global().db_inserts.inc();
         if let Some(cat) = self.shape_catalog.as_mut() {
             let new_shape = cat.on_insert(pred, row);
+            if new_shape {
+                soct_obs::global().db_shape_updates.inc();
+            }
             let table = self.tables[pred.index()].as_ref().unwrap();
             if let Some(fp) = self.live_fp.as_mut() {
                 if new_shape {
@@ -135,6 +140,9 @@ impl StorageEngine {
                 if was_empty {
                     fp.preds
                         .add(predicate_element_hash(table.name(), table.arity()));
+                }
+                if new_shape || was_empty {
+                    soct_obs::global().db_fingerprint_updates.inc();
                 }
             }
         }
@@ -166,12 +174,16 @@ impl StorageEngine {
         if row.len() != table.arity() || !table.delete_first_match(row) {
             return false;
         }
+        soct_obs::global().db_deletes.inc();
         if self.shape_catalog.is_some() {
             let table = self.tables[pred.index()].as_ref().unwrap();
             let now_empty = table.is_empty();
             let cat = self.shape_catalog.as_mut().unwrap();
             match cat.on_delete(pred, row) {
                 Some(shape_vanished) => {
+                    if shape_vanished {
+                        soct_obs::global().db_shape_updates.inc();
+                    }
                     if let Some(fp) = self.live_fp.as_mut() {
                         if shape_vanished {
                             fp.shapes
@@ -180,6 +192,9 @@ impl StorageEngine {
                         if now_empty {
                             fp.preds
                                 .remove(predicate_element_hash(table.name(), table.arity()));
+                        }
+                        if shape_vanished || now_empty {
+                            soct_obs::global().db_fingerprint_updates.inc();
                         }
                     }
                 }
@@ -224,6 +239,7 @@ impl StorageEngine {
     /// catalog and fingerprints, restoring the in-sync invariant.
     fn rebuild_tracking(&mut self) {
         self.catalog_rebuilds += 1;
+        soct_obs::global().db_catalog_rebuilds.inc();
         let cat = ShapeCatalog::build(self);
         self.live_fp = Some(self.build_fingerprints(&cat));
         self.shape_catalog = Some(cat);

@@ -46,6 +46,7 @@ pub use soct_core as core;
 pub use soct_gen as gen;
 pub use soct_graph as graph;
 pub use soct_model as model;
+pub use soct_obs as obs;
 pub use soct_parser as parser;
 pub use soct_serve as serve;
 pub use soct_storage as storage;
