@@ -382,11 +382,25 @@ pub fn generate_data(args: &Args) -> Result<(), String> {
     write_out(args, &rendered)
 }
 
-/// `soct serve`: run the termination-checking service until killed.
+/// `soct serve`: run the termination-checking service until killed (or,
+/// on Unix, until SIGTERM/SIGINT triggers a graceful drain: stop
+/// accepting, finish in-flight work, persist the cache, checkpoint and
+/// flush the WAL).
 pub fn serve(args: &Args) -> Result<(), String> {
     let host = args.get_or("host", "127.0.0.1");
     let port = args.get_usize("port", 7171)?;
     let workers = soct_chase::resolve_threads(threads_of(args)?);
+    let wal = args.get_bool("wal");
+    let wal_sync: soct_storage::SyncPolicy = args.get_or("wal-sync", "always").parse()?;
+    if args.get("wal-sync").is_some() && !wal {
+        return Err("--wal-sync requires --wal".to_string());
+    }
+    if args.get("db-seed").is_some() && !wal {
+        return Err("--db-seed requires --wal (without it, --db is itself the facts file)".into());
+    }
+    if wal && args.get("db").is_none() {
+        return Err("--wal requires --db DIR (the durable database directory)".to_string());
+    }
     let cfg = soct_serve::ServiceConfig {
         mode: mode_of(args)?,
         check_threads: 1,
@@ -394,6 +408,9 @@ pub fn serve(args: &Args) -> Result<(), String> {
         cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
         max_chase_atoms: args.get_usize("max-atoms", 1_000_000)?,
         db_path: args.get("db").map(std::path::PathBuf::from),
+        wal,
+        wal_sync,
+        db_seed: args.get("db-seed").map(std::path::PathBuf::from),
     };
     let persisted = cfg.cache_dir.is_some();
     let live_db = cfg.db_path.clone();
@@ -410,8 +427,9 @@ pub fn serve(args: &Args) -> Result<(), String> {
         ..soct_serve::ServerConfig::default()
     };
     let (queue_depth, deadline) = (server_cfg.queue_depth, server_cfg.deadline);
-    let server = soct_serve::Server::bind_with(format!("{host}:{port}"), service, server_cfg)
-        .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
+    let server =
+        soct_serve::Server::bind_with(format!("{host}:{port}"), service.clone(), server_cfg)
+            .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     println!(
         "soct serve: listening on {addr} ({workers} worker threads, queue depth {queue_depth}, \
@@ -424,18 +442,35 @@ pub fn serve(args: &Args) -> Result<(), String> {
         }
     );
     if let Some(path) = live_db {
-        println!(
-            "soct serve: resident live database loaded from {} \
-             (POST /db/insert, POST /db/delete, GET /db/stats, /check?db=live)",
-            path.display()
-        );
+        if wal {
+            println!(
+                "soct serve: durable live database at {} (write-ahead log, sync {wal_sync}; \
+                 POST /db/insert, POST /db/delete, POST /db/batch, GET /db/stats, /check?db=live)",
+                path.display()
+            );
+        } else {
+            println!(
+                "soct serve: resident live database loaded from {} \
+                 (POST /db/insert, POST /db/delete, POST /db/batch, GET /db/stats, /check?db=live)",
+                path.display()
+            );
+        }
     }
+    soct_serve::install_shutdown_signal();
     let handle = server.start().map_err(|e| e.to_string())?;
-    handle.join();
+    // Park until a shutdown signal arrives. The reactor owns the
+    // sockets; this thread only watches the flag the handler sets.
+    while !soct_serve::shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    println!("soct serve: shutdown signal received, draining");
+    handle.shutdown();
+    service.shutdown();
+    println!("soct serve: drained and checkpointed, bye");
     Ok(())
 }
 
-/// `soct client <check|shapes|chase|stats|job|insert|delete|db-stats>`:
+/// `soct client <check|shapes|chase|stats|job|insert|delete|batch|db-stats>`:
 /// one request against a running service; prints the JSON response.
 /// `--expect VERDICT`, `--expect-cached`, and (for writes)
 /// `--expect-fp-changed true|false` turn the invocation into an assertion
@@ -444,7 +479,9 @@ pub fn serve(args: &Args) -> Result<(), String> {
 /// job to completion (assertions then run against the finished job's
 /// body). `job --id N [--wait]` polls an already-submitted job.
 /// `check --live` checks the body's rules against the server's resident
-/// database; `insert`/`delete` stream line-oriented facts to it.
+/// database; `insert`/`delete` stream line-oriented facts to it, and
+/// `batch` sends one mixed insert/delete batch (`- r(a,b).` lines
+/// delete) applied as a single WAL record.
 pub fn client(sub: &str, args: &Args) -> Result<(), String> {
     let addr = args.get_or("addr", "127.0.0.1:7171");
     let client = soct_serve::Client::new(addr);
@@ -513,12 +550,12 @@ pub fn client(sub: &str, args: &Args) -> Result<(), String> {
             client.post(&path, &program_text(args)?)
         }
         "stats" => client.get("/stats"),
-        "insert" | "delete" => client.post(&format!("/db/{sub}"), &facts_text(args)?),
+        "insert" | "delete" | "batch" => client.post(&format!("/db/{sub}"), &facts_text(args)?),
         "db-stats" => client.get("/db/stats"),
         other => {
             return Err(format!(
                 "unknown client subcommand `{other}` \
-                 (try check|shapes|chase|stats|job|insert|delete|db-stats)"
+                 (try check|shapes|chase|stats|job|insert|delete|batch|db-stats)"
             ))
         }
     }
@@ -546,8 +583,9 @@ pub fn client(sub: &str, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Request body for client insert/delete: `--tuples 'r(a,b).'` inline, or
-/// `--facts FILE` for a batch file of line-oriented facts.
+/// Request body for client insert/delete/batch: `--tuples 'r(a,b).'`
+/// inline, or `--facts FILE` for a batch file of line-oriented facts
+/// (for `batch`, lines starting with `-` are deletes).
 fn facts_text(args: &Args) -> Result<String, String> {
     match (args.get("tuples"), args.get("facts")) {
         (Some(t), None) => Ok(t.to_string()),

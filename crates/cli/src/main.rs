@@ -15,8 +15,9 @@
 //! soct serve          [--port N] [--host ADDR] [--threads N] [--cache-dir PATH]
 //!                     [--cache-cap N] [--mode memory|db] [--max-atoms N]
 //!                     [--queue-depth N] [--deadline-ms N] [--max-conns N]
-//!                     [--db FACTS-FILE]
-//! soct client         <check|shapes|chase|stats|job|insert|delete|db-stats>
+//!                     [--db FACTS-FILE | --db DIR --wal [--wal-sync always|batch|off]
+//!                     [--db-seed FACTS-FILE]]
+//! soct client         <check|shapes|chase|stats|job|insert|delete|batch|db-stats>
 //!                     [--addr HOST:PORT] ...
 //! ```
 //!
@@ -70,6 +71,9 @@ const SERVE_FLAGS: &[&str] = &[
     "deadline-ms",
     "max-conns",
     "db",
+    "wal",
+    "wal-sync",
+    "db-seed",
 ];
 const CLIENT_CHECK_FLAGS: &[&str] = &[
     "addr",
@@ -117,7 +121,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     if cmd == "client" {
         let Some(sub) = argv.get(1) else {
             return Err(
-                "usage: soct client <check|shapes|chase|stats|job|insert|delete|db-stats> \
+                "usage: soct client <check|shapes|chase|stats|job|insert|delete|batch|db-stats> \
                  [--addr HOST:PORT] ..."
                     .to_string(),
             );
@@ -129,12 +133,12 @@ fn run(argv: &[String]) -> Result<(), String> {
             "chase" => CLIENT_CHASE_FLAGS,
             "stats" => CLIENT_STATS_FLAGS,
             "job" => CLIENT_JOB_FLAGS,
-            "insert" | "delete" => CLIENT_WRITE_FLAGS,
+            "insert" | "delete" | "batch" => CLIENT_WRITE_FLAGS,
             "db-stats" => CLIENT_DB_STATS_FLAGS,
             other => {
                 return Err(format!(
                     "unknown client subcommand `{other}` \
-                     (try check|shapes|chase|stats|job|insert|delete|db-stats)"
+                     (try check|shapes|chase|stats|job|insert|delete|batch|db-stats)"
                 ))
             }
         };
@@ -213,7 +217,8 @@ USAGE:
   soct serve          [--port N] [--host ADDR] [--threads N] [--cache-dir PATH]
                       [--cache-cap N] [--mode memory|db] [--max-atoms N]
                       [--queue-depth N] [--deadline-ms N] [--max-conns N]
-                      [--db FACTS-FILE]
+                      [--db FACTS-FILE | --db DIR --wal
+                       [--wal-sync always|batch|off] [--db-seed FACTS-FILE]]
                       run the termination-checking service (POST /check,
                       POST /shapes, POST /chase, GET /stats, GET /jobs/<id>);
                       keep-alive HTTP/1.1, bounded job queue (429 + Retry-After
@@ -222,16 +227,22 @@ USAGE:
                       cached by canonical ruleset/shape fingerprints.
                       --db loads a resident writable database (shape tracking
                       on) served via POST /db/insert, POST /db/delete,
-                      GET /db/stats, and /check?db=live
-  soct client         <check|shapes|chase|stats|job|insert|delete|db-stats>
+                      POST /db/batch, GET /db/stats, and /check?db=live;
+                      with --wal, --db names a durable directory: writes are
+                      logged (checksummed, segment-rotated WAL) before they
+                      are acknowledged, restart recovers snapshot + log, and
+                      SIGTERM drains, checkpoints, and flushes cleanly;
+                      --db-seed seeds a new directory from a facts file
+  soct client         <check|shapes|chase|stats|job|insert|delete|batch|db-stats>
                       [--addr HOST:PORT] [--rules FILE] [--db FILE]
                       [--expect VERDICT] [--expect-cached] [--async] [--wait]
                       [--timeout-ms N]
                       — exercise a running service; `job --id N [--wait]`
                       polls an async job; `check --live` checks rules against
-                      the server's resident database; `insert|delete`
+                      the server's resident database; `insert|delete|batch`
                       (--tuples 'r(a,b).' | --facts FILE)
-                      [--expect-fp-changed true|false] stream writes to it;
+                      [--expect-fp-changed true|false] stream writes to it
+                      (batch: `- r(a,b).` lines delete, one WAL record);
                       `db-stats` prints its counters and fingerprints
 
 Rule files use `body -> head.` / `head :- body.` syntax with implicit

@@ -65,15 +65,28 @@ pub fn cache_key(schema: &Schema, tgds: &[Tgd], db: &Instance) -> (CacheKey, Tgd
     (CacheKey { rules, db: db_fp }, class)
 }
 
+/// Domain tag XORed into the db half of every live-engine cache key.
+///
+/// Without it, a live check and a body (instance) check over databases
+/// with coinciding fingerprints map to the *same* entry — the collision
+/// PR 9's `serve_metrics` test documented. That sharing is only sound
+/// while the maintained accumulators are provably exact; separating the
+/// domains means a desynced live fingerprint can at worst serve a stale
+/// *live* verdict, never poison the body-check keyspace (and vice
+/// versa). The revalidation property is untouched: live keys still
+/// collide with other live keys exactly when the underlying
+/// fingerprints agree.
+const LIVE_DB_DOMAIN: u128 = 0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c834;
+
 /// [`cache_key`] against a live [`StorageEngine`]. A tracking-enabled
 /// engine answers the db half from its incrementally-maintained
 /// accumulators in O(1) — this is the revalidation primitive: after any
 /// number of shape-preserving writes the key is unchanged, so a previously
 /// cached verdict is served with zero re-derivation. Engines without
-/// tracking fall back to one scan. The key is bit-identical to
-/// [`cache_key`] over an equivalent in-memory instance (both build on the
-/// same commutative per-element hashes), so live and instance checks share
-/// cache entries.
+/// tracking fall back to one scan (producing the same key, so scan-derived
+/// and maintained lookups interchange freely). The db half carries the
+/// `LIVE_DB_DOMAIN` separator, so live entries never share cache slots
+/// with instance-path entries whose fingerprints happen to coincide.
 pub fn cache_key_live(
     schema: &Schema,
     tgds: &[Tgd],
@@ -90,6 +103,7 @@ pub fn cache_key_live(
             .predicate_fingerprint()
             .unwrap_or_else(|| fingerprint_predicates(schema, &engine.non_empty_predicates())),
     };
+    let db_fp = Fingerprint(db_fp.0 ^ LIVE_DB_DOMAIN);
     (CacheKey { rules, db: db_fp }, class)
 }
 
@@ -598,7 +612,7 @@ mod tests {
     }
 
     #[test]
-    fn live_and_instance_paths_share_cache_entries() {
+    fn live_and_instance_paths_are_domain_separated() {
         use soct_storage::StorageEngine;
         let (s, tgds) = shape_sensitive_l();
         let r = s.pred_by_name("R").unwrap();
@@ -609,20 +623,26 @@ mod tests {
         let via_instance =
             check_termination_cached(&s, &tgds, &db, FindShapesMode::InMemory, 1, &cache);
         assert!(!via_instance.hit);
-        // ...and hit it through the live path over equivalent contents,
-        // both with and without tracking enabled.
+        // ...then check the live path over equivalent contents. The
+        // underlying fingerprints coincide, but the live key carries the
+        // domain tag: no sharing with the instance-path entry, so a
+        // desynced live accumulator could never poison body checks.
         let mut engine = StorageEngine::new();
         engine.create_table(r, "R", 2);
         engine.insert(r, &[c(7), c(9)]);
         let untracked =
             check_termination_live(&s, &tgds, &engine, FindShapesMode::InMemory, 1, &cache);
-        assert!(untracked.hit, "scan-derived key matches the instance key");
+        assert!(!untracked.hit, "live keys live in their own domain");
+        assert_ne!(untracked.db_fp, via_instance.db_fp);
+        assert_eq!(untracked.rules_fp, via_instance.rules_fp);
+        assert_eq!(untracked.report.verdict, via_instance.report.verdict);
+        // Within the live domain, scan-derived and maintained keys still
+        // interchange: enabling tracking hits the entry the scan seeded.
         engine.enable_shape_tracking();
         let tracked =
             check_termination_live(&s, &tgds, &engine, FindShapesMode::InMemory, 1, &cache);
-        assert!(tracked.hit, "maintained key matches the instance key");
-        assert_eq!(tracked.db_fp, via_instance.db_fp);
-        assert_eq!(tracked.rules_fp, via_instance.rules_fp);
+        assert!(tracked.hit, "maintained key matches the scan-derived key");
+        assert_eq!(tracked.db_fp, untracked.db_fp);
     }
 
     #[test]

@@ -295,6 +295,18 @@ pub struct GlobalMetrics {
     /// Verdict-cache snapshots persisted to disk
     /// (`soct_cache_persists_total`).
     pub cache_persists: Counter,
+    /// WAL records appended (`soct_wal_appends_total`).
+    pub wal_appends: Counter,
+    /// WAL fsyncs issued by the sync policy (`soct_wal_fsyncs_total`).
+    pub wal_fsyncs: Counter,
+    /// WAL records replayed during recovery
+    /// (`soct_wal_replayed_records_total`).
+    pub wal_replayed_records: Counter,
+    /// Torn WAL tails truncated at the first bad checksum during
+    /// recovery (`soct_wal_torn_truncations_total`).
+    pub wal_torn_truncations: Counter,
+    /// WAL checkpoints taken (`soct_wal_checkpoints_total`).
+    pub wal_checkpoints: Counter,
     phases: [Histogram; PHASE_NAMES.len()],
 }
 
@@ -373,6 +385,31 @@ impl GlobalMetrics {
                 "soct_cache_persists_total",
                 "Verdict-cache snapshots persisted to disk",
                 &self.cache_persists,
+            ),
+            (
+                "soct_wal_appends_total",
+                "Write-ahead-log records appended",
+                &self.wal_appends,
+            ),
+            (
+                "soct_wal_fsyncs_total",
+                "Write-ahead-log fsyncs issued by the sync policy",
+                &self.wal_fsyncs,
+            ),
+            (
+                "soct_wal_replayed_records_total",
+                "Write-ahead-log records replayed during recovery",
+                &self.wal_replayed_records,
+            ),
+            (
+                "soct_wal_torn_truncations_total",
+                "Torn WAL tails truncated at the first bad checksum",
+                &self.wal_torn_truncations,
+            ),
+            (
+                "soct_wal_checkpoints_total",
+                "Write-ahead-log checkpoints taken",
+                &self.wal_checkpoints,
             ),
         ] {
             out.counter(name, help, c.get());

@@ -61,3 +61,4 @@ pub use client::{request, Client, Response};
 pub use http::{status_text, Server, ServerConfig, ServerHandle};
 pub use json::{escape, get_field, merge_objects, JsonObject};
 pub use service::{critical_instance, ServiceConfig, ServiceStats, TerminationService, CACHE_FILE};
+pub use sys::{install_shutdown_signal, shutdown_requested};

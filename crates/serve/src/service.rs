@@ -8,10 +8,14 @@ use soct_core::{
     check_termination_cached, check_termination_live, find_shapes_parallel, FindShapesMode,
     Verdict, VerdictCache,
 };
-use soct_model::{Atom, ConstId, Database, FxHashMap, Interner, Schema, Term, Tgd, TgdClass};
+use soct_model::{
+    Atom, ConstId, Database, FxHashMap, Interner, PredId, Schema, SymbolId, Term, Tgd, TgdClass,
+};
 use soct_obs::PromText;
 use soct_parser::{parse_facts, Program};
-use soct_storage::{InstanceSource, StorageEngine, TupleSource};
+use soct_storage::{
+    InstanceSource, RealIo, RecoveryReport, StorageEngine, SyncPolicy, TupleSource, Wal, WalEntry,
+};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,6 +33,11 @@ const PERSIST_IMMEDIATE_LIMIT: usize = 4096;
 /// newly computed verdicts. At worst the last `PERSIST_BATCH - 1`
 /// verdicts are lost on a crash — recomputable by definition.
 const PERSIST_BATCH: u64 = 64;
+
+/// Replay debt at which the write path takes a checkpoint: once this
+/// many WAL bytes accumulate since the last snapshot, the next write
+/// compacts them so restart cost stays bounded.
+const WAL_CHECKPOINT_BYTES: u64 = 32 << 20;
 
 /// Configuration of a [`TerminationService`].
 #[derive(Clone, Debug)]
@@ -50,11 +59,25 @@ pub struct ServiceConfig {
     pub cache_dir: Option<PathBuf>,
     /// Hard ceiling on the atom budget a `/chase` request may ask for.
     pub max_chase_atoms: usize,
-    /// When set, a resident live database is loaded from this facts file
-    /// at startup (shape tracking enabled) and served through
-    /// `POST /db/insert`, `POST /db/delete`, `GET /db/stats`, and
-    /// `/check?db=live`.
+    /// When set, a resident live database is served through
+    /// `POST /db/insert`, `POST /db/delete`, `POST /db/batch`,
+    /// `GET /db/stats`, and `/check?db=live`. Without `wal` this is a
+    /// facts *file* loaded into memory at startup; with `wal` it is a
+    /// durable *directory* (write-ahead log + snapshots) recovered at
+    /// startup.
     pub db_path: Option<PathBuf>,
+    /// Serve `db_path` as a durable directory: every write is logged to
+    /// a checksummed WAL before it is applied or acknowledged, and
+    /// startup recovers the last snapshot plus the log's acked suffix.
+    pub wal: bool,
+    /// How eagerly acknowledged writes reach stable storage (only
+    /// meaningful with `wal`). `Always` fsyncs every record before the
+    /// ack; `Batch` every [`soct_storage::wal::BATCH_SYNC_EVERY`]
+    /// records; `Off` leaves it to the OS (and clean shutdown).
+    pub wal_sync: SyncPolicy,
+    /// Facts file used to seed a *virgin* durable directory (only
+    /// meaningful with `wal`). An existing database ignores the seed.
+    pub db_seed: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +89,9 @@ impl Default for ServiceConfig {
             cache_dir: None,
             max_chase_atoms: 1_000_000,
             db_path: None,
+            wal: false,
+            wal_sync: SyncPolicy::Always,
+            db_seed: None,
         }
     }
 }
@@ -103,6 +129,33 @@ struct LiveDb {
     inserts: u64,
     deletes: u64,
     delete_misses: u64,
+    /// The write-ahead log, when the database is durable. Every write
+    /// batch is logged (vocabulary delta first, then one ops record)
+    /// *before* it is applied to the engine or acknowledged.
+    wal: Option<Wal>,
+    /// Constants already logged to the WAL (dense-id high-water mark).
+    /// Advances only after a successful append, so a failed append is
+    /// retried as part of the next batch's delta.
+    logged_syms: usize,
+    /// Predicates already logged to the WAL (same contract).
+    logged_preds: usize,
+    /// What recovery observed at startup, surfaced on `/db/stats`.
+    recovery: Option<RecoveryReport>,
+}
+
+/// Counters and fingerprint movement of one applied write batch.
+#[derive(Debug, Default)]
+struct BatchOutcome {
+    inserted: u64,
+    deleted: u64,
+    missed: u64,
+    shapes: u64,
+    fp_changed: bool,
+    fp_after: String,
+}
+
+fn wal_err(e: io::Error) -> (u16, String) {
+    (500, format!("write-ahead log failure: {e}"))
 }
 
 impl LiveDb {
@@ -136,7 +189,175 @@ impl LiveDb {
             inserts: 0,
             deletes: 0,
             delete_misses: 0,
+            wal: None,
+            logged_syms: 0,
+            logged_preds: 0,
+            recovery: None,
         })
+    }
+
+    /// Opens (or creates) a durable database directory: recovers the
+    /// last snapshot plus the log's acked suffix, then — only if the
+    /// directory was virgin — seeds it from the optional facts file and
+    /// checkpoints, so restarts load the snapshot instead of replaying
+    /// the seed.
+    fn open_durable(dir: &PathBuf, policy: SyncPolicy, seed: Option<&PathBuf>) -> io::Result<Self> {
+        let d = soct_storage::open_durable(dir, policy, Box::new(RealIo::new()))?;
+        let mut live = LiveDb {
+            logged_syms: d.symbols.len(),
+            logged_preds: d.schema.len(),
+            schema: d.schema,
+            consts: d.symbols,
+            engine: d.engine,
+            inserts: 0,
+            deletes: 0,
+            delete_misses: 0,
+            wal: Some(d.wal),
+            recovery: Some(d.report),
+        };
+        // Recovery registers tables lazily (on first insert); declared
+        // predicates that never held a tuple still need empty tables so
+        // names/arities are known, mirroring `from_text`.
+        for p in live.schema.predicates() {
+            live.engine
+                .create_table(p, live.schema.name(p), live.schema.arity(p));
+        }
+        let virgin = live.schema.is_empty() && live.consts.is_empty();
+        match seed {
+            Some(path) if virgin => {
+                let text = std::fs::read_to_string(path)?;
+                live.seed(&text).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: {e}", path.display()),
+                    )
+                })?;
+            }
+            Some(path) => {
+                soct_obs::log_info!(
+                    "serve",
+                    "event=db_seed_skipped reason=existing_database seed={}",
+                    path.display()
+                );
+            }
+            None => {}
+        }
+        Ok(live)
+    }
+
+    /// Seeds a virgin durable directory: parse, log, apply, checkpoint.
+    /// Seed tuples are not charged to the write counters.
+    fn seed(&mut self, text: &str) -> Result<(), String> {
+        let facts =
+            parse_facts(text, &mut self.schema, &mut self.consts).map_err(|e| e.to_string())?;
+        let entries: Vec<(bool, Atom)> = facts.atoms().iter().map(|a| (true, a.clone())).collect();
+        self.apply_batch(&entries).map_err(|(_, e)| e)?;
+        for p in self.schema.predicates() {
+            self.engine
+                .create_table(p, self.schema.name(p), self.schema.arity(p));
+        }
+        self.inserts = 0;
+        let wal = self.wal.as_mut().expect("seed requires a durable db");
+        wal.checkpoint(&self.engine, &self.schema, &self.consts)
+            .map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    /// Logs any vocabulary the parser interned since the last logged
+    /// high-water mark. Called before the ops record of every batch, so
+    /// replay can rebuild the interner/schema with identical dense ids.
+    fn log_vocab_delta(&mut self) -> io::Result<()> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        if self.logged_syms < self.consts.len() {
+            let delta: Vec<(u32, &str)> = (self.logged_syms..self.consts.len())
+                .map(|i| (i as u32, self.consts.resolve(SymbolId(i as u32))))
+                .collect();
+            wal.append_symbols(&delta)?;
+            self.logged_syms = self.consts.len();
+        }
+        if self.logged_preds < self.schema.len() {
+            let delta: Vec<(u32, &str, usize)> = (self.logged_preds..self.schema.len())
+                .map(|i| {
+                    let p = PredId(i as u32);
+                    (i as u32, self.schema.name(p), self.schema.arity(p))
+                })
+                .collect();
+            wal.append_predicates(&delta)?;
+            self.logged_preds = self.schema.len();
+        }
+        Ok(())
+    }
+
+    /// Applies one write batch under the durability contract: the batch
+    /// is logged as a single WAL record (after the vocabulary delta) and
+    /// only on `Ok` applied to the engine — so the in-memory state never
+    /// runs ahead of what a restart would recover, and an acknowledged
+    /// write is exactly as durable as the sync policy promises. Deletes
+    /// that miss are logged too; replay is a deterministic no-op for
+    /// them. On a WAL error nothing is applied and the client sees a
+    /// 500 (interned-but-unlogged vocabulary is re-logged with the next
+    /// batch via the high-water marks).
+    fn apply_batch(&mut self, entries: &[(bool, Atom)]) -> Result<BatchOutcome, (u16, String)> {
+        if self.wal.is_some() {
+            self.log_vocab_delta().map_err(wal_err)?;
+            let rows: Vec<WalEntry> = entries
+                .iter()
+                .map(|(insert, a)| WalEntry {
+                    insert: *insert,
+                    pred: a.pred,
+                    name: self.schema.name(a.pred).to_string(),
+                    row: a.terms.iter().map(|t| t.pack()).collect(),
+                })
+                .collect();
+            self.wal
+                .as_mut()
+                .expect("checked above")
+                .append_ops(&rows)
+                .map_err(wal_err)?;
+        }
+        let fp_before = self.engine.shape_fingerprint().expect("tracking enabled");
+        let mut out = BatchOutcome::default();
+        for (insert, a) in entries {
+            if *insert {
+                self.engine
+                    .create_table(a.pred, self.schema.name(a.pred), a.arity());
+                self.engine.insert(a.pred, &a.terms);
+                out.inserted += 1;
+            } else if self.engine.delete(a.pred, &a.terms) {
+                out.deleted += 1;
+            } else {
+                out.missed += 1;
+            }
+        }
+        self.inserts += out.inserted;
+        self.deletes += out.deleted;
+        self.delete_misses += out.missed;
+        let fp_after = self.engine.shape_fingerprint().expect("tracking enabled");
+        out.shapes = self
+            .engine
+            .shape_catalog()
+            .expect("tracking enabled")
+            .num_shapes() as u64;
+        out.fp_changed = fp_before != fp_after;
+        out.fp_after = fp_after.to_string();
+        self.maybe_checkpoint();
+        Ok(out)
+    }
+
+    /// Checkpoints once the replay debt passes [`WAL_CHECKPOINT_BYTES`].
+    /// Failure is non-fatal: the log still holds everything.
+    fn maybe_checkpoint(&mut self) {
+        let Some(wal) = self.wal.as_mut() else {
+            return;
+        };
+        if wal.bytes_since_checkpoint() < WAL_CHECKPOINT_BYTES {
+            return;
+        }
+        if let Err(e) = wal.checkpoint(&self.engine, &self.schema, &self.consts) {
+            soct_obs::log_warn!("serve", "event=wal_checkpoint_failed error={e}");
+        }
     }
 }
 
@@ -172,6 +393,11 @@ impl TerminationService {
             }
         }
         let live = match &cfg.db_path {
+            Some(path) if cfg.wal => Some(RwLock::new(LiveDb::open_durable(
+                path,
+                cfg.wal_sync,
+                cfg.db_seed.as_ref(),
+            )?)),
             Some(path) => Some(RwLock::new(LiveDb::load(path)?)),
             None => None,
         };
@@ -221,15 +447,19 @@ impl TerminationService {
                 self.stats.db_writes.fetch_add(1, Ordering::Relaxed);
                 self.db_write(body, WriteOp::Delete)
             }
+            ("POST", "/db/batch") => {
+                self.stats.db_writes.fetch_add(1, Ordering::Relaxed);
+                self.db_batch(body)
+            }
             ("GET", "/db/stats") => self.db_stats(),
             (
                 _,
                 "/check" | "/shapes" | "/chase" | "/stats" | "/db/insert" | "/db/delete"
-                | "/db/stats",
+                | "/db/batch" | "/db/stats",
             ) => Err((
                 405,
                 "method not allowed (POST /check, POST /shapes, POST /chase, GET /stats, \
-                 POST /db/insert, POST /db/delete, GET /db/stats)"
+                 POST /db/insert, POST /db/delete, POST /db/batch, GET /db/stats)"
                     .to_string(),
             )),
             _ => Err((404, format!("no such endpoint: {path}"))),
@@ -335,34 +565,12 @@ impl TerminationService {
         let g = &mut *guard;
         let facts =
             parse_facts(body, &mut g.schema, &mut g.consts).map_err(|e| (400, e.to_string()))?;
-        let fp_before = g.engine.shape_fingerprint().expect("tracking enabled");
-        let (mut applied, mut missed) = (0u64, 0u64);
-        for a in facts.atoms() {
-            match op {
-                WriteOp::Insert => {
-                    g.engine
-                        .create_table(a.pred, g.schema.name(a.pred), a.arity());
-                    g.engine.insert(a.pred, &a.terms);
-                    applied += 1;
-                }
-                WriteOp::Delete => {
-                    if g.engine.delete(a.pred, &a.terms) {
-                        applied += 1;
-                    } else {
-                        missed += 1;
-                    }
-                }
-            }
-        }
-        match op {
-            WriteOp::Insert => g.inserts += applied,
-            WriteOp::Delete => {
-                g.deletes += applied;
-                g.delete_misses += missed;
-            }
-        }
-        let fp_after = g.engine.shape_fingerprint().expect("tracking enabled");
-        let cat = g.engine.shape_catalog().expect("tracking enabled");
+        let entries: Vec<(bool, Atom)> = facts
+            .atoms()
+            .iter()
+            .map(|a| (op == WriteOp::Insert, a.clone()))
+            .collect();
+        let out = g.apply_batch(&entries)?;
         let mut o = JsonObject::new();
         o.str_field(
             "op",
@@ -371,12 +579,56 @@ impl TerminationService {
                 WriteOp::Delete => "delete",
             },
         )
-        .u64_field("applied", applied)
-        .u64_field("missed", missed)
+        .u64_field("applied", out.inserted + out.deleted)
+        .u64_field("missed", out.missed)
         .u64_field("tuples", g.engine.total_rows())
-        .u64_field("shapes", cat.num_shapes() as u64)
-        .bool_field("shape_fp_changed", fp_before != fp_after)
-        .str_field("shape_fp", &fp_after.to_string());
+        .u64_field("shapes", out.shapes)
+        .bool_field("shape_fp_changed", out.fp_changed)
+        .str_field("shape_fp", &out.fp_after);
+        Ok(o.finish())
+    }
+
+    /// `POST /db/batch`: one request, one WAL record, one fingerprint
+    /// touch — a line-oriented mix of inserts and deletes. A leading
+    /// `-` marks a line as a delete batch; everything else inserts.
+    /// Lines are applied in order with multiset semantics, and under
+    /// `--wal` the entire batch becomes a single log record, so batched
+    /// ingest pays one fsync (policy `always`) instead of one per
+    /// request.
+    fn db_batch(&self, body: &str) -> ServiceResult {
+        let live = self.live.as_ref().ok_or_else(no_live_db)?;
+        let mut guard = live.write().expect("live db poisoned");
+        let g = &mut *guard;
+        let mut entries: Vec<(bool, Atom)> = Vec::new();
+        for (n, line) in body.lines().enumerate() {
+            let t = line.trim();
+            if t.is_empty() {
+                continue;
+            }
+            let (insert, fact) = match t.strip_prefix('-') {
+                Some(rest) => (false, rest.trim_start()),
+                None => (true, t),
+            };
+            let facts = parse_facts(fact, &mut g.schema, &mut g.consts)
+                .map_err(|e| (400, format!("line {}: {e}", n + 1)))?;
+            for a in facts.atoms() {
+                entries.push((insert, a.clone()));
+            }
+        }
+        if entries.is_empty() {
+            return Err((400, "empty batch (no facts in body)".to_string()));
+        }
+        let out = g.apply_batch(&entries)?;
+        let mut o = JsonObject::new();
+        o.str_field("op", "batch")
+            .u64_field("applied", out.inserted + out.deleted)
+            .u64_field("inserted", out.inserted)
+            .u64_field("deleted", out.deleted)
+            .u64_field("missed", out.missed)
+            .u64_field("tuples", g.engine.total_rows())
+            .u64_field("shapes", out.shapes)
+            .bool_field("shape_fp_changed", out.fp_changed)
+            .str_field("shape_fp", &out.fp_after);
         Ok(o.finish())
     }
 
@@ -411,7 +663,16 @@ impl TerminationService {
                     .predicate_fingerprint()
                     .expect("tracking enabled")
                     .to_string(),
-            );
+            )
+            .bool_field("durable", g.wal.is_some());
+        if let Some(wal) = &g.wal {
+            let r = g.recovery.unwrap_or_default();
+            o.u64_field("wal_segment_seq", wal.segment_seq())
+                .u64_field("wal_bytes_since_checkpoint", wal.bytes_since_checkpoint())
+                .str_field("wal_sync", &wal.sync_policy().to_string())
+                .u64_field("recovered_records", r.replayed_records)
+                .u64_field("torn_truncations", r.torn_truncations);
+        }
         Ok(o.finish())
     }
 
@@ -626,6 +887,35 @@ impl TerminationService {
             self.stats.persist_failures.fetch_add(1, Ordering::Relaxed);
             soct_obs::log_warn!("serve", "event=persist_failed error={e}");
         }
+    }
+
+    /// Graceful shutdown: persists the verdict cache, then checkpoints
+    /// the live database's WAL (which flushes pending records first) so
+    /// a restart recovers from the snapshot instead of replaying the
+    /// whole log. Under sync policies `batch`/`off` this is also what
+    /// makes the tail of acknowledged writes durable on a clean exit.
+    pub fn shutdown(&self) {
+        if let Err(e) = self.persist() {
+            self.stats.persist_failures.fetch_add(1, Ordering::Relaxed);
+            soct_obs::log_warn!("serve", "event=shutdown_persist_failed error={e}");
+        }
+        let Some(live) = &self.live else {
+            return;
+        };
+        let mut guard = live.write().expect("live db poisoned");
+        let g = &mut *guard;
+        let Some(wal) = g.wal.as_mut() else {
+            return;
+        };
+        if let Err(e) = wal.checkpoint(&g.engine, &g.schema, &g.consts) {
+            soct_obs::log_warn!("serve", "event=shutdown_checkpoint_failed error={e}");
+            // The snapshot didn't land, but the log is still the source
+            // of truth — at least force it to stable storage.
+            if let Err(e) = wal.flush() {
+                soct_obs::log_warn!("serve", "event=shutdown_flush_failed error={e}");
+            }
+        }
+        soct_obs::log_info!("serve", "event=shutdown_complete");
     }
 }
 
@@ -931,6 +1221,91 @@ mod tests {
         let (_, stats) = s.handle("GET", "/stats", "");
         assert_eq!(get_field(&stats, "db_writes"), Some("2"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn db_batch_applies_mixed_writes_in_one_request() {
+        let (s, path) = live_svc("soct_serve_batch.facts", "r(a, b).\n");
+        let (status, w) = s.handle(
+            "POST",
+            "/db/batch",
+            "r(b, c).\ns(a).\n- r(a, b).\n- r(zz, zz).\n",
+        );
+        assert_eq!(status, 200, "{w}");
+        assert_eq!(get_field(&w, "op"), Some("batch"));
+        assert_eq!(get_field(&w, "inserted"), Some("2"));
+        assert_eq!(get_field(&w, "deleted"), Some("1"));
+        assert_eq!(get_field(&w, "missed"), Some("1"));
+        assert_eq!(get_field(&w, "applied"), Some("3"));
+        assert_eq!(get_field(&w, "tuples"), Some("2"));
+        let (_, stats) = s.handle("GET", "/db/stats", "");
+        assert_eq!(get_field(&stats, "inserts"), Some("2"));
+        assert_eq!(get_field(&stats, "deletes"), Some("1"));
+        assert_eq!(get_field(&stats, "delete_misses"), Some("1"));
+        assert_eq!(get_field(&stats, "durable"), Some("false"));
+        let (status, _) = s.handle("GET", "/db/batch", "");
+        assert_eq!(status, 405);
+        let (status, _) = s.handle("POST", "/db/batch", "\n  \n");
+        assert_eq!(status, 400);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn durable_service_recovers_acked_writes_across_restart() {
+        let dir = std::env::temp_dir().join("soct_serve_durable_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let seed = std::env::temp_dir().join("soct_serve_durable_seed.facts");
+        std::fs::write(&seed, "r(a, b).\n").unwrap();
+        let cfg = ServiceConfig {
+            db_path: Some(dir.clone()),
+            wal: true,
+            wal_sync: SyncPolicy::Always,
+            db_seed: Some(seed.clone()),
+            ..ServiceConfig::default()
+        };
+        let s = TerminationService::new(cfg.clone()).unwrap();
+        let (status, w) = s.handle("POST", "/db/insert", "r(b, c).\n");
+        assert_eq!(status, 200, "{w}");
+        let (status, w) = s.handle("POST", "/db/batch", "s(a).\n- r(a, b).\n");
+        assert_eq!(status, 200, "{w}");
+        let (_, before) = s.handle("GET", "/db/stats", "");
+        assert_eq!(get_field(&before, "tuples"), Some("2"));
+        assert_eq!(get_field(&before, "durable"), Some("true"));
+        // Drop without shutdown(): a crash. With `always`, everything
+        // acknowledged above must come back.
+        drop(s);
+        let s2 = TerminationService::new(cfg).unwrap();
+        let (_, after) = s2.handle("GET", "/db/stats", "");
+        assert_eq!(get_field(&after, "tuples"), Some("2"));
+        assert_eq!(
+            get_field(&before, "shape_fp"),
+            get_field(&after, "shape_fp"),
+            "recovered fingerprint must match the pre-crash one"
+        );
+        assert_eq!(get_field(&before, "pred_fp"), get_field(&after, "pred_fp"));
+        // The seed was checkpointed, so only the post-seed writes replay:
+        // symbols(c) + ops(insert), then preds(s) + ops(batch).
+        assert_eq!(get_field(&after, "recovered_records"), Some("4"));
+        assert_eq!(get_field(&after, "torn_truncations"), Some("0"));
+        // A clean shutdown checkpoints: the next restart replays nothing.
+        s2.shutdown();
+        drop(s2);
+        let s3 = TerminationService::new(ServiceConfig {
+            db_path: Some(dir.clone()),
+            wal: true,
+            db_seed: Some(seed.clone()),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let (_, third) = s3.handle("GET", "/db/stats", "");
+        assert_eq!(get_field(&third, "recovered_records"), Some("0"));
+        assert_eq!(get_field(&third, "tuples"), Some("2"));
+        // Live checks see the recovered contents: the batch inserted
+        // `s(a)`, which arms the s/t loop of the ruleset directly.
+        let (_, verdict) = s3.handle("POST", "/check?db=live", SHAPE_SENSITIVE_L);
+        assert_eq!(get_field(&verdict, "verdict"), Some("infinite"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(seed).ok();
     }
 
     #[test]

@@ -1,14 +1,36 @@
-//! Readiness notification for the reactor: a dependency-free wrapper
-//! around `poll(2)` on Unix, with a portable degraded fallback elsewhere.
+//! Readiness notification for the reactor — a dependency-free wrapper
+//! around `poll(2)` on Unix with a portable degraded fallback — plus
+//! graceful-shutdown signal handling (SIGTERM/SIGINT → a flag).
 //!
-//! The workspace denies `unsafe_code`; this module is the one audited
-//! exception (scoped `allow` on the FFI call below). The surface kept
+//! The workspace denies `unsafe_code`; this module holds the audited
+//! exceptions (scoped `allow`s on the FFI below). The surface kept
 //! unsafe-free for callers is deliberately tiny: register sockets with
 //! read/write interests, block until one is ready (or a timeout), then
-//! ask which slots became readable/writable/closed.
+//! ask which slots became readable/writable/closed; and for signals,
+//! install once and poll a boolean.
 
 use std::io;
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler; read by [`shutdown_requested`].
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGTERM/SIGINT handlers that set a process-wide shutdown
+/// flag (readable via [`shutdown_requested`]) instead of killing the
+/// process, so `soct serve` can drain, checkpoint, and flush before
+/// exiting. No-op on non-Unix platforms, where the default signal
+/// disposition keeps applying.
+pub fn install_shutdown_signal() {
+    #[cfg(unix)]
+    signal::install();
+}
+
+/// True once SIGTERM or SIGINT has been received after
+/// [`install_shutdown_signal`].
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
 
 /// One registered socket's interests and readiness results.
 #[derive(Clone, Copy, Debug, Default)]
@@ -134,7 +156,45 @@ impl PollSet {
 }
 
 #[cfg(unix)]
-#[allow(unsafe_code)] // the one FFI call; see the safety argument below
+#[allow(unsafe_code)] // audited FFI: registering an async-signal-safe flag setter
+mod signal {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: core::ffi::c_int = 2;
+    const SIGTERM: core::ffi::c_int = 15;
+
+    extern "C" fn on_signal(_sig: core::ffi::c_int) {
+        // A relaxed atomic store is async-signal-safe: no locks, no
+        // allocation, no reentry into the runtime.
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+
+    mod ffi {
+        extern "C" {
+            /// `signal(2)` from the platform libc that `std` already
+            /// links. The handler is passed and returned as a plain
+            /// address (`usize` and a function pointer have identical
+            /// size/ABI on every platform std supports).
+            pub(super) fn signal(signum: core::ffi::c_int, handler: usize) -> usize;
+        }
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `on_signal` is an `extern "C" fn(c_int)` matching the
+        // handler ABI `signal(2)` expects, lives for the whole program,
+        // and only performs an async-signal-safe atomic store. The call
+        // itself touches no memory owned by Rust.
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            ffi::signal(SIGTERM, handler);
+            ffi::signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)] // the one poll(2) FFI call; see the safety argument below
 mod unix {
     use std::io;
 

@@ -296,6 +296,22 @@ impl StorageEngine {
     pub(crate) fn tables_mut_for_load(&mut self) -> &mut Vec<Option<Table>> {
         &mut self.tables
     }
+
+    /// Opens (or creates) a durable database directory with the default
+    /// production I/O and the strictest sync policy: the last snapshot
+    /// is loaded, the write-ahead log replayed (torn tail truncated at
+    /// the first bad checksum), and catalog + fingerprints rebuilt
+    /// bit-identical to an engine that never crashed. See
+    /// [`crate::wal::open_durable`] for the injectable-I/O form.
+    pub fn open_durable(
+        dir: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<crate::wal::DurableDb> {
+        crate::wal::open_durable(
+            dir,
+            crate::wal::SyncPolicy::Always,
+            Box::new(crate::wal::RealIo::new()),
+        )
+    }
 }
 
 impl TupleSource for StorageEngine {

@@ -10,6 +10,12 @@
 //!
 //! The [`TupleSource`] trait is the narrow interface the termination
 //! checkers consume; engines, views, and plain instances all implement it.
+//!
+//! Durability lives in [`wal`]: a checksummed, segment-rotated
+//! write-ahead log with checkpointing into the [`persist`] snapshot
+//! format, crash recovery via [`StorageEngine::open_durable`], and a
+//! fault-injection harness ([`wal::FaultyIo`]) proving the
+//! acked-prefix recovery contract.
 
 pub mod engine;
 pub mod page;
@@ -19,6 +25,7 @@ pub mod shape_catalog;
 pub mod shape_query;
 pub mod table;
 pub mod view;
+pub mod wal;
 
 pub use engine::{InstanceSource, StorageEngine, TupleSource};
 pub use page::{Page, PAGE_SIZE};
@@ -30,3 +37,7 @@ pub use shape_query::{
 };
 pub use table::Table;
 pub use view::LimitView;
+pub use wal::{
+    open_durable, DurableDb, Fault, FaultyIo, RealIo, RecoveryReport, SyncPolicy, Wal, WalEntry,
+    WalIo,
+};

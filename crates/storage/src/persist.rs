@@ -298,6 +298,43 @@ mod tests {
     }
 
     #[test]
+    fn wal_checkpoint_round_trips_the_persist_image() {
+        use crate::wal::{open_durable, RealIo, SyncPolicy, WalEntry};
+        let dir = std::env::temp_dir().join(format!("soct_persist_wal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let want = sample();
+        {
+            let mut d = open_durable(&dir, SyncPolicy::Batch, Box::new(RealIo::new())).unwrap();
+            for (pred, table) in want.tables() {
+                let mut rows = Vec::new();
+                want.scan(pred, &mut |r| {
+                    rows.push(r.to_vec());
+                    true
+                });
+                for row in rows {
+                    let e = WalEntry {
+                        insert: true,
+                        pred,
+                        name: table.name().to_string(),
+                        row,
+                    };
+                    d.wal.append_ops(std::slice::from_ref(&e)).unwrap();
+                    d.engine.create_table(pred, &e.name, e.row.len());
+                    d.engine.insert_packed(pred, &e.row);
+                }
+            }
+            // The checkpoint snapshot embeds the persist-format image.
+            d.wal.checkpoint(&d.engine, &d.schema, &d.symbols).unwrap();
+            assert_eq!(to_bytes(&d.engine), to_bytes(&want));
+        }
+        let r =
+            crate::wal::open_durable(&dir, SyncPolicy::Always, Box::new(RealIo::new())).unwrap();
+        assert_eq!(r.report.replayed_records, 0, "snapshot carries it all");
+        assert_eq!(to_bytes(&r.engine), to_bytes(&want));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn file_round_trip() {
         let dir = std::env::temp_dir().join("soct_persist_test");
         std::fs::create_dir_all(&dir).unwrap();
